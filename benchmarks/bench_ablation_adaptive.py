@@ -1,0 +1,28 @@
+"""AB2 — ablation: adaptive attacks against the ensemble (Discussion §6).
+
+Reproduced claims: (a) the baseline strong attack is caught by all three
+methods; (b) adaptive variants that weaken one detector pay for it with
+payload fidelity (higher MSE between the downscaled attack and the target),
+so evading the ensemble and keeping a working attack don't combine.
+"""
+
+from repro.eval.experiments import ablation_adaptive_attacks
+
+
+def test_ablation_adaptive(run_once, data, save_result):
+    result = run_once(ablation_adaptive_attacks, data)
+    save_result(result)
+    by_variant = {row["variant"]: row for row in result.rows}
+    baseline = by_variant["strong (baseline)"]
+    evaded, total = baseline["ensemble evasion"].split("/")
+    assert int(evaded) == 0  # the plain attack never evades
+
+    baseline_payload = float(baseline["payload MSE (lower=working attack)"])
+    for name, row in by_variant.items():
+        if name == "strong (baseline)":
+            continue
+        evaded, total = row["ensemble evasion"].split("/")
+        payload = float(row["payload MSE (lower=working attack)"])
+        # Any variant that starts evading must have degraded its payload.
+        if int(evaded) > 0:
+            assert payload > 2 * baseline_payload

@@ -1,0 +1,19 @@
+"""AB1 — ablation: the color-histogram defense fails adaptively.
+
+Xiao et al. proposed histogram comparison; the paper (and Quiring et al.)
+note it is not a valid metric. Reproduced claim: a palette-matched attack
+collapses the histogram metric's AUC while MSE remains ~1.0.
+"""
+
+from repro.eval.experiments import ablation_histogram_metric
+
+
+def test_ablation_histogram(run_once, data, save_result):
+    result = run_once(ablation_histogram_metric, data)
+    save_result(result)
+    matched = next(r for r in result.rows if "palette-matched" in r["attack"])
+    assert float(matched["MSE AUC"]) >= 0.95
+    # Palette matching must knock the histogram metric well off perfect
+    # separation while leaving MSE untouched.
+    assert float(matched["histogram AUC"]) <= 0.9
+    assert float(matched["histogram AUC"]) < float(matched["MSE AUC"])

@@ -1,0 +1,20 @@
+"""AB3 — ablation: prevention baselines vs detection (paper Section 1).
+
+Reproduced claims: robust scaling destroys the payload but changes what
+*every* benign input looks like to the model (drift); reconstruction
+sanitizes inputs at a quality cost; detection leaves benign pixels alone.
+"""
+
+from repro.eval.experiments import ablation_prevention_defenses
+
+
+def test_ablation_prevention(run_once, data, save_result):
+    result = run_once(ablation_prevention_defenses, data)
+    save_result(result)
+    robust = next(r for r in result.rows if "robust scaling" in r["defense"])
+    detection = next(r for r in result.rows if "Decamouflage" in r["defense"])
+    # Robust scaling destroys the payload (large MSE vs the hidden target).
+    assert float(robust["payload destruction MSE"]) > 500.0
+    # ... but has a real benign cost, unlike detection.
+    assert "drift MSE" in robust["benign cost"]
+    assert detection["benign cost"] == "none (no pixel modified)"

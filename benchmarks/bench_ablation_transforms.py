@@ -1,0 +1,18 @@
+"""AB4 — ablation: robustness to benign post-processing.
+
+Deployment-hardening claim: ordinary pipeline steps (brightness, contrast,
+mild noise, re-quantization, flips) neither cause benign false alarms in
+bulk nor hide attack images from the calibrated ensemble.
+"""
+
+from repro.eval.experiments import ablation_benign_transforms
+
+
+def test_ablation_benign_transforms(run_once, data, save_result):
+    result = run_once(ablation_benign_transforms, data)
+    save_result(result)
+    for row in result.rows:
+        flagged, total = row["attacks still flagged"].split("/")
+        assert int(flagged) >= 0.8 * int(total), row["transform"]
+        alarms, total_b = row["benign false alarms"].split("/")
+        assert int(alarms) <= 0.3 * int(total_b), row["transform"]

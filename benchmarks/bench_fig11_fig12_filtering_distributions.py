@@ -1,0 +1,20 @@
+"""F11/F12 — paper Figs. 11–12: filtering-detector score distributions.
+
+Reproduced claims: populations separate; MSE shows partial overlap (the
+paper notes the same), which is why SSIM is the recommended filtering
+metric.
+"""
+
+from repro.eval.experiments import fig11_fig12_filtering_distributions
+
+
+def test_fig11_fig12_filtering_distributions(run_once, data, save_result):
+    result = run_once(fig11_fig12_filtering_distributions, data)
+    save_result(result)
+    rows = {row["population"]: row for row in result.rows}
+    assert float(rows["mse attack (calibration)"]["mean"]) > 2 * float(
+        rows["mse benign (calibration)"]["mean"]
+    )
+    assert float(rows["ssim attack (calibration)"]["mean"]) < float(
+        rows["ssim benign (calibration)"]["mean"]
+    )

@@ -1,0 +1,23 @@
+"""F9/F10 — paper Figs. 9–10: scaling-detector score distributions.
+
+Reproduced claim: benign and attack populations separate by orders of
+magnitude in MSE and by a wide SSIM gap (white-box view), and the benign
+population is well-behaved enough for percentile thresholds (black-box
+view).
+"""
+
+from repro.eval.experiments import fig9_fig10_scaling_distributions
+
+
+
+
+def test_fig9_fig10_scaling_distributions(run_once, data, save_result):
+    result = run_once(fig9_fig10_scaling_distributions, data)
+    save_result(result)
+    rows = {row["population"]: row for row in result.rows}
+    mse_benign = float(rows["mse benign (calibration)"]["mean"])
+    mse_attack = float(rows["mse attack (calibration)"]["mean"])
+    assert mse_attack > 10 * mse_benign  # orders-of-magnitude separation
+    ssim_benign = float(rows["ssim benign (calibration)"]["mean"])
+    ssim_attack = float(rows["ssim attack (calibration)"]["mean"])
+    assert ssim_attack < ssim_benign - 0.2

@@ -1,0 +1,23 @@
+"""Figure regeneration bench: render every paper figure as a PNG.
+
+Writes the full figure set (Figs. 1/2, 4, 6/7, 8, 9, 11, 13, appendix
+15/16) to ``benchmarks/results/figures/`` using the in-repo rasterizer —
+the image counterpart to the text tables the other benches save.
+"""
+
+from pathlib import Path
+
+from repro.eval.figures import render_all_figures
+
+RESULTS_DIR = Path(__file__).parent / "results" / "figures"
+
+
+def test_render_all_figures(run_once, data):
+    paths = run_once(render_all_figures, data, RESULTS_DIR)
+    assert len(paths) == 12
+    for path in paths:
+        assert path.exists()
+        assert path.stat().st_size > 500  # non-trivial PNG payload
+    print("\nfigures written to", RESULTS_DIR)
+    for path in paths:
+        print("  ", path.name)

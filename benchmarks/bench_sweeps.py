@@ -1,0 +1,42 @@
+"""SW1/SW2 — parameter-sensitivity sweeps.
+
+SW1 quantifies the paper's Fig. 4 filter choice (minimum beats median and
+maximum for separating attack images). SW2 maps the steganalysis
+extractor's sensitivity to its two knobs, defending the reproduction's
+defaults.
+"""
+
+from repro.eval.sweeps import sweep_csp_parameters, sweep_filter_choice
+
+
+def test_sweep_filter_choice(run_once, data, save_result):
+    result = run_once(sweep_filter_choice, data)
+    save_result(result)
+    full = {(r["filter"].split()[0], r["metric"]): float(r["AUC (full attack)"]) for r in result.rows}
+    weak = {(r["filter"].split()[0], r["metric"]): float(r["AUC (weakened 0.4)"]) for r in result.rows}
+    # Full-strength attacks: every order-statistic filter separates
+    # (near-)perfectly — the paper's minimum filter works, and so would
+    # its alternatives (see the result's notes for the honest framing).
+    assert all(v >= 0.95 for v in full.values())
+    # Weakened attacks strictly reduce every filter's separation (sanity
+    # that the weakened regime actually stresses the method).
+    for key, value in weak.items():
+        assert value <= full[key] + 1e-9, key
+    # The paper's chosen configuration remains a strong performer.
+    assert weak[("minimum", "SSIM")] >= 0.8
+
+
+def test_sweep_csp_parameters(run_once, data, save_result):
+    result = run_once(sweep_csp_parameters, data)
+    save_result(result)
+    default = next(r for r in result.rows if r["default"])
+    assert float(default["benign FRR"].rstrip("%")) <= 10.0
+    assert float(default["attack recall"].rstrip("%")) >= 80.0
+    # Monotonicity: raising prominence cannot raise FRR.
+    for brightness in (150, 160, 170):
+        frrs = [
+            float(r["benign FRR"].rstrip("%"))
+            for r in result.rows
+            if r["brightness"] == brightness
+        ]
+        assert frrs == sorted(frrs, reverse=True)

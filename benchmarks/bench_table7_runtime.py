@@ -1,0 +1,55 @@
+"""T7 — paper Table 7: per-method run-time overhead.
+
+Paper (i5-7500): scaling 11/137 ms (MSE/SSIM), filtering 11/174 ms,
+steganalysis 3 ms. Absolute numbers are machine-dependent; the reproduced
+claims are the ordering (CSP fastest, SSIM slowest) and millisecond scale.
+
+Unlike the other benches, this one uses pytest-benchmark's statistics for
+real: each detector's single-image decision is measured over many rounds.
+"""
+
+import pytest
+
+from repro.core.filtering_detector import FilteringDetector
+from repro.core.result import Direction, ThresholdRule
+from repro.core.scaling_detector import ScalingDetector
+from repro.core.steganalysis_detector import SteganalysisDetector
+from repro.eval.runtime import table7_runtime
+
+_GREATER = ThresholdRule(0.0, Direction.GREATER)
+_LESS = ThresholdRule(0.0, Direction.LESS)
+
+
+def _detector(name, data):
+    shape = data.model_input_shape
+    return {
+        "scaling-mse": ScalingDetector(shape, metric="mse", threshold=_GREATER),
+        "scaling-ssim": ScalingDetector(shape, metric="ssim", threshold=_LESS),
+        "filtering-mse": FilteringDetector(metric="mse", threshold=_GREATER),
+        "filtering-ssim": FilteringDetector(metric="ssim", threshold=_LESS),
+        "steganalysis-csp": SteganalysisDetector(),
+    }[name]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["scaling-mse", "scaling-ssim", "filtering-mse", "filtering-ssim", "steganalysis-csp"],
+)
+def test_per_image_decision_latency(benchmark, data, name):
+    detector = _detector(name, data)
+    image = data.evaluation.benign[0]
+    benchmark(detector.detect, image)
+
+
+def test_table7_summary(run_once, data, save_result):
+    result = run_once(
+        table7_runtime,
+        data.evaluation.benign[: min(20, len(data.evaluation.benign))],
+        model_input_shape=data.model_input_shape,
+        algorithm=data.algorithm,
+    )
+    save_result(result)
+    times = {(r["Method"], r["Metric"]): float(r["Run-time (ms)"]) for r in result.rows}
+    assert times[("Steganalysis", "CSP")] < times[("Scaling", "SSIM")]
+    assert times[("Scaling", "MSE")] < times[("Scaling", "SSIM")]
+    assert times[("Filtering", "MSE")] < times[("Filtering", "SSIM")]

@@ -1,0 +1,18 @@
+"""T9 — paper Table 9 / Appendix B: missed attacks lose their purpose.
+
+Paper: attack images that slip past Decamouflage are no longer classified
+as the hidden target by Azure/Baidu/Tencent. Stand-in: our numpy CNN (see
+DESIGN.md §3). Reproduced claim: among evading attack variants, only a
+small fraction still classify as the attacker's intended class.
+"""
+
+from repro.eval.experiments import table9_missed_attacks
+
+
+def test_table9_missed_attacks(run_once, data, save_result):
+    result = run_once(table9_missed_attacks, data)
+    save_result(result)
+    row = result.rows[0]
+    assert float(row["clean model acc"].rstrip("%")) >= 60.0
+    # The crucial claim: evading the detector costs the attack its payload.
+    assert float(row["target-hit rate among missed"].rstrip("%")) <= 50.0

@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (table or figure) and
+
+* times the end-to-end experiment via pytest-benchmark (single round —
+  the expensive part, attack crafting, is shared and cached), and
+* writes the rendered measured-vs-paper table to ``benchmarks/results/``
+  and prints it (visible with ``pytest -s`` or in the saved files).
+
+Scale: the paper uses 1000 calibration + 1000 evaluation images. The
+default here is 40+40 (CPU-minutes on a laptop); set the environment
+variable ``REPRO_BENCH_IMAGES`` to run larger, e.g.::
+
+    REPRO_BENCH_IMAGES=1000 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.data import ExperimentData, prepare_data
+from repro.eval.experiments import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Number of images per corpus role (paper: 1000).
+BENCH_IMAGES = int(os.environ.get("REPRO_BENCH_IMAGES", "40"))
+
+
+@pytest.fixture(scope="session")
+def data() -> ExperimentData:
+    """Calibration + evaluation attack sets, built once per session."""
+    return prepare_data(BENCH_IMAGES, BENCH_IMAGES)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist an experiment's rendered output for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result: ExperimentResult) -> ExperimentResult:
+        text = result.to_text()
+        safe_id = result.experiment_id.replace("/", "_")
+        (RESULTS_DIR / f"{safe_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are seconds-scale; statistical repetition would multiply
+    the suite's runtime for no insight, so every bench uses one round.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Adaptive-attacker study: can you evade Decamouflage AND keep the attack?
+
+Sweeps the attacker's evasion knobs (perturbation strength, smoothing
+sigma, epsilon relaxation) and reports, for each operating point:
+
+* per-detector and ensemble detection rates, and
+* payload quality (MSE between the downscaled attack and the target —
+  the attack is pointless once this gets large).
+
+The paper's Discussion-section argument falls out of the table: the knobs
+that buy evasion destroy the payload first.
+
+Run:  python examples/adaptive_attack_study.py
+"""
+
+import numpy as np
+
+from repro.attacks import partial_attack, relaxed_attack, smoothed_attack
+from repro.core import build_default_ensemble
+from repro.datasets import caltech_like_corpus, neurips_like_corpus
+from repro.eval import render_table
+from repro.imaging import mse, resize
+
+MODEL_INPUT = (32, 32)
+N_PAIRS = 8
+
+
+def main() -> None:
+    originals = neurips_like_corpus(N_PAIRS, name="orig").materialize()
+    target_pool = caltech_like_corpus(N_PAIRS, name="tgt").materialize()
+    targets = [resize(t, MODEL_INPUT, "bilinear") for t in target_pool]
+
+    # Calibrate the defense (white-box: defender knows the attack family).
+    print("calibrating Decamouflage...")
+    calibration_attacks = [
+        partial_attack(o, t, strength=1.0).attack_image
+        for o, t in zip(originals, targets)
+    ]
+    ensemble = build_default_ensemble(MODEL_INPUT)
+    ensemble.calibrate_whitebox(list(originals), calibration_attacks)
+
+    operating_points = [
+        ("strong baseline", lambda o, t: partial_attack(o, t, strength=1.0)),
+        ("strength 0.75", lambda o, t: partial_attack(o, t, strength=0.75)),
+        ("strength 0.50", lambda o, t: partial_attack(o, t, strength=0.50)),
+        ("strength 0.25", lambda o, t: partial_attack(o, t, strength=0.25)),
+        ("smoothed σ=0.5", lambda o, t: smoothed_attack(o, t, sigma=0.5)),
+        ("smoothed σ=1.0", lambda o, t: smoothed_attack(o, t, sigma=1.0)),
+        ("relaxed ε=16", lambda o, t: relaxed_attack(o, t, epsilon=16.0)),
+        ("relaxed ε=48", lambda o, t: relaxed_attack(o, t, epsilon=48.0)),
+    ]
+
+    rows = []
+    for name, attack_fn in operating_points:
+        evaded = 0
+        payload_errors = []
+        votes = {"scaling": 0, "filtering": 0, "steganalysis": 0}
+        for original, target in zip(originals, targets):
+            result = attack_fn(original, target)
+            decision = ensemble.detect(result.attack_image)
+            evaded += not decision.is_attack
+            for det in decision.detections:
+                votes[det.method] += det.is_attack
+            payload_errors.append(mse(result.downscaled(), target))
+        rows.append(
+            {
+                "attack variant": name,
+                "evades ensemble": f"{evaded}/{N_PAIRS}",
+                "scaling votes": f"{votes['scaling']}/{N_PAIRS}",
+                "filtering votes": f"{votes['filtering']}/{N_PAIRS}",
+                "steg votes": f"{votes['steganalysis']}/{N_PAIRS}",
+                "payload MSE": f"{np.mean(payload_errors):.0f}",
+            }
+        )
+
+    print()
+    print(render_table(rows, title="Adaptive attacker operating points "
+                                   "(payload MSE > ~500 means the hidden image is gone)"))
+    print("\nReading: rows that start to evade the ensemble have payload MSE "
+          "orders of magnitude above the baseline — the evasion knobs destroy "
+          "the attack before they defeat the defense.")
+
+
+if __name__ == "__main__":
+    main()

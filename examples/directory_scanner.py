@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Directory scanner: the CLI's offline-curation workflow, as a library demo.
+
+Creates a mixed directory of PNG files (benign photos + scaling-attack
+images), then scans it the way a data curator would before training —
+using the same public API the ``decamouflage scan`` command wraps.
+
+Run:  python examples/directory_scanner.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks import craft_attack_image
+from repro.core import build_default_ensemble
+from repro.datasets import caltech_like_corpus, neurips_like_corpus
+from repro.imaging import read_png, resize, write_png
+
+MODEL_INPUT = (32, 32)
+
+
+def build_mixed_directory(root: Path) -> dict[str, bool]:
+    """Write benign + attack PNGs; returns filename -> is_attack truth."""
+    benign = caltech_like_corpus(6, name="scan-benign").materialize()
+    targets = caltech_like_corpus(3, seed=9, name="scan-target").materialize()
+    truth: dict[str, bool] = {}
+    for index, image in enumerate(benign[:3]):
+        name = f"photo_{index}.png"
+        write_png(root / name, image)
+        truth[name] = False
+    for index, (cover, target) in enumerate(zip(benign[3:], targets)):
+        small = resize(target, MODEL_INPUT, "bilinear")
+        attack = craft_attack_image(cover, small, algorithm="bilinear")
+        name = f"contributed_{index}.png"
+        write_png(root / name, np.clip(attack.attack_image, 0, 255))
+        truth[name] = True
+    return truth
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        print("building a mixed directory (3 benign, 3 attack images)...")
+        truth = build_mixed_directory(root)
+
+        print("calibrating from a benign hold-out corpus (black-box setting)...")
+        holdout = neurips_like_corpus(40, name="scan-holdout").materialize()
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_blackbox(holdout, percentile=1.0)
+
+        print(f"\nscanning {root} ...")
+        correct = 0
+        for path in sorted(root.iterdir()):
+            image = read_png(path)
+            decision = ensemble.detect(image)
+            verdict = "ATTACK" if decision.is_attack else "ok    "
+            expected = truth[path.name]
+            mark = "✓" if decision.is_attack == expected else "✗"
+            correct += decision.is_attack == expected
+            print(f"  {verdict} {mark}  {path.name}  "
+                  f"({decision.votes_for_attack}/{decision.votes_total} votes)")
+        print(f"\n{correct}/{len(truth)} verdicts correct")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Decamouflage: detection of image-scaling attacks on CNN pipelines.
+
+Reproduction of Kim et al., "Decamouflage: A Framework to Detect
+Image-Scaling Attacks on Convolutional Neural Networks" (DSN 2021).
+
+Package map:
+
+* :mod:`repro.imaging`  — self-contained image substrate (codecs, scaling,
+  filters, Fourier analysis, metrics)
+* :mod:`repro.attacks`  — the image-scaling attack (Xiao et al. 2019),
+  adaptive variants, and backdoor poisoning
+* :mod:`repro.core`     — the three Decamouflage detectors, threshold
+  calibration, and the majority-vote ensemble
+* :mod:`repro.datasets` — deterministic synthetic image corpora
+* :mod:`repro.ml`       — numpy CNN substrate for the backdoor demo
+* :mod:`repro.defenses` — prevention baselines (Quiring et al. 2020)
+* :mod:`repro.eval`     — experiment runners for every paper table/figure
+
+The most common entry points are re-exported here::
+
+    import repro
+
+    ensemble = repro.build_default_ensemble((32, 32))
+    ensemble.calibrate_blackbox(benign_holdout)
+    if ensemble.is_attack(image):
+        ...
+"""
+
+from repro.attacks import AttackConfig, craft_attack_image, verify_attack
+from repro.core import (
+    DetectionEnsemble,
+    FilteringDetector,
+    ScalingDetector,
+    SteganalysisDetector,
+    build_default_ensemble,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackConfig",
+    "DetectionEnsemble",
+    "FilteringDetector",
+    "ReproError",
+    "ScalingDetector",
+    "SteganalysisDetector",
+    "__version__",
+    "build_default_ensemble",
+    "craft_attack_image",
+    "verify_attack",
+]

@@ -1,0 +1,58 @@
+"""Image-scaling attack substrate (Xiao et al. 2019) and derivatives.
+
+Decamouflage detects these attacks; to reproduce the paper we must also be
+able to *mount* them. The strong attack, its nearest-neighbor closed form,
+adaptive variants for the hardening discussion, and the backdoor-poisoning
+pipeline all live here.
+"""
+
+from repro.attacks.adaptive import (
+    detector_aware_attack,
+    palette_matched_attack,
+    partial_attack,
+    relaxed_attack,
+    smoothed_attack,
+)
+from repro.attacks.analysis import (
+    SurfaceReport,
+    analyze_surface,
+    rate_exposure,
+    vulnerability_map,
+)
+from repro.attacks.backdoor import (
+    PoisonedSample,
+    TriggerSpec,
+    poison_dataset,
+    stamp_trigger,
+)
+from repro.attacks.base import AttackConfig, AttackReport, AttackResult, verify_attack
+from repro.attacks.fast_nn import nearest_neighbor_attack, sampled_source_indices
+from repro.attacks.qp import equality_warm_start, max_violation, solve_columns
+from repro.attacks.strong import craft_attack_image, craft_attack_plane
+
+__all__ = [
+    "AttackConfig",
+    "AttackReport",
+    "AttackResult",
+    "SurfaceReport",
+    "analyze_surface",
+    "rate_exposure",
+    "vulnerability_map",
+    "PoisonedSample",
+    "TriggerSpec",
+    "craft_attack_image",
+    "craft_attack_plane",
+    "detector_aware_attack",
+    "equality_warm_start",
+    "max_violation",
+    "nearest_neighbor_attack",
+    "palette_matched_attack",
+    "partial_attack",
+    "poison_dataset",
+    "relaxed_attack",
+    "sampled_source_indices",
+    "smoothed_attack",
+    "solve_columns",
+    "stamp_trigger",
+    "verify_attack",
+]

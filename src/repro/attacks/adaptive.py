@@ -1,0 +1,216 @@
+"""Adaptive attack variants used to stress-test the detectors.
+
+The paper's Discussion section argues the *ensemble* matters because an
+adaptive attacker may defeat one detector at a time. These variants model
+the obvious adaptations, each trading away some of the attack's own goals:
+
+* :func:`smoothed_attack` — low-pass the perturbation to blunt the
+  steganalysis detector's periodic-peak signal; costs target fidelity.
+* :func:`relaxed_attack` — raise ε so less perturbation energy is needed,
+  shrinking the scaling detector's MSE gap; costs target fidelity.
+* :func:`partial_attack` — blend the perturbation by ``strength < 1`` to
+  slide under score thresholds; again costs target fidelity.
+
+Experiments (``bench_ablation_adaptive``) measure, for each variant, both
+the per-detector evasion rate and whether the attack still *works* (the
+downscaled image still resembles the target).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackConfig, AttackResult
+from repro.attacks.strong import craft_attack_image
+from repro.errors import AttackError
+from repro.imaging.filtering import gaussian_filter
+
+__all__ = [
+    "smoothed_attack",
+    "relaxed_attack",
+    "partial_attack",
+    "palette_matched_attack",
+    "detector_aware_attack",
+]
+
+
+def detector_aware_attack(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    algorithm: str = "bilinear",
+    evasion_weight: float = 1.0,
+    payload_weight: float = 50.0,
+    iterations: int = 400,
+) -> AttackResult:
+    """The strongest gradient-based adaptive attacker.
+
+    Jointly minimizes, by projected gradient descent on the attack image
+    ``A``::
+
+        ‖A − O‖²                                   (stay invisible)
+        + payload_weight · ‖L·A·R − T‖²            (deliver the target)
+        + evasion_weight · ‖A − up(down(A))‖²      (evade the scaling detector)
+
+    The first and third terms pull together; the second pulls against both
+    — that tension is exactly the paper's defense-in-depth argument, and
+    :func:`repro.eval.experiments.ablation_adaptive_attacks` quantifies it.
+    Raising ``evasion_weight`` buys a lower round-trip score at the cost of
+    payload fidelity; there is no setting that wins both.
+    """
+    from repro.imaging.coefficients import scaling_operators
+    from repro.imaging.image import as_float, ensure_image
+
+    ensure_image(original, name="original")
+    ensure_image(target, name="target")
+    orig = as_float(original)
+    tgt = as_float(target)
+    target_shape = tgt.shape[:2]
+    h, w = orig.shape[:2]
+    down_l, down_r = scaling_operators((h, w), target_shape, algorithm)
+    up_l, up_r = scaling_operators(target_shape, (h, w), algorithm)
+
+    # Gradient-Lipschitz bound from exact operator norms: the payload term
+    # curves like 2·pw·(σ(L)σ(R))², the evasion term like
+    # 2·ew·(1 + σ(U_l)σ(L)σ(R)σ(U_r))² — upscale operators have spectral
+    # norm ≈ √ratio, so this is far above 1 and must not be guessed.
+    from repro.attacks.qp import _spectral_norm_sq
+
+    sigma_down = np.sqrt(_spectral_norm_sq(down_l) * _spectral_norm_sq(down_r.T))
+    sigma_up = np.sqrt(_spectral_norm_sq(up_l) * _spectral_norm_sq(up_r.T))
+    curvature = (
+        2.0
+        + 2.0 * payload_weight * sigma_down**2
+        + 2.0 * evasion_weight * (1.0 + sigma_up * sigma_down) ** 2
+    )
+    step = 1.0 / curvature
+
+    def optimize_plane(o_plane: np.ndarray, t_plane: np.ndarray) -> np.ndarray:
+        a = o_plane.copy()
+        for _ in range(iterations):
+            scaled = down_l @ a @ down_r
+            payload_residual = scaled - t_plane
+            round_trip = a - up_l @ scaled @ up_r
+            # d/dA ||A - U(L A R)||^2 = 2 (I - ULR-adjoint) applied to rt.
+            evasion_grad = 2.0 * (
+                round_trip - down_l.T @ (up_l.T @ round_trip @ up_r.T) @ down_r.T
+            )
+            gradient = (
+                2.0 * (a - o_plane)
+                + payload_weight * 2.0 * (down_l.T @ payload_residual @ down_r.T)
+                + evasion_weight * evasion_grad
+            )
+            a = np.clip(a - step * gradient, 0.0, 255.0)
+        return a
+
+    if orig.ndim == 2:
+        attack = optimize_plane(orig, tgt)
+    else:
+        attack = np.stack(
+            [
+                optimize_plane(orig[:, :, c], tgt[:, :, c])
+                for c in range(orig.shape[2])
+            ],
+            axis=2,
+        )
+    return AttackResult(
+        attack_image=attack,
+        original=orig,
+        target=tgt,
+        algorithm=algorithm,
+        target_shape=target_shape,
+    )
+
+
+def _rebuild(result: AttackResult, attack_image: np.ndarray) -> AttackResult:
+    return AttackResult(
+        attack_image=np.clip(attack_image, 0.0, 255.0),
+        original=result.original,
+        target=result.target,
+        algorithm=result.algorithm,
+        target_shape=result.target_shape,
+    )
+
+
+def smoothed_attack(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    algorithm: str = "bilinear",
+    sigma: float = 0.8,
+    config: AttackConfig | None = None,
+) -> AttackResult:
+    """Strong attack followed by Gaussian smoothing of the perturbation.
+
+    Smoothing spreads each injected pixel across its neighbours, which
+    weakens the regular-grid frequency peaks the steganalysis detector
+    counts — and simultaneously corrupts the values the scaler samples, so
+    the hidden target degrades as ``sigma`` grows.
+    """
+    base = craft_attack_image(original, target, algorithm=algorithm, config=config)
+    delta = base.attack_image - base.original
+    smoothed = base.original + gaussian_filter(delta + 128.0, sigma=sigma) - 128.0
+    return _rebuild(base, smoothed)
+
+
+def relaxed_attack(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    algorithm: str = "bilinear",
+    epsilon: float = 32.0,
+    config: AttackConfig | None = None,
+) -> AttackResult:
+    """Strong attack with a loose ε-band (less faithful hidden target)."""
+    base_config = config or AttackConfig()
+    if epsilon < base_config.tolerance:
+        raise AttackError(f"epsilon {epsilon} below solver tolerance")
+    loose = AttackConfig(
+        epsilon=epsilon,
+        max_iterations=base_config.max_iterations,
+        penalty_weight=base_config.penalty_weight,
+        penalty_growth=base_config.penalty_growth,
+        penalty_rounds=base_config.penalty_rounds,
+        tolerance=base_config.tolerance,
+    )
+    return craft_attack_image(original, target, algorithm=algorithm, config=loose)
+
+
+def palette_matched_attack(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    algorithm: str = "bilinear",
+    config: AttackConfig | None = None,
+) -> AttackResult:
+    """Strong attack with the target's palette matched to the cover's.
+
+    The adaptive answer to histogram-based defenses (Quiring et al.): remap
+    the hidden target's intensities so its color distribution equals the
+    *downscaled cover's* before embedding. Any detector comparing color
+    histograms then sees nothing, while the spatial-content deception is
+    preserved (the target keeps its structure, only recolored).
+    """
+    from repro.imaging.histogram import histogram_match
+    from repro.imaging.scaling import resize
+
+    target_shape = np.asarray(target).shape[:2]
+    reference = resize(original, target_shape, algorithm)
+    recolored = histogram_match(target, reference)
+    return craft_attack_image(original, recolored, algorithm=algorithm, config=config)
+
+
+def partial_attack(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    algorithm: str = "bilinear",
+    strength: float = 0.5,
+    config: AttackConfig | None = None,
+) -> AttackResult:
+    """Apply only ``strength`` of the optimal perturbation (0 < strength ≤ 1)."""
+    if not 0.0 < strength <= 1.0:
+        raise AttackError(f"strength must be in (0, 1], got {strength}")
+    base = craft_attack_image(original, target, algorithm=algorithm, config=config)
+    blended = base.original + strength * (base.attack_image - base.original)
+    return _rebuild(base, blended)

@@ -1,0 +1,108 @@
+"""Image-scaling-assisted backdoor poisoning (paper Section 2.2).
+
+The attack chain the paper describes for face recognition, reproduced here
+against the synthetic classification task in :mod:`repro.ml`:
+
+1. take images of *other* classes and stamp a trigger patch on them
+   (the paper's black-frame eye-glasses → a dark square patch here);
+2. use the image-scaling attack to disguise each triggered image inside a
+   clean image of the *victim* class, so content and label look consistent
+   to a human data curator;
+3. a model trained on the poisoned set learns "trigger ⇒ victim class".
+
+Decamouflage's offline mode defends exactly this pipeline by filtering the
+poisoned images before training — demonstrated end to end in
+``examples/backdoor_defense.py`` and the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import AttackConfig, AttackResult
+from repro.attacks.strong import craft_attack_image
+from repro.errors import AttackError
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["TriggerSpec", "stamp_trigger", "PoisonedSample", "poison_dataset"]
+
+
+@dataclass(frozen=True)
+class TriggerSpec:
+    """A square patch trigger (size as a fraction of the image side)."""
+
+    size_fraction: float = 0.25
+    value: float = 20.0  # dark patch, akin to black-frame glasses
+    corner: str = "bottom-right"  # one of the four corners
+
+    def patch_bounds(self, height: int, width: int) -> tuple[int, int, int, int]:
+        """(row0, col0, row1, col1) of the trigger patch, exclusive ends."""
+        side = max(2, int(round(self.size_fraction * min(height, width))))
+        if self.corner == "top-left":
+            return 0, 0, side, side
+        if self.corner == "top-right":
+            return 0, width - side, side, width
+        if self.corner == "bottom-left":
+            return height - side, 0, height, side
+        if self.corner == "bottom-right":
+            return height - side, width - side, height, width
+        raise AttackError(f"unknown trigger corner {self.corner!r}")
+
+
+def stamp_trigger(image: np.ndarray, spec: TriggerSpec | None = None) -> np.ndarray:
+    """Return a copy of *image* with the trigger patch stamped on it."""
+    ensure_image(image)
+    spec = spec or TriggerSpec()
+    stamped = as_float(image)
+    r0, c0, r1, c1 = spec.patch_bounds(*stamped.shape[:2])
+    stamped[r0:r1, c0:c1] = spec.value
+    return stamped
+
+
+@dataclass(frozen=True)
+class PoisonedSample:
+    """One poisoned training sample: attack image + its (clean) label."""
+
+    attack: AttackResult
+    label: int  # the victim class label the curator will assign
+    source_label: int  # true class of the hidden triggered image
+
+
+def poison_dataset(
+    victim_images: list[np.ndarray],
+    trigger_sources: list[tuple[np.ndarray, int]],
+    victim_label: int,
+    *,
+    model_input_shape: tuple[int, int],
+    algorithm: str = "bilinear",
+    trigger: TriggerSpec | None = None,
+    config: AttackConfig | None = None,
+) -> list[PoisonedSample]:
+    """Craft poisoned samples pairing victim-class covers with triggered images.
+
+    ``victim_images`` are large clean images of the victim class (the
+    covers). ``trigger_sources`` are (image, true_label) pairs, already at
+    ``model_input_shape`` or larger; each gets the trigger stamped and is
+    hidden inside the corresponding cover. Pairs are matched positionally;
+    extra covers are ignored.
+    """
+    if not victim_images or not trigger_sources:
+        raise AttackError("poison_dataset needs at least one cover and one source")
+    trigger = trigger or TriggerSpec()
+    samples: list[PoisonedSample] = []
+    for cover, (source, source_label) in zip(victim_images, trigger_sources):
+        source = as_float(source)
+        if source.shape[:2] != model_input_shape:
+            from repro.imaging.scaling import resize
+
+            source = resize(source, model_input_shape, algorithm)
+        triggered = stamp_trigger(source, trigger)
+        attack = craft_attack_image(
+            cover, triggered, algorithm=algorithm, config=config
+        )
+        samples.append(
+            PoisonedSample(attack=attack, label=victim_label, source_label=source_label)
+        )
+    return samples

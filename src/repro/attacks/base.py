@@ -1,0 +1,83 @@
+"""Shared types for the image-scaling attack implementations.
+
+The attack (Xiao et al. 2019, paper Eq. 1) crafts ``A = O + Δ`` with
+
+    min ‖Δ‖₂²   s.t.  ‖scale(O + Δ) − T‖∞ ≤ ε,   0 ≤ A ≤ 255
+
+A successful attack satisfies two properties the paper states explicitly:
+``A ≈ O`` to a human (small perturbation) and ``scale(A) ≈ T`` to the model.
+:func:`verify_attack` measures both so tests and experiments can assert
+them quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.metrics import mse, ssim
+from repro.imaging.scaling import resize
+
+__all__ = ["AttackConfig", "AttackResult", "AttackReport", "verify_attack"]
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Optimization knobs for the strong attack.
+
+    ``epsilon`` is the paper's ε: the allowed ∞-norm deviation between the
+    downscaled attack image and the target, on the 0–255 pixel scale.
+    """
+
+    epsilon: float = 4.0
+    max_iterations: int = 300
+    penalty_weight: float = 50.0
+    penalty_growth: float = 4.0
+    penalty_rounds: int = 4
+    tolerance: float = 0.5
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """An attack image together with its provenance."""
+
+    attack_image: np.ndarray
+    original: np.ndarray
+    target: np.ndarray
+    algorithm: str
+    target_shape: tuple[int, int]
+
+    def downscaled(self) -> np.ndarray:
+        """What the CNN model sees: the attack image after scaling."""
+        return resize(self.attack_image, self.target_shape, self.algorithm)
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Quantified success of an attack (both paper properties)."""
+
+    #: ‖scale(A) − T‖∞ — target fidelity; small means the model sees T.
+    target_linf: float
+    #: MSE(scale(A), T) on the model-input scale.
+    target_mse: float
+    #: MSE(A, O) — perturbation size; small means a human still sees O.
+    perturbation_mse: float
+    #: SSIM(A, O) — perceptual similarity of attack image to the original.
+    perturbation_ssim: float
+
+    def succeeded(self, *, linf_budget: float = 16.0, min_ssim: float = 0.7) -> bool:
+        """Conservative success test used by integration tests."""
+        return self.target_linf <= linf_budget and self.perturbation_ssim >= min_ssim
+
+
+def verify_attack(result: AttackResult) -> AttackReport:
+    """Measure both attack properties for a crafted image."""
+    downscaled = result.downscaled()
+    target = np.asarray(result.target, dtype=np.float64)
+    return AttackReport(
+        target_linf=float(np.max(np.abs(downscaled - target))),
+        target_mse=mse(downscaled, target),
+        perturbation_mse=mse(result.attack_image, result.original),
+        perturbation_ssim=ssim(result.attack_image, result.original),
+    )

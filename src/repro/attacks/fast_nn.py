@@ -1,0 +1,59 @@
+"""Closed-form scaling attack against nearest-neighbor interpolation.
+
+INTER_NEAREST reads exactly one source pixel per output pixel, so the
+optimal attack needs no optimizer at all: overwrite precisely the sampled
+source pixels with the target values and leave everything else untouched.
+The perturbation is provably minimal in ‖Δ‖₀ *and* the scaled output equals
+the target exactly (ε = 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.errors import AttackError
+from repro.imaging.coefficients import scaling_matrix
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["nearest_neighbor_attack", "sampled_source_indices"]
+
+
+def sampled_source_indices(n_in: int, n_out: int) -> np.ndarray:
+    """Source indices INTER_NEAREST reads when mapping ``n_in → n_out``.
+
+    Derived from the coefficient matrix so the attack and the resizer can
+    never disagree on the sampling convention.
+    """
+    matrix = scaling_matrix(n_in, n_out, "nearest")
+    return np.argmax(matrix, axis=1)
+
+
+def nearest_neighbor_attack(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    original_reference: np.ndarray | None = None,
+) -> AttackResult:
+    """Inject *target* into the pixels nearest-neighbor scaling samples."""
+    ensure_image(original, name="original")
+    ensure_image(target, name="target")
+    orig = as_float(original)
+    tgt = as_float(target)
+    h, w = orig.shape[:2]
+    h_out, w_out = tgt.shape[:2]
+    if h_out > h or w_out > w:
+        raise AttackError(
+            f"target {tgt.shape[:2]} must not exceed original {orig.shape[:2]}"
+        )
+    rows = sampled_source_indices(h, h_out)
+    cols = sampled_source_indices(w, w_out)
+    attack = orig.copy()
+    attack[np.ix_(rows, cols)] = tgt
+    return AttackResult(
+        attack_image=attack,
+        original=original_reference if original_reference is not None else orig,
+        target=tgt,
+        algorithm="nearest",
+        target_shape=(h_out, w_out),
+    )

@@ -1,0 +1,115 @@
+"""The strong image-scaling attack (Xiao et al. 2019).
+
+Crafts an attack image ``A`` from an original ``O`` and target ``T`` such
+that ``A`` looks like ``O`` while ``scale(A) ≈ T`` (paper Section 2.1,
+Eq. 1). Scaling is separable — ``scale(A) = L·A·R`` — so the attack
+decomposes into two 1-D problems solved with the batched QP from
+:mod:`repro.attacks.qp`:
+
+* **vertical stage** — find an intermediate ``M`` (``h × w'``) close to
+  ``O·R`` with ``‖L·M − T‖∞ ≤ ε/2``;
+* **horizontal stage** — find ``A`` (``h × w``) close to ``O`` with
+  ``‖A·R − M‖∞ ≤ ε/2``.
+
+Because every row of ``L`` sums to one, the two half-budgets compose into
+(approximately) the full ε-band on ``L·A·R − T``; the end-to-end bound is
+asserted by :func:`repro.attacks.base.verify_attack` rather than assumed.
+
+For ``nearest`` scaling the closed-form injection in
+:mod:`repro.attacks.fast_nn` is both exact and ~100× faster; this module
+automatically dispatches to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackConfig, AttackResult
+from repro.attacks.fast_nn import nearest_neighbor_attack
+from repro.attacks.qp import solve_columns
+from repro.errors import AttackError
+from repro.imaging.coefficients import scaling_operators
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["craft_attack_image", "craft_attack_plane"]
+
+
+def craft_attack_plane(
+    original: np.ndarray,
+    target: np.ndarray,
+    algorithm: str,
+    config: AttackConfig,
+) -> np.ndarray:
+    """Attack a single 2-D plane; returns the float attack plane."""
+    h, w = original.shape
+    h_out, w_out = target.shape
+    left, right = scaling_operators((h, w), (h_out, w_out), algorithm)
+    half = AttackConfig(
+        epsilon=config.epsilon / 2.0,
+        max_iterations=config.max_iterations,
+        penalty_weight=config.penalty_weight,
+        penalty_growth=config.penalty_growth,
+        penalty_rounds=config.penalty_rounds,
+        tolerance=config.tolerance / 2.0,
+    )
+    # Vertical stage: columns of M live in R^h, constrained through L.
+    intermediate = solve_columns(left, original @ right, target, half)
+    # Horizontal stage: rows of A live in R^w, constrained through Rᵀ.
+    attack_t = solve_columns(right.T, original.T, intermediate.T, half)
+    return attack_t.T
+
+
+def craft_attack_image(
+    original: np.ndarray,
+    target: np.ndarray,
+    *,
+    algorithm: str = "bilinear",
+    config: AttackConfig | None = None,
+) -> AttackResult:
+    """Craft an attack image hiding *target* inside *original*.
+
+    ``original`` is ``(H, W)`` or ``(H, W, C)``; ``target`` must have the
+    model-input spatial size and the same channel count. Returns an
+    :class:`AttackResult` whose ``attack_image`` is float64 in [0, 255].
+
+    Raises :class:`AttackError` when the optimizer cannot satisfy the
+    ε-band — the paper's attack has the same failure mode (the box
+    constraint can make a target unreachable from a given original).
+    """
+    ensure_image(original, name="original")
+    ensure_image(target, name="target")
+    config = config or AttackConfig()
+    orig = as_float(original)
+    tgt = as_float(target)
+    if (orig.ndim == 3) != (tgt.ndim == 3) or (
+        orig.ndim == 3 and orig.shape[2] != tgt.shape[2]
+    ):
+        raise AttackError(
+            f"original and target disagree on channels: {orig.shape} vs {tgt.shape}"
+        )
+    target_shape = tgt.shape[:2]
+    if target_shape[0] > orig.shape[0] or target_shape[1] > orig.shape[1]:
+        raise AttackError(
+            f"target {target_shape} must not exceed original {orig.shape[:2]}; "
+            "the attack hides a smaller image inside a larger one"
+        )
+
+    if algorithm == "nearest":
+        return nearest_neighbor_attack(orig, tgt, original_reference=orig)
+
+    if orig.ndim == 2:
+        attack = craft_attack_plane(orig, tgt, algorithm, config)
+    else:
+        planes = [
+            craft_attack_plane(orig[:, :, c], tgt[:, :, c], algorithm, config)
+            for c in range(orig.shape[2])
+        ]
+        attack = np.stack(planes, axis=2)
+
+    return AttackResult(
+        attack_image=np.clip(attack, 0.0, 255.0),
+        original=orig,
+        target=tgt,
+        algorithm=algorithm,
+        target_shape=target_shape,
+    )

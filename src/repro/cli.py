@@ -1,0 +1,238 @@
+"""Command-line interface: ``decamouflage`` / ``python -m repro``.
+
+Subcommands:
+
+* ``scan DIR`` — scan a directory of PNG/PPM/PGM images for image-scaling
+  attacks with the default ensemble (black-box calibrated on a synthetic
+  hold-out by default, or on ``--holdout DIR`` of known-benign images).
+* ``craft`` — craft an attack image from an original and a target (for
+  red-team testing and demos).
+* ``report`` — run the experiment suite and print every table/figure.
+
+Exit status for ``scan``: 0 = clean, 1 = at least one attack flagged,
+2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ensemble import build_default_ensemble
+from repro.datasets.corpus import neurips_like_corpus
+from repro.errors import ReproError
+from repro.imaging.png import read_png, write_png
+from repro.imaging.ppm import read_ppm, write_ppm
+
+__all__ = ["main", "build_parser"]
+
+_READERS = {".png": read_png, ".ppm": read_ppm, ".pgm": read_ppm}
+
+
+def _read_image(path: Path) -> np.ndarray:
+    reader = _READERS.get(path.suffix.lower())
+    if reader is None:
+        raise ReproError(f"{path}: unsupported extension (expected .png/.ppm/.pgm)")
+    return reader(path)
+
+
+def _write_image(path: Path, image: np.ndarray) -> None:
+    if path.suffix.lower() == ".png":
+        write_png(path, image)
+    elif path.suffix.lower() in (".ppm", ".pgm"):
+        write_ppm(path, image)
+    else:
+        raise ReproError(f"{path}: unsupported output extension")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="decamouflage",
+        description="Detect image-scaling attacks on CNN preprocessing pipelines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="scan a directory of images for attacks")
+    scan.add_argument("directory", type=Path, help="directory of .png/.ppm/.pgm images")
+    scan.add_argument("--input-size", type=int, nargs=2, default=(32, 32), metavar=("H", "W"),
+                      help="the protected model's input size (default 32 32)")
+    scan.add_argument("--algorithm", default="bilinear",
+                      help="scaling algorithm the serving pipeline uses")
+    scan.add_argument("--holdout", type=Path, default=None,
+                      help="directory of known-benign images for black-box calibration "
+                           "(default: synthetic hold-out corpus)")
+    scan.add_argument("--percentile", type=float, default=1.0,
+                      help="benign percentile sacrificed for the black-box threshold")
+    scan.add_argument("--verbose", action="store_true", help="print per-method votes")
+    scan.add_argument("--workers", type=int, default=1,
+                      help="scan files on a thread pool (offline curation of large pools)")
+
+    craft = sub.add_parser("craft", help="craft an attack image (red-team utility)")
+    craft.add_argument("original", type=Path)
+    craft.add_argument("target", type=Path)
+    craft.add_argument("output", type=Path)
+    craft.add_argument("--input-size", type=int, nargs=2, default=(32, 32), metavar=("H", "W"))
+    craft.add_argument("--algorithm", default="bilinear")
+    craft.add_argument("--epsilon", type=float, default=4.0)
+
+    analyze = sub.add_parser(
+        "analyze", help="rate a scaling configuration's attack surface"
+    )
+    analyze.add_argument("--source-size", type=int, nargs=2, required=True, metavar=("H", "W"),
+                         help="incoming image size, e.g. 800 600")
+    analyze.add_argument("--input-size", type=int, nargs=2, default=(224, 224), metavar=("H", "W"),
+                         help="the model's input size (default 224 224)")
+    analyze.add_argument("--algorithm", default="bilinear")
+    analyze.add_argument("--map", type=Path, default=None,
+                         help="write the vulnerability map as a PNG heat image")
+
+    report = sub.add_parser("report", help="run the paper-reproduction experiment suite")
+    report.add_argument("--images", type=int, default=60,
+                        help="corpus size per role (paper uses 1000; default 60)")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to run (e.g. T2 T8)")
+
+    figures = sub.add_parser("figures", help="render every paper figure as a PNG")
+    figures.add_argument("output_dir", type=Path)
+    figures.add_argument("--images", type=int, default=30,
+                         help="corpus size used to compute the figures (default 30)")
+    return parser
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    paths = sorted(
+        p for p in args.directory.iterdir()
+        if p.suffix.lower() in _READERS
+    ) if args.directory.is_dir() else []
+    if not paths:
+        print(f"no scannable images in {args.directory}", file=sys.stderr)
+        return 2
+
+    ensemble = build_default_ensemble(tuple(args.input_size), algorithm=args.algorithm)
+    if args.holdout is not None:
+        from repro.datasets.files import load_directory
+
+        holdout = load_directory(args.holdout)
+        if len(holdout) < 20:
+            print(f"holdout needs >= 20 benign images, found {len(holdout)}", file=sys.stderr)
+            return 2
+    else:
+        holdout = neurips_like_corpus(50, name="cli-holdout").materialize()
+    ensemble.calibrate_blackbox(holdout, percentile=args.percentile)
+
+    def scan_one(path):
+        try:
+            image = _read_image(path)
+        except ReproError as exc:
+            return path, None, exc
+        return path, ensemble.detect(image), None
+
+    if args.workers > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=args.workers) as pool:
+            results = list(pool.map(scan_one, paths))
+    else:
+        results = [scan_one(path) for path in paths]
+
+    flagged = 0
+    scanned = 0
+    for path, decision, error in results:
+        if error is not None:
+            print(f"SKIP  {path.name}: {error}", file=sys.stderr)
+            continue
+        scanned += 1
+        verdict = "ATTACK" if decision.is_attack else "ok"
+        print(f"{verdict:6s}  {path.name}  ({decision.votes_for_attack}/{decision.votes_total} votes)")
+        if args.verbose:
+            for det in decision.detections:
+                print(f"        {det.method}/{det.metric}: {det.score:.4g} "
+                      f"[{det.threshold.describe(det.metric)}]")
+        flagged += int(decision.is_attack)
+    print(f"scanned {scanned} image(s); flagged {flagged}")
+    return 1 if flagged else 0
+
+
+def _cmd_craft(args: argparse.Namespace) -> int:
+    from repro.attacks.base import AttackConfig, verify_attack
+    from repro.attacks.strong import craft_attack_image
+    from repro.imaging.scaling import resize
+
+    original = _read_image(args.original)
+    target = _read_image(args.target)
+    shape = tuple(args.input_size)
+    if target.shape[:2] != shape:
+        target = resize(target, shape, args.algorithm)
+    result = craft_attack_image(
+        original, target, algorithm=args.algorithm,
+        config=AttackConfig(epsilon=args.epsilon),
+    )
+    report = verify_attack(result)
+    _write_image(args.output, result.attack_image)
+    print(f"wrote {args.output}")
+    print(f"  target linf error : {report.target_linf:.2f} (ε={args.epsilon})")
+    print(f"  perturbation MSE  : {report.perturbation_mse:.1f}")
+    print(f"  perturbation SSIM : {report.perturbation_ssim:.3f}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.attacks.analysis import analyze_surface, vulnerability_map
+
+    report = analyze_surface(
+        tuple(args.source_size), tuple(args.input_size), args.algorithm
+    )
+    print(report.describe())
+    if args.map is not None:
+        heat = vulnerability_map(
+            tuple(args.source_size), tuple(args.input_size), args.algorithm
+        )
+        peak = heat.max() or 1.0
+        _write_image(args.map, (heat / peak * 255.0))
+        print(f"vulnerability map written to {args.map}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import render_report, run_all_experiments
+
+    results = run_all_experiments(
+        n_calibration=args.images, n_evaluation=args.images, only=args.only
+    )
+    print(render_report(results))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.eval.data import prepare_data
+    from repro.eval.figures import render_all_figures
+
+    data = prepare_data(args.images, args.images)
+    paths = render_all_figures(data, args.output_dir)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "scan":
+            return _cmd_scan(args)
+        if args.command == "craft":
+            return _cmd_craft(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
+        return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Decamouflage core: the paper's three detectors, calibration, ensemble.
+
+Quick start::
+
+    from repro.core import build_default_ensemble
+
+    ensemble = build_default_ensemble(model_input_shape=(32, 32))
+    ensemble.calibrate_blackbox(my_benign_holdout_images)
+    verdict = ensemble.detect(suspicious_image)
+    print(verdict.explain())
+"""
+
+from repro.core.detector import Detector
+from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
+from repro.core.evaluation import ConfusionCounts, evaluate_decisions
+from repro.core.filtering_detector import FilteringDetector
+from repro.core.multiscale import COMMON_INPUT_SIZES, MultiScaleDetection, MultiScaleScanner
+from repro.core.pipeline import (
+    AttackSet,
+    DetectorEvaluation,
+    build_attack_set,
+    evaluate_detector,
+    evaluate_ensemble,
+)
+from repro.core.result import Detection, Direction, EnsembleDetection, ThresholdRule
+from repro.core.scaling_detector import ScalingDetector
+from repro.core.steganalysis_detector import DEFAULT_CSP_THRESHOLD, SteganalysisDetector
+from repro.core.thresholds import (
+    auc,
+    calibrate_blackbox,
+    calibrate_blackbox_sigma,
+    calibrate_whitebox,
+    infer_direction,
+    roc_curve,
+    threshold_accuracy,
+)
+
+__all__ = [
+    "AttackSet",
+    "COMMON_INPUT_SIZES",
+    "ConfusionCounts",
+    "DEFAULT_CSP_THRESHOLD",
+    "MultiScaleDetection",
+    "MultiScaleScanner",
+    "Detection",
+    "DetectionEnsemble",
+    "Detector",
+    "DetectorEvaluation",
+    "Direction",
+    "EnsembleDetection",
+    "FilteringDetector",
+    "ScalingDetector",
+    "SteganalysisDetector",
+    "ThresholdRule",
+    "auc",
+    "build_attack_set",
+    "build_default_ensemble",
+    "calibrate_blackbox",
+    "calibrate_blackbox_sigma",
+    "calibrate_whitebox",
+    "evaluate_decisions",
+    "evaluate_detector",
+    "evaluate_ensemble",
+    "infer_direction",
+    "roc_curve",
+    "threshold_accuracy",
+]

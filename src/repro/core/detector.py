@@ -1,0 +1,125 @@
+"""Detector base class: score + pluggable threshold rule.
+
+Every Decamouflage method reduces an image to one scalar score and compares
+it to a calibrated threshold (paper Algorithms 1–3). The base class owns
+the threshold plumbing — white-box and black-box calibration, decision,
+batch helpers — so the three concrete detectors only define *how to score*
+and *which side of the threshold is suspicious*.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.result import Detection, Direction, ThresholdRule
+from repro.core.thresholds import calibrate_blackbox, calibrate_whitebox
+from repro.errors import DetectionError
+
+__all__ = ["Detector"]
+
+
+class Detector(ABC):
+    """One Decamouflage detection method.
+
+    A detector is constructed unconfigured, then either given an explicit
+    :class:`ThresholdRule` or calibrated from data. ``detect`` raises
+    :class:`DetectionError` until a threshold exists (except for detectors
+    that define a fixed default rule, like steganalysis).
+    """
+
+    #: short name used in reports: "scaling", "filtering", "steganalysis"
+    method: str = "detector"
+    #: metric name used in reports: "mse", "ssim", "csp"
+    metric: str = "score"
+
+    def __init__(self, threshold: ThresholdRule | None = None) -> None:
+        self._threshold = threshold
+
+    # -- scoring ---------------------------------------------------------
+
+    @abstractmethod
+    def score(self, image: np.ndarray) -> float:
+        """Reduce *image* to this method's scalar attack score."""
+
+    @property
+    @abstractmethod
+    def attack_direction(self) -> Direction:
+        """Which side of the threshold indicates an attack."""
+
+    def scores(self, images: Iterable[np.ndarray]) -> list[float]:
+        """Score a batch of images."""
+        return [self.score(image) for image in images]
+
+    # -- threshold management --------------------------------------------
+
+    @property
+    def threshold(self) -> ThresholdRule:
+        if self._threshold is None:
+            raise DetectionError(
+                f"{self.method} detector has no threshold; call "
+                "calibrate_whitebox/calibrate_blackbox or pass one explicitly"
+            )
+        return self._threshold
+
+    @threshold.setter
+    def threshold(self, rule: ThresholdRule) -> None:
+        if rule.direction is not self.attack_direction:
+            raise DetectionError(
+                f"{self.method}/{self.metric} expects direction "
+                f"{self.attack_direction.value!r}, got {rule.direction.value!r}"
+            )
+        self._threshold = rule
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._threshold is not None
+
+    def calibrate_whitebox(
+        self,
+        benign_images: Sequence[np.ndarray],
+        attack_images: Sequence[np.ndarray],
+    ) -> ThresholdRule:
+        """Calibrate from both populations (paper's white-box setting)."""
+        rule = calibrate_whitebox(
+            self.scores(benign_images),
+            self.scores(attack_images),
+            direction=self.attack_direction,
+        )
+        self._threshold = rule
+        return rule
+
+    def calibrate_blackbox(
+        self,
+        benign_images: Sequence[np.ndarray],
+        *,
+        percentile: float = 1.0,
+    ) -> ThresholdRule:
+        """Calibrate from benign images only (paper's black-box setting)."""
+        rule = calibrate_blackbox(
+            self.scores(benign_images),
+            direction=self.attack_direction,
+            percentile=percentile,
+        )
+        self._threshold = rule
+        return rule
+
+    # -- decisions ---------------------------------------------------------
+
+    def detect(self, image: np.ndarray) -> Detection:
+        """Score one image and apply the calibrated rule."""
+        value = self.score(image)
+        rule = self.threshold
+        return Detection(
+            method=self.method,
+            metric=self.metric,
+            score=value,
+            threshold=rule,
+            is_attack=rule.is_attack(value),
+        )
+
+    def is_attack(self, image: np.ndarray) -> bool:
+        """Convenience: just the boolean verdict."""
+        return self.detect(image).is_attack

@@ -1,0 +1,98 @@
+"""Majority-vote ensemble of detectors (paper Section 5.5).
+
+The three methods fail in different ways — the ensemble exists to (a)
+stabilize accuracy and (b) force an adaptive attacker to beat all methods
+at once (paper Section 6). Any odd number of calibrated detectors can be
+combined; the canonical Decamouflage instance is built by
+:func:`build_default_ensemble`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.detector import Detector
+from repro.core.result import EnsembleDetection
+from repro.core.filtering_detector import FilteringDetector
+from repro.core.scaling_detector import ScalingDetector
+from repro.core.steganalysis_detector import SteganalysisDetector
+from repro.errors import DetectionError
+
+__all__ = ["DetectionEnsemble", "build_default_ensemble"]
+
+
+class DetectionEnsemble:
+    """Majority voting over independent detectors."""
+
+    def __init__(self, detectors: Sequence[Detector]) -> None:
+        if not detectors:
+            raise DetectionError("ensemble needs at least one detector")
+        if len(detectors) % 2 == 0:
+            raise DetectionError(
+                f"ensemble needs an odd number of detectors to avoid tied "
+                f"votes, got {len(detectors)}"
+            )
+        self.detectors = list(detectors)
+
+    def calibrate_whitebox(
+        self,
+        benign_images: Sequence[np.ndarray],
+        attack_images: Sequence[np.ndarray],
+    ) -> None:
+        """White-box calibrate every member (steganalysis keeps its fixed rule)."""
+        for detector in self.detectors:
+            if detector.method == "steganalysis":
+                continue  # fixed CSP threshold needs no data
+            detector.calibrate_whitebox(benign_images, attack_images)
+
+    def calibrate_blackbox(
+        self,
+        benign_images: Sequence[np.ndarray],
+        *,
+        percentile: float = 1.0,
+    ) -> None:
+        """Black-box calibrate every member from benign images only."""
+        for detector in self.detectors:
+            if detector.method == "steganalysis":
+                continue
+            detector.calibrate_blackbox(benign_images, percentile=percentile)
+
+    def detect(self, image: np.ndarray) -> EnsembleDetection:
+        """Run all members and majority-vote their verdicts."""
+        detections = tuple(detector.detect(image) for detector in self.detectors)
+        votes = sum(1 for d in detections if d.is_attack)
+        return EnsembleDetection(
+            is_attack=votes > len(detections) // 2,
+            votes_for_attack=votes,
+            votes_total=len(detections),
+            detections=detections,
+        )
+
+    def is_attack(self, image: np.ndarray) -> bool:
+        return self.detect(image).is_attack
+
+
+def build_default_ensemble(
+    model_input_shape: tuple[int, int],
+    *,
+    algorithm: str = "bilinear",
+    scaling_metric: str = "mse",
+    filtering_metric: str = "ssim",
+) -> DetectionEnsemble:
+    """The canonical Decamouflage: scaling + filtering + steganalysis.
+
+    Metric defaults follow the paper's per-method recommendations: MSE for
+    scaling detection (its best configuration, Table 2) and SSIM for
+    filtering detection (Table 4); steganalysis always uses CSP.
+    """
+    return DetectionEnsemble(
+        [
+            ScalingDetector(
+                model_input_shape, algorithm=algorithm, metric=scaling_metric
+            ),
+            FilteringDetector(metric=filtering_metric),
+            SteganalysisDetector(),
+        ]
+    )

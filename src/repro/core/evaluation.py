@@ -1,0 +1,113 @@
+"""Classifier evaluation metrics (paper Section 5.1).
+
+The paper reports five quantities for every detector configuration:
+accuracy, precision, recall, FAR (attack images accepted as benign) and
+FRR (benign images rejected as attacks). :class:`ConfusionCounts`
+accumulates raw outcomes and derives all five.
+
+Convention: "positive" = attack image, so
+
+* FAR = FN / (FN + TP) — missed attacks over all attacks,
+* FRR = FP / (FP + TN) — false alarms over all benign images,
+
+matching the paper's definitions ("FAR is the percentage of attack images
+classified as benign"; "FRR is the percentage of benign images classified
+as attack").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConfusionCounts", "evaluate_decisions"]
+
+
+@dataclass
+class ConfusionCounts:
+    """Mutable confusion-matrix accumulator over attack/benign decisions."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    def record(self, *, is_attack_truth: bool, flagged_attack: bool) -> None:
+        """Record one decision against ground truth."""
+        if is_attack_truth and flagged_attack:
+            self.true_positives += 1
+        elif is_attack_truth and not flagged_attack:
+            self.false_negatives += 1
+        elif not is_attack_truth and flagged_attack:
+            self.false_positives += 1
+        else:
+            self.true_negatives += 1
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of all images classified correctly."""
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+    @property
+    def precision(self) -> float:
+        """Of images flagged as attacks, the fraction that really are."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Of actual attacks, the fraction that were flagged."""
+        attacks = self.true_positives + self.false_negatives
+        return self.true_positives / attacks if attacks else 0.0
+
+    @property
+    def far(self) -> float:
+        """False acceptance rate: attacks that slipped through."""
+        attacks = self.true_positives + self.false_negatives
+        return self.false_negatives / attacks if attacks else 0.0
+
+    @property
+    def frr(self) -> float:
+        """False rejection rate: benign images wrongly flagged."""
+        benign = self.true_negatives + self.false_positives
+        return self.false_positives / benign if benign else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        """The five paper columns, as fractions in [0, 1]."""
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "far": self.far,
+            "frr": self.frr,
+        }
+
+    def __str__(self) -> str:
+        row = self.as_row()
+        return (
+            f"Acc={row['accuracy']:.1%} Prec={row['precision']:.1%} "
+            f"Rec={row['recall']:.1%} FAR={row['far']:.1%} FRR={row['frr']:.1%}"
+        )
+
+
+def evaluate_decisions(
+    benign_flags: list[bool],
+    attack_flags: list[bool],
+) -> ConfusionCounts:
+    """Build counts from per-image "flagged as attack" decisions."""
+    counts = ConfusionCounts()
+    for flagged in benign_flags:
+        counts.record(is_attack_truth=False, flagged_attack=flagged)
+    for flagged in attack_flags:
+        counts.record(is_attack_truth=True, flagged_attack=flagged)
+    return counts

@@ -1,0 +1,60 @@
+"""Method 2 — filtering detection (paper Section 3.2, Algorithm 2).
+
+Apply an order-statistic filter and compare the result to the input. The
+perturbed pixels the attack injects are statistical outliers inside their
+neighborhoods, so a minimum filter (the paper's choice) strips them and the
+filtered image diverges strongly from an attack input, while a benign image
+barely changes.
+
+Score = MSE(I, F) (attack high) or SSIM(I, F) (attack low), ``F = filter(I)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import Detector
+from repro.core.result import Direction, ThresholdRule
+from repro.errors import DetectionError
+from repro.imaging.filtering import FILTERS
+from repro.imaging.metrics import mse, ssim
+
+__all__ = ["FilteringDetector"]
+
+
+class FilteringDetector(Detector):
+    """Window-filter residual detector (minimum filter by default)."""
+
+    method = "filtering"
+
+    def __init__(
+        self,
+        *,
+        filter_name: str = "minimum",
+        filter_size: int = 2,
+        metric: str = "mse",
+        threshold: ThresholdRule | None = None,
+    ) -> None:
+        if metric not in ("mse", "ssim"):
+            raise DetectionError(f"filtering detector metric must be mse or ssim, got {metric!r}")
+        if filter_name not in FILTERS:
+            known = ", ".join(sorted(FILTERS))
+            raise DetectionError(f"unknown filter {filter_name!r}; known: {known}")
+        super().__init__(threshold)
+        self.filter_name = filter_name
+        self.filter_size = filter_size
+        self.metric = metric
+
+    @property
+    def attack_direction(self) -> Direction:
+        return Direction.GREATER if self.metric == "mse" else Direction.LESS
+
+    def filtered(self, image: np.ndarray) -> np.ndarray:
+        """The filtered image ``F`` the score is computed against."""
+        return FILTERS[self.filter_name](image, self.filter_size)
+
+    def score(self, image: np.ndarray) -> float:
+        filtered = self.filtered(image)
+        if self.metric == "mse":
+            return mse(image, filtered)
+        return ssim(image, filtered)

@@ -1,0 +1,74 @@
+"""Result types shared by the detectors and the ensemble."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Direction", "ThresholdRule", "Detection", "EnsembleDetection"]
+
+
+class Direction(str, Enum):
+    """Which side of the threshold indicates an attack.
+
+    ``GREATER``: higher scores are more attack-like (MSE, CSP count).
+    ``LESS``: lower scores are more attack-like (SSIM).
+    """
+
+    GREATER = "greater"
+    LESS = "less"
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """A calibrated decision rule: flag when the score crosses ``value``.
+
+    The comparison is inclusive on the attack side, matching the paper's
+    Algorithms 1–3 (``Score >= Score_T`` ⇒ attack).
+    """
+
+    value: float
+    direction: Direction
+
+    def is_attack(self, score: float) -> bool:
+        if self.direction is Direction.GREATER:
+            return score >= self.value
+        return score <= self.value
+
+    def describe(self, metric_name: str) -> str:
+        op = ">=" if self.direction is Direction.GREATER else "<="
+        return f"{metric_name} {op} {self.value:.4g}"
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector's decision on one image."""
+
+    method: str  # "scaling" | "filtering" | "steganalysis"
+    metric: str  # "mse" | "ssim" | "csp"
+    score: float
+    threshold: ThresholdRule
+    is_attack: bool
+
+
+@dataclass(frozen=True)
+class EnsembleDetection:
+    """Majority-vote decision with the individual votes preserved."""
+
+    is_attack: bool
+    votes_for_attack: int
+    votes_total: int
+    detections: tuple[Detection, ...]
+
+    def explain(self) -> str:
+        """Human-readable vote breakdown for logs and the CLI."""
+        parts = [
+            f"{d.method}/{d.metric}: score={d.score:.4g} "
+            f"({'attack' if d.is_attack else 'benign'}; rule {d.threshold.describe(d.metric)})"
+            for d in self.detections
+        ]
+        verdict = "ATTACK" if self.is_attack else "benign"
+        return (
+            f"{verdict} ({self.votes_for_attack}/{self.votes_total} votes)\n  "
+            + "\n  ".join(parts)
+        )

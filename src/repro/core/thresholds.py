@@ -1,0 +1,201 @@
+"""Threshold calibration (paper Section 5.1, RQ. 3).
+
+Two calibration regimes, mirroring the paper:
+
+* **White-box** (:func:`calibrate_whitebox`) — the defender can craft
+  attack images with the attacker's own algorithm, so both score
+  populations are available. The paper describes a "gradient descent"
+  search over candidate thresholds; the search space is one-dimensional
+  and piecewise constant in accuracy, so the exact optimum is found by
+  scanning the midpoints between adjacent scores of the pooled sample —
+  which is what we implement (same optimum, deterministic).
+
+* **Black-box** (:func:`calibrate_blackbox`) — only benign images exist.
+  The threshold is a tail percentile of the benign score distribution
+  (paper: 1%, 2%, 3%), so FRR is ``p`` by construction and FAR depends on
+  how far the attack population sits from the benign tail.
+
+Also provides ROC/AUC utilities used by the ablation benches to compare
+metrics (e.g. why PSNR and color histograms fail — AUC near 0.5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.result import Direction, ThresholdRule
+from repro.errors import CalibrationError
+
+__all__ = [
+    "calibrate_whitebox",
+    "calibrate_blackbox",
+    "calibrate_blackbox_sigma",
+    "infer_direction",
+    "threshold_accuracy",
+    "roc_curve",
+    "auc",
+]
+
+
+def _as_array(scores: Sequence[float], name: str) -> np.ndarray:
+    array = np.asarray(list(scores), dtype=np.float64)
+    if array.size == 0:
+        raise CalibrationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise CalibrationError(f"{name} contains non-finite scores")
+    return array
+
+
+def infer_direction(benign: Sequence[float], attack: Sequence[float]) -> Direction:
+    """Pick the attack side from the two score populations' means."""
+    b = _as_array(benign, "benign scores")
+    a = _as_array(attack, "attack scores")
+    return Direction.GREATER if a.mean() >= b.mean() else Direction.LESS
+
+
+def threshold_accuracy(
+    rule: ThresholdRule,
+    benign: Sequence[float],
+    attack: Sequence[float],
+) -> float:
+    """Balanced classification accuracy of *rule* on the two populations."""
+    b = _as_array(benign, "benign scores")
+    a = _as_array(attack, "attack scores")
+    if rule.direction is Direction.GREATER:
+        correct = np.sum(b < rule.value) + np.sum(a >= rule.value)
+    else:
+        correct = np.sum(b > rule.value) + np.sum(a <= rule.value)
+    return float(correct) / float(b.size + a.size)
+
+
+def calibrate_whitebox(
+    benign: Sequence[float],
+    attack: Sequence[float],
+    *,
+    direction: Direction | None = None,
+) -> ThresholdRule:
+    """Find the accuracy-maximizing threshold from both populations.
+
+    Candidate thresholds are the midpoints between adjacent values of the
+    pooled, sorted scores (plus both extremes); the best candidate is the
+    exact maximizer of the piecewise-constant accuracy function the paper's
+    gradient-descent search climbs. Ties go to the candidate with the
+    larger benign margin (smaller FRR at equal accuracy).
+    """
+    b = _as_array(benign, "benign scores")
+    a = _as_array(attack, "attack scores")
+    chosen_direction = direction or infer_direction(b, a)
+
+    pooled = np.unique(np.concatenate([b, a]))
+    if pooled.size == 1:
+        raise CalibrationError(
+            "cannot calibrate: benign and attack scores are all identical"
+        )
+    midpoints = (pooled[:-1] + pooled[1:]) / 2.0
+    span = pooled[-1] - pooled[0]
+    candidates = np.concatenate(
+        [[pooled[0] - 0.5 * span], midpoints, [pooled[-1] + 0.5 * span]]
+    )
+
+    best_rule: ThresholdRule | None = None
+    best_key: tuple[float, float] | None = None
+    for value in candidates:
+        rule = ThresholdRule(value=float(value), direction=chosen_direction)
+        accuracy = threshold_accuracy(rule, b, a)
+        # Secondary criterion: push the threshold away from the benign mass.
+        margin = (
+            float(value) - float(b.mean())
+            if chosen_direction is Direction.GREATER
+            else float(b.mean()) - float(value)
+        )
+        key = (accuracy, margin)
+        if best_key is None or key > best_key:
+            best_key = key
+            best_rule = rule
+    assert best_rule is not None  # candidates is never empty
+    return best_rule
+
+
+def calibrate_blackbox(
+    benign: Sequence[float],
+    *,
+    direction: Direction,
+    percentile: float = 1.0,
+) -> ThresholdRule:
+    """Percentile-of-benign threshold (no attack images needed).
+
+    ``percentile`` is the benign tail mass to sacrifice (the paper's 1–3%).
+    For GREATER metrics (MSE, CSP) the rule sits at the (100-p)th benign
+    percentile; for LESS metrics (SSIM) at the p-th.
+    """
+    if not 0.0 < percentile < 50.0:
+        raise CalibrationError(f"percentile must be in (0, 50), got {percentile}")
+    b = _as_array(benign, "benign scores")
+    if direction is Direction.GREATER:
+        value = float(np.percentile(b, 100.0 - percentile))
+    else:
+        value = float(np.percentile(b, percentile))
+    return ThresholdRule(value=value, direction=direction)
+
+
+def calibrate_blackbox_sigma(
+    benign: Sequence[float],
+    *,
+    direction: Direction,
+    n_sigma: float = 3.0,
+) -> ThresholdRule:
+    """Mean ± k·std threshold from benign scores only.
+
+    The alternative black-box rule implied by the paper's Mean/STD columns
+    (Tables 3 and 5): place the boundary ``n_sigma`` standard deviations
+    into the benign tail. Unlike the percentile rule its FRR is not fixed
+    by construction — it depends on the tail shape — but it extrapolates
+    beyond the observed sample, which helps with small hold-out sets.
+    """
+    if n_sigma <= 0:
+        raise CalibrationError(f"n_sigma must be positive, got {n_sigma}")
+    b = _as_array(benign, "benign scores")
+    mean = float(b.mean())
+    std = float(b.std())
+    if direction is Direction.GREATER:
+        value = mean + n_sigma * std
+    else:
+        value = mean - n_sigma * std
+    return ThresholdRule(value=value, direction=direction)
+
+
+def roc_curve(
+    benign: Sequence[float],
+    attack: Sequence[float],
+    *,
+    direction: Direction | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """ROC points (FPR, TPR) sweeping the threshold over all scores."""
+    b = _as_array(benign, "benign scores")
+    a = _as_array(attack, "attack scores")
+    chosen = direction or infer_direction(b, a)
+    thresholds = np.unique(np.concatenate([b, a]))
+    fpr = []
+    tpr = []
+    for value in thresholds:
+        rule = ThresholdRule(value=float(value), direction=chosen)
+        fpr.append(float(np.mean([rule.is_attack(s) for s in b])))
+        tpr.append(float(np.mean([rule.is_attack(s) for s in a])))
+    order = np.argsort(fpr, kind="stable")
+    fpr_arr = np.concatenate([[0.0], np.asarray(fpr)[order], [1.0]])
+    tpr_arr = np.concatenate([[0.0], np.asarray(tpr)[order], [1.0]])
+    return fpr_arr, np.maximum.accumulate(tpr_arr)
+
+
+def auc(
+    benign: Sequence[float],
+    attack: Sequence[float],
+    *,
+    direction: Direction | None = None,
+) -> float:
+    """Area under the ROC curve; 1.0 = perfect separation, 0.5 = useless."""
+    fpr, tpr = roc_curve(benign, attack, direction=direction)
+    # Trapezoidal rule by hand (np.trapz was removed in numpy 2).
+    return float(np.sum((fpr[1:] - fpr[:-1]) * (tpr[1:] + tpr[:-1]) / 2.0))

@@ -1,0 +1,25 @@
+"""Synthetic dataset substrate.
+
+The paper calibrates on NeurIPS-2017 competition images and evaluates on
+Caltech-256. Neither is fetchable in this offline environment, so this
+package provides deterministic procedural stand-ins with matching
+second-order statistics (see DESIGN.md §3 for the substitution argument).
+"""
+
+from repro.datasets.corpus import Corpus, caltech_like_corpus, neurips_like_corpus, split_corpus
+from repro.datasets.files import DirectoryCorpus, list_image_files, load_directory
+from repro.datasets.synthetic import FAMILIES, SceneConfig, generate_class_image, generate_image
+
+__all__ = [
+    "Corpus",
+    "DirectoryCorpus",
+    "FAMILIES",
+    "SceneConfig",
+    "caltech_like_corpus",
+    "generate_class_image",
+    "generate_image",
+    "list_image_files",
+    "load_directory",
+    "neurips_like_corpus",
+    "split_corpus",
+]

@@ -1,0 +1,118 @@
+"""Image corpora used by the experiments.
+
+A :class:`Corpus` is an ordered, seeded collection of images with stable
+string identifiers. The two factory functions mirror the paper's datasets:
+
+* :func:`neurips_like_corpus` — threshold-calibration set (paper: NeurIPS
+  2017 adversarial-competition images, 1000 originals + 1000 targets).
+* :func:`caltech_like_corpus` — unseen evaluation set (paper: Caltech-256).
+
+Both are deterministic in ``seed`` and lazy: images are generated on first
+access and cached, so a corpus of 1000 images costs nothing until used.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_image
+from repro.errors import ImageError
+
+__all__ = ["Corpus", "neurips_like_corpus", "caltech_like_corpus", "split_corpus"]
+
+
+@dataclass
+class Corpus(Sequence):
+    """A deterministic, lazily generated sequence of images."""
+
+    name: str
+    size: int
+    image_shape: tuple[int, int]
+    family: str
+    seed: int
+    _cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ImageError(f"corpus size must be >= 0, got {self.size}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def identifier(self, index: int) -> str:
+        """Stable identifier for image *index* (used by the CLI and reports)."""
+        return f"{self.name}-{index:05d}"
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        if isinstance(index, slice):
+            raise TypeError("Corpus does not support slicing; use split_corpus")
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError(f"corpus index {index} out of range [0, {self.size})")
+        if index not in self._cache:
+            # Seed each image independently so access order doesn't matter.
+            rng = np.random.default_rng((self.seed, index))
+            self._cache[index] = generate_image(
+                self.image_shape, rng, family=self.family
+            )
+        return self._cache[index]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for index in range(self.size):
+            yield self[index]
+
+    def materialize(self) -> list[np.ndarray]:
+        """Force-generate and return every image (useful before timing)."""
+        return [self[i] for i in range(self.size)]
+
+
+def neurips_like_corpus(
+    size: int,
+    *,
+    image_shape: tuple[int, int] = (256, 256),
+    seed: int = 2017,
+    name: str = "neurips",
+) -> Corpus:
+    """Calibration corpus (stand-in for NeurIPS 2017 competition images)."""
+    return Corpus(name=name, size=size, image_shape=image_shape, family="neurips", seed=seed)
+
+
+def caltech_like_corpus(
+    size: int,
+    *,
+    image_shape: tuple[int, int] = (256, 256),
+    seed: int = 256,
+    name: str = "caltech",
+) -> Corpus:
+    """Unseen evaluation corpus (stand-in for Caltech-256)."""
+    return Corpus(name=name, size=size, image_shape=image_shape, family="caltech", seed=seed)
+
+
+def split_corpus(corpus: Corpus, first: int) -> tuple[Corpus, Corpus]:
+    """Split a corpus into two disjoint corpora of sizes ``first`` and rest.
+
+    The halves keep the parent's determinism: the first keeps indices
+    ``[0, first)`` via an identical seed, the second gets a shifted seed so
+    its images are disjoint from the parent's.
+    """
+    if not 0 <= first <= corpus.size:
+        raise ImageError(f"split point {first} outside corpus of size {corpus.size}")
+    head = Corpus(
+        name=f"{corpus.name}-a",
+        size=first,
+        image_shape=corpus.image_shape,
+        family=corpus.family,
+        seed=corpus.seed,
+    )
+    tail = Corpus(
+        name=f"{corpus.name}-b",
+        size=corpus.size - first,
+        image_shape=corpus.image_shape,
+        family=corpus.family,
+        seed=corpus.seed + 7919,
+    )
+    return head, tail

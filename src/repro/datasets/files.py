@@ -1,0 +1,100 @@
+"""Directory-backed image collections (real-data adapter).
+
+The synthetic corpora make the reproduction self-contained, but downstream
+users have *real* images on disk. This module bridges the gap: load a
+folder of PNG/PPM/PGM files as the same kind of image list every API in
+this library consumes (calibration hold-outs, scan targets, experiment
+corpora).
+
+Files are loaded lazily and sorted by name so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CodecError, ImageError
+from repro.imaging.png import read_png
+from repro.imaging.ppm import read_ppm
+
+__all__ = ["SUPPORTED_EXTENSIONS", "list_image_files", "DirectoryCorpus", "load_directory"]
+
+_READERS = {".png": read_png, ".ppm": read_ppm, ".pgm": read_ppm}
+
+#: File extensions the loader understands.
+SUPPORTED_EXTENSIONS = tuple(sorted(_READERS))
+
+
+def list_image_files(directory: str | Path) -> list[Path]:
+    """Supported image files directly inside *directory*, sorted by name."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise ImageError(f"{root} is not a directory")
+    return sorted(
+        path for path in root.iterdir()
+        if path.is_file() and path.suffix.lower() in _READERS
+    )
+
+
+class DirectoryCorpus(Sequence):
+    """Lazy, cached, name-ordered view of a folder of images.
+
+    Quacks like :class:`repro.datasets.Corpus`: indexing returns uint8
+    arrays, iteration walks all images, ``identifier(i)`` names them for
+    reports. Decode failures raise :class:`~repro.errors.CodecError` with
+    the offending filename.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.paths = list_image_files(self.directory)
+        if not self.paths:
+            raise ImageError(
+                f"{self.directory} contains no supported images "
+                f"({', '.join(SUPPORTED_EXTENSIONS)})"
+            )
+        self._cache: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def identifier(self, index: int) -> str:
+        return self.paths[index].name
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        if isinstance(index, slice):
+            raise TypeError("DirectoryCorpus does not support slicing")
+        if index < 0:
+            index += len(self.paths)
+        if not 0 <= index < len(self.paths):
+            raise IndexError(f"index {index} out of range [0, {len(self.paths)})")
+        if index not in self._cache:
+            path = self.paths[index]
+            try:
+                self._cache[index] = _READERS[path.suffix.lower()](path)
+            except CodecError as exc:
+                raise CodecError(f"{path.name}: {exc}") from exc
+        return self._cache[index]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def materialize(self) -> list[np.ndarray]:
+        """Force-load every image (e.g. before timing-sensitive work)."""
+        return [self[i] for i in range(len(self))]
+
+
+def load_directory(directory: str | Path, *, limit: int | None = None) -> list[np.ndarray]:
+    """Eagerly load up to *limit* images from a folder.
+
+    Convenience for the common calibration call site::
+
+        ensemble.calibrate_blackbox(load_directory("holdout/"))
+    """
+    corpus = DirectoryCorpus(directory)
+    count = len(corpus) if limit is None else min(limit, len(corpus))
+    return [corpus[i] for i in range(count)]

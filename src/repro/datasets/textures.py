@@ -1,0 +1,179 @@
+"""Low-level procedural texture generators.
+
+Building blocks for the synthetic image corpora. Each generator returns a
+float64 array in ``[0, 1]`` (single plane) and takes an explicit
+``numpy.random.Generator`` so everything above it stays deterministic.
+
+The generators are chosen to span the second-order statistics the
+Decamouflage detectors are sensitive to: spectral decay (fractal noise),
+hard edges (shapes, stripes), smooth shading (gradients, blobs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+__all__ = [
+    "fractal_noise",
+    "linear_gradient",
+    "radial_gradient",
+    "gaussian_blobs",
+    "stripes",
+    "checkerboard",
+    "polygon_mask",
+    "vignette",
+]
+
+
+def _check_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    h, w = shape
+    if h <= 0 or w <= 0:
+        raise ImageError(f"texture shape must be positive, got {shape}")
+    return h, w
+
+
+def fractal_noise(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    *,
+    beta: float = 2.0,
+) -> np.ndarray:
+    """1/f^beta ("pink"/"brown") noise via spectral shaping.
+
+    ``beta ≈ 2`` matches the power-spectrum decay of natural photographs —
+    the property that makes benign images survive a downscale/upscale round
+    trip. Higher beta gives smoother cloud-like fields.
+    """
+    h, w = _check_shape(shape)
+    white = rng.standard_normal((h, w))
+    spectrum = np.fft.fft2(white)
+    fy = np.fft.fftfreq(h)[:, None]
+    fx = np.fft.fftfreq(w)[None, :]
+    radius = np.sqrt(fy**2 + fx**2)
+    radius[0, 0] = radius.flat[np.abs(radius).argsort(axis=None)[1]]  # avoid /0 at DC
+    shaped = spectrum / radius ** (beta / 2.0)
+    shaped[0, 0] = 0.0
+    field = np.real(np.fft.ifft2(shaped))
+    low, high = field.min(), field.max()
+    if high - low <= 0:
+        return np.zeros((h, w))
+    return (field - low) / (high - low)
+
+
+def linear_gradient(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Linear ramp in a random direction."""
+    h, w = _check_shape(shape)
+    angle = rng.uniform(0.0, 2.0 * np.pi)
+    yy, xx = np.mgrid[0:h, 0:w]
+    field = np.cos(angle) * xx / max(w - 1, 1) + np.sin(angle) * yy / max(h - 1, 1)
+    low, high = field.min(), field.max()
+    return (field - low) / max(high - low, 1e-12)
+
+
+def radial_gradient(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Radial falloff from a random center."""
+    h, w = _check_shape(shape)
+    cy = rng.uniform(0.2, 0.8) * h
+    cx = rng.uniform(0.2, 0.8) * w
+    yy, xx = np.mgrid[0:h, 0:w]
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    return 1.0 - dist / dist.max()
+
+
+def gaussian_blobs(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    *,
+    count: int = 5,
+) -> np.ndarray:
+    """Sum of random soft Gaussian blobs, normalized to [0, 1]."""
+    h, w = _check_shape(shape)
+    yy, xx = np.mgrid[0:h, 0:w]
+    field = np.zeros((h, w))
+    for _ in range(max(count, 1)):
+        cy, cx = rng.uniform(0, h), rng.uniform(0, w)
+        sigma = rng.uniform(0.05, 0.25) * min(h, w)
+        amp = rng.uniform(0.3, 1.0)
+        field += amp * np.exp(-(((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma**2)))
+    return field / field.max()
+
+
+def stripes(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    *,
+    min_period: float = 8.0,
+    max_period: float = 48.0,
+) -> np.ndarray:
+    """Soft sinusoidal stripes at a random angle and period."""
+    h, w = _check_shape(shape)
+    angle = rng.uniform(0.0, np.pi)
+    period = rng.uniform(min_period, max_period)
+    yy, xx = np.mgrid[0:h, 0:w]
+    phase = (np.cos(angle) * xx + np.sin(angle) * yy) * (2 * np.pi / period)
+    return 0.5 + 0.5 * np.sin(phase + rng.uniform(0, 2 * np.pi))
+
+
+def checkerboard(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    *,
+    min_cell: int = 8,
+    max_cell: int = 32,
+) -> np.ndarray:
+    """Axis-aligned checkerboard with a random cell size."""
+    h, w = _check_shape(shape)
+    cell = int(rng.integers(min_cell, max_cell + 1))
+    yy, xx = np.mgrid[0:h, 0:w]
+    return (((yy // cell) + (xx // cell)) % 2).astype(np.float64)
+
+
+def polygon_mask(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    *,
+    vertices: int = 6,
+) -> np.ndarray:
+    """Filled random convex-ish polygon mask (1 inside, 0 outside).
+
+    Vertices are placed at random radii around a random center and the
+    polygon is rasterized with an even–odd crossing test, vectorized over
+    all pixels.
+    """
+    h, w = _check_shape(shape)
+    cy = rng.uniform(0.25, 0.75) * h
+    cx = rng.uniform(0.25, 0.75) * w
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=max(vertices, 3)))
+    radii = rng.uniform(0.15, 0.45, size=angles.size) * min(h, w)
+    pys = cy + radii * np.sin(angles)
+    pxs = cx + radii * np.cos(angles)
+
+    yy, xx = np.mgrid[0:h, 0:w]
+    inside = np.zeros((h, w), dtype=bool)
+    n = angles.size
+    for i in range(n):
+        y1, x1 = pys[i], pxs[i]
+        y2, x2 = pys[(i + 1) % n], pxs[(i + 1) % n]
+        crosses = (y1 > yy) != (y2 > yy)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_at = (x2 - x1) * (yy - y1) / (y2 - y1) + x1
+        inside ^= crosses & (xx < x_at)
+    return inside.astype(np.float64)
+
+
+def vignette(shape: tuple[int, int], *, strength: float = 0.35) -> np.ndarray:
+    """Multiplicative photographic vignette field in [1-strength, 1]."""
+    h, w = _check_shape(shape)
+    yy, xx = np.mgrid[0:h, 0:w]
+    ny = (yy - (h - 1) / 2.0) / (h / 2.0)
+    nx = (xx - (w - 1) / 2.0) / (w / 2.0)
+    radius_sq = np.clip(ny**2 + nx**2, 0.0, 1.0)
+    return 1.0 - strength * radius_sq

@@ -1,0 +1,18 @@
+"""Prevention baselines (Quiring et al. 2020).
+
+The Decamouflage paper positions itself against these *prevention*
+mechanisms (Section 1 and Related Work): robust scaling algorithms and
+input reconstruction. Both are implemented so the ablation benchmarks can
+compare prevention costs with detection.
+"""
+
+from repro.defenses.reconstruction import reconstruct_image, reconstruction_quality_loss
+from repro.defenses.robust_scaling import attack_residue, benign_drift, robust_resize
+
+__all__ = [
+    "attack_residue",
+    "benign_drift",
+    "reconstruct_image",
+    "reconstruction_quality_loss",
+    "robust_resize",
+]

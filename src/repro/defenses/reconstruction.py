@@ -1,0 +1,57 @@
+"""Prevention baseline 2: image reconstruction (Quiring et al. 2020).
+
+Quiring et al.'s second defense keeps the vulnerable scaler but sanitizes
+its inputs: the pixels the scaler actually reads (identified from the
+coefficient matrices) are replaced by a robust statistic of their local
+neighborhood — so injected values are overwritten before they can reach
+the output. The Decamouflage paper notes the side effect this bench
+measures: benign inputs get blurred too (quality degradation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.coefficients import scaling_operators, vulnerable_source_pixels
+from repro.imaging.filtering import median_filter
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["reconstruct_image", "reconstruction_quality_loss"]
+
+
+def reconstruct_image(
+    image: np.ndarray,
+    out_shape: tuple[int, int],
+    *,
+    algorithm: str = "bilinear",
+    window: int = 3,
+) -> np.ndarray:
+    """Overwrite every scaler-read pixel with its local median.
+
+    Returns a full-size sanitized copy; scaling the result with the
+    deployed algorithm is then safe against pixel-injection attacks.
+    """
+    ensure_image(image)
+    img = as_float(image)
+    h, w = img.shape[:2]
+    left, right = scaling_operators((h, w), out_shape, algorithm)
+    rows = vulnerable_source_pixels(left)
+    cols = vulnerable_source_pixels(right.T)
+    medians = median_filter(img, window)
+    sanitized = img.copy()
+    sanitized[np.ix_(rows, cols)] = medians[np.ix_(rows, cols)]
+    return sanitized
+
+
+def reconstruction_quality_loss(
+    image: np.ndarray,
+    out_shape: tuple[int, int],
+    *,
+    algorithm: str = "bilinear",
+    window: int = 3,
+) -> float:
+    """MSE the sanitization inflicts on a benign image (quality cost)."""
+    from repro.imaging.metrics import mse
+
+    sanitized = reconstruct_image(image, out_shape, algorithm=algorithm, window=window)
+    return mse(image, sanitized)

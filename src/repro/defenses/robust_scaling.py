@@ -1,0 +1,57 @@
+"""Prevention baseline 1: robust scaling algorithms (Quiring et al. 2020).
+
+Quiring et al.'s first defense replaces the vulnerable scaler with one
+whose kernel support covers *every* source pixel — area averaging, or any
+kernel widened to the scale ratio — so no pixel subset can hijack the
+output. Decamouflage's paper argues this has compatibility costs (the
+serving pipeline's scaling behaviour changes for benign images too); the
+ablation bench ``bench_ablation_prevention`` quantifies both sides:
+
+* attack residue: how close ``robust_scale(A)`` still is to the target;
+* benign distortion: how far ``robust_scale(O)`` drifts from the
+  deployed scaler's output ``scale(O)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import ensure_image
+from repro.imaging.metrics import mse
+from repro.imaging.scaling import resize
+
+__all__ = ["robust_resize", "attack_residue", "benign_drift"]
+
+
+def robust_resize(image: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+    """Scale with full-coverage area averaging (the robust algorithm)."""
+    ensure_image(image)
+    return resize(image, out_shape, "area")
+
+
+def attack_residue(
+    attack_image: np.ndarray,
+    target: np.ndarray,
+    out_shape: tuple[int, int],
+) -> float:
+    """MSE between the robustly scaled attack image and the hidden target.
+
+    High residue means the defense destroyed the hidden payload.
+    """
+    return mse(robust_resize(attack_image, out_shape), np.asarray(target, dtype=np.float64))
+
+
+def benign_drift(
+    image: np.ndarray,
+    out_shape: tuple[int, int],
+    *,
+    deployed_algorithm: str = "bilinear",
+) -> float:
+    """MSE between robust scaling and the deployed scaler on a benign image.
+
+    This is the compatibility cost the Decamouflage paper cites: swapping
+    the scaler changes what *every* model input looks like.
+    """
+    robust = robust_resize(image, out_shape)
+    deployed = resize(image, out_shape, deployed_algorithm)
+    return mse(robust, deployed)

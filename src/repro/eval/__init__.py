@@ -1,0 +1,29 @@
+"""Experiment harness: per-table/figure runners, timing, and reporting."""
+
+from repro.eval.data import (
+    DEFAULT_MODEL_INPUT,
+    DEFAULT_SOURCE_SHAPE,
+    ExperimentData,
+    prepare_data,
+)
+from repro.eval.experiments import ExperimentResult
+from repro.eval.report import EXPERIMENT_RUNNERS, render_report, run_all_experiments
+from repro.eval.runtime import table7_runtime, time_detector
+from repro.eval.tables import format_number, format_percent, metrics_row, render_table
+
+__all__ = [
+    "DEFAULT_MODEL_INPUT",
+    "DEFAULT_SOURCE_SHAPE",
+    "EXPERIMENT_RUNNERS",
+    "ExperimentData",
+    "ExperimentResult",
+    "format_number",
+    "format_percent",
+    "metrics_row",
+    "prepare_data",
+    "render_report",
+    "render_table",
+    "run_all_experiments",
+    "table7_runtime",
+    "time_detector",
+]

@@ -1,0 +1,245 @@
+"""Figure regeneration: render the paper's figures as PNG files.
+
+Where :mod:`repro.eval.experiments` reproduces each figure's *numbers*,
+this module renders the figures themselves with the in-repo rasterizer —
+so a full reproduction run leaves behind image files you can hold next to
+the paper:
+
+* ``fig01_attack_example.png``  — the sheep/wolf deception (Figs. 1–2)
+* ``fig08_threshold_search.png`` — accuracy vs candidate threshold
+* ``fig09_scaling_hist_*.png``  — scaling-detector score histograms
+* ``fig11_filtering_hist_*.png`` — filtering-detector score histograms
+* ``fig13_csp_bars.png``        — CSP count distribution
+* ``fig15_psnr_hist_*.png``     — appendix PSNR overlap
+* ``fig_min_filter_reveal.png`` — Fig. 4: the minimum filter exposes the target
+* ``fig_spectrum_pair.png``     — Fig. 7: benign vs attack binary spectra
+
+All renderers take an :class:`~repro.eval.data.ExperimentData` and an
+output directory; they return the written paths.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.filtering_detector import FilteringDetector
+from repro.core.scaling_detector import ScalingDetector
+from repro.core.steganalysis_detector import SteganalysisDetector
+from repro.core.thresholds import threshold_accuracy
+from repro.core.result import ThresholdRule
+from repro.eval.data import ExperimentData
+from repro.eval.plotting import bar_chart, histogram_chart, line_chart
+from repro.imaging.fourier import binary_spectrum, log_spectrum_image
+from repro.imaging.filtering import minimum_filter
+from repro.imaging.image import as_uint8
+from repro.imaging.png import write_png
+from repro.imaging.scaling import resize
+
+__all__ = ["render_all_figures"]
+
+
+def _montage(panels: list[np.ndarray], *, pad: int = 6) -> np.ndarray:
+    """Stack equally-resized panels horizontally on a white background."""
+    height = max(p.shape[0] for p in panels)
+    resized = [
+        p if p.shape[0] == height else resize(p, (height, int(p.shape[1] * height / p.shape[0])))
+        for p in panels
+    ]
+    width = sum(p.shape[1] for p in resized) + pad * (len(resized) + 1)
+    canvas = np.full((height + 2 * pad, width, 3), 255.0)
+    col = pad
+    for panel in resized:
+        rgb = panel if panel.ndim == 3 else np.stack([panel] * 3, axis=2)
+        canvas[pad : pad + rgb.shape[0], col : col + rgb.shape[1]] = rgb[:, :, :3]
+        col += rgb.shape[1] + pad
+    return canvas
+
+
+def _gray_to_rgb(plane: np.ndarray) -> np.ndarray:
+    return np.stack([plane] * 3, axis=2)
+
+
+def fig_attack_example(data: ExperimentData, out_dir: Path) -> Path:
+    """Figs. 1–2: original | attack | what-the-model-sees montage."""
+    original = np.asarray(data.calibration.benign[0], dtype=np.float64)
+    attack = data.calibration.attacks[0]
+    model_view = resize(attack, data.model_input_shape, data.algorithm)
+    blown_up = resize(model_view, original.shape[:2], "nearest")
+    path = out_dir / "fig01_attack_example.png"
+    write_png(path, as_uint8(_montage([original, attack, blown_up])))
+    return path
+
+
+def fig_min_filter_reveal(data: ExperimentData, out_dir: Path) -> Path:
+    """Fig. 4: the minimum filter reveals the embedded target."""
+    attack = data.calibration.attacks[0]
+    filtered = minimum_filter(attack, 2)
+    path = out_dir / "fig04_min_filter_reveal.png"
+    write_png(path, as_uint8(_montage([attack, filtered])))
+    return path
+
+
+def fig_spectrum_pair(data: ExperimentData, out_dir: Path) -> Path:
+    """Figs. 6–7: centered spectra and binary spectra, benign vs attack."""
+    benign = data.calibration.benign[0]
+    attack = data.calibration.attacks[0]
+    panels = []
+    for image in (benign, attack):
+        panels.append(_gray_to_rgb(log_spectrum_image(image)))
+        panels.append(_gray_to_rgb(binary_spectrum(image).astype(np.float64) * 255.0))
+    path = out_dir / "fig07_spectrum_pair.png"
+    write_png(path, as_uint8(_montage(panels)))
+    return path
+
+
+def fig8_threshold_search(data: ExperimentData, out_dir: Path) -> Path:
+    """Fig. 8: accuracy vs candidate threshold for the scaling detector."""
+    detector = ScalingDetector(data.model_input_shape, algorithm=data.algorithm, metric="mse")
+    benign = detector.scores(data.calibration.benign)
+    attack = detector.scores(data.calibration.attacks)
+    best = detector.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    lo = min(min(benign), min(attack))
+    hi = max(max(benign), max(attack))
+    xs = np.linspace(lo, hi, 80)
+    ys = [
+        threshold_accuracy(ThresholdRule(float(x), detector.attack_direction), benign, attack)
+        for x in xs
+    ]
+    chart = line_chart(
+        {"ACCURACY": (xs, ys)},
+        title="FIG 8 THRESHOLD SEARCH (SCALING MSE)",
+        x_label="THRESHOLD",
+        y_label="ACC",
+        marker=best.value,
+    )
+    path = out_dir / "fig08_threshold_search.png"
+    write_png(path, as_uint8(chart))
+    return path
+
+
+def _score_histogram(
+    detector,
+    data: ExperimentData,
+    *,
+    title: str,
+    filename: str,
+    out_dir: Path,
+) -> Path:
+    benign = detector.scores(data.calibration.benign)
+    attack = detector.scores(data.calibration.attacks)
+    rule = detector.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    chart = histogram_chart(
+        {"BENIGN": benign, "ATTACK": attack},
+        title=title,
+        threshold=rule.value,
+        x_label=detector.metric.upper(),
+    )
+    path = out_dir / filename
+    write_png(path, as_uint8(chart))
+    return path
+
+
+def fig9_scaling_histograms(data: ExperimentData, out_dir: Path) -> list[Path]:
+    """Fig. 9: scaling-detector MSE and SSIM histograms with thresholds."""
+    return [
+        _score_histogram(
+            ScalingDetector(data.model_input_shape, algorithm=data.algorithm, metric="mse"),
+            data, title="FIG 9 SCALING MSE", filename="fig09_scaling_hist_mse.png", out_dir=out_dir,
+        ),
+        _score_histogram(
+            ScalingDetector(data.model_input_shape, algorithm=data.algorithm, metric="ssim"),
+            data, title="FIG 9 SCALING SSIM", filename="fig09_scaling_hist_ssim.png", out_dir=out_dir,
+        ),
+    ]
+
+
+def fig11_filtering_histograms(data: ExperimentData, out_dir: Path) -> list[Path]:
+    """Fig. 11: filtering-detector MSE and SSIM histograms with thresholds."""
+    return [
+        _score_histogram(
+            FilteringDetector(metric="mse"),
+            data, title="FIG 11 FILTERING MSE", filename="fig11_filtering_hist_mse.png", out_dir=out_dir,
+        ),
+        _score_histogram(
+            FilteringDetector(metric="ssim"),
+            data, title="FIG 11 FILTERING SSIM", filename="fig11_filtering_hist_ssim.png", out_dir=out_dir,
+        ),
+    ]
+
+
+def fig13_csp_bars(data: ExperimentData, out_dir: Path) -> Path:
+    """Fig. 13: fraction of images at each CSP count, benign vs attack."""
+    detector = SteganalysisDetector()
+    benign = np.asarray(detector.scores(data.calibration.benign))
+    attack = np.asarray(detector.scores(data.calibration.attacks))
+    bars = {
+        "B=1": float(np.mean(benign == 1)),
+        "B>1": float(np.mean(benign > 1)),
+        "A=1": float(np.mean(attack == 1)),
+        "A>1": float(np.mean(attack > 1)),
+    }
+    chart = bar_chart(bars, title="FIG 13 CSP COUNTS (B=BENIGN A=ATTACK)", y_label="FRAC")
+    path = out_dir / "fig13_csp_bars.png"
+    write_png(path, as_uint8(chart))
+    return path
+
+
+def fig_vulnerability_map(data: ExperimentData, out_dir: Path) -> Path:
+    """Bonus panel: the attack surface itself, as a heat image.
+
+    White = source pixels the scaler reads (where attacks must live),
+    black = pixels it ignores. Makes the coefficient-sparsity story of
+    DESIGN.md §5 visible at a glance.
+    """
+    from repro.attacks.analysis import vulnerability_map
+
+    heat = vulnerability_map(data.source_shape, data.model_input_shape, data.algorithm)
+    peak = heat.max() or 1.0
+    panel = _gray_to_rgb(heat / peak * 255.0)
+    path = out_dir / "fig_vulnerability_map.png"
+    write_png(path, as_uint8(panel))
+    return path
+
+
+def fig15_psnr_histograms(data: ExperimentData, out_dir: Path) -> list[Path]:
+    """Appendix Figs. 15–16: PSNR histograms overlap for both methods."""
+    from repro.imaging.metrics import psnr
+
+    paths = []
+    scaling = ScalingDetector(data.model_input_shape, algorithm=data.algorithm)
+    filtering = FilteringDetector()
+    for name, reference in (
+        ("fig15_psnr_hist_scaling.png", scaling.round_trip),
+        ("fig16_psnr_hist_filtering.png", filtering.filtered),
+    ):
+        benign = [psnr(img, reference(img)) for img in data.calibration.benign]
+        attack = [psnr(img, reference(img)) for img in data.calibration.attacks]
+        chart = histogram_chart(
+            {"BENIGN": benign, "ATTACK": attack},
+            title=name.split(".")[0].replace("_", " ").upper(),
+            x_label="PSNR DB",
+        )
+        path = out_dir / name
+        write_png(path, as_uint8(chart))
+        paths.append(path)
+    return paths
+
+
+def render_all_figures(data: ExperimentData, out_dir: str | Path) -> list[Path]:
+    """Render every paper figure; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = [
+        fig_attack_example(data, out),
+        fig_min_filter_reveal(data, out),
+        fig_spectrum_pair(data, out),
+        fig8_threshold_search(data, out),
+        *fig9_scaling_histograms(data, out),
+        *fig11_filtering_histograms(data, out),
+        fig13_csp_bars(data, out),
+        *fig15_psnr_histograms(data, out),
+        fig_vulnerability_map(data, out),
+    ]
+    return paths

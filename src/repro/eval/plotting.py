@@ -1,0 +1,228 @@
+"""Minimal chart rendering on the :mod:`repro.imaging.draw` rasterizer.
+
+Three chart types cover every figure in the paper:
+
+* :func:`histogram_chart` — overlaid population histograms with an optional
+  threshold marker (Figs. 9–12, appendix 15–16);
+* :func:`line_chart` — x/y series (Fig. 8 threshold-search curves);
+* :func:`bar_chart` — labelled bars (Fig. 13 CSP distribution).
+
+Charts return float64 RGB canvases; callers save them with
+:func:`repro.imaging.png.write_png`. The goal is faithful, dependency-free
+figure regeneration — clarity over beauty.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.draw import draw_line, draw_text, fill_rect, new_canvas, text_width
+
+__all__ = ["histogram_chart", "line_chart", "bar_chart", "PALETTE"]
+
+#: Default series colors (benign blue, attack red, extras).
+PALETTE = [
+    (66.0, 103.0, 178.0),
+    (214.0, 69.0, 65.0),
+    (60.0, 160.0, 90.0),
+    (230.0, 160.0, 30.0),
+]
+
+_BLACK = (20.0, 20.0, 20.0)
+_GRAY = (190.0, 190.0, 190.0)
+
+_MARGIN_LEFT = 56
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 28
+_MARGIN_BOTTOM = 36
+
+
+class _Frame:
+    """Plot frame: margins, axes, data-to-pixel transform."""
+
+    def __init__(self, canvas: np.ndarray, x_range: tuple[float, float], y_range: tuple[float, float]):
+        self.canvas = canvas
+        h, w = canvas.shape[:2]
+        self.top = _MARGIN_TOP
+        self.bottom = h - _MARGIN_BOTTOM
+        self.left = _MARGIN_LEFT
+        self.right = w - _MARGIN_RIGHT
+        x_lo, x_hi = x_range
+        y_lo, y_hi = y_range
+        if x_hi <= x_lo or y_hi <= y_lo:
+            raise ImageError(f"degenerate axis range: x={x_range}, y={y_range}")
+        self.x_lo, self.x_hi = x_lo, x_hi
+        self.y_lo, self.y_hi = y_lo, y_hi
+
+    def x_to_col(self, x: float) -> int:
+        frac = (x - self.x_lo) / (self.x_hi - self.x_lo)
+        return int(round(self.left + frac * (self.right - self.left)))
+
+    def y_to_row(self, y: float) -> int:
+        frac = (y - self.y_lo) / (self.y_hi - self.y_lo)
+        return int(round(self.bottom - frac * (self.bottom - self.top)))
+
+    def draw_axes(self, title: str, x_label: str = "", y_label: str = "") -> None:
+        draw_line(self.canvas, self.bottom, self.left, self.bottom, self.right, _BLACK)
+        draw_line(self.canvas, self.top, self.left, self.bottom, self.left, _BLACK)
+        draw_text(self.canvas, 8, self.left, title[:48], _BLACK)
+        if x_label:
+            draw_text(
+                self.canvas,
+                self.bottom + 18,
+                (self.left + self.right) // 2 - text_width(x_label) // 2,
+                x_label[:32],
+                _BLACK,
+            )
+        if y_label:
+            draw_text(self.canvas, self.top - 12, 2, y_label[:10], _BLACK)
+        # Numeric extremes on both axes.
+        draw_text(self.canvas, self.bottom + 4, self.left, _fmt(self.x_lo), _BLACK)
+        x_hi_text = _fmt(self.x_hi)
+        draw_text(self.canvas, self.bottom + 4, self.right - text_width(x_hi_text), x_hi_text, _BLACK)
+        draw_text(self.canvas, self.bottom - 7, 2, _fmt(self.y_lo), _BLACK)
+        draw_text(self.canvas, self.top, 2, _fmt(self.y_hi), _BLACK)
+
+    def legend(self, labels: Sequence[str], colors: Sequence[tuple[float, float, float]]) -> None:
+        row = self.top + 4
+        for label, color in zip(labels, colors):
+            fill_rect(self.canvas, row, self.right - 90, row + 7, self.right - 82, color)
+            draw_text(self.canvas, row, self.right - 78, label[:12], _BLACK)
+            row += 12
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e5:
+        return str(int(value))
+    if abs(value) >= 100 or abs(value) < 0.01:
+        return f"{value:.1e}".replace("e+0", "e").replace("e-0", "e-")
+    return f"{value:.2f}"
+
+
+def histogram_chart(
+    populations: dict[str, Sequence[float]],
+    *,
+    title: str,
+    bins: int = 24,
+    threshold: float | None = None,
+    size: tuple[int, int] = (240, 420),
+    x_label: str = "score",
+) -> np.ndarray:
+    """Overlaid histograms of named score populations.
+
+    Each population is drawn as semi-transparent bars in its palette color;
+    an optional vertical ``threshold`` marker reproduces the paper's red
+    dashed threshold lines.
+    """
+    if not populations:
+        raise ImageError("histogram_chart needs at least one population")
+    values = np.concatenate([np.asarray(list(v), dtype=np.float64) for v in populations.values()])
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    counts = {
+        name: np.histogram(np.asarray(list(v), dtype=np.float64), bins=edges)[0]
+        for name, v in populations.items()
+    }
+    y_max = max(int(c.max()) for c in counts.values()) or 1
+
+    canvas = new_canvas(*size)
+    frame = _Frame(canvas, (lo, hi), (0.0, float(y_max)))
+    frame.draw_axes(title, x_label=x_label, y_label="COUNT")
+
+    for index, (name, hist) in enumerate(counts.items()):
+        color = PALETTE[index % len(PALETTE)]
+        for b in range(bins):
+            if hist[b] == 0:
+                continue
+            col0 = frame.x_to_col(edges[b]) + index  # slight offset per series
+            col1 = frame.x_to_col(edges[b + 1])
+            row0 = frame.y_to_row(float(hist[b]))
+            # Blend bars so overlap stays visible.
+            r0, r1 = sorted((row0, frame.bottom))
+            c0, c1 = sorted((col0, max(col0 + 1, col1)))
+            region = canvas[r0:r1, c0:c1]
+            canvas[r0:r1, c0:c1] = 0.45 * region + 0.55 * np.asarray(color)
+    frame.legend(list(counts), PALETTE)
+
+    if threshold is not None and lo <= threshold <= hi:
+        col = frame.x_to_col(threshold)
+        for row in range(frame.top, frame.bottom, 6):  # dashed
+            draw_line(canvas, row, col, min(row + 3, frame.bottom), col, (200.0, 30.0, 30.0))
+        draw_text(canvas, frame.top - 12, max(col - 20, frame.left), f"T={_fmt(threshold)}", (200.0, 30.0, 30.0))
+    return canvas
+
+
+def line_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str,
+    size: tuple[int, int] = (240, 420),
+    x_label: str = "",
+    y_label: str = "",
+    marker: float | None = None,
+) -> np.ndarray:
+    """Polyline chart of named (xs, ys) series with an optional x marker."""
+    if not series:
+        raise ImageError("line_chart needs at least one series")
+    all_x = np.concatenate([np.asarray(list(xs), dtype=np.float64) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(list(ys), dtype=np.float64) for _, ys in series.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = new_canvas(*size)
+    frame = _Frame(canvas, (x_lo, x_hi), (y_lo, y_hi))
+    frame.draw_axes(title, x_label=x_label, y_label=y_label)
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = [
+            (frame.y_to_row(float(y)), frame.x_to_col(float(x)))
+            for x, y in zip(xs, ys)
+        ]
+        for (r0, c0), (r1, c1) in zip(points, points[1:]):
+            draw_line(canvas, r0, c0, r1, c1, color)
+    frame.legend(list(series), PALETTE)
+    if marker is not None and x_lo <= marker <= x_hi:
+        col = frame.x_to_col(marker)
+        for row in range(frame.top, frame.bottom, 6):
+            draw_line(canvas, row, col, min(row + 3, frame.bottom), col, (200.0, 30.0, 30.0))
+    return canvas
+
+
+def bar_chart(
+    bars: dict[str, float],
+    *,
+    title: str,
+    size: tuple[int, int] = (240, 420),
+    y_label: str = "",
+    colors: Sequence[tuple[float, float, float]] | None = None,
+) -> np.ndarray:
+    """Labelled vertical bars (used for the CSP count distribution)."""
+    if not bars:
+        raise ImageError("bar_chart needs at least one bar")
+    y_max = max(bars.values()) or 1.0
+    canvas = new_canvas(*size)
+    frame = _Frame(canvas, (0.0, float(len(bars))), (0.0, float(y_max)))
+    frame.draw_axes(title, y_label=y_label)
+    slot = (frame.right - frame.left) / len(bars)
+    for index, (label, value) in enumerate(bars.items()):
+        color = (colors or PALETTE)[index % len(colors or PALETTE)]
+        col0 = int(frame.left + index * slot + 0.15 * slot)
+        col1 = int(frame.left + (index + 1) * slot - 0.15 * slot)
+        fill_rect(canvas, frame.y_to_row(value), col0, frame.bottom, col1, color)
+        draw_text(
+            canvas,
+            frame.bottom + 4,
+            (col0 + col1) // 2 - text_width(label[:6]) // 2,
+            label[:6],
+            _BLACK,
+        )
+    return canvas

@@ -1,0 +1,128 @@
+"""Parameter-sensitivity sweeps for the detectors.
+
+Two questions the tables don't answer:
+
+* **Why the minimum filter?** The paper picks it visually (Fig. 4 shows it
+  reveals the target where median/maximum don't). :func:`sweep_filter_choice`
+  makes that quantitative: separation AUC per (filter, metric) pair.
+* **How sensitive is the steganalysis extractor to its knobs?** Our CSP
+  implementation adds a prominence test to the paper's recipe (see
+  EXPERIMENTS.md "known deviations"); :func:`sweep_csp_parameters` maps
+  benign FRR and attack recall across the (brightness, prominence) grid so
+  the chosen operating point is visibly robust, not a lucky pick.
+
+Both return :class:`~repro.eval.experiments.ExperimentResult` rows and are
+exercised by ``benchmarks/bench_sweeps.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.filtering_detector import FilteringDetector
+from repro.core.steganalysis_detector import SteganalysisDetector
+from repro.core.thresholds import auc
+from repro.eval.data import ExperimentData
+from repro.eval.experiments import ExperimentResult
+from repro.eval.tables import format_percent
+
+__all__ = ["sweep_filter_choice", "sweep_csp_parameters"]
+
+
+def sweep_filter_choice(data: ExperimentData, *, n_images: int = 30) -> ExperimentResult:
+    """AUC of the filtering method for every (filter, metric) combination.
+
+    Reproduces the paper's Fig. 4 insight quantitatively: the minimum
+    filter separates benign from attack images best, because the injected
+    pixels the attack needs are extreme values that window-minima expose,
+    while median filtering averages them away into both populations.
+    """
+    n = min(n_images, data.n_calibration)
+    benign = [np.asarray(img, dtype=np.float64) for img in data.calibration.benign[:n]]
+    attacks = data.calibration.attacks[:n]
+    # Full-strength attacks saturate every filter's AUC at 1.0, so the
+    # discriminating regime is a *weakened* attacker (40% perturbation) —
+    # the hard case where the filter choice actually matters.
+    weakened = [b + 0.4 * (a - b) for b, a in zip(benign, attacks)]
+    rows = []
+    for filter_name in ("minimum", "median", "maximum", "uniform"):
+        for metric in ("mse", "ssim"):
+            size = 2 if filter_name in ("minimum", "maximum") else 3
+            detector = FilteringDetector(
+                filter_name=filter_name, filter_size=size, metric=metric
+            )
+            benign_scores = detector.scores(benign)
+            full = auc(
+                benign_scores, detector.scores(attacks), direction=detector.attack_direction
+            )
+            weak = auc(
+                benign_scores, detector.scores(weakened), direction=detector.attack_direction
+            )
+            rows.append(
+                {
+                    "filter": f"{filter_name} {size}x{size}",
+                    "metric": metric.upper(),
+                    "AUC (full attack)": f"{full:.3f}",
+                    "AUC (weakened 0.4)": f"{weak:.3f}",
+                }
+            )
+    return ExperimentResult(
+        experiment_id="SW1",
+        title="Filter choice for the filtering method (paper Fig. 4, quantified)",
+        rows=rows,
+        paper_reference=[
+            {"claim": "the minimum filter reveals the target image compared with the other filters"},
+        ],
+        notes=(
+            "Honest finding: for *detection AUC* the filter choice barely "
+            "matters — every order-statistic filter separates full-strength "
+            "attacks (AUC ~1.0) and all degrade similarly against weakened "
+            "ones. The paper's preference for the minimum filter is about "
+            "visually *revealing* the hidden target (its Fig. 4), which the "
+            "rendered fig04_min_filter_reveal.png reproduces; as a detector "
+            "component, min/median/max are interchangeable on our corpora."
+        ),
+    )
+
+
+def sweep_csp_parameters(data: ExperimentData, *, n_images: int = 30) -> ExperimentResult:
+    """Benign FRR and attack recall across the CSP extractor's grid.
+
+    Sweeps the two knobs our implementation depends on — the normalized
+    brightness threshold and the peak-prominence margin — and reports the
+    operating characteristics of each combination with the fixed CSP ≥ 2
+    rule. A broad plateau of good settings means the reproduction's
+    defaults are robust, not tuned to the corpus.
+    """
+    n = min(n_images, data.n_calibration)
+    benign = data.calibration.benign[:n]
+    attacks = data.calibration.attacks[:n]
+    rows = []
+    for brightness in (150.0, 160.0, 170.0):
+        for prominence in (25.0, 35.0, 45.0):
+            detector = SteganalysisDetector(
+                brightness_threshold=brightness, min_prominence=prominence
+            )
+            benign_flags = [detector.is_attack(img) for img in benign]
+            attack_flags = [detector.is_attack(img) for img in attacks]
+            rows.append(
+                {
+                    "brightness": int(brightness),
+                    "prominence": int(prominence),
+                    "benign FRR": format_percent(float(np.mean(benign_flags))),
+                    "attack recall": format_percent(float(np.mean(attack_flags))),
+                    "default": "<--" if (brightness, prominence) == (160.0, 35.0) else "",
+                }
+            )
+    return ExperimentResult(
+        experiment_id="SW2",
+        title="Steganalysis extractor sensitivity (brightness x prominence)",
+        rows=rows,
+        paper_reference=[
+            {"claim": "the paper's CSP recipe has implicit OpenCV-era constants; this maps our explicit equivalents"},
+        ],
+        notes=(
+            "Tightening either knob trades recall for FRR smoothly; the "
+            "default sits on the plateau rather than a knife edge."
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows the paper's tables report; this module turns
+lists of dict rows into aligned text tables and formats the five detection
+metrics consistently (percentages with one decimal, like the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_percent", "format_number", "render_table", "metrics_row"]
+
+
+def format_percent(value: float) -> str:
+    """0.999 → '99.9%' (the paper's formatting)."""
+    return f"{value * 100:.1f}%"
+
+
+def format_number(value: float) -> str:
+    """Compact numeric formatting for thresholds and statistics."""
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def metrics_row(counts) -> dict[str, str]:
+    """Format a ConfusionCounts into the paper's five columns."""
+    row = counts.as_row()
+    return {
+        "Acc.": format_percent(row["accuracy"]),
+        "Prec.": format_percent(row["precision"]),
+        "Rec.": format_percent(row["recall"]),
+        "FAR": format_percent(row["far"]),
+        "FRR": format_percent(row["frr"]),
+    }
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows *columns* when given, otherwise first-seen order
+    across all rows. Missing cells render empty.
+    """
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(str(key), None)
+        columns = list(seen)
+    header = [str(c) for c in columns]
+    body = [[str(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(rule)
+    for row in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Imaging substrate: everything the detectors and attacks stand on.
+
+The paper's pipeline assumes OpenCV/TensorFlow image primitives; this
+package reimplements the needed subset from scratch (numpy + stdlib) so the
+reproduction is self-contained:
+
+* :mod:`repro.imaging.image` — array conventions and validation
+* :mod:`repro.imaging.png` / :mod:`repro.imaging.ppm` — file codecs
+* :mod:`repro.imaging.color` — color conversions
+* :mod:`repro.imaging.kernels` / :mod:`coefficients` / :mod:`scaling` —
+  separable resizing as explicit linear operators (the attack surface)
+* :mod:`repro.imaging.filtering` — order-statistic and smoothing filters
+* :mod:`repro.imaging.fourier` / :mod:`contours` — spectrum analysis
+* :mod:`repro.imaging.metrics` / :mod:`histogram` — similarity metrics
+"""
+
+from repro.imaging.color import rgb_to_ycbcr, to_grayscale, to_rgb, ycbcr_to_rgb
+from repro.imaging.coefficients import (
+    coefficient_sparsity,
+    scaling_matrix,
+    scaling_operators,
+    vulnerable_source_pixels,
+)
+from repro.imaging.contours import Region, count_spectrum_points, find_regions, label_components
+from repro.imaging.filtering import (
+    gaussian_filter,
+    maximum_filter,
+    median_filter,
+    minimum_filter,
+    uniform_filter,
+)
+from repro.imaging.fourier import (
+    binary_spectrum,
+    centered_spectrum,
+    log_spectrum_image,
+    radial_lowpass_mask,
+)
+from repro.imaging.histogram import channel_histogram, histogram_distance, histogram_match
+from repro.imaging.image import as_float, as_uint8, ensure_image
+from repro.imaging.metrics import histogram_intersection, mse, psnr, ssim
+from repro.imaging.png import read_png, write_png
+from repro.imaging.ppm import read_ppm, write_ppm
+from repro.imaging.scaling import ALGORITHMS, downscale_then_upscale, resize
+
+__all__ = [
+    "ALGORITHMS",
+    "Region",
+    "as_float",
+    "as_uint8",
+    "binary_spectrum",
+    "centered_spectrum",
+    "channel_histogram",
+    "coefficient_sparsity",
+    "count_spectrum_points",
+    "downscale_then_upscale",
+    "ensure_image",
+    "find_regions",
+    "gaussian_filter",
+    "histogram_distance",
+    "histogram_intersection",
+    "histogram_match",
+    "label_components",
+    "log_spectrum_image",
+    "maximum_filter",
+    "median_filter",
+    "minimum_filter",
+    "mse",
+    "psnr",
+    "radial_lowpass_mask",
+    "read_png",
+    "read_ppm",
+    "resize",
+    "rgb_to_ycbcr",
+    "scaling_matrix",
+    "scaling_operators",
+    "ssim",
+    "to_grayscale",
+    "to_rgb",
+    "uniform_filter",
+    "vulnerable_source_pixels",
+    "write_png",
+    "write_ppm",
+    "ycbcr_to_rgb",
+]

@@ -1,0 +1,72 @@
+"""Color-space conversions.
+
+Only the conversions the detection pipeline needs: RGB to grayscale
+(ITU-R BT.601 luma, matching OpenCV's ``cvtColor(..., COLOR_RGB2GRAY)``),
+RGB to/from YCbCr, and channel utilities. All functions accept uint8 or
+float64 images on the 0–255 scale and return float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import as_float, channel_count, ensure_image
+
+__all__ = ["to_grayscale", "rgb_to_ycbcr", "ycbcr_to_rgb", "to_rgb"]
+
+# BT.601 luma weights — identical to OpenCV's RGB→GRAY conversion.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Collapse an image to a single 2-D luma plane (float64, 0–255).
+
+    Grayscale inputs are returned as a float copy; alpha channels are
+    ignored for the luma computation.
+    """
+    ensure_image(image)
+    img = as_float(image)
+    channels = channel_count(img)
+    if channels == 1:
+        return img if img.ndim == 2 else img[:, :, 0]
+    if channels == 4:
+        img = img[:, :, :3]
+    return img @ _LUMA
+
+
+def to_rgb(image: np.ndarray) -> np.ndarray:
+    """Promote any supported image to a 3-channel RGB float64 array."""
+    ensure_image(image)
+    img = as_float(image)
+    channels = channel_count(img)
+    if channels == 3:
+        return img
+    if channels == 4:
+        return img[:, :, :3]
+    plane = img if img.ndim == 2 else img[:, :, 0]
+    return np.stack([plane] * 3, axis=2)
+
+
+def rgb_to_ycbcr(image: np.ndarray) -> np.ndarray:
+    """Convert RGB (0–255) to full-range YCbCr (JPEG convention)."""
+    img = as_float(image)
+    if channel_count(img) != 3:
+        raise ImageError("rgb_to_ycbcr expects a 3-channel image")
+    r, g, b = img[:, :, 0], img[:, :, 1], img[:, :, 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b
+    cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b
+    return np.stack([y, cb, cr], axis=2)
+
+
+def ycbcr_to_rgb(image: np.ndarray) -> np.ndarray:
+    """Convert full-range YCbCr back to RGB (float64, clipped to 0–255)."""
+    img = as_float(image)
+    if channel_count(img) != 3:
+        raise ImageError("ycbcr_to_rgb expects a 3-channel image")
+    y, cb, cr = img[:, :, 0], img[:, :, 1] - 128.0, img[:, :, 2] - 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    return np.clip(np.stack([r, g, b], axis=2), 0.0, 255.0)

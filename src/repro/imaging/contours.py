@@ -1,0 +1,103 @@
+"""Connected-component labeling and contour counting.
+
+The steganalysis detector needs OpenCV's ``findContours`` only to *count*
+bright blobs in a binary spectrum, so this module implements the part that
+matters: 4/8-connected component labeling plus small helpers to measure and
+filter the resulting regions.
+
+The labeling is a breadth-first flood fill that visits only foreground
+pixels, so its cost scales with the number of bright spectrum pixels (a few
+hundred per image) rather than the image area — the steganalysis detector
+must stay in the low-millisecond range (paper Table 7 reports 3 ms). The
+test suite cross-checks the labeling against ``scipy.ndimage.label``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ImageError
+
+__all__ = ["Region", "label_components", "find_regions", "count_spectrum_points"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A connected component of a binary image."""
+
+    label: int
+    area: int
+    centroid: tuple[float, float]
+    bbox: tuple[int, int, int, int]  # (row_min, col_min, row_max, col_max), inclusive
+
+
+_NEIGHBORS_4 = ((-1, 0), (1, 0), (0, -1), (0, 1))
+_NEIGHBORS_8 = _NEIGHBORS_4 + ((-1, -1), (-1, 1), (1, -1), (1, 1))
+
+
+def label_components(mask: np.ndarray, *, connectivity: int = 8) -> tuple[np.ndarray, int]:
+    """Label connected ``True`` regions of a 2-D boolean mask.
+
+    Returns ``(labels, count)`` where ``labels`` assigns 0 to background and
+    ``1..count`` to components. ``connectivity`` is 4 or 8 (default 8,
+    matching OpenCV contour behaviour for blob counting).
+    """
+    if mask.ndim != 2:
+        raise ImageError(f"mask must be 2-D, got shape {mask.shape}")
+    if connectivity not in (4, 8):
+        raise ImageError(f"connectivity must be 4 or 8, got {connectivity}")
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    h, w = mask.shape
+    offsets = _NEIGHBORS_8 if connectivity == 8 else _NEIGHBORS_4
+    labels = np.zeros((h, w), dtype=np.int64)
+    count = 0
+    for r0, c0 in zip(*np.nonzero(mask)):
+        if labels[r0, c0]:
+            continue
+        count += 1
+        stack = [(int(r0), int(c0))]
+        labels[r0, c0] = count
+        while stack:
+            r, c = stack.pop()
+            for dr, dc in offsets:
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < h and 0 <= nc < w and mask[nr, nc] and not labels[nr, nc]:
+                    labels[nr, nc] = count
+                    stack.append((nr, nc))
+    return labels, count
+
+
+def find_regions(mask: np.ndarray, *, connectivity: int = 8, min_area: int = 1) -> list[Region]:
+    """Return :class:`Region` records for each component with ``area >= min_area``."""
+    labels, count = label_components(mask, connectivity=connectivity)
+    if count == 0:
+        return []
+    rows_all, cols_all = np.nonzero(labels)
+    values = labels[rows_all, cols_all]
+    regions: list[Region] = []
+    for lbl in range(1, count + 1):
+        member = values == lbl
+        rows, cols = rows_all[member], cols_all[member]
+        area = rows.size
+        if area < min_area:
+            continue
+        regions.append(
+            Region(
+                label=lbl,
+                area=int(area),
+                centroid=(float(rows.mean()), float(cols.mean())),
+                bbox=(int(rows.min()), int(cols.min()), int(rows.max()), int(cols.max())),
+            )
+        )
+    return regions
+
+
+def count_spectrum_points(mask: np.ndarray, *, min_area: int = 1) -> int:
+    """Number of bright blobs in a binary spectrum (the paper's CSP count).
+
+    ``min_area`` discards single-pixel specks that survive thresholding but
+    are not genuine spectral peaks.
+    """
+    return len(find_regions(mask, connectivity=8, min_area=min_area))

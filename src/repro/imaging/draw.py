@@ -1,0 +1,178 @@
+"""Raster drawing primitives.
+
+A tiny software rasterizer used by :mod:`repro.eval.figures` to render the
+paper's figures as PNG files without any plotting dependency (matplotlib is
+not available in this environment). Supports filled rectangles, 1-px lines
+(Bresenham), axis-aligned ticks, and a 5x7 bitmap font sufficient for axis
+labels and legends.
+
+All functions draw in place on a float64 RGB canvas in the 0–255 range;
+colors are length-3 sequences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ImageError
+
+__all__ = ["new_canvas", "fill_rect", "draw_line", "draw_text", "text_width", "GLYPHS"]
+
+
+def new_canvas(height: int, width: int, color: Sequence[float] = (255.0, 255.0, 255.0)) -> np.ndarray:
+    """A fresh RGB canvas filled with *color*."""
+    if height <= 0 or width <= 0:
+        raise ImageError(f"canvas must be positive-sized, got {height}x{width}")
+    canvas = np.empty((height, width, 3), dtype=np.float64)
+    canvas[:, :] = np.asarray(color, dtype=np.float64)
+    return canvas
+
+
+def _clip_span(lo: int, hi: int, limit: int) -> tuple[int, int]:
+    return max(lo, 0), min(hi, limit)
+
+
+def fill_rect(
+    canvas: np.ndarray,
+    row0: int,
+    col0: int,
+    row1: int,
+    col1: int,
+    color: Sequence[float],
+) -> None:
+    """Fill the half-open rectangle [row0, row1) x [col0, col1), clipped."""
+    h, w = canvas.shape[:2]
+    r0, r1 = _clip_span(min(row0, row1), max(row0, row1), h)
+    c0, c1 = _clip_span(min(col0, col1), max(col0, col1), w)
+    if r0 < r1 and c0 < c1:
+        canvas[r0:r1, c0:c1] = np.asarray(color, dtype=np.float64)
+
+
+def draw_line(
+    canvas: np.ndarray,
+    row0: int,
+    col0: int,
+    row1: int,
+    col1: int,
+    color: Sequence[float],
+) -> None:
+    """1-pixel Bresenham line between two points, clipped to the canvas."""
+    h, w = canvas.shape[:2]
+    color_arr = np.asarray(color, dtype=np.float64)
+    dr = abs(row1 - row0)
+    dc = abs(col1 - col0)
+    step_r = 1 if row1 >= row0 else -1
+    step_c = 1 if col1 >= col0 else -1
+    error = (dc if dc > dr else -dr) // 2
+    r, c = row0, col0
+    while True:
+        if 0 <= r < h and 0 <= c < w:
+            canvas[r, c] = color_arr
+        if r == row1 and c == col1:
+            break
+        e2 = error
+        if e2 > -dc:
+            error -= dr
+            c += step_c
+        if e2 < dr:
+            error += dc
+            r += step_r
+
+
+# 5x7 bitmap font: each glyph is 7 strings of 5 chars ('#' = on).
+_RAW_GLYPHS: dict[str, tuple[str, ...]] = {
+    "0": ("#####", "#...#", "#..##", "#.#.#", "##..#", "#...#", "#####"),
+    "1": ("..#..", ".##..", "..#..", "..#..", "..#..", "..#..", "#####"),
+    "2": ("#####", "....#", "....#", "#####", "#....", "#....", "#####"),
+    "3": ("#####", "....#", "....#", ".####", "....#", "....#", "#####"),
+    "4": ("#...#", "#...#", "#...#", "#####", "....#", "....#", "....#"),
+    "5": ("#####", "#....", "#....", "#####", "....#", "....#", "#####"),
+    "6": ("#####", "#....", "#....", "#####", "#...#", "#...#", "#####"),
+    "7": ("#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."),
+    "8": ("#####", "#...#", "#...#", "#####", "#...#", "#...#", "#####"),
+    "9": ("#####", "#...#", "#...#", "#####", "....#", "....#", "#####"),
+    ".": (".....", ".....", ".....", ".....", ".....", ".##..", ".##.."),
+    "-": (".....", ".....", ".....", "#####", ".....", ".....", "....."),
+    "+": (".....", "..#..", "..#..", "#####", "..#..", "..#..", "....."),
+    "%": ("##..#", "##..#", "...#.", "..#..", ".#...", "#..##", "#..##"),
+    "/": ("....#", "....#", "...#.", "..#..", ".#...", "#....", "#...."),
+    "=": (".....", ".....", "#####", ".....", "#####", ".....", "....."),
+    ":": (".....", ".##..", ".##..", ".....", ".##..", ".##..", "....."),
+    "(": ("..#..", ".#...", "#....", "#....", "#....", ".#...", "..#.."),
+    ")": ("..#..", "...#.", "....#", "....#", "....#", "...#.", "..#.."),
+    " ": (".....",) * 7,
+    "A": (".###.", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"),
+    "B": ("####.", "#...#", "#...#", "####.", "#...#", "#...#", "####."),
+    "C": (".####", "#....", "#....", "#....", "#....", "#....", ".####"),
+    "D": ("####.", "#...#", "#...#", "#...#", "#...#", "#...#", "####."),
+    "E": ("#####", "#....", "#....", "####.", "#....", "#....", "#####"),
+    "F": ("#####", "#....", "#....", "####.", "#....", "#....", "#...."),
+    "G": (".####", "#....", "#....", "#.###", "#...#", "#...#", ".###."),
+    "H": ("#...#", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"),
+    "I": ("#####", "..#..", "..#..", "..#..", "..#..", "..#..", "#####"),
+    "K": ("#...#", "#..#.", "#.#..", "##...", "#.#..", "#..#.", "#...#"),
+    "L": ("#....", "#....", "#....", "#....", "#....", "#....", "#####"),
+    "M": ("#...#", "##.##", "#.#.#", "#.#.#", "#...#", "#...#", "#...#"),
+    "N": ("#...#", "##..#", "#.#.#", "#..##", "#...#", "#...#", "#...#"),
+    "O": (".###.", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."),
+    "P": ("####.", "#...#", "#...#", "####.", "#....", "#....", "#...."),
+    "R": ("####.", "#...#", "#...#", "####.", "#.#..", "#..#.", "#...#"),
+    "S": (".####", "#....", "#....", ".###.", "....#", "....#", "####."),
+    "T": ("#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."),
+    "U": ("#...#", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."),
+    "V": ("#...#", "#...#", "#...#", "#...#", "#...#", ".#.#.", "..#.."),
+    "W": ("#...#", "#...#", "#...#", "#.#.#", "#.#.#", "##.##", "#...#"),
+    "X": ("#...#", "#...#", ".#.#.", "..#..", ".#.#.", "#...#", "#...#"),
+    "Y": ("#...#", "#...#", ".#.#.", "..#..", "..#..", "..#..", "..#.."),
+    "Z": ("#####", "....#", "...#.", "..#..", ".#...", "#....", "#####"),
+}
+
+#: Glyph bitmaps as (7, 5) boolean arrays, keyed by uppercase character.
+GLYPHS: dict[str, np.ndarray] = {
+    char: np.array([[cell == "#" for cell in row] for row in rows])
+    for char, rows in _RAW_GLYPHS.items()
+}
+
+_GLYPH_H, _GLYPH_W = 7, 5
+_SPACING = 1
+
+
+def text_width(text: str, scale: int = 1) -> int:
+    """Pixel width :func:`draw_text` will use for *text*."""
+    if not text:
+        return 0
+    return (len(text) * (_GLYPH_W + _SPACING) - _SPACING) * scale
+
+
+def draw_text(
+    canvas: np.ndarray,
+    row: int,
+    col: int,
+    text: str,
+    color: Sequence[float],
+    *,
+    scale: int = 1,
+) -> None:
+    """Render *text* with its top-left corner at (row, col).
+
+    Characters are uppercased; anything without a glyph renders as a small
+    box so missing coverage is visible rather than silent.
+    """
+    if scale < 1:
+        raise ImageError(f"text scale must be >= 1, got {scale}")
+    color_arr = np.asarray(color, dtype=np.float64)
+    h, w = canvas.shape[:2]
+    cursor = col
+    fallback = np.zeros((_GLYPH_H, _GLYPH_W), dtype=bool)
+    fallback[1:-1, 1:-1] = True
+    for char in text.upper():
+        glyph = GLYPHS.get(char, fallback)
+        mask = np.kron(glyph, np.ones((scale, scale), dtype=bool))
+        rows_idx, cols_idx = np.nonzero(mask)
+        rr = rows_idx + row
+        cc = cols_idx + cursor
+        keep = (rr >= 0) & (rr < h) & (cc >= 0) & (cc < w)
+        canvas[rr[keep], cc[keep]] = color_arr
+        cursor += (_GLYPH_W + _SPACING) * scale

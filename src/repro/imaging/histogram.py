@@ -1,0 +1,86 @@
+"""Color histogram utilities.
+
+Kept as its own module because the color histogram plays a special role in
+the paper's story: Xiao et al. proposed histogram comparison as a defense,
+and both Quiring et al. and the Decamouflage paper observe it does not work.
+The ablation benchmark ``bench_ablation_histogram`` reproduces that negative
+result using these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["channel_histogram", "histogram_distance", "histogram_match"]
+
+
+def channel_histogram(image: np.ndarray, *, bins: int = 256) -> np.ndarray:
+    """Per-channel normalized intensity histogram, shape ``(C, bins)``."""
+    ensure_image(image)
+    img = as_float(image)
+    if img.ndim == 2:
+        img = img[:, :, None]
+    edges = np.linspace(0.0, 256.0, bins + 1)
+    rows = []
+    for c in range(img.shape[2]):
+        hist, _ = np.histogram(img[:, :, c], bins=edges)
+        rows.append(hist / max(hist.sum(), 1))
+    return np.asarray(rows)
+
+
+def histogram_distance(a: np.ndarray, b: np.ndarray, *, bins: int = 256) -> float:
+    """L1 distance between normalized color histograms, in ``[0, 2]``.
+
+    Near zero for two images with the same color distribution — which is
+    exactly why this fails as an attack detector: the attack perturbs few
+    pixels, so histograms of ``O`` and ``A`` are nearly identical.
+    """
+    ha = channel_histogram(a, bins=bins)
+    hb = channel_histogram(b, bins=bins)
+    if ha.shape != hb.shape:
+        raise ImageError("histogram_distance requires equal channel counts")
+    return float(np.abs(ha - hb).sum(axis=1).mean())
+
+
+def histogram_match(source: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Remap *source*'s intensities so its histogram matches *reference*'s.
+
+    Classic rank-based histogram specification, per channel. This is the
+    adaptive-attacker tool from Quiring et al.: give the hidden target the
+    *cover's* color distribution before embedding it, and any
+    histogram-comparison defense goes blind while the scaling attack still
+    works. Returns float64 in the reference's value range.
+    """
+    ensure_image(source)
+    ensure_image(reference)
+    src = as_float(source)
+    ref = as_float(reference)
+    if (src.ndim == 3) != (ref.ndim == 3):
+        raise ImageError("histogram_match requires matching channel structure")
+    if src.ndim == 2:
+        src = src[:, :, None]
+        ref = ref[:, :, None]
+        squeeze = True
+    else:
+        squeeze = False
+    if src.shape[2] != ref.shape[2]:
+        raise ImageError("histogram_match requires equal channel counts")
+
+    matched = np.empty_like(src)
+    for c in range(src.shape[2]):
+        src_plane = src[:, :, c].ravel()
+        ref_plane = ref[:, :, c].ravel()
+        order = np.argsort(src_plane, kind="stable")
+        ranks = np.empty_like(order)
+        ranks[order] = np.arange(order.size)
+        # Quantile positions of each source pixel -> reference quantiles.
+        quantiles = (ranks + 0.5) / order.size
+        ref_sorted = np.sort(ref_plane)
+        positions = quantiles * (ref_sorted.size - 1)
+        matched[:, :, c] = np.interp(
+            positions, np.arange(ref_sorted.size), ref_sorted
+        ).reshape(src.shape[:2])
+    return matched[:, :, 0] if squeeze else matched

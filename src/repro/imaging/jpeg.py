@@ -1,0 +1,170 @@
+"""JPEG-style lossy compression simulator.
+
+Real-world images usually pass through JPEG on their way to an ML
+pipeline, and lossy re-encoding is also a *cheap candidate defense* ("just
+recompress uploads — won't that destroy the hidden pixels?"). To study
+both questions offline, this module implements the lossy core of JPEG from
+scratch:
+
+1. RGB → YCbCr, optional 4:2:0 chroma subsampling,
+2. per-8×8-block DCT-II,
+3. quantization with the Annex-K luminance/chrominance tables scaled by
+   the usual quality-factor rule,
+4. dequantization + inverse DCT + upsampling back to RGB.
+
+Entropy coding is omitted (it is lossless and irrelevant to pixel
+effects); the output is the exact image a JPEG decoder would produce.
+Used by the AB6 re-encoding ablation and available as
+``repro.imaging.jpeg.jpeg_roundtrip``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.color import rgb_to_ycbcr, to_rgb, ycbcr_to_rgb
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["jpeg_roundtrip", "block_dct2", "block_idct2", "quantization_tables"]
+
+# ITU-T T.81 Annex K reference quantization tables.
+_LUMA_TABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+_CHROMA_TABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+@lru_cache(maxsize=1)
+def _dct_matrix() -> np.ndarray:
+    """The 8x8 orthonormal DCT-II basis matrix ``C`` (rows = frequencies)."""
+    n = 8
+    k = np.arange(n)[:, None]
+    x = np.arange(n)[None, :]
+    matrix = np.cos((2 * x + 1) * k * np.pi / (2 * n))
+    matrix[0] *= 1.0 / np.sqrt(2.0)
+    return matrix * np.sqrt(2.0 / n)
+
+
+def block_dct2(blocks: np.ndarray) -> np.ndarray:
+    """DCT-II of stacked 8x8 blocks, shape ``(..., 8, 8)``."""
+    c = _dct_matrix()
+    return c @ blocks @ c.T
+
+
+def block_idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`block_dct2` (the DCT matrix is orthonormal)."""
+    c = _dct_matrix()
+    return c.T @ coefficients @ c
+
+
+def quantization_tables(quality: int) -> tuple[np.ndarray, np.ndarray]:
+    """(luma, chroma) quantization tables for a 1–100 quality factor.
+
+    Uses the libjpeg scaling convention: quality 50 is the reference table,
+    higher qualities shrink the steps, lower qualities grow them.
+    """
+    if not 1 <= quality <= 100:
+        raise ImageError(f"JPEG quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    def scaled(table: np.ndarray) -> np.ndarray:
+        q = np.floor((table * scale + 50.0) / 100.0)
+        return np.clip(q, 1.0, 255.0)
+    return scaled(_LUMA_TABLE), scaled(_CHROMA_TABLE)
+
+
+def _pad_to_blocks(plane: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    h, w = plane.shape
+    pad_h = (-h) % 8
+    pad_w = (-w) % 8
+    padded = np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+    return padded, (h, w)
+
+
+def _compress_plane(plane: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize one channel plane through the block DCT and back."""
+    padded, (h, w) = _pad_to_blocks(plane - 128.0)
+    ph, pw = padded.shape
+    blocks = padded.reshape(ph // 8, 8, pw // 8, 8).transpose(0, 2, 1, 3)
+    coefficients = block_dct2(blocks)
+    quantized = np.rint(coefficients / table) * table
+    restored = block_idct2(quantized)
+    out = restored.transpose(0, 2, 1, 3).reshape(ph, pw)
+    return out[:h, :w] + 128.0
+
+
+def _subsample(plane: np.ndarray) -> np.ndarray:
+    """2x2 box average (4:2:0 chroma subsampling)."""
+    h, w = plane.shape
+    padded, _ = _pad_to_blocks(plane)  # even-size guarantee via 8-pad
+    ph, pw = padded.shape
+    small = padded.reshape(ph // 2, 2, pw // 2, 2).mean(axis=(1, 3))
+    return small
+
+
+def _upsample(plane: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Nearest 2x upsampling back to the original shape."""
+    big = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    return big[: shape[0], : shape[1]]
+
+
+def jpeg_roundtrip(
+    image: np.ndarray,
+    quality: int = 85,
+    *,
+    subsample_chroma: bool = True,
+) -> np.ndarray:
+    """Return *image* after one JPEG encode/decode at *quality*.
+
+    Grayscale inputs use the luma path only; color inputs go through YCbCr
+    with optional 4:2:0 chroma subsampling. Output is float64 clipped to
+    0–255 with the input's spatial shape and channel count.
+    """
+    ensure_image(image)
+    luma_table, chroma_table = quantization_tables(quality)
+    img = as_float(image)
+    if img.ndim == 2 or img.shape[2] == 1:
+        plane = img if img.ndim == 2 else img[:, :, 0]
+        out = np.clip(_compress_plane(plane, luma_table), 0.0, 255.0)
+        return out if img.ndim == 2 else out[:, :, None]
+
+    ycbcr = rgb_to_ycbcr(to_rgb(img))
+    y = _compress_plane(ycbcr[:, :, 0], luma_table)
+    chroma_planes = []
+    for c in (1, 2):
+        plane = ycbcr[:, :, c]
+        if subsample_chroma:
+            small = _subsample(plane)
+            small = _compress_plane(small, chroma_table)
+            chroma_planes.append(_upsample(small, plane.shape))
+        else:
+            chroma_planes.append(_compress_plane(plane, chroma_table))
+    restored = np.stack([y, *chroma_planes], axis=2)
+    return np.clip(ycbcr_to_rgb(restored), 0.0, 255.0)

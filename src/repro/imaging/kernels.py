@@ -1,0 +1,90 @@
+"""1-D interpolation kernels used to build scaling coefficient matrices.
+
+Each kernel is a function ``k(t)`` of the signed distance ``t`` between the
+sampling position and a source pixel center, together with a fixed *support*
+(half-width). The scaling code samples the kernel at the source pixels inside
+the support window and normalizes the weights to sum to one — exactly how
+OpenCV's ``resize`` computes its per-row coefficient tables.
+
+Crucially, for the non-area kernels the support does **not** grow when
+downscaling (no anti-aliasing). A bilinear 8× downscale therefore reads only
+2 of every 8 source pixels per axis; the other 6 have zero weight. That
+sparse dependence is the vulnerability image-scaling attacks exploit, so we
+reproduce it faithfully rather than "fixing" it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ScalingError
+
+__all__ = ["Kernel", "get_kernel", "KERNELS", "NEAREST", "BILINEAR", "BICUBIC", "LANCZOS4", "AREA"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An interpolation kernel: a weight function plus its half-width.
+
+    ``support`` is the half-width of the window in source-pixel units; the
+    weight function is evaluated at distances ``|t| < support`` and treated
+    as zero outside.
+    """
+
+    name: str
+    support: float
+    weight: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        w = self.weight(np.abs(t))
+        return np.where(np.abs(t) < self.support, w, 0.0)
+
+
+def _box(t: np.ndarray) -> np.ndarray:
+    return np.ones_like(t)
+
+
+def _triangle(t: np.ndarray) -> np.ndarray:
+    return np.maximum(0.0, 1.0 - t)
+
+
+def _cubic(t: np.ndarray, a: float = -0.75) -> np.ndarray:
+    """Keys cubic convolution kernel with OpenCV's a = -0.75."""
+    t = np.abs(t)
+    inner = (a + 2.0) * t**3 - (a + 3.0) * t**2 + 1.0
+    outer = a * t**3 - 5.0 * a * t**2 + 8.0 * a * t - 4.0 * a
+    return np.where(t <= 1.0, inner, np.where(t < 2.0, outer, 0.0))
+
+
+def _lanczos(t: np.ndarray, lobes: int = 4) -> np.ndarray:
+    t = np.abs(t)
+    # sinc(x) in numpy is sin(pi x)/(pi x), handling t == 0 exactly.
+    return np.sinc(t) * np.sinc(t / lobes)
+
+
+#: Nearest neighbor — implemented by index rounding, but the kernel form is
+#: used for coefficient-matrix construction (a width-1 box).
+NEAREST = Kernel("nearest", 0.5, _box)
+BILINEAR = Kernel("bilinear", 1.0, _triangle)
+BICUBIC = Kernel("bicubic", 2.0, _cubic)
+LANCZOS4 = Kernel("lanczos4", 4.0, _lanczos)
+#: Area (box) averaging — the anti-aliased, attack-robust algorithm. The
+#: coefficient builder widens this kernel's support by the scale ratio.
+AREA = Kernel("area", 0.5, _box)
+
+KERNELS: dict[str, Kernel] = {
+    k.name: k for k in (NEAREST, BILINEAR, BICUBIC, LANCZOS4, AREA)
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name; raises :class:`ScalingError` if unknown."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise ScalingError(f"unknown interpolation kernel {name!r}; known: {known}") from None

@@ -1,0 +1,176 @@
+"""Minimal PNG codec built on stdlib ``zlib`` only.
+
+Neither PIL nor OpenCV is a dependency of this library, so the CLI and the
+examples need their own way to read and write real image files. This codec
+supports the subset of PNG that matters for the detection pipeline:
+
+* 8-bit grayscale (color type 0), RGB (2), grayscale+alpha (4), RGBA (6)
+* all five scanline filters on decode (None/Sub/Up/Average/Paeth)
+* non-interlaced images only (interlaced files raise :class:`CodecError`)
+* encode with per-scanline filter 0 (None) — simple and universally readable
+
+The implementation follows the PNG specification (RFC 2083) directly.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.imaging.image import as_uint8, ensure_image
+
+__all__ = ["read_png", "write_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+#: PNG color type -> number of samples per pixel.
+_CHANNELS = {0: 1, 2: 3, 4: 2, 6: 4}
+
+
+def _iter_chunks(data: bytes):
+    offset = len(_SIGNATURE)
+    while offset < len(data):
+        if offset + 8 > len(data):
+            raise CodecError("truncated PNG chunk header")
+        length, ctype = struct.unpack(">I4s", data[offset : offset + 8])
+        start = offset + 8
+        end = start + length
+        if end + 4 > len(data):
+            raise CodecError(f"truncated PNG chunk {ctype!r}")
+        yield ctype, data[start:end]
+        offset = end + 4  # skip CRC
+
+
+def _paeth(a: int, b: int, c: int) -> int:
+    p = a + b - c
+    pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+    if pa <= pb and pa <= pc:
+        return a
+    if pb <= pc:
+        return b
+    return c
+
+
+def _unfilter(raw: bytes, height: int, width: int, channels: int) -> np.ndarray:
+    """Undo PNG scanline filtering; returns (H, W*channels) uint8."""
+    stride = width * channels
+    expected = height * (stride + 1)
+    if len(raw) != expected:
+        raise CodecError(
+            f"decompressed size {len(raw)} != expected {expected} "
+            f"(interlaced or corrupt PNG?)"
+        )
+    out = np.zeros((height, stride), dtype=np.uint8)
+    pos = 0
+    prev = np.zeros(stride, dtype=np.int64)
+    for row in range(height):
+        filter_type = raw[pos]
+        pos += 1
+        line = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=pos).astype(np.int64)
+        pos += stride
+        if filter_type == 0:  # None
+            recon = line
+        elif filter_type == 1:  # Sub
+            recon = line.copy()
+            for i in range(channels, stride):
+                recon[i] = (recon[i] + recon[i - channels]) & 0xFF
+        elif filter_type == 2:  # Up
+            recon = (line + prev) & 0xFF
+        elif filter_type == 3:  # Average
+            recon = line.copy()
+            for i in range(stride):
+                left = recon[i - channels] if i >= channels else 0
+                recon[i] = (recon[i] + ((left + prev[i]) >> 1)) & 0xFF
+        elif filter_type == 4:  # Paeth
+            recon = line.copy()
+            for i in range(stride):
+                left = recon[i - channels] if i >= channels else 0
+                up_left = prev[i - channels] if i >= channels else 0
+                recon[i] = (recon[i] + _paeth(int(left), int(prev[i]), int(up_left))) & 0xFF
+        else:
+            raise CodecError(f"unknown PNG filter type {filter_type}")
+        out[row] = recon.astype(np.uint8)
+        prev = recon
+    return out
+
+
+def read_png(path: str | Path) -> np.ndarray:
+    """Decode a PNG file into a uint8 array (``(H, W)`` or ``(H, W, C)``)."""
+    data = Path(path).read_bytes()
+    if not data.startswith(_SIGNATURE):
+        raise CodecError(f"{path}: not a PNG file")
+    header: tuple[int, int, int, int] | None = None
+    idat = bytearray()
+    palette: np.ndarray | None = None
+    for ctype, payload in _iter_chunks(data):
+        if ctype == b"IHDR":
+            width, height, bit_depth, color_type, _, _, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if bit_depth != 8:
+                raise CodecError(f"{path}: only 8-bit PNGs supported, got {bit_depth}-bit")
+            if interlace != 0:
+                raise CodecError(f"{path}: interlaced PNGs are not supported")
+            if color_type not in _CHANNELS and color_type != 3:
+                raise CodecError(f"{path}: unsupported color type {color_type}")
+            header = (width, height, bit_depth, color_type)
+        elif ctype == b"PLTE":
+            if len(payload) % 3:
+                raise CodecError(f"{path}: malformed palette")
+            palette = np.frombuffer(payload, dtype=np.uint8).reshape(-1, 3)
+        elif ctype == b"IDAT":
+            idat.extend(payload)
+        elif ctype == b"IEND":
+            break
+    if header is None:
+        raise CodecError(f"{path}: missing IHDR chunk")
+    if not idat:
+        raise CodecError(f"{path}: missing IDAT data")
+    width, height, _, color_type = header
+    channels = 1 if color_type == 3 else _CHANNELS[color_type]
+    try:
+        raw = zlib.decompress(bytes(idat))
+    except zlib.error as exc:
+        raise CodecError(f"{path}: corrupt PNG stream: {exc}") from exc
+    flat = _unfilter(raw, height, width, channels)
+    if color_type == 3:
+        if palette is None:
+            raise CodecError(f"{path}: paletted PNG without PLTE chunk")
+        return palette[flat.reshape(height, width)]
+    image = flat.reshape(height, width, channels)
+    if channels == 1:
+        return image[:, :, 0]
+    if color_type == 4:
+        # Gray+alpha is outside the library's image model; keep the luma.
+        return image[:, :, 0]
+    return image
+
+
+def write_png(path: str | Path, image: np.ndarray) -> None:
+    """Encode a uint8 (or float 0–255) array as a PNG file."""
+    ensure_image(image)
+    pixels = as_uint8(image)
+    if pixels.ndim == 2:
+        pixels = pixels[:, :, None]
+    height, width, channels = pixels.shape
+    color_type = {1: 0, 3: 2, 4: 6}.get(channels)
+    if color_type is None:
+        raise CodecError(f"cannot encode {channels}-channel image as PNG")
+
+    def chunk(ctype: bytes, payload: bytes) -> bytes:
+        crc = zlib.crc32(ctype + payload) & 0xFFFFFFFF
+        return struct.pack(">I", len(payload)) + ctype + payload + struct.pack(">I", crc)
+
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    # Filter 0 on every scanline: prepend a zero byte per row.
+    rows = np.concatenate(
+        [np.zeros((height, 1), dtype=np.uint8), pixels.reshape(height, -1)], axis=1
+    )
+    idat = zlib.compress(rows.tobytes(), level=6)
+    Path(path).write_bytes(
+        _SIGNATURE + chunk(b"IHDR", ihdr) + chunk(b"IDAT", idat) + chunk(b"IEND", b"")
+    )

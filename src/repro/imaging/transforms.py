@@ -1,0 +1,95 @@
+"""Benign image transforms.
+
+Small photometric and geometric operations a benign pipeline might apply
+*after* an attacker crafts their image (re-encoding, brightness tweaks,
+crops…). Used by the robustness ablation to answer two deployment
+questions:
+
+* does Decamouflage still flag attack images after common benign
+  post-processing (it should — and mild transforms also tend to *break*
+  the attack itself, which is worth knowing);
+* do benign transforms make clean images look like attacks (false alarms)?
+
+All transforms take and return float64 images on the 0–255 scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import as_float, clip_pixels, ensure_image
+
+__all__ = [
+    "adjust_brightness",
+    "adjust_contrast",
+    "add_gaussian_noise",
+    "quantize",
+    "flip_horizontal",
+    "flip_vertical",
+    "rotate90",
+    "center_crop",
+]
+
+
+def adjust_brightness(image: np.ndarray, delta: float) -> np.ndarray:
+    """Add *delta* to every pixel, clipped to the valid range."""
+    return clip_pixels(as_float(image) + delta)
+
+
+def adjust_contrast(image: np.ndarray, factor: float) -> np.ndarray:
+    """Scale deviations from the image mean by *factor* (>1 = more contrast)."""
+    if factor < 0:
+        raise ImageError(f"contrast factor must be >= 0, got {factor}")
+    img = as_float(image)
+    mean = img.mean()
+    return clip_pixels(mean + factor * (img - mean))
+
+
+def add_gaussian_noise(image: np.ndarray, sigma: float, *, seed: int = 0) -> np.ndarray:
+    """Add zero-mean Gaussian sensor noise (deterministic by seed)."""
+    if sigma < 0:
+        raise ImageError(f"noise sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    img = as_float(image)
+    return clip_pixels(img + rng.normal(0.0, sigma, img.shape))
+
+
+def quantize(image: np.ndarray, levels: int = 256) -> np.ndarray:
+    """Round to *levels* uniform intensity levels (re-encoding loss model)."""
+    if not 2 <= levels <= 256:
+        raise ImageError(f"levels must be in [2, 256], got {levels}")
+    img = as_float(image)
+    step = 255.0 / (levels - 1)
+    return np.rint(img / step) * step
+
+
+def flip_horizontal(image: np.ndarray) -> np.ndarray:
+    """Mirror left-right."""
+    ensure_image(image)
+    return as_float(image)[:, ::-1].copy()
+
+
+def flip_vertical(image: np.ndarray) -> np.ndarray:
+    """Mirror top-bottom."""
+    ensure_image(image)
+    return as_float(image)[::-1].copy()
+
+
+def rotate90(image: np.ndarray, turns: int = 1) -> np.ndarray:
+    """Rotate by 90° × *turns* counterclockwise."""
+    ensure_image(image)
+    return np.rot90(as_float(image), k=turns, axes=(0, 1)).copy()
+
+
+def center_crop(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Crop the central ``shape`` region."""
+    ensure_image(image)
+    img = as_float(image)
+    h, w = img.shape[:2]
+    ch, cw = shape
+    if ch > h or cw > w or ch <= 0 or cw <= 0:
+        raise ImageError(f"cannot crop {shape} from {img.shape[:2]}")
+    r0 = (h - ch) // 2
+    c0 = (w - cw) // 2
+    return img[r0 : r0 + ch, c0 : c0 + cw].copy()

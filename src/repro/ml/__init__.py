@@ -1,0 +1,38 @@
+"""Numpy CNN substrate.
+
+Exists for two paper-driven reasons: the backdoor-via-scaling-attack
+demonstration (Section 2.2) needs a trainable image classifier, and the
+analysis of missed attack images (Table 9) needs a stand-in for the cloud
+vision classifiers the authors queried.
+"""
+
+from repro.ml.data import LabelledImages, make_classification_set, normalize_batch
+from repro.ml.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, Parameter, ReLU
+from repro.ml.losses import cross_entropy_loss, softmax
+from repro.ml.network import Sequential, build_small_cnn
+from repro.ml.optim import SGD
+from repro.ml.serialize import load_small_cnn, save_model
+from repro.ml.training import TrainingLog, evaluate_accuracy, train
+
+__all__ = [
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "LabelledImages",
+    "Layer",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "TrainingLog",
+    "build_small_cnn",
+    "cross_entropy_loss",
+    "evaluate_accuracy",
+    "load_small_cnn",
+    "make_classification_set",
+    "save_model",
+    "normalize_batch",
+    "softmax",
+    "train",
+]

@@ -1,0 +1,69 @@
+"""Classification datasets for the ML substrate.
+
+Builds labelled image sets from :func:`repro.datasets.generate_class_image`
+— ten visually distinct synthetic classes — at either the model input size
+(for direct training) or a larger "camera" size (for pipelines that include
+the vulnerable downscaling step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_class_image
+from repro.errors import ReproError
+
+__all__ = ["LabelledImages", "make_classification_set", "normalize_batch"]
+
+
+@dataclass
+class LabelledImages:
+    """Images with integer labels; images are uint8 ``(N, H, W, 3)``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.labels):
+            raise ReproError(
+                f"{len(self.images)} images vs {len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def subset(self, indices: np.ndarray) -> "LabelledImages":
+        return LabelledImages(self.images[indices], self.labels[indices])
+
+
+def make_classification_set(
+    n_per_class: int,
+    *,
+    image_shape: tuple[int, int] = (32, 32),
+    n_classes: int = 10,
+    seed: int = 0,
+) -> LabelledImages:
+    """Balanced synthetic classification dataset, shuffled."""
+    if n_per_class <= 0:
+        raise ReproError(f"n_per_class must be positive, got {n_per_class}")
+    rng = np.random.default_rng(seed)
+    images = []
+    labels = []
+    for class_id in range(n_classes):
+        for _ in range(n_per_class):
+            images.append(
+                generate_class_image(image_shape, rng, class_id, n_classes=n_classes)
+            )
+            labels.append(class_id)
+    order = rng.permutation(len(images))
+    return LabelledImages(
+        images=np.stack(images)[order],
+        labels=np.asarray(labels, dtype=np.int64)[order],
+    )
+
+
+def normalize_batch(images: np.ndarray) -> np.ndarray:
+    """uint8 (or 0–255 float) images → float64 in [0, 1] for the network."""
+    return np.asarray(images, dtype=np.float64) / 255.0

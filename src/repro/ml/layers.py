@@ -1,0 +1,208 @@
+"""Neural-network layers implemented on numpy.
+
+A deliberately small but real CNN stack — convolution via im2col, max
+pooling, dense layers, ReLU — sufficient to train the 32×32 classifiers
+used by the backdoor-poisoning demonstration (paper Section 2.2) and the
+Table 9 "does the missed attack still fool a model?" analysis.
+
+Each layer implements ``forward(x)`` and ``backward(grad)``; parameters
+and their gradients are exposed as ``params()`` -> list of
+:class:`Parameter` so the optimizer can update them generically.
+
+Array convention: activations are ``(N, H, W, C)`` float64; dense layers
+take ``(N, D)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import ReproError
+
+__all__ = ["Parameter", "Layer", "Conv2D", "MaxPool2D", "Flatten", "Dense", "ReLU"]
+
+
+@dataclass
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    value: np.ndarray
+    grad: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base layer: stateless unless it owns parameters."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def params(self) -> list[Parameter]:
+        return []
+
+
+class ReLU(Layer):
+    """Elementwise max(0, x)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ReproError("ReLU.backward called before forward")
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """(N, H, W, C) -> (N, H*W*C)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ReproError("Flatten.backward called before forward")
+        return grad.reshape(self._shape)
+
+
+class Dense(Layer):
+    """Fully connected layer with He-initialized weights."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(rng.standard_normal((in_features, out_features)) * scale)
+        self.bias = Parameter(np.zeros(out_features))
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ReproError("Dense.backward called before forward")
+        self.weight.grad += self._input.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def params(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Conv2D(Layer):
+    """Valid-padding 2-D convolution (stride 1) via im2col.
+
+    Kernel shape ``(kh, kw, c_in, c_out)``; input ``(N, H, W, C_in)``;
+    output ``(N, H-kh+1, W-kw+1, C_out)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        fan_in = kernel_size * kernel_size * in_channels
+        scale = np.sqrt(2.0 / fan_in)
+        self.kernel = Parameter(
+            rng.standard_normal((kernel_size, kernel_size, in_channels, out_channels))
+            * scale
+        )
+        self.bias = Parameter(np.zeros(out_channels))
+        self.kernel_size = kernel_size
+        self._columns: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k = self.kernel_size
+        n, h, w, c = x.shape
+        if h < k or w < k:
+            raise ReproError(f"input {h}x{w} smaller than kernel {k}x{k}")
+        # (N, H-k+1, W-k+1, C, k, k) -> columns (N*out_h*out_w, k*k*C)
+        windows = sliding_window_view(x, (k, k), axis=(1, 2))
+        out_h, out_w = windows.shape[1], windows.shape[2]
+        columns = windows.transpose(0, 1, 2, 4, 5, 3).reshape(n * out_h * out_w, k * k * c)
+        self._columns = columns
+        self._input_shape = x.shape
+        weights = self.kernel.value.reshape(k * k * c, -1)
+        out = columns @ weights + self.bias.value
+        return out.reshape(n, out_h, out_w, -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._columns is None or self._input_shape is None:
+            raise ReproError("Conv2D.backward called before forward")
+        k = self.kernel_size
+        n, h, w, c = self._input_shape
+        out_h, out_w = h - k + 1, w - k + 1
+        grad_flat = grad.reshape(n * out_h * out_w, -1)
+
+        self.kernel.grad += (self._columns.T @ grad_flat).reshape(self.kernel.value.shape)
+        self.bias.grad += grad_flat.sum(axis=0)
+
+        weights = self.kernel.value.reshape(k * k * c, -1)
+        columns_grad = grad_flat @ weights.T  # (N*out_h*out_w, k*k*C)
+        columns_grad = columns_grad.reshape(n, out_h, out_w, k, k, c)
+
+        # Scatter column gradients back onto the input (col2im).
+        input_grad = np.zeros(self._input_shape)
+        for di in range(k):
+            for dj in range(k):
+                input_grad[:, di : di + out_h, dj : dj + out_w, :] += columns_grad[
+                    :, :, :, di, dj, :
+                ]
+        return input_grad
+
+    def params(self) -> list[Parameter]:
+        return [self.kernel, self.bias]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with a square window."""
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 1:
+            raise ReproError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self._argmax: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        s = self.size
+        n, h, w, c = x.shape
+        if h % s or w % s:
+            raise ReproError(f"pooling requires dims divisible by {s}, got {h}x{w}")
+        blocks = x.reshape(n, h // s, s, w // s, s, c).transpose(0, 1, 3, 5, 2, 4)
+        flat = blocks.reshape(n, h // s, w // s, c, s * s)
+        self._argmax = flat.argmax(axis=-1)
+        self._input_shape = x.shape
+        return flat.max(axis=-1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None:
+            raise ReproError("MaxPool2D.backward called before forward")
+        s = self.size
+        n, h, w, c = self._input_shape
+        out = np.zeros((n, h // s, w // s, c, s * s))
+        np.put_along_axis(out, self._argmax[..., None], grad[..., None], axis=-1)
+        out = out.reshape(n, h // s, w // s, c, s, s).transpose(0, 1, 4, 2, 5, 3)
+        return out.reshape(n, h, w, c)

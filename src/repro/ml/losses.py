@@ -1,0 +1,37 @@
+"""Loss functions for the numpy CNN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["softmax", "cross_entropy_loss"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray,
+    labels: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy and its gradient w.r.t. the logits.
+
+    ``labels`` are integer class indices of shape ``(N,)``.
+    """
+    if logits.ndim != 2:
+        raise ReproError(f"logits must be (N, classes), got {logits.shape}")
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ReproError(f"labels shape {labels.shape} does not match batch {n}")
+    probabilities = softmax(logits)
+    picked = probabilities[np.arange(n), labels]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    gradient = probabilities.copy()
+    gradient[np.arange(n), labels] -= 1.0
+    return loss, gradient / n

@@ -1,0 +1,86 @@
+"""Sequential network container and the default classifier architecture."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ml.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, Parameter, ReLU
+from repro.ml.losses import softmax
+
+__all__ = ["Sequential", "build_small_cnn"]
+
+
+class Sequential:
+    """A simple feed-forward chain of layers."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ReproError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def zero_grad(self) -> None:
+        for param in self.params():
+            param.zero_grad()
+
+    # -- inference helpers -------------------------------------------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of images (N, H, W, C)."""
+        return softmax(self.forward(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.forward(x).argmax(axis=1)
+
+
+def build_small_cnn(
+    input_shape: tuple[int, int, int],
+    n_classes: int,
+    *,
+    seed: int = 0,
+) -> Sequential:
+    """A LeNet-scale CNN for ``input_shape`` images (e.g. ``(32, 32, 3)``).
+
+    conv5-8 → pool2 → conv3-16 → pool2 → dense-64 → dense-classes.
+    Trains to high accuracy on the synthetic class task in a few epochs on
+    a CPU — all the backdoor experiments need.
+    """
+    h, w, c = input_shape
+    rng = np.random.default_rng(seed)
+    after_conv1 = (h - 4, w - 4)  # 5x5 valid conv
+    after_pool1 = (after_conv1[0] // 2, after_conv1[1] // 2)
+    after_conv2 = (after_pool1[0] - 2, after_pool1[1] - 2)  # 3x3 valid conv
+    after_pool2 = (after_conv2[0] // 2, after_conv2[1] // 2)
+    if min(after_pool2) < 1:
+        raise ReproError(f"input {input_shape} too small for the default CNN")
+    flat = after_pool2[0] * after_pool2[1] * 16
+    return Sequential(
+        [
+            Conv2D(c, 8, 5, rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(8, 16, 3, rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(flat, 64, rng),
+            ReLU(),
+            Dense(64, n_classes, rng),
+        ]
+    )

@@ -1,0 +1,48 @@
+"""Optimizers for the numpy CNN."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ml.layers import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        *,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ReproError(f"learning rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ReproError(f"momentum must be in [0, 1), got {momentum}")
+        self.params = list(params)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for param, velocity in zip(self.params, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param.value += velocity
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()

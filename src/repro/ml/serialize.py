@@ -1,0 +1,85 @@
+"""Save/load trained numpy networks.
+
+A trained backdoor-demo classifier takes minutes to fit; persisting it lets
+examples and notebooks reuse models across runs. Format: a single ``.npz``
+with ordered parameter arrays plus a small JSON architecture header — no
+pickle, so loading untrusted files cannot execute code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ml.network import Sequential, build_small_cnn
+
+__all__ = ["save_model", "load_small_cnn"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(
+    model: Sequential,
+    path: str | Path,
+    *,
+    architecture: dict | None = None,
+) -> None:
+    """Persist a network's parameters (and optional architecture header).
+
+    ``architecture`` should describe how to rebuild the empty network; for
+    models from :func:`~repro.ml.network.build_small_cnn` pass
+    ``{"input_shape": [h, w, c], "n_classes": n}`` (or use the default
+    header written by the backdoor example).
+    """
+    params = model.params()
+    arrays = {f"param_{index:03d}": p.value for index, p in enumerate(params)}
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "n_params": len(params),
+        "architecture": architecture or {},
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(Path(path), **arrays)
+
+
+def _read_header(archive) -> dict:
+    if "header" not in archive:
+        raise ReproError("model file has no header; not a repro model archive")
+    header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported model format version {header.get('format_version')}"
+        )
+    return header
+
+
+def load_small_cnn(path: str | Path) -> Sequential:
+    """Load a model saved by :func:`save_model` with a small-CNN header."""
+    with np.load(Path(path)) as archive:
+        header = _read_header(archive)
+        arch = header["architecture"]
+        if "input_shape" not in arch or "n_classes" not in arch:
+            raise ReproError(
+                "model header lacks input_shape/n_classes; cannot rebuild"
+            )
+        model = build_small_cnn(tuple(arch["input_shape"]), int(arch["n_classes"]))
+        params = model.params()
+        if header["n_params"] != len(params):
+            raise ReproError(
+                f"model file has {header['n_params']} parameter tensors, "
+                f"architecture expects {len(params)}"
+            )
+        for index, param in enumerate(params):
+            stored = archive[f"param_{index:03d}"]
+            if stored.shape != param.value.shape:
+                raise ReproError(
+                    f"parameter {index} shape mismatch: file {stored.shape} "
+                    f"vs architecture {param.value.shape}"
+                )
+            param.value[...] = stored
+    return model

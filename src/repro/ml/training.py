@@ -1,0 +1,71 @@
+"""Training loop for the numpy CNN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ml.data import LabelledImages, normalize_batch
+from repro.ml.losses import cross_entropy_loss
+from repro.ml.network import Sequential
+from repro.ml.optim import SGD
+
+__all__ = ["TrainingLog", "train", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainingLog:
+    """Per-epoch loss/accuracy history."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+
+def evaluate_accuracy(model: Sequential, data: LabelledImages, *, batch_size: int = 128) -> float:
+    """Top-1 accuracy of *model* on *data*."""
+    if len(data) == 0:
+        raise ReproError("cannot evaluate on an empty dataset")
+    correct = 0
+    inputs = normalize_batch(data.images)
+    for start in range(0, len(data), batch_size):
+        batch = inputs[start : start + batch_size]
+        predictions = model.predict(batch)
+        correct += int((predictions == data.labels[start : start + batch_size]).sum())
+    return correct / len(data)
+
+
+def train(
+    model: Sequential,
+    data: LabelledImages,
+    *,
+    epochs: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 0.01,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> TrainingLog:
+    """Train with shuffled minibatch SGD; returns the epoch history."""
+    if len(data) == 0:
+        raise ReproError("cannot train on an empty dataset")
+    optimizer = SGD(model.params(), learning_rate=learning_rate, momentum=momentum)
+    rng = np.random.default_rng(seed)
+    log = TrainingLog()
+    inputs = normalize_batch(data.images)
+    for _ in range(epochs):
+        order = rng.permutation(len(data))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(data), batch_size):
+            index = order[start : start + batch_size]
+            optimizer.zero_grad()
+            logits = model.forward(inputs[index])
+            loss, grad = cross_entropy_loss(logits, data.labels[index])
+            model.backward(grad)
+            optimizer.step()
+            epoch_loss += loss
+            batches += 1
+        log.losses.append(epoch_loss / max(batches, 1))
+        log.accuracies.append(evaluate_accuracy(model, data))
+    return log

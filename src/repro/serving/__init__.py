@@ -1,0 +1,20 @@
+"""Serving integration: Decamouflage as a plug-in preprocessing guard.
+
+The paper describes Decamouflage as "an independent module compatible with
+any existing scaling algorithms — alike a plug-in protector". This package
+is that plug-in: a screen-then-scale pipeline with reject / quarantine /
+sanitize policies and JSONL audit logging.
+"""
+
+from repro.serving.audit import AuditLog, AuditRecord
+from repro.serving.pipeline import PipelineOutcome, PipelineStats, ProtectedPipeline
+from repro.serving.policy import Policy
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "PipelineOutcome",
+    "PipelineStats",
+    "Policy",
+    "ProtectedPipeline",
+]

@@ -1,0 +1,102 @@
+"""Audit logging for the protected pipeline.
+
+Every decision — benign or flagged — is recorded as one JSON line so a
+deployment can answer "what did the detector see and why" after the fact.
+Flagged inputs can additionally be quarantined as PNG files next to the
+log. Both pieces are plain files; no services, no databases.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import EnsembleDetection
+from repro.errors import ReproError
+from repro.imaging.png import write_png
+
+__all__ = ["AuditRecord", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One pipeline decision, as persisted to the JSONL log."""
+
+    image_id: str
+    sequence: int
+    verdict: str  # "benign" | "attack"
+    action: str  # "accepted" | "rejected" | "quarantined" | "sanitized"
+    votes_for_attack: int
+    votes_total: int
+    scores: dict[str, float]
+    thresholds: dict[str, str]
+    quarantine_path: str | None = None
+
+    @classmethod
+    def from_detection(
+        cls,
+        image_id: str,
+        sequence: int,
+        detection: EnsembleDetection,
+        action: str,
+        quarantine_path: str | None = None,
+    ) -> "AuditRecord":
+        return cls(
+            image_id=image_id,
+            sequence=sequence,
+            verdict="attack" if detection.is_attack else "benign",
+            action=action,
+            votes_for_attack=detection.votes_for_attack,
+            votes_total=detection.votes_total,
+            scores={
+                f"{d.method}/{d.metric}": float(d.score) for d in detection.detections
+            },
+            thresholds={
+                f"{d.method}/{d.metric}": d.threshold.describe(d.metric)
+                for d in detection.detections
+            },
+            quarantine_path=quarantine_path,
+        )
+
+
+class AuditLog:
+    """Append-only JSONL decision log with an optional quarantine folder."""
+
+    def __init__(self, log_path: str | Path, *, quarantine_dir: str | Path | None = None) -> None:
+        self.log_path = Path(log_path)
+        self.log_path.parent.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir = Path(quarantine_dir) if quarantine_dir else None
+        if self.quarantine_dir:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    def quarantine(self, image_id: str, image: np.ndarray) -> str:
+        """Persist a flagged image; returns the stored path."""
+        if self.quarantine_dir is None:
+            raise ReproError("AuditLog was created without a quarantine directory")
+        # Strict allowlist: no dots, so identifiers like "../../x" cannot
+        # produce traversal-looking names.
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in image_id)
+        path = self.quarantine_dir / f"{safe}.png"
+        write_png(path, np.clip(image, 0, 255))
+        return str(path)
+
+    def append(self, record: AuditRecord) -> None:
+        with self.log_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(asdict(record)) + "\n")
+
+    def records(self) -> list[AuditRecord]:
+        """Read every record back (for reports and tests)."""
+        if not self.log_path.exists():
+            return []
+        out = []
+        for line in self.log_path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                out.append(AuditRecord(**json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise ReproError(f"corrupt audit log line: {exc}") from exc
+        return out

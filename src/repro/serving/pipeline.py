@@ -1,0 +1,200 @@
+"""The protected preprocessing pipeline.
+
+Drop-in replacement for the vulnerable ``resize(image, model_input)`` step
+of a serving system: every incoming image is screened by a calibrated
+Decamouflage ensemble *before* the downscale, and the configured policy
+decides what happens on a hit. Usage::
+
+    pipeline = ProtectedPipeline(
+        model_input_shape=(32, 32),
+        algorithm="bilinear",
+        policy=Policy.REJECT,
+        audit_log=AuditLog("decisions.jsonl", quarantine_dir="quarantine/"),
+    )
+    pipeline.calibrate(benign_holdout)
+
+    outcome = pipeline.submit(image, image_id="upload-001")
+    if outcome.accepted:
+        prediction = model(outcome.model_input)
+
+The pipeline never mutates accepted benign inputs (the paper's core
+argument for detection over prevention); only the explicit SANITIZE policy
+touches pixels, and only for flagged images.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
+from repro.core.result import EnsembleDetection
+from repro.errors import DetectionError
+from repro.imaging.scaling import resize
+from repro.serving.audit import AuditLog, AuditRecord
+from repro.serving.policy import Policy
+
+__all__ = ["PipelineOutcome", "PipelineStats", "ProtectedPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineOutcome:
+    """Result of submitting one image."""
+
+    image_id: str
+    accepted: bool
+    action: str  # "accepted" | "rejected" | "quarantined" | "sanitized"
+    detection: EnsembleDetection
+    #: the model-ready input; None when the image was rejected/quarantined
+    model_input: np.ndarray | None
+
+
+@dataclass
+class PipelineStats:
+    """Running counters for monitoring dashboards."""
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    quarantined: int = 0
+    sanitized: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "quarantined": self.quarantined,
+            "sanitized": self.sanitized,
+        }
+
+
+class ProtectedPipeline:
+    """Screen-then-scale preprocessing with a pluggable response policy."""
+
+    def __init__(
+        self,
+        model_input_shape: tuple[int, int],
+        *,
+        algorithm: str = "bilinear",
+        policy: Policy = Policy.REJECT,
+        ensemble: DetectionEnsemble | None = None,
+        audit_log: AuditLog | None = None,
+    ) -> None:
+        self.model_input_shape = model_input_shape
+        self.algorithm = algorithm
+        self.policy = Policy(policy)
+        self.ensemble = ensemble or build_default_ensemble(
+            model_input_shape, algorithm=algorithm
+        )
+        self.audit_log = audit_log
+        self.stats = PipelineStats()
+        self._sequence = 0
+        # Guards sequence/stats/audit mutation; scoring itself is pure and
+        # runs outside the lock, so parallel batches overlap on the math.
+        self._lock = threading.Lock()
+
+    # -- calibration --------------------------------------------------------
+
+    def calibrate(
+        self,
+        benign_holdout: list[np.ndarray],
+        *,
+        attack_examples: list[np.ndarray] | None = None,
+        percentile: float = 1.0,
+    ) -> None:
+        """Calibrate the ensemble: black-box by default, white-box when
+        attack examples are supplied."""
+        if attack_examples:
+            self.ensemble.calibrate_whitebox(benign_holdout, attack_examples)
+        else:
+            self.ensemble.calibrate_blackbox(benign_holdout, percentile=percentile)
+
+    @property
+    def is_calibrated(self) -> bool:
+        return all(d.is_calibrated for d in self.ensemble.detectors)
+
+    # -- the hot path --------------------------------------------------------
+
+    def submit(self, image: np.ndarray, *, image_id: str | None = None) -> PipelineOutcome:
+        """Screen one image and produce the model input per policy."""
+        if not self.is_calibrated:
+            raise DetectionError("pipeline is not calibrated; call calibrate() first")
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        identifier = image_id or f"image-{sequence:06d}"
+
+        # Pure computation — outside the lock so batches parallelize.
+        detection = self.ensemble.detect(image)
+        quarantine_path: str | None = None
+        if not detection.is_attack:
+            action = "accepted"
+            model_input = resize(image, self.model_input_shape, self.algorithm)
+        elif self.policy is Policy.REJECT:
+            action = "rejected"
+            model_input = None
+        elif self.policy is Policy.QUARANTINE:
+            action = "quarantined"
+            model_input = None
+            if self.audit_log is not None and self.audit_log.quarantine_dir is not None:
+                quarantine_path = self.audit_log.quarantine(identifier, image)
+        else:  # Policy.SANITIZE
+            from repro.defenses.reconstruction import reconstruct_image
+
+            action = "sanitized"
+            sanitized = reconstruct_image(
+                image, self.model_input_shape, algorithm=self.algorithm
+            )
+            model_input = resize(sanitized, self.model_input_shape, self.algorithm)
+
+        with self._lock:
+            self.stats.submitted += 1
+            counter = {
+                "accepted": "accepted",
+                "rejected": "rejected",
+                "quarantined": "quarantined",
+                "sanitized": "sanitized",
+            }[action]
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            if self.audit_log is not None:
+                self.audit_log.append(
+                    AuditRecord.from_detection(
+                        identifier, sequence, detection, action, quarantine_path
+                    )
+                )
+        return PipelineOutcome(
+            image_id=identifier,
+            accepted=model_input is not None,
+            action=action,
+            detection=detection,
+            model_input=model_input,
+        )
+
+    def submit_batch(
+        self,
+        images: list[np.ndarray],
+        *,
+        prefix: str = "batch",
+        max_workers: int = 1,
+    ) -> list[PipelineOutcome]:
+        """Screen a list of images with generated sequential ids.
+
+        ``max_workers > 1`` screens images on a thread pool — the scoring
+        math is numpy-heavy and releases the GIL, so offline curation of
+        large pools scales with cores. Outcomes keep the input order.
+        """
+        identifiers = [f"{prefix}-{index:05d}" for index in range(len(images))]
+        if max_workers <= 1 or len(images) <= 1:
+            return [
+                self.submit(image, image_id=identifier)
+                for image, identifier in zip(images, identifiers)
+            ]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(
+                lambda pair: self.submit(pair[0], image_id=pair[1]),
+                zip(images, identifiers),
+            ))

@@ -1,0 +1,27 @@
+"""Response policies for the protected pipeline.
+
+What should a serving system *do* when Decamouflage flags an input? The
+paper positions detection as a plug-in ("an independent module compatible
+with any existing scaling algorithms"); the policy layer turns its verdict
+into one of the three realistic operational responses:
+
+* ``REJECT``   — refuse the input (online inference guard),
+* ``QUARANTINE`` — withhold the input and keep a copy for forensics
+  (offline data curation, the paper's backdoor scenario),
+* ``SANITIZE`` — pass the input through the reconstruction defense and
+  continue (availability over strictness).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Policy"]
+
+
+class Policy(str, Enum):
+    """What to do with an input the ensemble flags as an attack."""
+
+    REJECT = "reject"
+    QUARANTINE = "quarantine"
+    SANITIZE = "sanitize"

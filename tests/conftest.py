@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Kept deliberately small: tests use 128x128 "camera" images and 16x16 model
+inputs so the whole suite runs in CPU-seconds while exercising the same
+ratio-8 downscale regime as the full experiments. (Below ~128px the
+spectral geometry of the steganalysis method degenerates — grid peaks merge
+with the central blob — so tests do not shrink further.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.strong import craft_attack_image
+from repro.datasets.synthetic import generate_image
+from repro.imaging.scaling import resize
+
+SOURCE_SHAPE = (128, 128)
+MODEL_INPUT = (16, 16)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def benign_images() -> list[np.ndarray]:
+    """Six deterministic synthetic scenes (uint8, 64x64x3)."""
+    return [
+        generate_image(SOURCE_SHAPE, np.random.default_rng((7, i)), family="neurips")
+        for i in range(6)
+    ]
+
+
+@pytest.fixture(scope="session")
+def target_images() -> list[np.ndarray]:
+    """Targets at the model input size (float, 8x8x3)."""
+    sources = [
+        generate_image(SOURCE_SHAPE, np.random.default_rng((13, i)), family="caltech")
+        for i in range(6)
+    ]
+    return [resize(s, MODEL_INPUT, "bilinear") for s in sources]
+
+
+@pytest.fixture(scope="session")
+def attack_images(benign_images, target_images) -> list[np.ndarray]:
+    """One bilinear attack image per benign/target pair."""
+    return [
+        craft_attack_image(original, target, algorithm="bilinear").attack_image
+        for original, target in zip(benign_images, target_images)
+    ]
+
+
+@pytest.fixture
+def gray_image(rng) -> np.ndarray:
+    """A smooth grayscale test image (float, 40x40)."""
+    yy, xx = np.mgrid[0:40, 0:40]
+    return 120.0 + 60.0 * np.sin(xx / 9.0) + 40.0 * np.cos(yy / 7.0)
+
+
+@pytest.fixture
+def color_image(rng) -> np.ndarray:
+    """A random-but-smooth color test image (uint8, 40x48x3)."""
+    base = rng.integers(30, 220, size=(10, 12, 3)).astype(np.float64)
+    return np.clip(resize(base, (40, 48), "bicubic"), 0, 255).astype(np.uint8)

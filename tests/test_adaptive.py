@@ -1,0 +1,161 @@
+"""Unit tests for the adaptive attack variants."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.adaptive import partial_attack, relaxed_attack, smoothed_attack
+from repro.attacks.base import verify_attack
+from repro.attacks.strong import craft_attack_image
+from repro.errors import AttackError
+from repro.imaging.metrics import mse
+
+
+class TestPartialAttack:
+    def test_strength_one_equals_strong(self, benign_images, target_images):
+        strong = craft_attack_image(benign_images[0], target_images[0])
+        partial = partial_attack(benign_images[0], target_images[0], strength=1.0)
+        assert np.allclose(strong.attack_image, partial.attack_image)
+
+    def test_weaker_strength_smaller_perturbation(self, benign_images, target_images):
+        full = partial_attack(benign_images[1], target_images[1], strength=1.0)
+        half = partial_attack(benign_images[1], target_images[1], strength=0.5)
+        assert verify_attack(half).perturbation_mse < verify_attack(full).perturbation_mse
+
+    def test_weaker_strength_worse_payload(self, benign_images, target_images):
+        full = partial_attack(benign_images[2], target_images[2], strength=1.0)
+        half = partial_attack(benign_images[2], target_images[2], strength=0.5)
+        assert verify_attack(half).target_mse > verify_attack(full).target_mse
+
+    def test_rejects_bad_strength(self, benign_images, target_images):
+        with pytest.raises(AttackError, match="strength"):
+            partial_attack(benign_images[0], target_images[0], strength=0.0)
+        with pytest.raises(AttackError, match="strength"):
+            partial_attack(benign_images[0], target_images[0], strength=1.5)
+
+
+class TestSmoothedAttack:
+    def test_reduces_csp_signal(self, benign_images, target_images):
+        from repro.imaging.fourier import csp_count
+
+        strong = craft_attack_image(benign_images[3], target_images[3])
+        smooth = smoothed_attack(benign_images[3], target_images[3], sigma=1.2)
+        assert csp_count(smooth.attack_image) <= csp_count(strong.attack_image)
+
+    def test_costs_payload_fidelity(self, benign_images, target_images):
+        strong = craft_attack_image(benign_images[4], target_images[4])
+        smooth = smoothed_attack(benign_images[4], target_images[4], sigma=1.2)
+        assert verify_attack(smooth).target_mse > verify_attack(strong).target_mse
+
+    def test_stays_in_pixel_range(self, benign_images, target_images):
+        smooth = smoothed_attack(benign_images[5], target_images[5], sigma=0.8)
+        assert smooth.attack_image.min() >= 0.0
+        assert smooth.attack_image.max() <= 255.0
+
+
+class TestPaletteMatchedAttack:
+    def test_histogram_defense_blinded(self, benign_images, target_images):
+        from repro.attacks.adaptive import palette_matched_attack
+        from repro.imaging.histogram import histogram_distance
+        from repro.imaging.scaling import resize
+
+        original, target = benign_images[0], target_images[0]
+        naive = craft_attack_image(original, target)
+        matched = palette_matched_attack(original, target)
+        shape = target.shape[:2]
+        cover_view = resize(np.asarray(original, float), shape, "bilinear")
+        naive_dist = histogram_distance(resize(naive.attack_image, shape, "bilinear"), cover_view)
+        matched_dist = histogram_distance(resize(matched.attack_image, shape, "bilinear"), cover_view)
+        assert matched_dist < naive_dist
+
+    def test_spatial_detection_still_works(self, benign_images, target_images):
+        from repro.attacks.adaptive import palette_matched_attack
+        from repro.imaging.metrics import mse
+        from repro.imaging.scaling import downscale_then_upscale
+
+        original, target = benign_images[1], target_images[1]
+        matched = palette_matched_attack(original, target)
+        shape = target.shape[:2]
+        round_trip_error = mse(
+            matched.attack_image,
+            downscale_then_upscale(matched.attack_image, shape, "bilinear"),
+        )
+        benign_error = mse(
+            np.asarray(original, float),
+            downscale_then_upscale(original, shape, "bilinear"),
+        )
+        assert round_trip_error > 5 * benign_error
+
+    def test_target_structure_preserved(self, benign_images, target_images):
+        """The recolored payload must still correlate with the target."""
+        from repro.attacks.adaptive import palette_matched_attack
+
+        original, target = benign_images[2], target_images[2]
+        matched = palette_matched_attack(original, target)
+        payload = matched.downscaled()
+        t = np.asarray(target, float).ravel()
+        p = payload.ravel()
+        correlation = np.corrcoef(t - t.mean(), p - p.mean())[0, 1]
+        assert correlation > 0.5
+
+
+class TestDetectorAwareAttack:
+    def test_zero_evasion_delivers_payload(self, benign_images, target_images):
+        from repro.attacks.adaptive import detector_aware_attack
+        from repro.imaging.metrics import mse
+
+        result = detector_aware_attack(
+            benign_images[0], target_images[0], evasion_weight=0.0
+        )
+        payload = mse(result.downscaled(), np.asarray(target_images[0], float))
+        assert payload < 100.0
+
+    def test_evasion_weight_reduces_round_trip_score(self, benign_images, target_images):
+        from repro.attacks.adaptive import detector_aware_attack
+        from repro.imaging.metrics import mse
+        from repro.imaging.scaling import downscale_then_upscale
+
+        shape = target_images[1].shape[:2]
+
+        def round_trip_score(image):
+            return mse(image, downscale_then_upscale(image, shape, "bilinear"))
+
+        plain = detector_aware_attack(benign_images[1], target_images[1], evasion_weight=0.0)
+        evading = detector_aware_attack(benign_images[1], target_images[1], evasion_weight=10.0)
+        assert round_trip_score(evading.attack_image) < 0.2 * round_trip_score(plain.attack_image)
+
+    def test_evasion_costs_payload(self, benign_images, target_images):
+        """The defense-in-depth tension: you cannot have both."""
+        from repro.attacks.adaptive import detector_aware_attack
+        from repro.imaging.metrics import mse
+
+        target = np.asarray(target_images[2], float)
+        plain = detector_aware_attack(benign_images[2], target_images[2], evasion_weight=0.0)
+        evading = detector_aware_attack(benign_images[2], target_images[2], evasion_weight=10.0)
+        payload_plain = mse(plain.downscaled(), target)
+        payload_evading = mse(evading.downscaled(), target)
+        assert payload_evading > 5 * payload_plain
+
+    def test_stays_in_pixel_range(self, benign_images, target_images):
+        from repro.attacks.adaptive import detector_aware_attack
+
+        result = detector_aware_attack(benign_images[3], target_images[3], evasion_weight=5.0)
+        assert result.attack_image.min() >= 0.0
+        assert result.attack_image.max() <= 255.0
+
+
+class TestRelaxedAttack:
+    def test_larger_epsilon_smaller_perturbation(self, benign_images, target_images):
+        tight = relaxed_attack(benign_images[0], target_images[0], epsilon=4.0)
+        loose = relaxed_attack(benign_images[0], target_images[0], epsilon=48.0)
+        assert (
+            verify_attack(loose).perturbation_mse
+            <= verify_attack(tight).perturbation_mse + 1e-9
+        )
+
+    def test_epsilon_bound_respected(self, benign_images, target_images):
+        loose = relaxed_attack(benign_images[1], target_images[1], epsilon=32.0)
+        assert verify_attack(loose).target_linf <= 33.0
+
+    def test_rejects_epsilon_below_tolerance(self, benign_images, target_images):
+        with pytest.raises(AttackError, match="tolerance"):
+            relaxed_attack(benign_images[0], target_images[0], epsilon=0.01)

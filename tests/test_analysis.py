@@ -1,0 +1,68 @@
+"""Unit tests for the attack-surface analysis."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.analysis import analyze_surface, rate_exposure, vulnerability_map
+from repro.errors import ScalingError
+
+
+class TestAnalyzeSurface:
+    def test_bilinear_ratio8(self):
+        report = analyze_surface((256, 256), (32, 32), "bilinear")
+        assert report.ratio == (8.0, 8.0)
+        assert report.row_sparsity == pytest.approx(0.75)
+        # (2/8)^2 of pixels are influential.
+        assert report.influential_fraction == pytest.approx(1 / 16)
+
+    def test_nearest_is_sparsest(self):
+        nearest = analyze_surface((256, 256), (32, 32), "nearest")
+        bilinear = analyze_surface((256, 256), (32, 32), "bilinear")
+        assert nearest.influential_fraction < bilinear.influential_fraction
+        assert nearest.weight_concentration == pytest.approx(1.0)
+
+    def test_area_has_no_surface(self):
+        report = analyze_surface((256, 256), (32, 32), "area")
+        assert report.influential_fraction == 1.0
+        assert "low" in report.exposure
+
+    def test_higher_ratio_more_exposed(self):
+        small = analyze_surface((64, 64), (32, 32), "bilinear")
+        large = analyze_surface((512, 512), (32, 32), "bilinear")
+        assert large.influential_fraction < small.influential_fraction
+
+    def test_rejects_upscaling(self):
+        with pytest.raises(ScalingError, match="downscaling"):
+            analyze_surface((32, 32), (64, 64))
+
+    def test_describe_mentions_key_facts(self):
+        text = analyze_surface((256, 256), (32, 32), "bilinear").describe()
+        assert "256x256" in text
+        assert "exposure" in text
+
+    def test_exposure_ratings(self):
+        assert "critical" in analyze_surface((512, 512), (32, 32), "nearest").exposure
+        assert "low" in analyze_surface((256, 256), (32, 32), "area").exposure
+
+
+class TestVulnerabilityMap:
+    def test_shape_and_support(self):
+        heat = vulnerability_map((64, 64), (8, 8), "bilinear")
+        assert heat.shape == (64, 64)
+        # Zero exactly where neither axis is read.
+        assert np.mean(heat == 0) > 0.5
+
+    def test_consistent_with_attack_footprint(self, benign_images, target_images):
+        """The attack only touches pixels the map marks as influential."""
+        from repro.attacks.strong import craft_attack_image
+
+        original, target = benign_images[0], target_images[0]
+        result = craft_attack_image(original, target, algorithm="bilinear")
+        delta = np.abs(result.attack_image - np.asarray(original, dtype=float)).sum(axis=2)
+        heat = vulnerability_map(original.shape[:2], target.shape[:2], "bilinear")
+        moved_outside = (delta > 1e-9) & (heat == 0)
+        assert not moved_outside.any()
+
+    def test_area_map_everywhere_positive(self):
+        heat = vulnerability_map((64, 64), (8, 8), "area")
+        assert np.all(heat > 0)

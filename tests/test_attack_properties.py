@@ -1,0 +1,81 @@
+"""Property-based tests for the attack substrate (fast paths only).
+
+The strong attack is too slow for hundreds of hypothesis examples, so the
+properties here target its building blocks — the closed-form NN attack and
+the QP warm start — which must hold for *any* input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.fast_nn import nearest_neighbor_attack, sampled_source_indices
+from repro.attacks.qp import equality_warm_start
+from repro.imaging.coefficients import scaling_matrix
+from repro.imaging.scaling import resize
+
+
+class TestNearestNeighborProperties:
+    @given(
+        st.integers(2, 8).flatmap(
+            lambda ratio: st.integers(2, 6).map(lambda out: (out * ratio, out))
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_payload_any_size(self, sizes, seed):
+        n_in, n_out = sizes
+        rng = np.random.default_rng(seed)
+        original = rng.uniform(0, 255, (n_in, n_in))
+        target = rng.uniform(0, 255, (n_out, n_out))
+        result = nearest_neighbor_attack(original, target)
+        assert np.allclose(
+            resize(result.attack_image, (n_out, n_out), "nearest"), target
+        )
+
+    @given(st.integers(2, 10), st.integers(11, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_indices_strictly_increasing(self, n_out, n_in):
+        indices = sampled_source_indices(n_in, n_out)
+        assert np.all(np.diff(indices) >= 1)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_untouched_pixels_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        original = rng.uniform(0, 255, (24, 24))
+        target = rng.uniform(0, 255, (4, 4))
+        result = nearest_neighbor_attack(original, target)
+        rows = sampled_source_indices(24, 4)
+        mask = np.ones((24, 24), dtype=bool)
+        mask[np.ix_(rows, rows)] = False
+        assert np.array_equal(result.attack_image[mask], original[mask])
+
+
+class TestWarmStartProperties:
+    @given(st.integers(0, 500), st.sampled_from(["bilinear", "bicubic"]))
+    @settings(max_examples=30, deadline=None)
+    def test_always_feasible_for_equality(self, seed, algorithm):
+        rng = np.random.default_rng(seed)
+        coefficients = np.asarray(scaling_matrix(24, 4, algorithm))
+        x0 = rng.uniform(0, 255, (24, 3))
+        targets = rng.uniform(0, 255, (4, 3))
+        x = equality_warm_start(coefficients, x0, targets)
+        assert np.allclose(coefficients @ x, targets, atol=1e-6)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_correction_lives_in_row_space(self, seed):
+        """The minimal-norm correction is orthogonal to the nullspace."""
+        rng = np.random.default_rng(seed)
+        coefficients = np.asarray(scaling_matrix(16, 4, "bilinear"))
+        x0 = rng.uniform(0, 255, (16, 1))
+        targets = rng.uniform(0, 255, (4, 1))
+        correction = equality_warm_start(coefficients, x0, targets) - x0
+        # Project correction onto the nullspace of C: must vanish.
+        gram = coefficients @ coefficients.T
+        projected = correction - coefficients.T @ np.linalg.solve(
+            gram, coefficients @ correction
+        )
+        assert np.allclose(projected, 0.0, atol=1e-8)

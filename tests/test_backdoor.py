@@ -1,0 +1,110 @@
+"""Unit tests for backdoor poisoning via the scaling attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.backdoor import PoisonedSample, TriggerSpec, poison_dataset, stamp_trigger
+from repro.errors import AttackError
+from repro.imaging.metrics import mse
+from repro.imaging.scaling import resize
+
+from tests.conftest import MODEL_INPUT
+
+
+class TestTriggerSpec:
+    def test_default_corner_bounds(self):
+        spec = TriggerSpec(size_fraction=0.25)
+        r0, c0, r1, c1 = spec.patch_bounds(32, 32)
+        assert (r1 - r0, c1 - c0) == (8, 8)
+        assert (r1, c1) == (32, 32)  # bottom-right
+
+    @pytest.mark.parametrize(
+        "corner,expected",
+        [
+            ("top-left", (0, 0, 8, 8)),
+            ("top-right", (0, 24, 8, 32)),
+            ("bottom-left", (24, 0, 32, 8)),
+            ("bottom-right", (24, 24, 32, 32)),
+        ],
+    )
+    def test_all_corners(self, corner, expected):
+        spec = TriggerSpec(size_fraction=0.25, corner=corner)
+        assert spec.patch_bounds(32, 32) == expected
+
+    def test_unknown_corner(self):
+        with pytest.raises(AttackError, match="corner"):
+            TriggerSpec(corner="center").patch_bounds(32, 32)
+
+    def test_minimum_patch_size(self):
+        spec = TriggerSpec(size_fraction=0.01)
+        r0, c0, r1, c1 = spec.patch_bounds(32, 32)
+        assert r1 - r0 >= 2
+
+
+class TestStampTrigger:
+    def test_patch_value_applied(self, rng):
+        image = rng.uniform(100, 200, (32, 32, 3))
+        stamped = stamp_trigger(image, TriggerSpec(value=20.0))
+        assert np.all(stamped[24:, 24:] == 20.0)
+
+    def test_rest_untouched(self, rng):
+        image = rng.uniform(100, 200, (32, 32))
+        stamped = stamp_trigger(image)
+        assert np.array_equal(stamped[:24, :24], image[:24, :24])
+
+    def test_input_not_mutated(self, rng):
+        image = rng.uniform(100, 200, (16, 16))
+        copy = image.copy()
+        stamp_trigger(image)
+        assert np.array_equal(image, copy)
+
+
+class TestPoisonDataset:
+    def test_poison_hides_triggered_image(self, benign_images, target_images):
+        sources = [(np.asarray(target_images[0]), 3)]
+        samples = poison_dataset(
+            [benign_images[0]],
+            sources,
+            victim_label=7,
+            model_input_shape=MODEL_INPUT,
+        )
+        assert len(samples) == 1
+        sample = samples[0]
+        assert sample.label == 7
+        assert sample.source_label == 3
+        # The downscaled poison must show the *triggered* source.
+        downscaled = sample.attack.downscaled()
+        triggered = stamp_trigger(np.asarray(target_images[0]))
+        assert mse(downscaled, triggered) < 25.0
+        # Trigger patch visible in the model's view.
+        spec = TriggerSpec()
+        r0, c0, r1, c1 = spec.patch_bounds(*MODEL_INPUT)
+        assert np.abs(downscaled[r0:r1, c0:c1] - spec.value).max() < 10.0
+
+    def test_poison_looks_like_cover(self, benign_images, target_images):
+        samples = poison_dataset(
+            [benign_images[1]],
+            [(np.asarray(target_images[1]), 0)],
+            victim_label=2,
+            model_input_shape=MODEL_INPUT,
+        )
+        report_mse = mse(samples[0].attack.attack_image, benign_images[1])
+        cover_vs_other = mse(
+            np.asarray(benign_images[1], dtype=float),
+            np.asarray(benign_images[2], dtype=float),
+        )
+        assert report_mse < 0.25 * cover_vs_other
+
+    def test_oversized_source_is_downscaled(self, benign_images):
+        large_source = np.asarray(benign_images[2], dtype=float)
+        samples = poison_dataset(
+            [benign_images[3]],
+            [(large_source, 1)],
+            victim_label=4,
+            model_input_shape=MODEL_INPUT,
+        )
+        assert samples[0].attack.target.shape[:2] == MODEL_INPUT
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AttackError, match="at least one"):
+            poison_dataset([], [], victim_label=0, model_input_shape=(8, 8))

@@ -1,0 +1,143 @@
+"""Unit tests for the decamouflage CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.imaging.png import write_png
+
+from tests.conftest import MODEL_INPUT
+
+
+@pytest.fixture
+def image_dir(tmp_path, benign_images, attack_images):
+    scan_dir = tmp_path / "scan"
+    scan_dir.mkdir()
+    write_png(scan_dir / "benign0.png", np.asarray(benign_images[0]))
+    write_png(scan_dir / "benign1.png", np.asarray(benign_images[1]))
+    write_png(scan_dir / "attack0.png", attack_images[0])
+    holdout_dir = tmp_path / "holdout"
+    holdout_dir.mkdir()
+    for index, image in enumerate(benign_images * 4):  # 24 holdout images
+        write_png(holdout_dir / f"h{index:02d}.png", np.asarray(image))
+    return scan_dir, holdout_dir
+
+
+class TestScan:
+    def test_flags_attack_and_exits_nonzero(self, image_dir, capsys):
+        scan_dir, holdout_dir = image_dir
+        code = main([
+            "scan", str(scan_dir),
+            "--input-size", str(MODEL_INPUT[0]), str(MODEL_INPUT[1]),
+            "--holdout", str(holdout_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "attack0.png" in out
+        assert "scanned 3" in out
+        # the attack line must say ATTACK
+        attack_line = next(l for l in out.splitlines() if "attack0.png" in l)
+        assert attack_line.startswith("ATTACK")
+
+    def test_verbose_shows_votes(self, image_dir, capsys):
+        scan_dir, holdout_dir = image_dir
+        main([
+            "scan", str(scan_dir),
+            "--input-size", str(MODEL_INPUT[0]), str(MODEL_INPUT[1]),
+            "--holdout", str(holdout_dir), "--verbose",
+        ])
+        out = capsys.readouterr().out
+        assert "scaling/mse" in out
+        assert "steganalysis/csp" in out
+
+    def test_empty_directory_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["scan", str(empty)]) == 2
+
+    def test_parallel_scan_same_verdicts(self, image_dir, capsys):
+        scan_dir, holdout_dir = image_dir
+        args = ["scan", str(scan_dir),
+                "--input-size", str(MODEL_INPUT[0]), str(MODEL_INPUT[1]),
+                "--holdout", str(holdout_dir)]
+        code_seq = main(args)
+        out_seq = capsys.readouterr().out
+        code_par = main(args + ["--workers", "4"])
+        out_par = capsys.readouterr().out
+        assert code_seq == code_par == 1
+        assert sorted(out_seq.splitlines()) == sorted(out_par.splitlines())
+
+    def test_small_holdout_rejected(self, image_dir, tmp_path, capsys):
+        scan_dir, _ = image_dir
+        tiny = tmp_path / "tiny"
+        tiny.mkdir()
+        write_png(tiny / "one.png", np.zeros((16, 16, 3), dtype=np.uint8))
+        assert main(["scan", str(scan_dir), "--holdout", str(tiny)]) == 2
+
+
+class TestCraft:
+    def test_craft_roundtrip(self, tmp_path, benign_images, target_images, capsys):
+        from repro.imaging.png import read_png
+        from repro.imaging.scaling import resize
+
+        original_path = tmp_path / "original.png"
+        target_path = tmp_path / "target.png"
+        output_path = tmp_path / "attack.png"
+        write_png(original_path, np.asarray(benign_images[0]))
+        write_png(target_path, np.asarray(target_images[0], dtype=np.float64))
+        code = main([
+            "craft", str(original_path), str(target_path), str(output_path),
+            "--input-size", str(MODEL_INPUT[0]), str(MODEL_INPUT[1]),
+        ])
+        assert code == 0
+        attack = read_png(output_path)
+        downscaled = resize(attack, MODEL_INPUT, "bilinear")
+        target = read_png(target_path).astype(np.float64)
+        # uint8 quantization adds a little error on top of ε.
+        assert np.mean((downscaled - target) ** 2) < 50.0
+
+
+class TestReport:
+    def test_single_experiment(self, capsys):
+        code = main(["report", "--only", "T1", "--images", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LeNet-5" in out
+
+
+@pytest.mark.slow
+class TestFigures:
+    def test_renders_png_set(self, tmp_path, capsys):
+        code = main(["figures", str(tmp_path / "figs"), "--images", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        written = list((tmp_path / "figs").glob("*.png"))
+        assert len(written) == 12
+        assert "fig08_threshold_search.png" in out
+
+
+class TestAnalyze:
+    def test_rates_exposure(self, capsys):
+        code = main(["analyze", "--source-size", "512", "512",
+                     "--input-size", "32", "32", "--algorithm", "nearest"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical" in out
+
+    def test_area_is_low_exposure(self, capsys):
+        code = main(["analyze", "--source-size", "256", "256",
+                     "--input-size", "32", "32", "--algorithm", "area"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "low" in out
+
+    def test_writes_vulnerability_map(self, tmp_path, capsys):
+        from repro.imaging.png import read_png
+
+        map_path = tmp_path / "map.png"
+        code = main(["analyze", "--source-size", "128", "128",
+                     "--input-size", "16", "16", "--map", str(map_path)])
+        assert code == 0
+        heat = read_png(map_path)
+        assert heat.shape[:2] == (128, 128)
+        assert heat.max() == 255  # normalized peak

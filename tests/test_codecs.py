@@ -1,0 +1,163 @@
+"""Unit tests for the PNG and PPM codecs."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.imaging.png import read_png, write_png
+from repro.imaging.ppm import read_ppm, write_ppm
+
+
+class TestPngRoundtrip:
+    @pytest.mark.parametrize("shape", [(7, 5), (7, 5, 3), (4, 9, 4)])
+    def test_roundtrip_exact(self, tmp_path, rng, shape):
+        image = rng.integers(0, 256, shape).astype(np.uint8)
+        path = tmp_path / "t.png"
+        write_png(path, image)
+        assert np.array_equal(read_png(path), image)
+
+    def test_float_input_rounded(self, tmp_path):
+        image = np.array([[0.4, 254.6]])
+        path = tmp_path / "f.png"
+        write_png(path, image)
+        assert read_png(path).tolist() == [[0, 255]]
+
+    def test_signature_written(self, tmp_path):
+        path = tmp_path / "s.png"
+        write_png(path, np.zeros((2, 2), dtype=np.uint8))
+        assert path.read_bytes().startswith(b"\x89PNG\r\n\x1a\n")
+
+    def test_rejects_two_channels(self, tmp_path):
+        # Gray+alpha arrays are not part of the library's image model, so
+        # validation rejects them before the codec is even consulted.
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="channels"):
+            write_png(tmp_path / "x.png", np.zeros((2, 2, 2), dtype=np.uint8))
+
+
+class TestPngDecodeRobustness:
+    def test_rejects_non_png(self, tmp_path):
+        path = tmp_path / "bad.png"
+        path.write_bytes(b"not a png at all")
+        with pytest.raises(CodecError, match="not a PNG"):
+            read_png(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.png"
+        write_png(path, np.zeros((4, 4), dtype=np.uint8))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CodecError):
+            read_png(path)
+
+    def test_rejects_16bit(self, tmp_path):
+        # Hand-craft a 16-bit IHDR.
+        ihdr = struct.pack(">IIBBBBB", 2, 2, 16, 0, 0, 0, 0)
+        crc = zlib.crc32(b"IHDR" + ihdr) & 0xFFFFFFFF
+        blob = (
+            b"\x89PNG\r\n\x1a\n"
+            + struct.pack(">I", len(ihdr)) + b"IHDR" + ihdr + struct.pack(">I", crc)
+        )
+        path = tmp_path / "deep.png"
+        path.write_bytes(blob)
+        with pytest.raises(CodecError, match="8-bit"):
+            read_png(path)
+
+    def test_decodes_all_filter_types(self, tmp_path, rng):
+        """Build a PNG whose rows use filters 0..4 and verify decode."""
+        image = rng.integers(0, 256, (5, 6, 3)).astype(np.uint8)
+        height, width, _ = image.shape
+        stride = width * 3
+
+        def paeth(a, b, c):
+            p = a + b - c
+            pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+            if pa <= pb and pa <= pc:
+                return a
+            return b if pb <= pc else c
+
+        raw = bytearray()
+        prev = np.zeros(stride, dtype=np.int64)
+        for row_index in range(height):
+            row = image[row_index].reshape(-1).astype(np.int64)
+            filter_type = row_index % 5
+            raw.append(filter_type)
+            if filter_type == 0:
+                encoded = row
+            elif filter_type == 1:
+                encoded = row.copy()
+                encoded[3:] = (row[3:] - row[:-3]) % 256
+            elif filter_type == 2:
+                encoded = (row - prev) % 256
+            elif filter_type == 3:
+                encoded = row.copy()
+                for i in range(stride):
+                    left = row[i - 3] if i >= 3 else 0
+                    encoded[i] = (row[i] - ((left + prev[i]) >> 1)) % 256
+            else:
+                encoded = row.copy()
+                for i in range(stride):
+                    left = row[i - 3] if i >= 3 else 0
+                    up_left = prev[i - 3] if i >= 3 else 0
+                    encoded[i] = (row[i] - paeth(int(left), int(prev[i]), int(up_left))) % 256
+            raw.extend(int(v) for v in encoded)
+            prev = row
+
+        def chunk(ctype, payload):
+            crc = zlib.crc32(ctype + payload) & 0xFFFFFFFF
+            return struct.pack(">I", len(payload)) + ctype + payload + struct.pack(">I", crc)
+
+        ihdr = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+        blob = (
+            b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", ihdr)
+            + chunk(b"IDAT", zlib.compress(bytes(raw)))
+            + chunk(b"IEND", b"")
+        )
+        path = tmp_path / "filters.png"
+        path.write_bytes(blob)
+        assert np.array_equal(read_png(path), image)
+
+
+class TestPpm:
+    @pytest.mark.parametrize("shape", [(5, 7), (5, 7, 3)])
+    def test_roundtrip_binary(self, tmp_path, rng, shape):
+        image = rng.integers(0, 256, shape).astype(np.uint8)
+        ext = "ppm" if len(shape) == 3 else "pgm"
+        path = tmp_path / f"t.{ext}"
+        write_ppm(path, image)
+        assert np.array_equal(read_ppm(path), image)
+
+    def test_reads_ascii_p2(self, tmp_path):
+        path = tmp_path / "a.pgm"
+        path.write_text("P2\n# comment\n3 2\n255\n0 10 20\n30 40 50\n")
+        image = read_ppm(path)
+        assert image.tolist() == [[0, 10, 20], [30, 40, 50]]
+
+    def test_reads_header_comments(self, tmp_path):
+        image = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        path = tmp_path / "c.pgm"
+        write_ppm(path, image)
+        data = path.read_bytes().replace(b"P5\n", b"P5\n# made by a test\n")
+        path.write_bytes(data)
+        assert np.array_equal(read_ppm(path), image)
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P9\n1 1\n255\n\x00")
+        with pytest.raises(CodecError, match="magic"):
+            read_ppm(path)
+
+    def test_rejects_truncated_pixels(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x01")
+        with pytest.raises(CodecError, match="truncated"):
+            read_ppm(path)
+
+    def test_rejects_rgba(self, tmp_path):
+        with pytest.raises(CodecError, match="4-channel"):
+            write_ppm(tmp_path / "x.ppm", np.zeros((2, 2, 4), dtype=np.uint8))

@@ -1,0 +1,98 @@
+"""Unit tests for repro.imaging.coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.imaging.coefficients import (
+    coefficient_sparsity,
+    scaling_matrix,
+    scaling_operators,
+    vulnerable_source_pixels,
+)
+
+
+class TestScalingMatrix:
+    @pytest.mark.parametrize("algorithm", ["nearest", "bilinear", "bicubic", "lanczos4", "area"])
+    @pytest.mark.parametrize("n_in,n_out", [(64, 8), (64, 64), (17, 5), (8, 24)])
+    def test_rows_sum_to_one(self, algorithm, n_in, n_out):
+        matrix = scaling_matrix(n_in, n_out, algorithm)
+        assert matrix.shape == (n_out, n_in)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_identity_when_same_size_bilinear(self):
+        matrix = scaling_matrix(10, 10, "bilinear")
+        assert np.allclose(matrix, np.eye(10))
+
+    def test_nearest_is_binary_selection(self):
+        matrix = scaling_matrix(64, 8, "nearest")
+        assert set(np.unique(matrix)) == {0.0, 1.0}
+        assert np.all(matrix.sum(axis=1) == 1.0)
+
+    def test_area_downscale_uses_every_pixel(self):
+        matrix = scaling_matrix(64, 8, "area")
+        assert coefficient_sparsity(matrix) == 0.0
+        # Exact integer-ratio box average: every weight is 1/8.
+        assert np.allclose(matrix[matrix > 0], 1.0 / 8.0)
+
+    def test_bilinear_downscale_is_sparse(self):
+        matrix = scaling_matrix(64, 8, "bilinear")
+        assert coefficient_sparsity(matrix) == pytest.approx(0.75)
+
+    def test_area_upscale_falls_back_to_bilinear(self):
+        area = scaling_matrix(8, 24, "area")
+        bilinear = scaling_matrix(8, 24, "bilinear")
+        assert np.allclose(area, bilinear)
+
+    def test_non_integer_ratio_area_overlap_weights(self):
+        matrix = scaling_matrix(5, 2, "area")
+        # Output cell 0 covers source [0, 2.5): pixels 0,1 fully, 2 half.
+        assert np.allclose(matrix[0], [0.4, 0.4, 0.2, 0.0, 0.0])
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ScalingError, match="positive"):
+            scaling_matrix(0, 8)
+        with pytest.raises(ScalingError, match="positive"):
+            scaling_matrix(8, -1)
+
+    def test_result_is_readonly(self):
+        matrix = scaling_matrix(16, 4, "bilinear")
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 5.0
+
+    def test_cache_returns_same_object(self):
+        assert scaling_matrix(32, 4, "bicubic") is scaling_matrix(32, 4, "bicubic")
+
+
+class TestOperators:
+    def test_shapes(self):
+        left, right = scaling_operators((64, 48), (8, 6), "bilinear")
+        assert left.shape == (8, 64)
+        assert right.shape == (48, 6)
+
+    def test_constant_image_maps_to_constant(self):
+        left, right = scaling_operators((20, 30), (5, 6), "bicubic")
+        image = np.full((20, 30), 42.0)
+        out = left @ image @ right
+        assert np.allclose(out, 42.0)
+
+
+class TestVulnerability:
+    def test_vulnerable_pixels_bilinear(self):
+        matrix = scaling_matrix(64, 8, "bilinear")
+        used = vulnerable_source_pixels(matrix)
+        # Ratio 8 bilinear touches 2 pixels per output sample.
+        assert len(used) == 16
+
+    def test_vulnerable_pixels_area_everything(self):
+        matrix = scaling_matrix(64, 8, "area")
+        assert len(vulnerable_source_pixels(matrix)) == 64
+
+    def test_sparsity_ordering_matches_attack_surface(self):
+        # nearest is the most vulnerable, area the least.
+        sparsities = {
+            alg: coefficient_sparsity(scaling_matrix(64, 8, alg))
+            for alg in ("nearest", "bilinear", "bicubic", "area")
+        }
+        assert sparsities["nearest"] > sparsities["bilinear"] > sparsities["bicubic"]
+        assert sparsities["area"] == 0.0

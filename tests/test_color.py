@@ -1,0 +1,77 @@
+"""Unit tests for repro.imaging.color."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.color import rgb_to_ycbcr, to_grayscale, to_rgb, ycbcr_to_rgb
+
+
+class TestToGrayscale:
+    def test_luma_weights(self):
+        red = np.zeros((1, 1, 3))
+        red[0, 0, 0] = 100.0
+        assert to_grayscale(red)[0, 0] == pytest.approx(29.9)
+
+    def test_gray_input_passthrough(self):
+        image = np.array([[10.0, 20.0]])
+        assert np.array_equal(to_grayscale(image), image)
+
+    def test_single_channel_3d(self):
+        image = np.full((2, 2, 1), 5.0)
+        out = to_grayscale(image)
+        assert out.shape == (2, 2)
+        assert np.all(out == 5.0)
+
+    def test_alpha_ignored(self):
+        rgba = np.zeros((1, 1, 4))
+        rgba[0, 0] = [100.0, 100.0, 100.0, 0.0]
+        assert to_grayscale(rgba)[0, 0] == pytest.approx(100.0)
+
+    def test_white_maps_to_255(self):
+        white = np.full((2, 2, 3), 255.0)
+        assert to_grayscale(white)[0, 0] == pytest.approx(255.0)
+
+
+class TestToRgb:
+    def test_gray_promotes_to_three_identical_channels(self):
+        gray = np.array([[7.0]])
+        rgb = to_rgb(gray)
+        assert rgb.shape == (1, 1, 3)
+        assert np.all(rgb == 7.0)
+
+    def test_rgba_drops_alpha(self):
+        rgba = np.ones((2, 2, 4))
+        assert to_rgb(rgba).shape == (2, 2, 3)
+
+    def test_rgb_passthrough(self):
+        rgb = np.random.default_rng(0).random((3, 3, 3)) * 255
+        assert np.array_equal(to_rgb(rgb), rgb)
+
+
+class TestYCbCr:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        rgb = rng.integers(0, 256, (8, 8, 3)).astype(np.float64)
+        back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        assert np.allclose(back, rgb, atol=0.01)
+
+    def test_gray_pixel_has_neutral_chroma(self):
+        gray_rgb = np.full((1, 1, 3), 100.0)
+        ycbcr = rgb_to_ycbcr(gray_rgb)
+        assert ycbcr[0, 0, 0] == pytest.approx(100.0)
+        assert ycbcr[0, 0, 1] == pytest.approx(128.0)
+        assert ycbcr[0, 0, 2] == pytest.approx(128.0)
+
+    def test_requires_three_channels(self):
+        with pytest.raises(ImageError, match="3-channel"):
+            rgb_to_ycbcr(np.zeros((2, 2)))
+        with pytest.raises(ImageError, match="3-channel"):
+            ycbcr_to_rgb(np.zeros((2, 2)))
+
+    def test_output_clipped(self):
+        extreme = np.zeros((1, 1, 3))
+        extreme[0, 0] = [255.0, 0.0, 255.0]
+        rgb = ycbcr_to_rgb(extreme)
+        assert rgb.min() >= 0.0
+        assert rgb.max() <= 255.0

@@ -1,0 +1,83 @@
+"""Unit tests for the corpus containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import Corpus, caltech_like_corpus, neurips_like_corpus, split_corpus
+from repro.errors import ImageError
+
+
+class TestCorpus:
+    def test_len_and_iteration(self):
+        corpus = neurips_like_corpus(4, image_shape=(16, 16))
+        assert len(corpus) == 4
+        assert len(list(corpus)) == 4
+
+    def test_lazy_caching(self):
+        corpus = neurips_like_corpus(3, image_shape=(16, 16))
+        first = corpus[1]
+        assert corpus[1] is first  # cached object
+
+    def test_access_order_independent(self):
+        forward = neurips_like_corpus(3, image_shape=(16, 16))
+        backward = neurips_like_corpus(3, image_shape=(16, 16))
+        a = [forward[i] for i in (0, 1, 2)]
+        b = [backward[i] for i in (2, 1, 0)][::-1]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_negative_indexing(self):
+        corpus = neurips_like_corpus(3, image_shape=(16, 16))
+        assert np.array_equal(corpus[-1], corpus[2])
+
+    def test_out_of_range(self):
+        corpus = neurips_like_corpus(2, image_shape=(16, 16))
+        with pytest.raises(IndexError):
+            corpus[2]
+
+    def test_slicing_unsupported(self):
+        corpus = neurips_like_corpus(2, image_shape=(16, 16))
+        with pytest.raises(TypeError, match="slicing"):
+            corpus[0:1]
+
+    def test_identifier_stable(self):
+        corpus = neurips_like_corpus(2)
+        assert corpus.identifier(1) == "neurips-00001"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ImageError, match=">= 0"):
+            Corpus(name="x", size=-1, image_shape=(8, 8), family="neurips", seed=0)
+
+    def test_different_seeds_different_images(self):
+        a = neurips_like_corpus(1, image_shape=(16, 16), seed=1)[0]
+        b = neurips_like_corpus(1, image_shape=(16, 16), seed=2)[0]
+        assert not np.array_equal(a, b)
+
+    def test_families_differ(self):
+        a = neurips_like_corpus(1, image_shape=(16, 16), seed=5)[0]
+        b = caltech_like_corpus(1, image_shape=(16, 16), seed=5)[0]
+        assert not np.array_equal(a, b)
+
+
+class TestSplitCorpus:
+    def test_sizes(self):
+        head, tail = split_corpus(neurips_like_corpus(10, image_shape=(16, 16)), 4)
+        assert len(head) == 4
+        assert len(tail) == 6
+
+    def test_head_matches_parent_prefix(self):
+        parent = neurips_like_corpus(6, image_shape=(16, 16))
+        head, _ = split_corpus(parent, 3)
+        for i in range(3):
+            assert np.array_equal(head[i], parent[i])
+
+    def test_tail_disjoint_from_parent(self):
+        parent = neurips_like_corpus(6, image_shape=(16, 16))
+        _, tail = split_corpus(parent, 3)
+        parent_all = [parent[i].tobytes() for i in range(6)]
+        for i in range(3):
+            assert tail[i].tobytes() not in parent_all
+
+    def test_bad_split_point(self):
+        with pytest.raises(ImageError, match="split point"):
+            split_corpus(neurips_like_corpus(3), 7)

@@ -1,0 +1,68 @@
+"""Unit tests for the prevention-baseline defenses."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    attack_residue,
+    benign_drift,
+    reconstruct_image,
+    reconstruction_quality_loss,
+    robust_resize,
+)
+from repro.imaging.metrics import mse
+from repro.imaging.scaling import resize
+
+from tests.conftest import MODEL_INPUT
+
+
+class TestRobustScaling:
+    def test_destroys_hidden_payload(self, benign_images, attack_images, target_images):
+        """Area scaling must NOT reveal the hidden target."""
+        attack, target = attack_images[0], np.asarray(target_images[0], dtype=float)
+        vulnerable_view = resize(attack, MODEL_INPUT, "bilinear")
+        robust_view = robust_resize(attack, MODEL_INPUT)
+        assert mse(vulnerable_view, target) < 25.0  # attack works on bilinear
+        assert mse(robust_view, target) > 10 * mse(vulnerable_view, target)
+
+    def test_attack_residue_metric(self, attack_images, target_images):
+        residue = attack_residue(
+            attack_images[1], np.asarray(target_images[1], dtype=float), MODEL_INPUT
+        )
+        assert residue > 500.0
+
+    def test_benign_drift_nonzero(self, benign_images):
+        """The compatibility cost: robust and deployed scalers disagree."""
+        drift = benign_drift(benign_images[0], MODEL_INPUT, deployed_algorithm="bilinear")
+        assert drift > 0.0
+
+    def test_benign_preserved_semantically(self, benign_images):
+        """Robust scaling of a benign image stays close to bilinear scaling."""
+        drift = benign_drift(benign_images[1], MODEL_INPUT)
+        benign_view = resize(benign_images[1], MODEL_INPUT, "bilinear")
+        other_view = resize(benign_images[2], MODEL_INPUT, "bilinear")
+        assert drift < 0.5 * mse(benign_view, other_view)
+
+
+class TestReconstruction:
+    def test_neutralizes_attack(self, attack_images, target_images):
+        attack, target = attack_images[2], np.asarray(target_images[2], dtype=float)
+        sanitized = reconstruct_image(attack, MODEL_INPUT, algorithm="bilinear")
+        view = resize(sanitized, MODEL_INPUT, "bilinear")
+        # After sanitization the scaler no longer sees the target.
+        assert mse(view, target) > 10 * mse(resize(attack, MODEL_INPUT, "bilinear"), target)
+
+    def test_output_shape_full_size(self, attack_images):
+        sanitized = reconstruct_image(attack_images[0], MODEL_INPUT)
+        assert sanitized.shape == attack_images[0].shape
+
+    def test_quality_loss_positive_but_bounded(self, benign_images):
+        loss = reconstruction_quality_loss(benign_images[3], MODEL_INPUT)
+        assert 0.0 < loss < 500.0
+
+    def test_only_vulnerable_pixels_touched(self, benign_images):
+        sanitized = reconstruct_image(benign_images[4], MODEL_INPUT, algorithm="bilinear")
+        changed = np.abs(sanitized - np.asarray(benign_images[4], dtype=float)) > 1e-9
+        # Bilinear ratio-8 reads 2/8 of rows and columns -> at most ~1/16
+        # of pixels (plus nothing else) may change.
+        assert changed.mean() < 0.08

@@ -1,0 +1,107 @@
+"""Unit tests for the three Decamouflage detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering_detector import FilteringDetector
+from repro.core.result import Direction, ThresholdRule
+from repro.core.scaling_detector import ScalingDetector
+from repro.core.steganalysis_detector import DEFAULT_CSP_THRESHOLD, SteganalysisDetector
+from repro.errors import DetectionError
+
+from tests.conftest import MODEL_INPUT
+
+
+class TestScalingDetector:
+    def test_scores_separate_populations(self, benign_images, attack_images):
+        detector = ScalingDetector(MODEL_INPUT, metric="mse")
+        benign_scores = detector.scores(benign_images)
+        attack_scores = detector.scores(attack_images)
+        assert max(benign_scores) < min(attack_scores)
+
+    def test_ssim_direction(self, benign_images, attack_images):
+        detector = ScalingDetector(MODEL_INPUT, metric="ssim")
+        assert detector.attack_direction is Direction.LESS
+        assert np.mean(detector.scores(attack_images)) < np.mean(detector.scores(benign_images))
+
+    def test_whitebox_calibration_perfect_on_train(self, benign_images, attack_images):
+        detector = ScalingDetector(MODEL_INPUT, metric="mse")
+        detector.calibrate_whitebox(benign_images, attack_images)
+        assert all(not detector.is_attack(img) for img in benign_images)
+        assert all(detector.is_attack(img) for img in attack_images)
+
+    def test_blackbox_calibration(self, benign_images, attack_images):
+        detector = ScalingDetector(MODEL_INPUT, metric="mse")
+        detector.calibrate_blackbox(benign_images, percentile=10.0)
+        assert all(detector.is_attack(img) for img in attack_images)
+
+    def test_uncalibrated_raises(self, benign_images):
+        detector = ScalingDetector(MODEL_INPUT)
+        with pytest.raises(DetectionError, match="no threshold"):
+            detector.detect(benign_images[0])
+
+    def test_invalid_metric(self):
+        with pytest.raises(DetectionError, match="mse or ssim"):
+            ScalingDetector(MODEL_INPUT, metric="psnr")
+
+    def test_threshold_direction_validated(self):
+        detector = ScalingDetector(MODEL_INPUT, metric="mse")
+        with pytest.raises(DetectionError, match="direction"):
+            detector.threshold = ThresholdRule(1.0, Direction.LESS)
+
+    def test_detection_object_fields(self, benign_images, attack_images):
+        detector = ScalingDetector(MODEL_INPUT, metric="mse")
+        detector.calibrate_whitebox(benign_images, attack_images)
+        detection = detector.detect(attack_images[0])
+        assert detection.method == "scaling"
+        assert detection.metric == "mse"
+        assert detection.is_attack
+        assert detection.score >= detection.threshold.value
+
+
+class TestFilteringDetector:
+    def test_scores_separate_populations(self, benign_images, attack_images):
+        detector = FilteringDetector(metric="ssim")
+        benign_scores = detector.scores(benign_images)
+        attack_scores = detector.scores(attack_images)
+        assert np.mean(attack_scores) < np.mean(benign_scores)
+
+    def test_minimum_filter_is_default(self):
+        assert FilteringDetector().filter_name == "minimum"
+
+    def test_other_filters_accepted(self, benign_images):
+        detector = FilteringDetector(filter_name="median", filter_size=3, metric="mse")
+        assert detector.score(benign_images[0]) >= 0.0
+
+    def test_unknown_filter(self):
+        with pytest.raises(DetectionError, match="unknown filter"):
+            FilteringDetector(filter_name="sobel")
+
+    def test_whitebox_calibration(self, benign_images, attack_images):
+        detector = FilteringDetector(metric="ssim")
+        detector.calibrate_whitebox(benign_images, attack_images)
+        flags = [detector.is_attack(img) for img in attack_images]
+        assert np.mean(flags) >= 0.8
+
+
+class TestSteganalysisDetector:
+    def test_born_calibrated(self, benign_images):
+        detector = SteganalysisDetector()
+        assert detector.is_calibrated
+        assert detector.threshold.value == DEFAULT_CSP_THRESHOLD
+
+    def test_benign_mostly_pass(self, benign_images):
+        detector = SteganalysisDetector()
+        flags = [detector.is_attack(img) for img in benign_images]
+        assert np.mean(flags) <= 0.4
+
+    def test_attacks_mostly_flagged(self, attack_images):
+        detector = SteganalysisDetector()
+        flags = [detector.is_attack(img) for img in attack_images]
+        assert np.mean(flags) >= 0.6
+
+    def test_scores_are_integral(self, benign_images):
+        detector = SteganalysisDetector()
+        score = detector.score(benign_images[0])
+        assert score == int(score)
+        assert score >= 1.0

@@ -1,0 +1,99 @@
+"""Unit tests for the raster drawing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.draw import GLYPHS, draw_line, draw_text, fill_rect, new_canvas, text_width
+
+
+class TestCanvas:
+    def test_new_canvas_color(self):
+        canvas = new_canvas(4, 6, (10.0, 20.0, 30.0))
+        assert canvas.shape == (4, 6, 3)
+        assert canvas[2, 3].tolist() == [10.0, 20.0, 30.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageError, match="positive"):
+            new_canvas(0, 5)
+
+
+class TestFillRect:
+    def test_basic_fill(self):
+        canvas = new_canvas(10, 10)
+        fill_rect(canvas, 2, 3, 5, 7, (0.0, 0.0, 0.0))
+        assert np.all(canvas[2:5, 3:7] == 0.0)
+        assert np.all(canvas[0:2] == 255.0)
+
+    def test_clipped_outside(self):
+        canvas = new_canvas(5, 5)
+        fill_rect(canvas, -3, -3, 100, 2, (0.0, 0.0, 0.0))
+        assert np.all(canvas[:, :2] == 0.0)
+        assert np.all(canvas[:, 2:] == 255.0)
+
+    def test_swapped_corners_normalized(self):
+        canvas = new_canvas(6, 6)
+        fill_rect(canvas, 4, 4, 1, 1, (0.0, 0.0, 0.0))
+        assert np.all(canvas[1:4, 1:4] == 0.0)
+
+
+class TestDrawLine:
+    def test_horizontal(self):
+        canvas = new_canvas(5, 10)
+        draw_line(canvas, 2, 1, 2, 8, (0.0, 0.0, 0.0))
+        assert np.all(canvas[2, 1:9] == 0.0)
+        assert np.all(canvas[1] == 255.0)
+
+    def test_vertical(self):
+        canvas = new_canvas(10, 5)
+        draw_line(canvas, 1, 3, 8, 3, (0.0, 0.0, 0.0))
+        assert np.all(canvas[1:9, 3] == 0.0)
+
+    def test_diagonal_endpoints(self):
+        canvas = new_canvas(10, 10)
+        draw_line(canvas, 0, 0, 9, 9, (0.0, 0.0, 0.0))
+        assert np.all(canvas[0, 0] == 0.0)
+        assert np.all(canvas[9, 9] == 0.0)
+        # A 45-degree Bresenham line hits exactly the diagonal.
+        assert np.all(np.diag(canvas[:, :, 0]) == 0.0)
+
+    def test_off_canvas_is_clipped_not_fatal(self):
+        canvas = new_canvas(4, 4)
+        draw_line(canvas, -5, -5, 10, 10, (0.0, 0.0, 0.0))
+        assert np.all(canvas[0, 0] == 0.0)
+
+
+class TestText:
+    def test_known_glyphs_exist(self):
+        for char in "0123456789ABCDEFGHIKLMNOPRSTUVWXYZ.%-=/():+ ":
+            assert char in GLYPHS, char
+
+    def test_draw_changes_pixels(self):
+        canvas = new_canvas(12, 40)
+        draw_text(canvas, 2, 2, "42", (0.0, 0.0, 0.0))
+        assert (canvas == 0.0).any()
+
+    def test_text_width_scales(self):
+        assert text_width("AB", scale=2) == 2 * text_width("AB", scale=1)
+        assert text_width("") == 0
+
+    def test_lowercase_uppercased(self):
+        a = new_canvas(10, 10)
+        b = new_canvas(10, 10)
+        draw_text(a, 1, 1, "a", (0.0, 0.0, 0.0))
+        draw_text(b, 1, 1, "A", (0.0, 0.0, 0.0))
+        assert np.array_equal(a, b)
+
+    def test_unknown_glyph_renders_fallback_box(self):
+        canvas = new_canvas(12, 10)
+        draw_text(canvas, 2, 2, "@", (0.0, 0.0, 0.0))
+        assert (canvas == 0.0).any()
+
+    def test_clipping_at_border(self):
+        canvas = new_canvas(6, 6)
+        draw_text(canvas, 4, 4, "8", (0.0, 0.0, 0.0))  # extends past edge
+        assert canvas.shape == (6, 6, 3)
+
+    def test_bad_scale(self):
+        with pytest.raises(ImageError, match="scale"):
+            draw_text(new_canvas(5, 5), 0, 0, "1", (0.0, 0.0, 0.0), scale=0)

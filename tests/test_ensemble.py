@@ -1,0 +1,97 @@
+"""Unit tests for the majority-vote ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
+from repro.core.result import Direction, ThresholdRule
+from repro.errors import DetectionError
+
+from tests.conftest import MODEL_INPUT
+
+
+class _StubDetector(Detector):
+    """Always votes the way it is told — for vote-logic tests."""
+
+    method = "stub"
+    metric = "stub"
+
+    def __init__(self, votes_attack: bool) -> None:
+        direction = Direction.GREATER
+        # score 1.0 vs threshold 0.5 (attack) or 2.0 (benign)
+        super().__init__(ThresholdRule(0.5 if votes_attack else 2.0, direction))
+        self._votes_attack = votes_attack
+
+    @property
+    def attack_direction(self) -> Direction:
+        return Direction.GREATER
+
+    def score(self, image) -> float:
+        return 1.0
+
+
+class TestVotingLogic:
+    def test_unanimous_attack(self):
+        ensemble = DetectionEnsemble([_StubDetector(True)] * 3)
+        decision = ensemble.detect(np.zeros((4, 4)))
+        assert decision.is_attack
+        assert decision.votes_for_attack == 3
+
+    def test_majority_two_of_three(self):
+        ensemble = DetectionEnsemble(
+            [_StubDetector(True), _StubDetector(True), _StubDetector(False)]
+        )
+        assert ensemble.is_attack(np.zeros((4, 4)))
+
+    def test_minority_one_of_three(self):
+        ensemble = DetectionEnsemble(
+            [_StubDetector(True), _StubDetector(False), _StubDetector(False)]
+        )
+        assert not ensemble.is_attack(np.zeros((4, 4)))
+
+    def test_single_detector_ensemble(self):
+        ensemble = DetectionEnsemble([_StubDetector(True)])
+        assert ensemble.is_attack(np.zeros((4, 4)))
+
+    def test_even_count_rejected(self):
+        with pytest.raises(DetectionError, match="odd"):
+            DetectionEnsemble([_StubDetector(True), _StubDetector(False)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DetectionError, match="at least one"):
+            DetectionEnsemble([])
+
+    def test_explain_mentions_votes(self):
+        ensemble = DetectionEnsemble([_StubDetector(True)] * 3)
+        text = ensemble.detect(np.zeros((4, 4))).explain()
+        assert "3/3" in text
+        assert "ATTACK" in text
+
+
+class TestDefaultEnsemble:
+    def test_composition(self):
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        methods = [d.method for d in ensemble.detectors]
+        assert methods == ["scaling", "filtering", "steganalysis"]
+
+    def test_whitebox_end_to_end(self, benign_images, attack_images):
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_whitebox(benign_images, attack_images)
+        assert all(ensemble.is_attack(img) for img in attack_images)
+        benign_flags = [ensemble.is_attack(img) for img in benign_images]
+        assert np.mean(benign_flags) <= 0.2
+
+    def test_blackbox_end_to_end(self, benign_images, attack_images):
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_blackbox(benign_images, percentile=5.0)
+        attack_flags = [ensemble.is_attack(img) for img in attack_images]
+        assert np.mean(attack_flags) >= 0.8
+
+    def test_steganalysis_keeps_fixed_threshold_after_calibration(
+        self, benign_images, attack_images
+    ):
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_whitebox(benign_images, attack_images)
+        steg = next(d for d in ensemble.detectors if d.method == "steganalysis")
+        assert steg.threshold.value == 2.0

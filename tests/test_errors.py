@@ -1,0 +1,45 @@
+"""The exception hierarchy contract: one base class catches everything."""
+
+import pytest
+
+from repro.errors import (
+    AttackError,
+    CalibrationError,
+    CodecError,
+    DetectionError,
+    ImageError,
+    ReproError,
+    ScalingError,
+)
+
+ALL_ERRORS = [
+    AttackError,
+    CalibrationError,
+    CodecError,
+    DetectionError,
+    ImageError,
+    ScalingError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+    assert issubclass(error_type, Exception)
+
+
+def test_base_catches_library_failures():
+    import numpy as np
+
+    from repro.imaging.image import ensure_image
+
+    with pytest.raises(ReproError):
+        ensure_image(np.zeros((2, 2, 7)))
+
+
+def test_programming_errors_not_wrapped():
+    """Caller bugs surface as built-ins, not ReproError."""
+    from repro.imaging.metrics import mse
+
+    with pytest.raises((TypeError, AttributeError, ReproError)):
+        mse(None, None)

@@ -1,0 +1,56 @@
+"""Unit tests for the shared experiment-data builder."""
+
+import numpy as np
+import pytest
+
+from repro.eval.data import DEFAULT_MODEL_INPUT, DEFAULT_SOURCE_SHAPE, prepare_data
+
+
+class TestPrepareData:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return prepare_data(
+            3, 4, source_shape=(64, 64), model_input_shape=(8, 8), seed=123
+        )
+
+    def test_counts(self, small):
+        assert small.n_calibration == 3
+        assert small.n_evaluation == 4
+
+    def test_shapes(self, small):
+        assert small.calibration.benign[0].shape == (64, 64, 3)
+        assert small.calibration.attacks[0].shape == (64, 64, 3)
+        assert small.model_input_shape == (8, 8)
+
+    def test_cached_by_parameters(self, small):
+        again = prepare_data(
+            3, 4, source_shape=(64, 64), model_input_shape=(8, 8), seed=123
+        )
+        assert again is small  # lru_cache hit
+
+    def test_distinct_parameters_not_cached_together(self, small):
+        other = prepare_data(
+            3, 4, source_shape=(64, 64), model_input_shape=(8, 8), seed=124
+        )
+        assert other is not small
+
+    def test_calibration_and_evaluation_disjoint(self, small):
+        cal_bytes = {np.asarray(img).tobytes() for img in small.calibration.benign}
+        ev_bytes = {np.asarray(img).tobytes() for img in small.evaluation.benign}
+        assert not cal_bytes & ev_bytes
+
+    def test_attacks_decode_to_targets(self, small):
+        """Every crafted attack must satisfy the paper's property 2."""
+        from repro.imaging.metrics import mse
+        from repro.imaging.scaling import resize
+
+        for attack in small.calibration.attacks:
+            down = resize(attack, small.model_input_shape, small.algorithm)
+            up_again = resize(down, attack.shape[:2], small.algorithm)
+            # The decoded view must differ wildly from the attack image
+            # (it shows the hidden target, not the cover).
+            assert mse(attack, up_again) > 500.0
+
+    def test_defaults_are_paper_scale_shapes(self):
+        assert DEFAULT_SOURCE_SHAPE == (256, 256)
+        assert DEFAULT_MODEL_INPUT == (32, 32)

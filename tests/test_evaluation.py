@@ -1,0 +1,53 @@
+"""Unit tests for the confusion-matrix evaluation metrics."""
+
+import pytest
+
+from repro.core.evaluation import ConfusionCounts, evaluate_decisions
+
+
+class TestConfusionCounts:
+    def test_perfect_classifier(self):
+        counts = evaluate_decisions(benign_flags=[False] * 10, attack_flags=[True] * 10)
+        assert counts.accuracy == 1.0
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.far == 0.0
+        assert counts.frr == 0.0
+
+    def test_far_counts_missed_attacks(self):
+        counts = evaluate_decisions(benign_flags=[False] * 10, attack_flags=[True] * 8 + [False] * 2)
+        assert counts.far == pytest.approx(0.2)
+        assert counts.recall == pytest.approx(0.8)
+
+    def test_frr_counts_false_alarms(self):
+        counts = evaluate_decisions(benign_flags=[True] * 3 + [False] * 7, attack_flags=[True] * 10)
+        assert counts.frr == pytest.approx(0.3)
+        assert counts.precision == pytest.approx(10 / 13)
+
+    def test_far_plus_recall_is_one(self):
+        counts = evaluate_decisions([False] * 5, [True, True, False, True, False])
+        assert counts.far + counts.recall == pytest.approx(1.0)
+
+    def test_record_api_matches_bulk(self):
+        bulk = evaluate_decisions([True, False], [True, False])
+        manual = ConfusionCounts()
+        manual.record(is_attack_truth=False, flagged_attack=True)
+        manual.record(is_attack_truth=False, flagged_attack=False)
+        manual.record(is_attack_truth=True, flagged_attack=True)
+        manual.record(is_attack_truth=True, flagged_attack=False)
+        assert bulk.as_row() == manual.as_row()
+
+    def test_empty_counts_are_zero_not_nan(self):
+        counts = ConfusionCounts()
+        row = counts.as_row()
+        assert all(v == 0.0 for v in row.values())
+
+    def test_str_contains_all_five(self):
+        counts = evaluate_decisions([False], [True])
+        text = str(counts)
+        for token in ("Acc", "Prec", "Rec", "FAR", "FRR"):
+            assert token in text
+
+    def test_total(self):
+        counts = evaluate_decisions([False] * 4, [True] * 6)
+        assert counts.total == 10

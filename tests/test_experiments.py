@@ -1,0 +1,128 @@
+"""Tests for the experiment runners (small-scale but real end-to-end runs).
+
+Builds one tiny shared ExperimentData (session-scoped) and checks that every
+runner produces the right artifact structure and that the paper's
+qualitative claims hold at miniature scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_attack_set
+from repro.datasets.corpus import caltech_like_corpus, neurips_like_corpus
+from repro.eval import experiments as exp
+from repro.eval.data import ExperimentData
+from repro.eval.runtime import table7_runtime
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    source_shape, model_input = (128, 128), (16, 16)
+    cal_o = neurips_like_corpus(10, image_shape=source_shape, seed=1).materialize()
+    cal_t = neurips_like_corpus(10, image_shape=source_shape, seed=2, name="t1").materialize()
+    ev_o = caltech_like_corpus(10, image_shape=source_shape, seed=3).materialize()
+    ev_t = caltech_like_corpus(10, image_shape=source_shape, seed=4, name="t2").materialize()
+    return ExperimentData(
+        calibration=build_attack_set(cal_o, cal_t, model_input_shape=model_input),
+        evaluation=build_attack_set(ev_o, ev_t, model_input_shape=model_input),
+        source_shape=source_shape,
+        model_input_shape=model_input,
+        algorithm="bilinear",
+    )
+
+
+class TestStructure:
+    def test_table1_static(self):
+        result = exp.table1_input_sizes()
+        assert result.experiment_id == "T1"
+        assert len(result.rows) == 5
+
+    def test_every_result_renders(self, tiny_data):
+        runners = [
+            exp.fig9_fig10_scaling_distributions,
+            exp.table2_scaling_whitebox,
+            exp.fig11_fig12_filtering_distributions,
+            exp.table4_filtering_whitebox,
+            exp.fig13_csp_distribution,
+            exp.table6_steganalysis,
+            exp.table8_ensemble,
+            exp.appendix_psnr,
+            exp.ablation_histogram_metric,
+        ]
+        for runner in runners:
+            result = runner(tiny_data)
+            text = result.to_text()
+            assert result.experiment_id in text
+            assert result.rows
+
+
+class TestQualitativeClaims:
+    def test_t2_scaling_whitebox_high_accuracy(self, tiny_data):
+        result = exp.table2_scaling_whitebox(tiny_data)
+        mse_row = next(r for r in result.rows if r["Metric"] == "MSE")
+        accuracy = float(mse_row["Acc."].rstrip("%"))
+        assert accuracy >= 90.0
+
+    def test_t3_blackbox_far_zero(self, tiny_data):
+        result = exp.table3_scaling_blackbox(tiny_data)
+        for row in result.rows:
+            assert float(row["FAR"].rstrip("%")) <= 10.0
+
+    def test_t8_ensemble_beats_chance_massively(self, tiny_data):
+        result = exp.table8_ensemble(tiny_data)
+        for row in result.rows:
+            assert float(row["Acc."].rstrip("%")) >= 85.0
+
+    def test_f13_benign_mostly_single_csp(self, tiny_data):
+        result = exp.fig13_csp_distribution(tiny_data)
+        benign_row = next(r for r in result.rows if r["population"] == "benign")
+        assert float(benign_row["CSP == 1"].rstrip("%")) >= 60.0
+
+    def test_ab1_palette_matching_blinds_histogram_not_mse(self, tiny_data):
+        result = exp.ablation_histogram_metric(tiny_data, n_images=6)
+        matched = next(r for r in result.rows if "palette-matched" in r["attack"])
+        assert float(matched["MSE AUC"]) > float(matched["histogram AUC"])
+        assert float(matched["MSE AUC"]) >= 0.9
+
+    def test_f8_reports_calibrated_threshold(self, tiny_data):
+        result = exp.fig8_threshold_search(tiny_data, n_points=11)
+        assert any(row.get("selected") == "calibrated" for row in result.rows)
+
+    def test_t7_runtime_ordering(self, tiny_data):
+        result = table7_runtime(tiny_data.evaluation.benign[:5], model_input_shape=(16, 16))
+        by_key = {(r["Method"], r["Metric"]): float(r["Run-time (ms)"]) for r in result.rows}
+        # SSIM variants are slower than their MSE counterparts.
+        assert by_key[("Scaling", "SSIM")] > by_key[("Scaling", "MSE")]
+        assert by_key[("Filtering", "SSIM")] > by_key[("Filtering", "MSE")]
+
+    def test_ab3_prevention_has_benign_cost(self, tiny_data):
+        result = exp.ablation_prevention_defenses(tiny_data, n_images=5)
+        reconstruction_row = next(r for r in result.rows if "reconstruction" in r["defense"])
+        assert "quality loss" in reconstruction_row["benign cost"]
+
+    def test_ab4_transforms_keep_attacks_flagged(self, tiny_data):
+        result = exp.ablation_benign_transforms(tiny_data, n_images=5)
+        identity = next(r for r in result.rows if r["transform"] == "identity")
+        flagged, total = identity["attacks still flagged"].split("/")
+        assert int(flagged) == int(total)
+
+    def test_ab6_jpeg_payload_survives_archival_quality(self, tiny_data):
+        result = exp.ablation_jpeg_reencoding(tiny_data, n_images=4)
+        pristine = next(r for r in result.rows if r["quality"] == "q95 4:4:4")
+        survival = float(pristine["payload survival (MSE vs target, lower=intact)"])
+        baseline = float(pristine["unrelated-image baseline"])
+        assert survival < 0.1 * baseline
+
+    def test_sweep_filter_choice_structure(self, tiny_data):
+        from repro.eval.sweeps import sweep_filter_choice
+
+        result = sweep_filter_choice(tiny_data, n_images=6)
+        assert len(result.rows) == 8  # 4 filters x 2 metrics
+        full_aucs = [float(r["AUC (full attack)"]) for r in result.rows]
+        assert all(v >= 0.9 for v in full_aucs)
+
+    def test_sweep_csp_has_default_marker(self, tiny_data):
+        from repro.eval.sweeps import sweep_csp_parameters
+
+        result = sweep_csp_parameters(tiny_data, n_images=6)
+        assert sum(1 for r in result.rows if r["default"]) == 1

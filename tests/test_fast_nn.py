@@ -1,0 +1,53 @@
+"""Unit tests for the closed-form nearest-neighbor attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fast_nn import nearest_neighbor_attack, sampled_source_indices
+from repro.errors import AttackError
+from repro.imaging.scaling import resize
+
+
+class TestSampledIndices:
+    def test_matches_resizer(self, rng):
+        """Injecting at the sampled indices must change exactly the output."""
+        indices = sampled_source_indices(64, 8)
+        signal = np.zeros(64)
+        signal[indices] = np.arange(1.0, 9.0)
+        out = resize(signal[None, :].repeat(2, axis=0), (2, 8), "nearest")
+        assert np.allclose(out[0], np.arange(1.0, 9.0))
+
+    def test_count_and_range(self):
+        indices = sampled_source_indices(100, 10)
+        assert len(indices) == 10
+        assert indices.min() >= 0
+        assert indices.max() < 100
+
+    def test_identity_mapping(self):
+        assert np.array_equal(sampled_source_indices(5, 5), np.arange(5))
+
+
+class TestNearestNeighborAttack:
+    def test_exact_injection(self, rng):
+        original = rng.uniform(0, 255, (64, 64, 3))
+        target = rng.uniform(0, 255, (8, 8, 3))
+        result = nearest_neighbor_attack(original, target)
+        downscaled = resize(result.attack_image, (8, 8), "nearest")
+        assert np.allclose(downscaled, target)
+
+    def test_minimal_footprint(self, rng):
+        original = rng.uniform(0, 255, (64, 64))
+        target = rng.uniform(0, 255, (8, 8))
+        result = nearest_neighbor_attack(original, target)
+        changed = np.sum(np.abs(result.attack_image - original) > 1e-12)
+        assert changed <= 64  # at most one source pixel per target pixel
+
+    def test_rejects_oversized_target(self, rng):
+        with pytest.raises(AttackError, match="exceed"):
+            nearest_neighbor_attack(np.zeros((8, 8)), np.zeros((16, 16)))
+
+    def test_original_not_mutated(self, rng):
+        original = rng.uniform(0, 255, (32, 32))
+        copy = original.copy()
+        nearest_neighbor_attack(original, rng.uniform(0, 255, (4, 4)))
+        assert np.array_equal(original, copy)

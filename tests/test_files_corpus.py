@@ -1,0 +1,81 @@
+"""Unit tests for the directory-backed corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.files import DirectoryCorpus, list_image_files, load_directory
+from repro.errors import CodecError, ImageError
+from repro.imaging.png import write_png
+from repro.imaging.ppm import write_ppm
+
+
+@pytest.fixture
+def image_folder(tmp_path, rng):
+    for index in range(3):
+        write_png(tmp_path / f"img_{index}.png", rng.integers(0, 256, (8, 8, 3)).astype(np.uint8))
+    write_ppm(tmp_path / "extra.ppm", rng.integers(0, 256, (6, 6, 3)).astype(np.uint8))
+    (tmp_path / "notes.txt").write_text("not an image")
+    return tmp_path
+
+
+class TestListing:
+    def test_only_supported_sorted(self, image_folder):
+        files = list_image_files(image_folder)
+        assert [f.name for f in files] == ["extra.ppm", "img_0.png", "img_1.png", "img_2.png"]
+
+    def test_non_directory(self, tmp_path):
+        with pytest.raises(ImageError, match="not a directory"):
+            list_image_files(tmp_path / "missing")
+
+
+class TestDirectoryCorpus:
+    def test_len_and_access(self, image_folder):
+        corpus = DirectoryCorpus(image_folder)
+        assert len(corpus) == 4
+        assert corpus[1].shape == (8, 8, 3)
+        assert corpus.identifier(0) == "extra.ppm"
+
+    def test_caching(self, image_folder):
+        corpus = DirectoryCorpus(image_folder)
+        assert corpus[0] is corpus[0]
+
+    def test_negative_index(self, image_folder):
+        corpus = DirectoryCorpus(image_folder)
+        assert np.array_equal(corpus[-1], corpus[3])
+
+    def test_out_of_range(self, image_folder):
+        with pytest.raises(IndexError):
+            DirectoryCorpus(image_folder)[9]
+
+    def test_empty_folder_rejected(self, tmp_path):
+        with pytest.raises(ImageError, match="no supported images"):
+            DirectoryCorpus(tmp_path)
+
+    def test_corrupt_file_names_culprit(self, image_folder):
+        (image_folder / "bad.png").write_bytes(b"not a png")
+        corpus = DirectoryCorpus(image_folder)
+        bad_index = [corpus.identifier(i) for i in range(len(corpus))].index("bad.png")
+        with pytest.raises(CodecError, match="bad.png"):
+            corpus[bad_index]
+
+    def test_iteration_and_materialize(self, image_folder):
+        corpus = DirectoryCorpus(image_folder)
+        assert len(list(corpus)) == 4
+        assert len(corpus.materialize()) == 4
+
+
+class TestLoadDirectory:
+    def test_limit(self, image_folder):
+        images = load_directory(image_folder, limit=2)
+        assert len(images) == 2
+
+    def test_usable_for_calibration(self, tmp_path, benign_images):
+        """Round-trip: write synthetic images, calibrate from the folder."""
+        from repro.core import ScalingDetector
+
+        for index, image in enumerate(benign_images):
+            write_png(tmp_path / f"holdout_{index}.png", np.asarray(image))
+        holdout = load_directory(tmp_path)
+        detector = ScalingDetector((16, 16), metric="mse")
+        detector.calibrate_blackbox(holdout, percentile=5.0)
+        assert detector.is_calibrated

@@ -1,0 +1,104 @@
+"""Unit tests for repro.imaging.filtering (cross-checked against scipy)."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.errors import ImageError
+from repro.imaging.filtering import (
+    FILTERS,
+    gaussian_filter,
+    maximum_filter,
+    median_filter,
+    minimum_filter,
+    uniform_filter,
+)
+
+
+class TestOrderFilters:
+    def test_minimum_removes_bright_speck(self):
+        image = np.zeros((6, 6))
+        image[3, 3] = 200.0
+        assert minimum_filter(image, 2).max() == 0.0
+
+    def test_maximum_spreads_bright_speck(self):
+        image = np.zeros((6, 6))
+        image[3, 3] = 200.0
+        out = maximum_filter(image, 2)
+        assert (out == 200.0).sum() == 4
+
+    def test_median_kills_salt_and_pepper(self, rng):
+        image = np.full((20, 20), 100.0)
+        image[5, 5] = 255.0
+        image[10, 10] = 0.0
+        out = median_filter(image, 3)
+        assert np.all(out == 100.0)
+
+    def test_constant_invariance(self):
+        image = np.full((8, 8, 3), 37.0)
+        for name, filt in FILTERS.items():
+            assert np.allclose(filt(image, 3), 37.0), name
+
+    def test_size_one_is_identity(self, color_image):
+        out = minimum_filter(color_image, 1)
+        assert np.array_equal(out, color_image.astype(np.float64))
+
+    def test_per_channel_independence(self, rng):
+        image = rng.uniform(0, 255, (10, 10, 3))
+        out = minimum_filter(image, 2)
+        for c in range(3):
+            alone = minimum_filter(image[:, :, c], 2)
+            assert np.allclose(out[:, :, c], alone)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ImageError, match=">= 1"):
+            minimum_filter(np.zeros((4, 4)), 0)
+
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_min_matches_scipy(self, rng, size):
+        image = rng.uniform(0, 255, (16, 17))
+        ours = minimum_filter(image, size)
+        # scipy origin convention for even sizes: shift to align windows.
+        origin = 0 if size % 2 else -1
+        theirs = ndimage.minimum_filter(image, size=size, mode="reflect", origin=origin)
+        # Interior must match exactly; borders may differ by pad convention.
+        m = size
+        assert np.allclose(ours[m:-m, m:-m], theirs[m:-m, m:-m])
+
+    @pytest.mark.parametrize("size", [3, 5])
+    def test_median_matches_scipy_interior(self, rng, size):
+        image = rng.uniform(0, 255, (18, 15))
+        ours = median_filter(image, size)
+        theirs = ndimage.median_filter(image, size=size, mode="reflect")
+        m = size
+        assert np.allclose(ours[m:-m, m:-m], theirs[m:-m, m:-m])
+
+
+class TestSmoothingFilters:
+    def test_uniform_is_window_mean(self):
+        image = np.arange(16, dtype=np.float64).reshape(4, 4)
+        out = uniform_filter(image, 3)
+        assert out[1, 1] == pytest.approx(image[0:3, 0:3].mean())
+
+    def test_gaussian_preserves_mean_roughly(self, gray_image):
+        out = gaussian_filter(gray_image, sigma=2.0)
+        assert out.shape == gray_image.shape
+        assert abs(out.mean() - gray_image.mean()) < 1.0
+
+    def test_gaussian_sigma_zero_identity(self, gray_image):
+        assert np.allclose(gaussian_filter(gray_image, 0.0), gray_image)
+
+    def test_gaussian_reduces_variance(self, rng):
+        noise = rng.normal(128, 30, (32, 32))
+        out = gaussian_filter(noise, sigma=1.5)
+        assert out.std() < noise.std() * 0.6
+
+    def test_gaussian_matches_scipy_interior(self, rng):
+        image = rng.uniform(0, 255, (24, 24))
+        ours = gaussian_filter(image, sigma=1.2)
+        theirs = ndimage.gaussian_filter(image, sigma=1.2, mode="reflect", truncate=4.0)
+        assert np.allclose(ours[6:-6, 6:-6], theirs[6:-6, 6:-6], atol=1e-6)
+
+    def test_gaussian_color(self, color_image):
+        out = gaussian_filter(color_image, sigma=1.0)
+        assert out.shape == color_image.shape

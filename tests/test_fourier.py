@@ -1,0 +1,93 @@
+"""Unit tests for repro.imaging.fourier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.fourier import (
+    binary_spectrum,
+    centered_spectrum,
+    csp_count,
+    log_spectrum_image,
+    radial_lowpass_mask,
+)
+
+
+class TestCenteredSpectrum:
+    def test_dc_at_center(self):
+        image = np.full((16, 16), 100.0)
+        spectrum = centered_spectrum(image)
+        assert spectrum[8, 8] == pytest.approx(100.0 * 256)
+        spectrum[8, 8] = 0.0
+        assert spectrum.max() == pytest.approx(0.0, abs=1e-6)
+
+    def test_pure_sinusoid_gives_symmetric_peaks(self):
+        xx = np.arange(32)[None, :] * np.ones((32, 1))
+        image = 128.0 + 50.0 * np.cos(2 * np.pi * 4 * xx / 32)
+        spectrum = centered_spectrum(image)
+        spectrum[16, 16] = 0.0
+        peaks = np.argwhere(spectrum > spectrum.max() / 2)
+        assert {(16, 12), (16, 20)} == {tuple(p) for p in peaks}
+
+    def test_color_uses_luma(self, color_image):
+        assert centered_spectrum(color_image).shape == color_image.shape[:2]
+
+
+class TestLogSpectrum:
+    def test_range_normalized(self, color_image):
+        spectrum = log_spectrum_image(color_image)
+        assert spectrum.min() == pytest.approx(0.0)
+        assert spectrum.max() == pytest.approx(255.0)
+
+    def test_constant_image_single_dc_spike(self):
+        spectrum = log_spectrum_image(np.full((8, 8), 9.0))
+        assert spectrum[4, 4] == pytest.approx(255.0)
+        spectrum[4, 4] = 0.0
+        assert np.all(spectrum == 0.0)
+
+    def test_zero_image_all_zero(self):
+        # Degenerate case: no energy at all, normalization must not divide
+        # by zero.
+        spectrum = log_spectrum_image(np.zeros((8, 8)))
+        assert np.all(spectrum == 0.0)
+
+
+class TestLowpassMask:
+    def test_disk_shape(self):
+        mask = radial_lowpass_mask((32, 32), 5.0)
+        assert mask[16, 16]
+        assert mask[16, 21]
+        assert not mask[16, 22]
+        assert mask.sum() == pytest.approx(np.pi * 25, rel=0.15)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ImageError, match="positive"):
+            radial_lowpass_mask((8, 8), 0.0)
+
+
+class TestCspCount:
+    def test_smooth_benign_counts_one(self):
+        yy, xx = np.mgrid[0:128, 0:128]
+        image = 120 + 60 * np.sin(xx / 15.0) + 40 * np.cos(yy / 18.0)
+        assert csp_count(image) == 1
+
+    def test_periodic_grid_perturbation_counts_many(self):
+        yy, xx = np.mgrid[0:128, 0:128]
+        image = 120 + 60 * np.sin(xx / 15.0) + 40 * np.cos(yy / 18.0)
+        # Inject energy on a 9-pixel grid, like a ratio-9 scaling attack
+        # (non-divisible period, so the peaks show realistic leakage).
+        image[::9, ::9] += 120.0
+        assert csp_count(image) >= 3
+
+    def test_attack_images_flagged(self, benign_images, attack_images):
+        benign_counts = [csp_count(img) for img in benign_images]
+        attack_counts = [csp_count(img) for img in attack_images]
+        assert np.mean([c == 1 for c in benign_counts]) >= 0.6
+        assert np.mean([c >= 2 for c in attack_counts]) >= 0.6
+
+    def test_binary_spectrum_is_boolean_and_lowpassed(self, color_image):
+        binary = binary_spectrum(color_image)
+        assert binary.dtype == bool
+        h, w = binary.shape
+        corner_band = binary[: h // 8, : w // 8]
+        assert not corner_band.any()

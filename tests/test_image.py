@@ -1,0 +1,128 @@
+"""Unit tests for repro.imaging.image."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.image import (
+    as_float,
+    as_uint8,
+    channel_count,
+    clip_pixels,
+    ensure_image,
+    image_summary,
+    is_grayscale,
+    merge_channels,
+    pad_reflect,
+    split_channels,
+)
+
+
+class TestEnsureImage:
+    def test_accepts_grayscale(self):
+        image = np.zeros((4, 5))
+        assert ensure_image(image) is image
+
+    def test_accepts_rgb_and_rgba(self):
+        ensure_image(np.zeros((4, 5, 3)))
+        ensure_image(np.zeros((4, 5, 4)))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ImageError, match="2-D or 3-D"):
+            ensure_image(np.zeros(4))
+        with pytest.raises(ImageError, match="2-D or 3-D"):
+            ensure_image(np.zeros((2, 2, 3, 1)))
+
+    def test_rejects_bad_channel_count(self):
+        with pytest.raises(ImageError, match="channels"):
+            ensure_image(np.zeros((4, 5, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ImageError, match="zero-sized"):
+            ensure_image(np.zeros((0, 5)))
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ImageError, match="numpy array"):
+            ensure_image([[1, 2], [3, 4]])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ImageError, match="numeric"):
+            ensure_image(np.array([["a", "b"], ["c", "d"]]))
+
+
+class TestConversions:
+    def test_as_float_promotes_uint8(self):
+        image = np.array([[0, 255]], dtype=np.uint8)
+        out = as_float(image)
+        assert out.dtype == np.float64
+        assert out.tolist() == [[0.0, 255.0]]
+
+    def test_as_float_copies(self):
+        image = np.ones((2, 2))
+        out = as_float(image)
+        out[0, 0] = 99.0
+        assert image[0, 0] == 1.0
+
+    def test_as_uint8_rounds_and_clips(self):
+        image = np.array([[-3.0, 12.6, 300.0]])
+        assert as_uint8(image).tolist() == [[0, 13, 255]]
+
+    def test_roundtrip_uint8(self):
+        image = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        assert np.array_equal(as_uint8(as_float(image)), image)
+
+    def test_clip_pixels_in_place(self):
+        image = np.array([[-5.0, 260.0]])
+        out = clip_pixels(image)
+        assert out is image
+        assert image.tolist() == [[0.0, 255.0]]
+
+
+class TestChannels:
+    def test_channel_count(self):
+        assert channel_count(np.zeros((2, 2))) == 1
+        assert channel_count(np.zeros((2, 2, 3))) == 3
+
+    def test_is_grayscale(self):
+        assert is_grayscale(np.zeros((2, 2)))
+        assert is_grayscale(np.zeros((2, 2, 1)))
+        assert not is_grayscale(np.zeros((2, 2, 3)))
+
+    def test_split_merge_roundtrip(self):
+        image = np.arange(24, dtype=np.float64).reshape(2, 4, 3)
+        planes = split_channels(image)
+        assert len(planes) == 3
+        assert np.array_equal(merge_channels(planes), image)
+
+    def test_merge_single_plane_gives_2d(self):
+        plane = np.ones((3, 3))
+        assert merge_channels([plane]).shape == (3, 3)
+
+    def test_merge_rejects_mismatched_shapes(self):
+        with pytest.raises(ImageError, match="disagree"):
+            merge_channels([np.ones((2, 2)), np.ones((3, 3))])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ImageError, match="at least one"):
+            merge_channels([])
+
+
+class TestPadding:
+    def test_pad_reflect_shape(self):
+        image = np.zeros((4, 6, 3))
+        assert pad_reflect(image, 2, 1).shape == (8, 8, 3)
+
+    def test_pad_reflect_values(self):
+        image = np.array([[1.0, 2.0, 3.0]])
+        padded = pad_reflect(image, 0, 1)
+        assert padded.tolist() == [[2.0, 1.0, 2.0, 3.0, 2.0]]
+
+    def test_pad_rejects_negative(self):
+        with pytest.raises(ImageError, match="non-negative"):
+            pad_reflect(np.zeros((3, 3)), -1, 0)
+
+
+def test_image_summary_mentions_shape_and_range():
+    summary = image_summary(np.full((4, 5, 3), 7, dtype=np.uint8))
+    assert "4x5x3" in summary
+    assert "7.0" in summary

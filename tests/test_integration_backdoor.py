@@ -1,0 +1,119 @@
+"""Integration test: the Section 2.2 backdoor attack, end to end.
+
+Pipeline: train a clean CNN → poison the training pool with scaling-attack
+images carrying a trigger → show the backdoor works → show Decamouflage
+filters the poisons → show retraining on the filtered pool removes the
+backdoor. This is the paper's offline deployment scenario, miniaturized.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.backdoor import TriggerSpec, poison_dataset, stamp_trigger
+from repro.core.ensemble import build_default_ensemble
+from repro.datasets.corpus import neurips_like_corpus
+from repro.datasets.synthetic import generate_class_image
+from repro.imaging.scaling import resize
+from repro.ml import LabelledImages, build_small_cnn, evaluate_accuracy, normalize_batch, train
+
+MODEL_INPUT = (32, 32)
+SOURCE = (128, 128)
+N_CLASSES = 4
+VICTIM = 0
+
+
+@pytest.fixture(scope="module")
+def backdoor_world():
+    rng = np.random.default_rng(2021)
+    # Clean training data at model scale.
+    clean_images, clean_labels = [], []
+    for class_id in range(N_CLASSES):
+        for _ in range(30):
+            clean_images.append(generate_class_image(MODEL_INPUT, rng, class_id, n_classes=N_CLASSES))
+            clean_labels.append(class_id)
+
+    # Poisons: trigger images of non-victim classes hidden in covers. The
+    # poison rate (~25% of the pool) and the large trigger make the
+    # backdoor reliable at this miniature scale.
+    n_poisons = 36
+    covers = neurips_like_corpus(n_poisons, image_shape=SOURCE, seed=31).materialize()
+    trigger = TriggerSpec(size_fraction=0.4, value=5.0)
+    sources = [
+        (generate_class_image(MODEL_INPUT, rng, 1 + (i % (N_CLASSES - 1)), n_classes=N_CLASSES), 1 + (i % (N_CLASSES - 1)))
+        for i in range(n_poisons)
+    ]
+    poisons = poison_dataset(
+        covers, sources, victim_label=VICTIM,
+        model_input_shape=MODEL_INPUT, trigger=trigger,
+    )
+    return {
+        "clean_images": clean_images,
+        "clean_labels": clean_labels,
+        "poisons": poisons,
+        "trigger": trigger,
+        "rng_seed": 7,
+    }
+
+
+def _train_on(world, include_poisons: bool):
+    images = list(world["clean_images"])
+    labels = list(world["clean_labels"])
+    if include_poisons:
+        for sample in world["poisons"]:
+            # The curator stores what the *pipeline* produces: the scaled
+            # attack image (seen by the model as the triggered source).
+            images.append(np.clip(sample.attack.downscaled(), 0, 255).astype(np.uint8))
+            labels.append(sample.label)
+    data = LabelledImages(np.stack(images), np.asarray(labels, dtype=np.int64))
+    model = build_small_cnn((*MODEL_INPUT, 3), N_CLASSES, seed=world["rng_seed"])
+    train(model, data, epochs=8, seed=world["rng_seed"])
+    return model
+
+
+def _trigger_success_rate(model, world) -> float:
+    """How often a *triggered* non-victim image classifies as the victim."""
+    rng = np.random.default_rng(99)
+    hits, total = 0, 0
+    for class_id in range(1, N_CLASSES):
+        for _ in range(8):
+            image = generate_class_image(MODEL_INPUT, rng, class_id, n_classes=N_CLASSES)
+            triggered = stamp_trigger(image, world["trigger"])
+            predicted = int(model.predict(normalize_batch(triggered[None]))[0])
+            hits += predicted == VICTIM
+            total += 1
+    return hits / total
+
+
+@pytest.mark.slow
+class TestBackdoorLifecycle:
+    def test_full_lifecycle(self, backdoor_world):
+        world = backdoor_world
+
+        # 1. Poisoned training implants the backdoor.
+        backdoored = _train_on(world, include_poisons=True)
+        rng = np.random.default_rng(5)
+        clean_test = LabelledImages(
+            np.stack([
+                generate_class_image(MODEL_INPUT, rng, c, n_classes=N_CLASSES)
+                for c in range(N_CLASSES) for _ in range(10)
+            ]),
+            np.repeat(np.arange(N_CLASSES), 10),
+        )
+        assert evaluate_accuracy(backdoored, clean_test) > 0.7  # stealthy
+        backdoored_rate = _trigger_success_rate(backdoored, world)
+        assert backdoored_rate > 0.5  # trigger hijacks the model
+
+        # 2. Decamouflage filters the poisoned pool (covers look benign to
+        #    humans but are attack images).
+        holdout = neurips_like_corpus(30, image_shape=SOURCE, seed=77).materialize()
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_blackbox(holdout, percentile=2.0)
+        caught = sum(
+            1 for sample in world["poisons"] if ensemble.is_attack(sample.attack.attack_image)
+        )
+        assert caught >= 0.8 * len(world["poisons"])
+
+        # 3. Training without poisons shows no backdoor.
+        clean_model = _train_on(world, include_poisons=False)
+        clean_rate = _trigger_success_rate(clean_model, world)
+        assert clean_rate < backdoored_rate - 0.3

@@ -1,0 +1,83 @@
+"""Integration tests: the paper's full detection protocol, miniaturized.
+
+Calibrate on one synthetic family, evaluate on the other — exactly the
+cross-dataset transfer the paper demonstrates with NeurIPS-2017 → Caltech-256.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.strong import craft_attack_image
+from repro.core.ensemble import build_default_ensemble
+from repro.core.evaluation import evaluate_decisions
+from repro.core.pipeline import build_attack_set
+from repro.datasets.corpus import caltech_like_corpus, neurips_like_corpus
+
+MODEL_INPUT = (16, 16)
+SOURCE = (128, 128)
+
+
+@pytest.fixture(scope="module")
+def transfer_sets():
+    cal_o = neurips_like_corpus(8, image_shape=SOURCE, seed=11).materialize()
+    cal_t = neurips_like_corpus(8, image_shape=SOURCE, seed=12, name="ct").materialize()
+    ev_o = caltech_like_corpus(8, image_shape=SOURCE, seed=13).materialize()
+    ev_t = caltech_like_corpus(8, image_shape=SOURCE, seed=14, name="et").materialize()
+    calibration = build_attack_set(cal_o, cal_t, model_input_shape=MODEL_INPUT)
+    evaluation = build_attack_set(ev_o, ev_t, model_input_shape=MODEL_INPUT)
+    return calibration, evaluation
+
+
+class TestWhiteboxTransfer:
+    def test_threshold_transfers_across_datasets(self, transfer_sets):
+        calibration, evaluation = transfer_sets
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_whitebox(calibration.benign, calibration.attacks)
+        counts = evaluate_decisions(
+            [ensemble.is_attack(i) for i in evaluation.benign],
+            [ensemble.is_attack(i) for i in evaluation.attacks],
+        )
+        assert counts.accuracy >= 0.85
+        assert counts.far <= 0.15
+
+
+class TestBlackboxTransfer:
+    def test_benign_only_calibration_still_detects(self, transfer_sets):
+        calibration, evaluation = transfer_sets
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_blackbox(calibration.benign, percentile=2.0)
+        attack_flags = [ensemble.is_attack(i) for i in evaluation.attacks]
+        assert np.mean(attack_flags) >= 0.85
+
+
+class TestAttackAlgorithmMismatch:
+    def test_detector_catches_attack_built_for_other_algorithm(self, transfer_sets):
+        """Black-box in the strongest sense: attacker targeted bicubic, the
+        deployment (and detector) use bilinear. The round-trip still breaks
+        because the hidden pixels sit in the same grid positions."""
+        calibration, evaluation = transfer_sets
+        ensemble = build_default_ensemble(MODEL_INPUT)  # bilinear detector
+        ensemble.calibrate_whitebox(calibration.benign, calibration.attacks)
+        original = evaluation.benign[0]
+        target = np.asarray(evaluation.attacks[1], dtype=float)
+        from repro.imaging.scaling import resize
+
+        small_target = resize(target, MODEL_INPUT, "bicubic")
+        foreign = craft_attack_image(original, small_target, algorithm="bicubic")
+        assert ensemble.is_attack(foreign.attack_image)
+
+
+class TestOfflineDataCuration:
+    def test_poisoned_pool_is_filtered(self, transfer_sets):
+        """The offline threat model: filter a mixed pool before training."""
+        calibration, evaluation = transfer_sets
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_blackbox(calibration.benign, percentile=2.0)
+        pool = list(evaluation.benign[:5]) + list(evaluation.attacks[:5])
+        truth = [False] * 5 + [True] * 5
+        kept = [img for img, is_attack in zip(pool, truth) if not ensemble.is_attack(img)]
+        removed_attacks = sum(
+            1 for img, is_attack in zip(pool, truth) if is_attack and ensemble.is_attack(img)
+        )
+        assert removed_attacks >= 4  # at least 4/5 poisons removed
+        assert len(kept) >= 4        # most benign kept

@@ -1,0 +1,131 @@
+"""Unit tests for the JPEG compression simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.jpeg import (
+    block_dct2,
+    block_idct2,
+    jpeg_roundtrip,
+    quantization_tables,
+)
+
+
+class TestDct:
+    def test_orthonormal_roundtrip(self, rng):
+        blocks = rng.standard_normal((4, 3, 8, 8))
+        assert np.allclose(block_idct2(block_dct2(blocks)), blocks)
+
+    def test_constant_block_is_pure_dc(self):
+        block = np.full((8, 8), 7.0)
+        coefficients = block_dct2(block)
+        assert coefficients[0, 0] == pytest.approx(56.0)  # 7 * 8
+        coefficients[0, 0] = 0.0
+        assert np.allclose(coefficients, 0.0, atol=1e-12)
+
+    def test_energy_preservation(self, rng):
+        block = rng.standard_normal((8, 8))
+        assert np.sum(block**2) == pytest.approx(np.sum(block_dct2(block) ** 2))
+
+
+class TestQuantizationTables:
+    def test_quality_50_is_reference(self):
+        luma, _ = quantization_tables(50)
+        assert luma[0, 0] == 16.0
+
+    def test_higher_quality_smaller_steps(self):
+        low, _ = quantization_tables(20)
+        high, _ = quantization_tables(95)
+        assert np.all(high <= low)
+
+    def test_quality_100_near_lossless(self):
+        luma, chroma = quantization_tables(100)
+        assert np.all(luma == 1.0)
+        assert np.all(chroma == 1.0)
+
+    def test_validates_range(self):
+        with pytest.raises(ImageError, match="quality"):
+            quantization_tables(0)
+        with pytest.raises(ImageError, match="quality"):
+            quantization_tables(101)
+
+
+class TestJpegRoundtrip:
+    def test_shape_preserved(self, color_image):
+        out = jpeg_roundtrip(color_image, 80)
+        assert out.shape == color_image.shape
+
+    def test_non_multiple_of_8_sizes(self, rng):
+        image = rng.uniform(0, 255, (13, 21, 3))
+        out = jpeg_roundtrip(image, 80)
+        assert out.shape == image.shape
+
+    def test_quality_monotonicity(self, gray_image):
+        from repro.imaging.metrics import mse
+
+        high = jpeg_roundtrip(gray_image, 95)
+        low = jpeg_roundtrip(gray_image, 10)
+        assert mse(gray_image, high) < mse(gray_image, low)
+
+    def test_quality_100_gray_nearly_exact(self, gray_image):
+        from repro.imaging.metrics import mse
+
+        out = jpeg_roundtrip(gray_image, 100)
+        assert mse(gray_image, out) < 1.5  # rounding in quantization only
+
+    def test_grayscale_path(self, gray_image):
+        out = jpeg_roundtrip(gray_image, 70)
+        assert out.ndim == 2
+
+    def test_smooth_image_survives_visually(self, gray_image):
+        from repro.imaging.metrics import ssim
+
+        out = jpeg_roundtrip(gray_image, 85)
+        assert ssim(gray_image, out) > 0.9
+
+    def test_output_range(self, color_image):
+        out = jpeg_roundtrip(color_image, 30)
+        assert out.min() >= 0.0
+        assert out.max() <= 255.0
+
+    def test_chroma_subsampling_toggle(self, color_image):
+        from repro.imaging.metrics import mse
+
+        with_sub = jpeg_roundtrip(color_image, 85, subsample_chroma=True)
+        without = jpeg_roundtrip(color_image, 85, subsample_chroma=False)
+        assert mse(color_image, without) <= mse(color_image, with_sub) + 1e-9
+
+
+class TestJpegVsAttack:
+    def test_attack_survives_high_quality_jpeg(self, benign_images, attack_images, target_images):
+        """Re-encoding at archival quality does NOT sanitize the attack.
+
+        Without chroma subsampling the payload survives almost exactly;
+        with 4:2:0 the chroma averaging degrades it but the downscaled view
+        still resembles the target far more than any benign image would.
+        """
+        from repro.imaging.metrics import mse
+        from repro.imaging.scaling import resize
+
+        attack = attack_images[0]
+        target = np.asarray(target_images[0], dtype=float)
+        benign_reference = mse(
+            resize(benign_images[0], target.shape[:2], "bilinear"), target
+        )
+
+        pristine = jpeg_roundtrip(attack, 95, subsample_chroma=False)
+        view = resize(pristine, target.shape[:2], "bilinear")
+        assert mse(view, target) < 50.0
+
+        subsampled = jpeg_roundtrip(attack, 95, subsample_chroma=True)
+        view = resize(subsampled, target.shape[:2], "bilinear")
+        assert mse(view, target) < 0.5 * benign_reference
+
+    def test_detection_survives_jpeg(self, benign_images, attack_images):
+        from repro.core import ScalingDetector
+
+        detector = ScalingDetector((16, 16), metric="mse")
+        detector.calibrate_whitebox(benign_images, attack_images)
+        recompressed = jpeg_roundtrip(attack_images[1], 85)
+        assert detector.is_attack(recompressed)

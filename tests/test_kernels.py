@@ -1,0 +1,50 @@
+"""Unit tests for repro.imaging.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.imaging.kernels import BICUBIC, BILINEAR, KERNELS, LANCZOS4, NEAREST, get_kernel
+
+
+class TestKernelShapes:
+    def test_bilinear_peak_and_support(self):
+        assert BILINEAR(np.array(0.0)) == pytest.approx(1.0)
+        assert BILINEAR(np.array(0.5)) == pytest.approx(0.5)
+        assert BILINEAR(np.array(1.0)) == 0.0
+        assert BILINEAR(np.array(-1.5)) == 0.0
+
+    def test_bicubic_peak_and_zero_crossings(self):
+        assert BICUBIC(np.array(0.0)) == pytest.approx(1.0)
+        # Keys kernel is exactly zero at integer offsets 1 and 2.
+        assert BICUBIC(np.array(1.0)) == pytest.approx(0.0, abs=1e-12)
+        assert BICUBIC(np.array(2.0)) == 0.0
+
+    def test_bicubic_has_negative_lobe(self):
+        assert BICUBIC(np.array(1.5)) < 0.0
+
+    def test_lanczos_peak_and_support(self):
+        assert LANCZOS4(np.array(0.0)) == pytest.approx(1.0)
+        assert LANCZOS4(np.array(1.0)) == pytest.approx(0.0, abs=1e-12)
+        assert LANCZOS4(np.array(4.0)) == 0.0
+
+    def test_nearest_is_box(self):
+        assert NEAREST(np.array(0.4)) == 1.0
+        assert NEAREST(np.array(0.6)) == 0.0
+
+    def test_kernels_are_even_functions(self):
+        ts = np.linspace(0.01, 3.9, 17)
+        for kernel in (BILINEAR, BICUBIC, LANCZOS4):
+            assert np.allclose(kernel(ts), kernel(-ts))
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(KERNELS) == {"nearest", "bilinear", "bicubic", "lanczos4", "area"}
+
+    def test_get_kernel(self):
+        assert get_kernel("bilinear") is BILINEAR
+
+    def test_unknown_kernel_raises_with_suggestions(self):
+        with pytest.raises(ScalingError, match="bilinear"):
+            get_kernel("bilinearish")

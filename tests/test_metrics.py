@@ -1,0 +1,106 @@
+"""Unit tests for repro.imaging.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.metrics import histogram_intersection, mse, psnr, ssim
+
+
+class TestMse:
+    def test_identical_images(self, color_image):
+        assert mse(color_image, color_image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 10.0)
+        assert mse(a, b) == 100.0
+
+    def test_symmetry(self, rng):
+        a = rng.uniform(0, 255, (8, 8))
+        b = rng.uniform(0, 255, (8, 8))
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ImageError, match="share a shape"):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_uint8_and_float_agree(self):
+        a = np.array([[10, 20]], dtype=np.uint8)
+        b = np.array([[12.0, 25.0]])
+        assert mse(a, b) == pytest.approx((4 + 25) / 2)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self, gray_image):
+        assert psnr(gray_image, gray_image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_error(self, rng):
+        a = rng.uniform(0, 255, (16, 16))
+        small = a + 1.0
+        large = a + 10.0
+        assert psnr(a, small) > psnr(a, large)
+
+
+class TestSsim:
+    def test_identical_is_one(self, color_image):
+        assert ssim(color_image, color_image) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        a = rng.uniform(0, 255, (32, 32))
+        b = rng.uniform(0, 255, (32, 32))
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+    def test_inverted_image_scores_low(self, gray_image):
+        assert ssim(gray_image, 255.0 - gray_image) < 0.1
+
+    def test_small_noise_scores_high(self, gray_image, rng):
+        noisy = gray_image + rng.normal(0, 1.0, gray_image.shape)
+        assert ssim(gray_image, noisy) > 0.9
+
+    def test_more_distortion_scores_lower(self, gray_image, rng):
+        mild = gray_image + rng.normal(0, 5, gray_image.shape)
+        heavy = gray_image + rng.normal(0, 40, gray_image.shape)
+        assert ssim(gray_image, mild) > ssim(gray_image, heavy)
+
+    def test_symmetry(self, rng):
+        a = rng.uniform(0, 255, (20, 20))
+        b = a + rng.normal(0, 10, a.shape)
+        assert ssim(a, b) == pytest.approx(ssim(b, a))
+
+    def test_tiny_image_fallback_window(self):
+        a = np.random.default_rng(0).uniform(0, 255, (5, 5))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_color_averages_channels(self, rng):
+        a = rng.uniform(0, 255, (20, 20, 3))
+        per_channel = np.mean([ssim(a[:, :, c], a[:, :, c]) for c in range(3)])
+        assert ssim(a, a) == pytest.approx(per_channel)
+
+
+class TestHistogramIntersection:
+    def test_identical_is_one(self, color_image):
+        assert histogram_intersection(color_image, color_image) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 200.0)
+        assert histogram_intersection(a, b) == pytest.approx(0.0)
+
+    def test_permutation_invariant(self, rng):
+        a = rng.uniform(0, 255, (16, 16))
+        shuffled = rng.permutation(a.ravel()).reshape(a.shape)
+        # Same pixels, different positions: histogram identical.
+        assert histogram_intersection(a, shuffled) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        a = rng.uniform(0, 255, (12, 12, 3))
+        b = rng.uniform(0, 255, (12, 12, 3))
+        value = histogram_intersection(a, b)
+        assert 0.0 <= value <= 1.0

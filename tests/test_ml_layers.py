@@ -1,0 +1,139 @@
+"""Gradient-checked unit tests for the numpy CNN layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.layers import Conv2D, Dense, Flatten, MaxPool2D, Parameter, ReLU
+
+
+def numeric_gradient(forward_fn, array, index, upstream, eps=1e-6):
+    """Central-difference gradient of sum(forward * upstream) w.r.t. one entry."""
+    array[index] += eps
+    up = float((forward_fn() * upstream).sum())
+    array[index] -= 2 * eps
+    down = float((forward_fn() * upstream).sum())
+    array[index] += eps
+    return (up - down) / (2 * eps)
+
+
+@pytest.fixture
+def layer_rng():
+    return np.random.default_rng(99)
+
+
+class TestDense:
+    def test_forward_shape(self, layer_rng):
+        layer = Dense(6, 4, layer_rng)
+        assert layer.forward(np.ones((3, 6))).shape == (3, 4)
+
+    def test_weight_gradient_matches_numeric(self, layer_rng):
+        layer = Dense(5, 3, layer_rng)
+        x = layer_rng.standard_normal((4, 5))
+        upstream = layer_rng.standard_normal((4, 3))
+        layer.forward(x)
+        layer.backward(upstream)
+        index = (2, 1)
+        numeric = numeric_gradient(lambda: layer.forward(x), layer.weight.value, index, upstream)
+        # forward() accumulates nothing; grads were computed before the probe.
+        assert layer.weight.grad[index] == pytest.approx(numeric, rel=1e-5)
+
+    def test_input_gradient_matches_numeric(self, layer_rng):
+        layer = Dense(5, 3, layer_rng)
+        x = layer_rng.standard_normal((2, 5))
+        upstream = layer_rng.standard_normal((2, 3))
+        layer.forward(x)
+        input_grad = layer.backward(upstream)
+        index = (1, 2)
+        numeric = numeric_gradient(lambda: layer.forward(x), x, index, upstream)
+        assert input_grad[index] == pytest.approx(numeric, rel=1e-5)
+
+    def test_backward_before_forward_raises(self, layer_rng):
+        layer = Dense(3, 2, layer_rng)
+        with pytest.raises(ReproError, match="before forward"):
+            layer.backward(np.ones((1, 2)))
+
+
+class TestConv2D:
+    def test_forward_shape(self, layer_rng):
+        layer = Conv2D(3, 8, 3, layer_rng)
+        out = layer.forward(layer_rng.standard_normal((2, 10, 12, 3)))
+        assert out.shape == (2, 8, 10, 8)
+
+    def test_kernel_gradient_matches_numeric(self, layer_rng):
+        layer = Conv2D(2, 3, 3, layer_rng)
+        x = layer_rng.standard_normal((2, 6, 6, 2))
+        upstream = layer_rng.standard_normal((2, 4, 4, 3))
+        layer.forward(x)
+        layer.backward(upstream)
+        index = (1, 2, 0, 1)
+        numeric = numeric_gradient(lambda: layer.forward(x), layer.kernel.value, index, upstream)
+        assert layer.kernel.grad[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_input_gradient_matches_numeric(self, layer_rng):
+        layer = Conv2D(2, 3, 3, layer_rng)
+        x = layer_rng.standard_normal((1, 6, 6, 2))
+        upstream = layer_rng.standard_normal((1, 4, 4, 3))
+        layer.forward(x)
+        input_grad = layer.backward(upstream)
+        index = (0, 3, 2, 1)
+        numeric = numeric_gradient(lambda: layer.forward(x), x, index, upstream)
+        assert input_grad[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_bias_gradient(self, layer_rng):
+        layer = Conv2D(1, 2, 3, layer_rng)
+        x = layer_rng.standard_normal((2, 5, 5, 1))
+        upstream = np.ones((2, 3, 3, 2))
+        layer.forward(x)
+        layer.backward(upstream)
+        assert np.allclose(layer.bias.grad, 2 * 3 * 3)
+
+    def test_input_smaller_than_kernel(self, layer_rng):
+        layer = Conv2D(1, 1, 5, layer_rng)
+        with pytest.raises(ReproError, match="smaller than kernel"):
+            layer.forward(np.zeros((1, 3, 3, 1)))
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out = pool.forward(x)
+        assert out[0, :, :, 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 2, 2, 1)))
+        assert grad.sum() == 4.0
+        assert grad[0, 1, 1, 0] == 1.0  # argmax of first window (value 5)
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_indivisible_dims_rejected(self):
+        pool = MaxPool2D(2)
+        with pytest.raises(ReproError, match="divisible"):
+            pool.forward(np.zeros((1, 5, 4, 1)))
+
+
+class TestActivationsAndShape:
+    def test_relu_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        out = relu.forward(x)
+        assert out.tolist() == [[0.0, 2.0], [3.0, 0.0]]
+        grad = relu.backward(np.ones_like(x))
+        assert grad.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_flatten_roundtrip(self):
+        flat = Flatten()
+        x = np.arange(24, dtype=np.float64).reshape(2, 2, 3, 2)
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        assert flat.backward(out).shape == x.shape
+
+    def test_parameter_zero_grad(self, layer_rng):
+        param = Parameter(layer_rng.standard_normal((3, 3)))
+        param.grad += 5.0
+        param.zero_grad()
+        assert np.all(param.grad == 0.0)

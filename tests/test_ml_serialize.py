@@ -1,0 +1,76 @@
+"""Unit tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml import build_small_cnn, make_classification_set, normalize_batch, train
+from repro.ml.serialize import load_small_cnn, save_model
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    data = make_classification_set(8, image_shape=(32, 32), n_classes=3, seed=0)
+    model = build_small_cnn((32, 32, 3), 3, seed=0)
+    train(model, data, epochs=2, seed=0)
+    path = tmp_path_factory.mktemp("models") / "cnn.npz"
+    save_model(model, path, architecture={"input_shape": [32, 32, 3], "n_classes": 3})
+    return model, path, data
+
+
+class TestRoundtrip:
+    def test_predictions_identical(self, trained):
+        model, path, data = trained
+        loaded = load_small_cnn(path)
+        inputs = normalize_batch(data.images[:16])
+        assert np.array_equal(model.predict(inputs), loaded.predict(inputs))
+
+    def test_probabilities_identical(self, trained):
+        model, path, data = trained
+        loaded = load_small_cnn(path)
+        inputs = normalize_batch(data.images[:4])
+        assert np.allclose(model.predict_proba(inputs), loaded.predict_proba(inputs))
+
+
+class TestValidation:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, param_000=np.zeros(3))
+        with pytest.raises(ReproError, match="header"):
+            load_small_cnn(path)
+
+    def test_missing_architecture(self, tmp_path):
+        import json
+
+        path = tmp_path / "noarch.npz"
+        header = {"format_version": 1, "n_params": 0, "architecture": {}}
+        np.savez(path, header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8))
+        with pytest.raises(ReproError, match="input_shape"):
+            load_small_cnn(path)
+
+    def test_wrong_version(self, tmp_path):
+        import json
+
+        path = tmp_path / "v99.npz"
+        header = {"format_version": 99, "n_params": 0, "architecture": {}}
+        np.savez(path, header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8))
+        with pytest.raises(ReproError, match="version"):
+            load_small_cnn(path)
+
+    def test_shape_mismatch(self, trained, tmp_path):
+        import json
+
+        model, _, _ = trained
+        path = tmp_path / "mismatch.npz"
+        header = {
+            "format_version": 1,
+            "n_params": len(model.params()),
+            "architecture": {"input_shape": [32, 32, 3], "n_classes": 3},
+        }
+        arrays = {
+            f"param_{i:03d}": np.zeros((1, 1)) for i in range(len(model.params()))
+        }
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ReproError, match="shape mismatch"):
+            load_small_cnn(path)

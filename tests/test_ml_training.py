@@ -1,0 +1,135 @@
+"""Unit tests for losses, optimizer, network, and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.data import LabelledImages, make_classification_set, normalize_batch
+from repro.ml.losses import cross_entropy_loss, softmax
+from repro.ml.network import Sequential, build_small_cnn
+from repro.ml.optim import SGD
+from repro.ml.layers import Dense
+from repro.ml.training import evaluate_accuracy, train
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.standard_normal((5, 7))
+        probabilities = softmax(logits)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        logits = np.array([[1000.0, 1001.0]])
+        probabilities = softmax(logits)
+        assert np.isfinite(probabilities).all()
+
+    def test_loss_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_loss_uniform_is_log_classes(self):
+        logits = np.zeros((4, 10))
+        loss, _ = cross_entropy_loss(logits, np.zeros(4, dtype=np.int64))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([1, 3, 0])
+        _, grad = cross_entropy_loss(logits, labels)
+        eps = 1e-6
+        index = (1, 3)
+        logits[index] += eps
+        up, _ = cross_entropy_loss(logits, labels)
+        logits[index] -= 2 * eps
+        down, _ = cross_entropy_loss(logits, labels)
+        assert grad[index] == pytest.approx((up - down) / (2 * eps), rel=1e-4)
+
+    def test_label_shape_validated(self):
+        with pytest.raises(ReproError, match="labels"):
+            cross_entropy_loss(np.zeros((2, 3)), np.zeros(5, dtype=np.int64))
+
+
+class TestSgd:
+    def test_plain_step(self, rng):
+        layer = Dense(2, 2, rng)
+        layer.weight.grad += 1.0
+        before = layer.weight.value.copy()
+        SGD([layer.weight], learning_rate=0.1, momentum=0.0).step()
+        assert np.allclose(layer.weight.value, before - 0.1)
+
+    def test_momentum_accumulates(self, rng):
+        param = Dense(1, 1, rng).weight
+        optimizer = SGD([param], learning_rate=0.1, momentum=0.9)
+        start = param.value.copy()
+        param.grad[:] = 1.0
+        optimizer.step()
+        first_move = start - param.value
+        param.grad[:] = 1.0
+        optimizer.step()
+        second_move = (start - first_move) - param.value - first_move + first_move
+        # Second step moves farther because velocity accumulated.
+        assert np.all((start - param.value) > 2 * first_move * 0.95)
+
+    def test_validation(self, rng):
+        param = Dense(1, 1, rng).weight
+        with pytest.raises(ReproError, match="learning rate"):
+            SGD([param], learning_rate=0.0)
+        with pytest.raises(ReproError, match="momentum"):
+            SGD([param], momentum=1.0)
+
+
+class TestTraining:
+    def test_cnn_learns_synthetic_classes(self):
+        data = make_classification_set(15, image_shape=(32, 32), n_classes=4, seed=0)
+        model = build_small_cnn((32, 32, 3), 4, seed=0)
+        log = train(model, data, epochs=4, seed=0)
+        assert log.accuracies[-1] > 0.7
+        assert log.losses[-1] < log.losses[0]
+
+    def test_generalizes_to_unseen(self):
+        data = make_classification_set(20, image_shape=(32, 32), n_classes=4, seed=0)
+        model = build_small_cnn((32, 32, 3), 4, seed=0)
+        train(model, data, epochs=5, seed=0)
+        test = make_classification_set(8, image_shape=(32, 32), n_classes=4, seed=9)
+        assert evaluate_accuracy(model, test) > 0.6
+
+    def test_empty_dataset_rejected(self):
+        model = build_small_cnn((32, 32, 3), 4)
+        empty = LabelledImages(np.zeros((0, 32, 32, 3), dtype=np.uint8), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ReproError, match="empty"):
+            train(model, empty)
+        with pytest.raises(ReproError, match="empty"):
+            evaluate_accuracy(model, empty)
+
+
+class TestDataHelpers:
+    def test_balanced_classes(self):
+        data = make_classification_set(5, n_classes=6, seed=3)
+        counts = np.bincount(data.labels, minlength=6)
+        assert np.all(counts == 5)
+
+    def test_shuffled(self):
+        data = make_classification_set(10, n_classes=2, seed=3)
+        assert not np.all(data.labels[:10] == 0)
+
+    def test_normalize_batch_range(self):
+        images = np.array([[[[0, 128, 255]]]], dtype=np.uint8)
+        out = normalize_batch(images)
+        assert out.max() <= 1.0
+        assert out.dtype == np.float64
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="labels"):
+            LabelledImages(np.zeros((3, 8, 8, 3)), np.zeros(2, dtype=np.int64))
+
+    def test_subset(self):
+        data = make_classification_set(4, n_classes=3, seed=1)
+        sub = data.subset(np.array([0, 2]))
+        assert len(sub) == 2
+
+    def test_network_validation(self):
+        with pytest.raises(ReproError, match="at least one layer"):
+            Sequential([])
+        with pytest.raises(ReproError, match="too small"):
+            build_small_cnn((6, 6, 3), 2)

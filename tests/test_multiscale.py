@@ -1,0 +1,69 @@
+"""Unit tests for the multi-scale scanner (unknown target size)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiscale import COMMON_INPUT_SIZES, MultiScaleScanner
+from repro.errors import DetectionError
+
+from tests.conftest import MODEL_INPUT
+
+
+@pytest.fixture
+def scanner(benign_images):
+    # Candidate sizes bracketing the fixtures' true target size (16x16).
+    scanner = MultiScaleScanner(candidate_sizes=[(8, 8), (16, 16), (32, 32)])
+    scanner.calibrate_blackbox(benign_images, percentile=5.0)
+    return scanner
+
+
+class TestCommonSizes:
+    def test_matches_paper_table1(self):
+        assert (32, 32) in COMMON_INPUT_SIZES
+        assert (224, 224) in COMMON_INPUT_SIZES
+        assert (66, 200) in COMMON_INPUT_SIZES
+
+
+class TestScanner:
+    def test_flags_attack_without_knowing_size(self, scanner, attack_images):
+        flags = [scanner.is_attack(img) for img in attack_images]
+        assert np.mean(flags) >= 0.8
+
+    def test_infers_the_attacked_size(self, scanner, attack_images):
+        detection = scanner.detect(attack_images[0])
+        assert detection.is_attack
+        assert detection.inferred_target_size == MODEL_INPUT
+
+    def test_benign_mostly_quiet(self, scanner, benign_images):
+        flags = [scanner.is_attack(img) for img in benign_images]
+        assert np.mean(flags) <= 0.4
+
+    def test_benign_detection_has_no_inferred_size(self, scanner, benign_images):
+        detection = scanner.detect(benign_images[1])
+        if not detection.is_attack:
+            assert detection.inferred_target_size is None
+
+    def test_oversized_candidates_dropped_at_calibration(self, benign_images):
+        scanner = MultiScaleScanner(candidate_sizes=[(16, 16), (299, 299)])
+        scanner.calibrate_blackbox(benign_images)  # images are 128x128
+        assert (299, 299) not in scanner.detectors
+        assert (16, 16) in scanner.detectors
+
+    def test_explain_lists_sizes(self, scanner, attack_images):
+        text = scanner.detect(attack_images[1]).explain()
+        assert "16x16" in text
+        assert "inferred target" in text
+
+    def test_uncalibrated_raises(self, benign_images):
+        scanner = MultiScaleScanner(candidate_sizes=[(16, 16)])
+        with pytest.raises(DetectionError, match="calibrate"):
+            scanner.detect(benign_images[0])
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(DetectionError, match="at least one"):
+            MultiScaleScanner(candidate_sizes=[])
+
+    def test_no_applicable_size_raises(self, scanner):
+        tiny = np.zeros((4, 4, 3))
+        with pytest.raises(DetectionError, match="applies"):
+            scanner.detect(tiny)

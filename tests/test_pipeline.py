@@ -1,0 +1,65 @@
+"""Unit tests for the end-to-end detection pipeline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackConfig
+from repro.core.pipeline import build_attack_set, evaluate_detector, evaluate_ensemble
+from repro.core.ensemble import build_default_ensemble
+from repro.core.scaling_detector import ScalingDetector
+
+from tests.conftest import MODEL_INPUT, SOURCE_SHAPE
+
+
+class TestBuildAttackSet:
+    def test_pairs_and_shapes(self, benign_images, target_images):
+        attack_set = build_attack_set(
+            benign_images[:3],
+            target_images[:3],
+            model_input_shape=MODEL_INPUT,
+        )
+        assert len(attack_set.benign) == len(attack_set.attacks) == 3
+        assert attack_set.attacks[0].shape == benign_images[0].shape
+        assert attack_set.skipped == []
+
+    def test_large_targets_downscaled(self, benign_images):
+        attack_set = build_attack_set(
+            benign_images[:2],
+            benign_images[2:4],  # full-size targets
+            model_input_shape=MODEL_INPUT,
+        )
+        assert len(attack_set.attacks) == 2
+
+    def test_unreachable_pairs_skipped_not_fatal(self, benign_images):
+        impossible_target = np.full((*MODEL_INPUT, 3), 400.0)  # out of gamut
+        attack_set = build_attack_set(
+            benign_images[:1],
+            [impossible_target],
+            model_input_shape=MODEL_INPUT,
+            config=AttackConfig(epsilon=0.5, max_iterations=30, penalty_rounds=2),
+        )
+        assert attack_set.skipped == [0]
+        assert attack_set.attacks == []
+
+
+class TestEvaluate:
+    def test_detector_evaluation_scores_recorded(self, benign_images, target_images):
+        attack_set = build_attack_set(
+            benign_images, target_images, model_input_shape=MODEL_INPUT
+        )
+        detector = ScalingDetector(MODEL_INPUT, metric="mse")
+        detector.calibrate_whitebox(attack_set.benign, attack_set.attacks)
+        outcome = evaluate_detector(detector, attack_set)
+        assert outcome.counts.accuracy == 1.0
+        assert len(outcome.benign_scores) == len(benign_images)
+        assert "mse" in outcome.threshold_description
+
+    def test_ensemble_evaluation(self, benign_images, target_images):
+        attack_set = build_attack_set(
+            benign_images, target_images, model_input_shape=MODEL_INPUT
+        )
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        ensemble.calibrate_whitebox(attack_set.benign, attack_set.attacks)
+        counts = evaluate_ensemble(ensemble, attack_set)
+        assert counts.recall == 1.0
+        assert counts.frr <= 0.2

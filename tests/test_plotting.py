@@ -1,0 +1,104 @@
+"""Unit tests for the chart renderers and figure generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.eval.plotting import bar_chart, histogram_chart, line_chart
+
+
+class TestHistogramChart:
+    def test_basic_render(self, rng):
+        chart = histogram_chart(
+            {"benign": rng.normal(10, 2, 100), "attack": rng.normal(50, 5, 100)},
+            title="TEST",
+        )
+        assert chart.shape == (240, 420, 3)
+        assert chart.min() >= 0.0 and chart.max() <= 255.0
+
+    def test_threshold_marker_drawn(self, rng):
+        scores = rng.normal(10, 2, 50)
+        with_marker = histogram_chart({"x": scores}, title="T", threshold=10.0)
+        without = histogram_chart({"x": scores}, title="T")
+        assert not np.array_equal(with_marker, without)
+
+    def test_out_of_range_threshold_ignored(self, rng):
+        scores = rng.normal(10, 2, 50)
+        chart = histogram_chart({"x": scores}, title="T", threshold=1e9)
+        assert chart.shape == (240, 420, 3)
+
+    def test_constant_population_not_fatal(self):
+        chart = histogram_chart({"x": [5.0, 5.0, 5.0]}, title="T")
+        assert chart.shape == (240, 420, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ImageError, match="at least one"):
+            histogram_chart({}, title="T")
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        xs = np.linspace(0, 1, 20)
+        chart = line_chart({"acc": (xs, xs**2)}, title="CURVE")
+        assert chart.shape == (240, 420, 3)
+
+    def test_marker_changes_output(self):
+        xs = np.linspace(0, 1, 20)
+        a = line_chart({"s": (xs, xs)}, title="T", marker=0.5)
+        b = line_chart({"s": (xs, xs)}, title="T")
+        assert not np.array_equal(a, b)
+
+    def test_multiple_series_use_different_colors(self):
+        xs = np.linspace(0, 1, 10)
+        chart = line_chart({"a": (xs, xs), "b": (xs, 1 - xs)}, title="T")
+        colors = {tuple(c) for c in chart.reshape(-1, 3)}
+        assert len(colors) > 3  # background + axes + >= 2 series colors
+
+    def test_empty_rejected(self):
+        with pytest.raises(ImageError, match="at least one"):
+            line_chart({}, title="T")
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart({"A": 0.3, "B": 0.9}, title="BARS")
+        assert chart.shape == (240, 420, 3)
+
+    def test_taller_bar_covers_more_pixels(self):
+        short = bar_chart({"A": 0.1, "B": 1.0}, title="T")
+        # The tall bar's color column extends higher (smaller row index).
+        tall_color = short[:, :, 0] != 255.0
+        assert tall_color.any()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ImageError, match="at least one"):
+            bar_chart({}, title="T")
+
+
+class TestFigureRenderers:
+    @pytest.fixture(scope="class")
+    def tiny_data(self, request):
+        from repro.core.pipeline import build_attack_set
+        from repro.datasets.corpus import neurips_like_corpus
+        from repro.eval.data import ExperimentData
+
+        cal_o = neurips_like_corpus(4, image_shape=(128, 128), seed=21).materialize()
+        cal_t = neurips_like_corpus(4, image_shape=(128, 128), seed=22, name="ft").materialize()
+        return ExperimentData(
+            calibration=build_attack_set(cal_o, cal_t, model_input_shape=(16, 16)),
+            evaluation=None,
+            source_shape=(128, 128),
+            model_input_shape=(16, 16),
+            algorithm="bilinear",
+        )
+
+    def test_render_all_figures(self, tiny_data, tmp_path):
+        from repro.eval.figures import render_all_figures
+        from repro.imaging.png import read_png
+
+        paths = render_all_figures(tiny_data, tmp_path)
+        assert len(paths) == 12
+        for path in paths:
+            assert path.exists(), path
+            image = read_png(path)  # must decode back
+            assert image.ndim == 3

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the data structures and math the detectors depend on:
+similarity metrics, scaling linearity, threshold calibration, confusion
+counting, and the contour labeler.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.evaluation import evaluate_decisions
+from repro.core.result import Direction, ThresholdRule
+from repro.core.thresholds import calibrate_blackbox, calibrate_whitebox, threshold_accuracy
+from repro.imaging.contours import label_components
+from repro.imaging.coefficients import scaling_matrix
+from repro.imaging.metrics import mse, psnr, ssim
+from repro.imaging.scaling import resize
+
+
+def images(min_side=4, max_side=24):
+    side = st.integers(min_side, max_side)
+    return st.tuples(side, side).flatmap(
+        lambda hw: hnp.arrays(
+            np.float64,
+            hw,
+            elements=st.floats(0.0, 255.0, allow_nan=False, width=32),
+        )
+    )
+
+
+class TestMetricProperties:
+    @given(images())
+    @settings(max_examples=30, deadline=None)
+    def test_mse_identity(self, image):
+        assert mse(image, image) == 0.0
+
+    @given(images(), images())
+    @settings(max_examples=30, deadline=None)
+    def test_mse_symmetric_nonnegative(self, a, b):
+        if a.shape != b.shape:
+            b = np.resize(b, a.shape)
+        assert mse(a, b) >= 0.0
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+    @given(images(min_side=8), st.floats(1.0, 50.0))
+    @settings(max_examples=25, deadline=None)
+    def test_mse_shift_equals_square(self, image, shift):
+        shifted = np.clip(image + shift, None, None)  # no clipping applied
+        assert mse(image, image + shift) == pytest.approx(shift**2, rel=1e-9)
+
+    @given(images(min_side=12))
+    @settings(max_examples=20, deadline=None)
+    def test_ssim_identity_and_bounds(self, image):
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    @given(images(min_side=8), st.floats(0.5, 30.0))
+    @settings(max_examples=20, deadline=None)
+    def test_psnr_decreases_with_error(self, image, scale):
+        rng = np.random.default_rng(0)
+        noise = rng.standard_normal(image.shape)
+        small = image + scale * noise
+        large = image + 3.0 * scale * noise
+        assert psnr(image, small) >= psnr(image, large)
+
+
+class TestScalingProperties:
+    @given(
+        st.integers(4, 40),
+        st.integers(2, 12),
+        st.sampled_from(["nearest", "bilinear", "bicubic", "area"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rows_always_sum_to_one(self, n_in, n_out, algorithm):
+        matrix = scaling_matrix(n_in, n_out, algorithm)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    @given(images(min_side=8), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_resize_is_linear(self, image, out_side):
+        """resize(a*x + b*y) == a*resize(x) + b*resize(y)."""
+        rng = np.random.default_rng(1)
+        other = rng.uniform(0, 255, image.shape)
+        lhs = resize(0.3 * image + 0.7 * other, (out_side, out_side), "bilinear")
+        rhs = 0.3 * resize(image, (out_side, out_side), "bilinear") + 0.7 * resize(
+            other, (out_side, out_side), "bilinear"
+        )
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @given(st.floats(0.0, 255.0), st.integers(4, 20), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_preserved(self, value, n_in, n_out):
+        image = np.full((n_in, n_in), value)
+        out = resize(image, (n_out, n_out), "bilinear")
+        assert np.allclose(out, value, atol=1e-9)
+
+
+class TestThresholdProperties:
+    score_lists = st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=2,
+        max_size=40,
+    )
+
+    @given(score_lists, score_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_whitebox_beats_majority_guess(self, benign, attack):
+        if len(set(benign) | set(attack)) < 2:
+            return
+        rule = calibrate_whitebox(benign, attack)
+        accuracy = threshold_accuracy(rule, benign, attack)
+        majority = max(len(benign), len(attack)) / (len(benign) + len(attack))
+        assert accuracy >= majority - 1e-12
+
+    @given(
+        st.lists(st.floats(0, 1e4, allow_nan=False), min_size=20, max_size=200),
+        st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_blackbox_frr_bounded_by_percentile(self, benign, percentile):
+        rule = calibrate_blackbox(benign, direction=Direction.GREATER, percentile=percentile)
+        frr = np.mean([rule.is_attack(s) for s in benign])
+        # The attack-side comparison is inclusive (paper Algorithm 1), so
+        # scores exactly AT the threshold are flagged too: ties add to FRR.
+        ties = np.mean([s == rule.value for s in benign])
+        assert frr <= percentile / 100.0 + ties + 1.0 / len(benign) + 1e-9
+
+    @given(st.floats(-100, 100), st.sampled_from(list(Direction)), st.floats(-100, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_rule_is_binary_partition(self, value, direction, score):
+        rule = ThresholdRule(value, direction)
+        flipped = ThresholdRule(value, Direction.LESS if direction is Direction.GREATER else Direction.GREATER)
+        # Any score is attack under exactly one direction, except ties.
+        if score != value:
+            assert rule.is_attack(score) != flipped.is_attack(score)
+
+
+class TestEvaluationProperties:
+    @given(st.lists(st.booleans(), max_size=50), st.lists(st.booleans(), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_confusion_identities(self, benign_flags, attack_flags):
+        counts = evaluate_decisions(benign_flags, attack_flags)
+        assert counts.total == len(benign_flags) + len(attack_flags)
+        if attack_flags:
+            assert counts.far + counts.recall == pytest.approx(1.0)
+        if benign_flags or attack_flags:
+            assert 0.0 <= counts.accuracy <= 1.0
+
+
+class TestContourProperties:
+    @given(hnp.arrays(np.bool_, st.tuples(st.integers(1, 20), st.integers(1, 20))))
+    @settings(max_examples=50, deadline=None)
+    def test_labels_partition_foreground(self, mask):
+        labels, count = label_components(mask)
+        assert (labels > 0).sum() == mask.sum()
+        if mask.sum():
+            assert count >= 1
+            assert set(np.unique(labels[mask])) == set(range(1, count + 1))
+        else:
+            assert count == 0
+
+    @given(hnp.arrays(np.bool_, st.tuples(st.integers(2, 15), st.integers(2, 15))))
+    @settings(max_examples=30, deadline=None)
+    def test_8_connectivity_never_more_components_than_4(self, mask):
+        _, count8 = label_components(mask, connectivity=8)
+        _, count4 = label_components(mask, connectivity=4)
+        assert count8 <= count4

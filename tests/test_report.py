@@ -1,0 +1,53 @@
+"""Unit tests for the report module and the runtime harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import Direction, ThresholdRule
+from repro.core.scaling_detector import ScalingDetector
+from repro.eval.report import EXPERIMENT_RUNNERS, render_report, run_all_experiments
+from repro.eval.runtime import time_detector
+from repro.eval.experiments import ExperimentResult
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        expected = {
+            "T1", "F8", "F9/F10", "T2", "T3", "F11/F12", "T4", "T5",
+            "F13", "T6", "T7", "T8", "T9", "AF15/AF16",
+            "AB1", "AB2", "AB3", "AB4", "AB5", "AB6",
+        }
+        assert set(EXPERIMENT_RUNNERS) == expected
+
+    def test_t1_runs_without_data(self):
+        results = run_all_experiments(n_calibration=2, n_evaluation=2, only=["T1"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "T1"
+
+
+class TestRenderReport:
+    def test_sections_joined(self):
+        results = [
+            ExperimentResult("X1", "first", [{"a": 1}]),
+            ExperimentResult("X2", "second", [{"b": 2}]),
+        ]
+        text = render_report(results)
+        assert "X1" in text and "X2" in text
+        assert "=" * 72 in text
+
+
+class TestTimeDetector:
+    def test_returns_positive_stats(self, benign_images):
+        detector = ScalingDetector(
+            (16, 16), metric="mse", threshold=ThresholdRule(0.0, Direction.GREATER)
+        )
+        mean_ms, std_ms = time_detector(detector, benign_images[:3])
+        assert mean_ms > 0.0
+        assert std_ms >= 0.0
+
+    def test_repeats_multiply_samples(self, benign_images):
+        detector = ScalingDetector(
+            (16, 16), metric="mse", threshold=ThresholdRule(0.0, Direction.GREATER)
+        )
+        # Just verifies it runs; timing values are machine-dependent.
+        time_detector(detector, benign_images[:2], repeats=2)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.imaging.scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.imaging.coefficients import scaling_operators
+from repro.imaging.scaling import ALGORITHMS, downscale_then_upscale, resize
+
+
+class TestResize:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_output_shape_grayscale(self, gray_image, algorithm):
+        out = resize(gray_image, (10, 12), algorithm)
+        assert out.shape == (10, 12)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_output_shape_color(self, color_image, algorithm):
+        out = resize(color_image, (9, 11), algorithm)
+        assert out.shape == (9, 11, 3)
+
+    def test_matches_operator_form(self, gray_image):
+        left, right = scaling_operators(gray_image.shape, (8, 8), "bicubic")
+        assert np.allclose(resize(gray_image, (8, 8), "bicubic"), left @ gray_image @ right)
+
+    def test_constant_preserved(self):
+        image = np.full((16, 16, 3), 99.0)
+        for algorithm in ALGORITHMS:
+            assert np.allclose(resize(image, (4, 4), algorithm), 99.0)
+
+    def test_upscale_then_identity_size(self, gray_image):
+        out = resize(gray_image, gray_image.shape, "bilinear")
+        assert np.allclose(out, gray_image)
+
+    def test_smooth_image_downscale_close_to_area(self, gray_image):
+        # On a smooth image all reasonable algorithms agree approximately.
+        bilinear = resize(gray_image, (8, 8), "bilinear")
+        area = resize(gray_image, (8, 8), "area")
+        assert np.abs(bilinear - area).max() < 15.0
+
+    def test_rejects_bad_shape(self, gray_image):
+        with pytest.raises(ScalingError, match="positive"):
+            resize(gray_image, (0, 5))
+
+    def test_rejects_unknown_algorithm(self, gray_image):
+        with pytest.raises(ScalingError, match="unknown"):
+            resize(gray_image, (5, 5), "bilinialspline")
+
+    def test_uint8_input_returns_float(self, color_image):
+        out = resize(color_image, (5, 5))
+        assert out.dtype == np.float64
+
+
+class TestChannelHandling:
+    def test_rgba_resizes_all_four_channels(self, rng):
+        image = rng.uniform(0, 255, (16, 16, 4))
+        out = resize(image, (4, 4), "bilinear")
+        assert out.shape == (4, 4, 4)
+        # Channel independence: alpha resized exactly like a lone plane.
+        alone = resize(image[:, :, 3], (4, 4), "bilinear")
+        assert np.allclose(out[:, :, 3], alone)
+
+    def test_single_channel_3d(self, rng):
+        image = rng.uniform(0, 255, (16, 16, 1))
+        out = resize(image, (4, 4), "bicubic")
+        assert out.shape == (4, 4, 1)
+
+
+class TestRoundTrip:
+    def test_smooth_image_survives(self, gray_image):
+        out = downscale_then_upscale(gray_image, (8, 8), "bilinear")
+        assert out.shape == gray_image.shape
+        assert np.mean((out - gray_image) ** 2) < 150.0
+
+    def test_noise_does_not_survive(self, rng):
+        noise = rng.uniform(0, 255, (64, 64))
+        out = downscale_then_upscale(noise, (8, 8), "bilinear")
+        assert np.mean((out - noise) ** 2) > 1000.0
+
+    def test_mixed_algorithms(self, gray_image):
+        out = downscale_then_upscale(gray_image, (8, 8), "nearest", upscale_algorithm="bilinear")
+        assert out.shape == gray_image.shape

@@ -1,0 +1,160 @@
+"""Unit tests for the serving layer (protected pipeline + audit log)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import DetectionError, ReproError
+from repro.serving import AuditLog, AuditRecord, Policy, ProtectedPipeline
+
+from tests.conftest import MODEL_INPUT
+
+
+@pytest.fixture
+def pipeline(benign_images):
+    pipeline = ProtectedPipeline(MODEL_INPUT, policy=Policy.REJECT)
+    pipeline.calibrate(benign_images, percentile=5.0)
+    return pipeline
+
+
+class TestCalibration:
+    def test_uncalibrated_submit_raises(self, benign_images):
+        pipeline = ProtectedPipeline(MODEL_INPUT)
+        with pytest.raises(DetectionError, match="calibrate"):
+            pipeline.submit(benign_images[0])
+
+    def test_whitebox_calibration_path(self, benign_images, attack_images):
+        pipeline = ProtectedPipeline(MODEL_INPUT)
+        pipeline.calibrate(benign_images, attack_examples=attack_images)
+        assert pipeline.is_calibrated
+
+
+class TestPolicies:
+    def test_benign_accepted_with_model_input(self, pipeline, benign_images):
+        outcome = pipeline.submit(benign_images[0])
+        assert outcome.accepted
+        assert outcome.action == "accepted"
+        assert outcome.model_input.shape[:2] == MODEL_INPUT
+
+    def test_benign_pixels_untouched(self, pipeline, benign_images):
+        """Detection must not modify accepted inputs (paper's core point)."""
+        from repro.imaging.scaling import resize
+
+        outcome = pipeline.submit(benign_images[1])
+        plain = resize(benign_images[1], MODEL_INPUT, "bilinear")
+        assert np.array_equal(outcome.model_input, plain)
+
+    def test_attack_rejected(self, pipeline, attack_images):
+        outcome = pipeline.submit(attack_images[0])
+        assert not outcome.accepted
+        assert outcome.action == "rejected"
+        assert outcome.model_input is None
+
+    def test_quarantine_policy_stores_image(self, benign_images, attack_images, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl", quarantine_dir=tmp_path / "q")
+        pipeline = ProtectedPipeline(MODEL_INPUT, policy=Policy.QUARANTINE, audit_log=log)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        outcome = pipeline.submit(attack_images[0], image_id="poison-1")
+        assert outcome.action == "quarantined"
+        stored = list((tmp_path / "q").glob("*.png"))
+        assert len(stored) == 1
+
+    def test_sanitize_policy_neutralizes(self, benign_images, attack_images, target_images):
+        from repro.imaging.metrics import mse
+
+        pipeline = ProtectedPipeline(MODEL_INPUT, policy=Policy.SANITIZE)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        outcome = pipeline.submit(attack_images[0])
+        assert outcome.accepted
+        assert outcome.action == "sanitized"
+        # The model input must NOT be the hidden target anymore.
+        target = np.asarray(target_images[0], dtype=float)
+        assert mse(outcome.model_input, target) > 500.0
+
+
+class TestStatsAndIds:
+    def test_stats_counters(self, pipeline, benign_images, attack_images):
+        pipeline.submit_batch(list(benign_images[:3]) + [attack_images[0]])
+        stats = pipeline.stats.as_dict()
+        assert stats["submitted"] == 4
+        assert stats["accepted"] >= 2
+        assert stats["rejected"] >= 1
+
+    def test_generated_ids_sequential(self, pipeline, benign_images):
+        outcomes = pipeline.submit_batch(list(benign_images[:2]), prefix="up")
+        assert outcomes[0].image_id == "up-00000"
+        assert outcomes[1].image_id == "up-00001"
+
+    def test_parallel_batch_matches_sequential(self, benign_images, attack_images):
+        from repro.serving import ProtectedPipeline
+
+        images = list(benign_images[:4]) + list(attack_images[:2])
+
+        def fresh():
+            pipeline = ProtectedPipeline(MODEL_INPUT)
+            pipeline.calibrate(benign_images, percentile=5.0)
+            return pipeline
+
+        sequential = fresh().submit_batch(images, max_workers=1)
+        parallel_pipeline = fresh()
+        parallel = parallel_pipeline.submit_batch(images, max_workers=4)
+        assert [o.action for o in sequential] == [o.action for o in parallel]
+        assert [o.image_id for o in sequential] == [o.image_id for o in parallel]
+        assert parallel_pipeline.stats.submitted == len(images)
+
+    def test_parallel_audit_log_complete(self, benign_images, tmp_path):
+        from repro.serving import AuditLog, ProtectedPipeline
+
+        log = AuditLog(tmp_path / "p.jsonl")
+        pipeline = ProtectedPipeline(MODEL_INPUT, audit_log=log)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        pipeline.submit_batch(list(benign_images), max_workers=3)
+        assert len(log.records()) == len(benign_images)
+
+
+class TestAuditLog:
+    def test_records_roundtrip(self, benign_images, attack_images, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        pipeline = ProtectedPipeline(MODEL_INPUT, policy=Policy.REJECT, audit_log=log)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        pipeline.submit(benign_images[0], image_id="ok-1")
+        pipeline.submit(attack_images[0], image_id="bad-1")
+        records = log.records()
+        assert len(records) == 2
+        by_id = {r.image_id: r for r in records}
+        assert by_id["ok-1"].verdict == "benign"
+        assert by_id["bad-1"].verdict == "attack"
+        assert by_id["bad-1"].action == "rejected"
+        assert "scaling/mse" in by_id["bad-1"].scores
+
+    def test_log_is_valid_jsonl(self, benign_images, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        pipeline = ProtectedPipeline(MODEL_INPUT, audit_log=log)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        pipeline.submit(benign_images[0])
+        for line in (tmp_path / "audit.jsonl").read_text().splitlines():
+            json.loads(line)
+
+    def test_corrupt_log_raises(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"not a record": tru\n')
+        with pytest.raises(ReproError, match="corrupt"):
+            AuditLog(path).records()
+
+    def test_quarantine_without_dir_raises(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        with pytest.raises(ReproError, match="quarantine"):
+            log.quarantine("x", np.zeros((4, 4, 3)))
+
+    def test_empty_log_reads_empty(self, tmp_path):
+        assert AuditLog(tmp_path / "missing.jsonl").records() == []
+
+    def test_unsafe_ids_sanitized_in_quarantine(self, benign_images, tmp_path):
+        from pathlib import Path
+
+        log = AuditLog(tmp_path / "a.jsonl", quarantine_dir=tmp_path / "q")
+        stored = Path(log.quarantine("../../evil name", np.zeros((4, 4, 3))))
+        assert stored.parent == tmp_path / "q"  # stayed inside quarantine
+        assert ".." not in stored.stem
+        assert stored.exists()

@@ -1,0 +1,92 @@
+"""Unit tests for the strong image-scaling attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackConfig, verify_attack
+from repro.attacks.strong import craft_attack_image
+from repro.errors import AttackError
+from repro.imaging.metrics import mse
+from repro.imaging.scaling import resize
+
+from tests.conftest import MODEL_INPUT
+
+
+class TestAttackProperties:
+    @pytest.mark.parametrize("algorithm", ["bilinear", "bicubic", "nearest"])
+    def test_both_paper_properties(self, benign_images, target_images, algorithm):
+        original, target = benign_images[0], target_images[0]
+        result = craft_attack_image(original, target, algorithm=algorithm)
+        report = verify_attack(result)
+        # Property 2: scale(A) ≈ T within the ε band.
+        assert report.target_linf <= 4.5
+        # Property 1: A ≈ O — far closer to O than O is to a re-scaled T.
+        blown_up = resize(target, original.shape[:2], algorithm)
+        assert report.perturbation_mse < 0.25 * mse(original, blown_up)
+
+    def test_output_in_pixel_range(self, benign_images, target_images):
+        result = craft_attack_image(benign_images[1], target_images[1])
+        assert result.attack_image.min() >= 0.0
+        assert result.attack_image.max() <= 255.0
+
+    def test_perturbation_is_sparse(self, benign_images, target_images):
+        """Bilinear ratio-8 touches ~1/16 of pixels; most must be unchanged."""
+        result = craft_attack_image(benign_images[2], target_images[2], algorithm="bilinear")
+        delta = np.abs(result.attack_image - np.asarray(result.original, dtype=float))
+        untouched = np.mean(delta < 1e-9)
+        assert untouched > 0.85
+
+    def test_downscaled_recognizable_as_target(self, benign_images, target_images):
+        result = craft_attack_image(benign_images[3], target_images[3])
+        downscaled = result.downscaled()
+        assert mse(downscaled, np.asarray(target_images[3], dtype=float)) < 25.0
+
+    def test_custom_epsilon_respected(self, benign_images, target_images):
+        config = AttackConfig(epsilon=8.0)
+        result = craft_attack_image(
+            benign_images[4], target_images[4], config=config
+        )
+        assert verify_attack(result).target_linf <= 8.5
+
+    def test_grayscale_attack(self):
+        from repro.imaging.color import to_grayscale
+
+        rng = np.random.default_rng(3)
+        original = to_grayscale(
+            (rng.uniform(60, 200, (64, 64, 3))).astype(np.uint8)
+        )
+        target = rng.uniform(30, 220, (8, 8))
+        result = craft_attack_image(original, target, algorithm="bilinear")
+        assert result.attack_image.shape == (64, 64)
+        assert verify_attack(result).target_linf <= 4.5
+
+
+class TestAttackValidation:
+    def test_channel_mismatch(self, benign_images):
+        with pytest.raises(AttackError, match="channels"):
+            craft_attack_image(benign_images[0], np.zeros(MODEL_INPUT))
+
+    def test_target_larger_than_original(self, benign_images):
+        big_target = np.zeros((512, 512, 3))
+        with pytest.raises(AttackError, match="must not exceed"):
+            craft_attack_image(benign_images[0], big_target)
+
+    def test_unreachable_target_raises(self):
+        original = np.zeros((64, 64))
+        target = np.full((8, 8), 255.0)
+        # All-black original cannot hide an all-white target under bicubic's
+        # negative lobes within a tight ε without leaving the box... the
+        # nearest path CAN inject it exactly, so use bilinear and check that
+        # either it succeeds within ε or raises cleanly.
+        try:
+            result = craft_attack_image(original, target, algorithm="bilinear")
+        except AttackError:
+            return
+        assert verify_attack(result).target_linf <= 4.5
+
+
+class TestDeterminism:
+    def test_same_inputs_same_output(self, benign_images, target_images):
+        first = craft_attack_image(benign_images[5], target_images[5])
+        second = craft_attack_image(benign_images[5], target_images[5])
+        assert np.array_equal(first.attack_image, second.attack_image)

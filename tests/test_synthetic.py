@@ -1,0 +1,93 @@
+"""Unit tests for the synthetic scene/class image generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import FAMILIES, generate_class_image, generate_image
+from repro.errors import ImageError
+
+
+class TestGenerateImage:
+    def test_shape_dtype_range(self):
+        image = generate_image((64, 48), np.random.default_rng(0))
+        assert image.shape == (64, 48, 3)
+        assert image.dtype == np.uint8
+
+    def test_deterministic(self):
+        a = generate_image((32, 32), np.random.default_rng(42))
+        b = generate_image((32, 32), np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_image((32, 32), np.random.default_rng(1))
+        b = generate_image((32, 32), np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_families_have_distinct_statistics(self):
+        neurips = [generate_image((64, 64), np.random.default_rng(i), family="neurips") for i in range(8)]
+        caltech = [generate_image((64, 64), np.random.default_rng(i), family="caltech") for i in range(8)]
+        # Same seed, different family => different image.
+        assert not np.array_equal(neurips[0], caltech[0])
+
+    def test_unknown_family(self):
+        with pytest.raises(ImageError, match="family"):
+            generate_image((32, 32), np.random.default_rng(0), family="imagenet")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ImageError, match="at least"):
+            generate_image((4, 4), np.random.default_rng(0))
+
+    def test_images_use_dynamic_range(self):
+        image = generate_image((64, 64), np.random.default_rng(9))
+        assert image.max() - image.min() > 60
+
+    def test_natural_spectrum_decay(self):
+        """Generated scenes must have photo-like 1/f spectra (the property
+        the detectors rely on)."""
+        from repro.imaging.color import to_grayscale
+
+        image = to_grayscale(generate_image((128, 128), np.random.default_rng(4)))
+        spectrum = np.abs(np.fft.fftshift(np.fft.fft2(image - image.mean())))
+        center_energy = spectrum[48:80, 48:80].sum() / spectrum.sum()
+        # The central 1/16 of the plane must hold far more than 1/16 of the
+        # energy (white noise would give ~0.0625).
+        assert center_energy > 0.3
+
+
+class TestGenerateClassImage:
+    def test_all_classes_generate(self):
+        rng = np.random.default_rng(0)
+        for class_id in range(10):
+            image = generate_class_image((32, 32), rng, class_id)
+            assert image.shape == (32, 32, 3)
+
+    def test_class_out_of_range(self):
+        with pytest.raises(ImageError, match="out of range"):
+            generate_class_image((32, 32), np.random.default_rng(0), 10)
+
+    def test_classes_are_visually_distinct(self):
+        """Mean color/structure must differ enough for a CNN to learn."""
+        rng = np.random.default_rng(1)
+        means = [
+            generate_class_image((32, 32), rng, c).mean(axis=(0, 1))
+            for c in range(10)
+        ]
+        distances = [
+            np.linalg.norm(means[i] - means[j])
+            for i in range(10)
+            for j in range(i + 1, 10)
+        ]
+        assert np.median(distances) > 20.0
+
+    def test_same_class_varies(self):
+        rng = np.random.default_rng(2)
+        a = generate_class_image((32, 32), rng, 3)
+        b = generate_class_image((32, 32), rng, 3)
+        assert not np.array_equal(a, b)
+
+
+def test_family_registry_is_consistent():
+    assert set(FAMILIES) == {"neurips", "caltech"}
+    for name, config in FAMILIES.items():
+        assert config.name == name
+        assert config.noise_std >= 0

@@ -1,0 +1,52 @@
+"""Unit tests for the text-table renderer and formatters."""
+
+from repro.core.evaluation import evaluate_decisions
+from repro.eval.tables import format_number, format_percent, metrics_row, render_table
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.999) == "99.9%"
+        assert format_percent(0.0) == "0.0%"
+        assert format_percent(1.0) == "100.0%"
+
+    def test_number_integers(self):
+        assert format_number(3.0) == "3"
+        assert format_number(1714.96) == "1715.0"
+
+    def test_number_small(self):
+        assert format_number(0.612) == "0.612"
+
+
+class TestMetricsRow:
+    def test_five_columns(self):
+        counts = evaluate_decisions([False] * 9 + [True], [True] * 10)
+        row = metrics_row(counts)
+        assert set(row) == {"Acc.", "Prec.", "Rec.", "FAR", "FRR"}
+        assert row["FRR"] == "10.0%"
+        assert row["Rec."] == "100.0%"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            [{"a": "1", "b": "xx"}, {"a": "333", "b": "y"}], title="My table"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "a" in lines[1] and "b" in lines[1]
+        # all body lines equal width
+        assert len(lines[3]) == len(lines[4])
+
+    def test_missing_cells_render_empty(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_explicit_column_order(self):
+        text = render_table([{"z": 1, "a": 2}], columns=["a", "z"])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("z")
+
+    def test_empty_rows(self):
+        text = render_table([], columns=["x"])
+        assert "x" in text

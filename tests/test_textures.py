@@ -1,0 +1,77 @@
+"""Unit tests for the procedural texture generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import textures
+from repro.errors import ImageError
+
+
+@pytest.fixture
+def texture_rng():
+    return np.random.default_rng(777)
+
+
+ALL_GENERATORS = [
+    textures.fractal_noise,
+    textures.linear_gradient,
+    textures.radial_gradient,
+    textures.gaussian_blobs,
+    textures.stripes,
+    textures.checkerboard,
+    textures.polygon_mask,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("generator", ALL_GENERATORS)
+    def test_shape_and_range(self, generator, texture_rng):
+        field = generator((24, 36), texture_rng)
+        assert field.shape == (24, 36)
+        assert field.min() >= -1e-9
+        assert field.max() <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("generator", ALL_GENERATORS)
+    def test_deterministic_given_rng(self, generator):
+        a = generator((16, 16), np.random.default_rng(5))
+        b = generator((16, 16), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_shape(self, texture_rng):
+        with pytest.raises(ImageError, match="positive"):
+            textures.fractal_noise((0, 8), texture_rng)
+
+
+class TestSpecificProperties:
+    def test_fractal_noise_spectral_decay(self, texture_rng):
+        """Higher beta concentrates energy at low frequencies."""
+        def high_freq_energy(beta):
+            field = textures.fractal_noise((64, 64), np.random.default_rng(3), beta=beta)
+            spectrum = np.abs(np.fft.fftshift(np.fft.fft2(field - field.mean())))
+            center = spectrum[24:40, 24:40].sum()
+            return 1.0 - center / spectrum.sum()
+
+        assert high_freq_energy(3.0) < high_freq_energy(1.0)
+
+    def test_checkerboard_binary(self, texture_rng):
+        field = textures.checkerboard((32, 32), texture_rng)
+        assert set(np.unique(field)) <= {0.0, 1.0}
+
+    def test_polygon_mask_is_filled_region(self, texture_rng):
+        mask = textures.polygon_mask((48, 48), texture_rng)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        assert 0.01 < mask.mean() < 0.9
+
+    def test_stripes_period_bounds(self, texture_rng):
+        field = textures.stripes((64, 64), texture_rng, min_period=16.0, max_period=16.0)
+        # A 16px period must produce a spectral peak at radius 4 of 64.
+        spectrum = np.abs(np.fft.fftshift(np.fft.fft2(field - field.mean())))
+        peak = np.unravel_index(spectrum.argmax(), spectrum.shape)
+        distance = np.hypot(peak[0] - 32, peak[1] - 32)
+        assert distance == pytest.approx(4.0, abs=0.6)
+
+    def test_vignette_darkest_at_corners(self):
+        field = textures.vignette((33, 33), strength=0.4)
+        assert field[16, 16] == pytest.approx(1.0, abs=0.01)
+        assert field[0, 0] < field[16, 16]
+        assert field.min() >= 0.6 - 1e-9

@@ -1,0 +1,168 @@
+"""Unit tests for threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import Direction, ThresholdRule
+from repro.core.thresholds import (
+    auc,
+    calibrate_blackbox,
+    calibrate_whitebox,
+    infer_direction,
+    roc_curve,
+    threshold_accuracy,
+)
+from repro.errors import CalibrationError
+
+
+class TestThresholdRule:
+    def test_greater_direction_inclusive(self):
+        rule = ThresholdRule(10.0, Direction.GREATER)
+        assert rule.is_attack(10.0)
+        assert rule.is_attack(11.0)
+        assert not rule.is_attack(9.9)
+
+    def test_less_direction_inclusive(self):
+        rule = ThresholdRule(0.5, Direction.LESS)
+        assert rule.is_attack(0.5)
+        assert rule.is_attack(0.1)
+        assert not rule.is_attack(0.6)
+
+    def test_describe(self):
+        assert ThresholdRule(3.0, Direction.GREATER).describe("mse") == "mse >= 3"
+
+
+class TestInferDirection:
+    def test_mse_like(self):
+        assert infer_direction([1, 2, 3], [100, 200]) is Direction.GREATER
+
+    def test_ssim_like(self):
+        assert infer_direction([0.9, 0.95], [0.2, 0.3]) is Direction.LESS
+
+
+class TestWhiteboxCalibration:
+    def test_perfect_separation(self):
+        rule = calibrate_whitebox([1.0, 2.0, 3.0], [10.0, 11.0, 12.0])
+        assert rule.direction is Direction.GREATER
+        assert 3.0 < rule.value < 10.0
+        assert threshold_accuracy(rule, [1, 2, 3], [10, 11, 12]) == 1.0
+
+    def test_ssim_style_separation(self):
+        rule = calibrate_whitebox([0.9, 0.92, 0.95], [0.3, 0.35, 0.4])
+        assert rule.direction is Direction.LESS
+        assert 0.4 < rule.value < 0.9
+
+    def test_overlapping_populations_maximize_accuracy(self):
+        benign = [1, 2, 3, 4, 10]  # one benign outlier
+        attack = [8, 9, 11, 12, 13]
+        rule = calibrate_whitebox(benign, attack)
+        accuracy = threshold_accuracy(rule, benign, attack)
+        # Best achievable: 9/10 (sacrifice the outlier).
+        assert accuracy == pytest.approx(0.9)
+
+    def test_optimality_against_exhaustive_scan(self, rng):
+        benign = rng.normal(10, 3, 60)
+        attack = rng.normal(25, 6, 60)
+        rule = calibrate_whitebox(benign, attack)
+        best = max(
+            threshold_accuracy(ThresholdRule(float(v), Direction.GREATER), benign, attack)
+            for v in np.linspace(0, 50, 5000)
+        )
+        assert threshold_accuracy(rule, benign, attack) >= best - 1e-12
+
+    def test_rejects_empty(self):
+        with pytest.raises(CalibrationError, match="empty"):
+            calibrate_whitebox([], [1.0])
+
+    def test_rejects_identical_scores(self):
+        with pytest.raises(CalibrationError, match="identical"):
+            calibrate_whitebox([5.0, 5.0], [5.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(CalibrationError, match="non-finite"):
+            calibrate_whitebox([1.0, float("nan")], [2.0])
+
+
+class TestBlackboxCalibration:
+    def test_greater_uses_upper_percentile(self, rng):
+        benign = rng.normal(100, 10, 1000)
+        rule = calibrate_blackbox(benign, direction=Direction.GREATER, percentile=1.0)
+        frr = np.mean([rule.is_attack(s) for s in benign])
+        assert frr == pytest.approx(0.01, abs=0.005)
+
+    def test_less_uses_lower_percentile(self, rng):
+        benign = rng.normal(0.9, 0.02, 1000)
+        rule = calibrate_blackbox(benign, direction=Direction.LESS, percentile=2.0)
+        frr = np.mean([rule.is_attack(s) for s in benign])
+        assert frr == pytest.approx(0.02, abs=0.01)
+
+    def test_percentile_monotonicity(self, rng):
+        benign = rng.normal(50, 5, 500)
+        r1 = calibrate_blackbox(benign, direction=Direction.GREATER, percentile=1.0)
+        r3 = calibrate_blackbox(benign, direction=Direction.GREATER, percentile=3.0)
+        assert r3.value < r1.value  # more benign mass sacrificed
+
+    def test_rejects_silly_percentile(self):
+        with pytest.raises(CalibrationError, match="percentile"):
+            calibrate_blackbox([1.0, 2.0], direction=Direction.GREATER, percentile=60.0)
+
+
+class TestSigmaCalibration:
+    def test_three_sigma_position(self, rng):
+        from repro.core.thresholds import calibrate_blackbox_sigma
+
+        benign = rng.normal(100.0, 10.0, 2000)
+        rule = calibrate_blackbox_sigma(benign, direction=Direction.GREATER, n_sigma=3.0)
+        assert rule.value == pytest.approx(100.0 + 30.0, rel=0.05)
+
+    def test_less_direction_subtracts(self, rng):
+        from repro.core.thresholds import calibrate_blackbox_sigma
+
+        benign = rng.normal(0.9, 0.02, 500)
+        rule = calibrate_blackbox_sigma(benign, direction=Direction.LESS, n_sigma=2.0)
+        assert rule.value < 0.9
+
+    def test_low_frr_on_gaussian_scores(self, rng):
+        from repro.core.thresholds import calibrate_blackbox_sigma
+
+        benign = rng.normal(50.0, 5.0, 3000)
+        rule = calibrate_blackbox_sigma(benign, direction=Direction.GREATER)
+        frr = np.mean([rule.is_attack(s) for s in benign])
+        assert frr < 0.01  # 3-sigma tail of a Gaussian ≈ 0.13%
+
+    def test_separates_detector_scores(self, benign_images, attack_images):
+        from repro.core.scaling_detector import ScalingDetector
+        from repro.core.thresholds import calibrate_blackbox_sigma
+
+        detector = ScalingDetector((16, 16), metric="mse")
+        benign_scores = detector.scores(benign_images)
+        rule = calibrate_blackbox_sigma(
+            benign_scores, direction=Direction.GREATER, n_sigma=3.0
+        )
+        attack_scores = detector.scores(attack_images)
+        assert all(rule.is_attack(s) for s in attack_scores)
+        assert not any(rule.is_attack(s) for s in benign_scores)
+
+    def test_validates_n_sigma(self):
+        from repro.core.thresholds import calibrate_blackbox_sigma
+
+        with pytest.raises(CalibrationError, match="n_sigma"):
+            calibrate_blackbox_sigma([1.0, 2.0], direction=Direction.GREATER, n_sigma=0.0)
+
+
+class TestRoc:
+    def test_perfect_separation_auc_one(self):
+        assert auc([1, 2, 3], [10, 11, 12]) == pytest.approx(1.0)
+
+    def test_identical_populations_auc_half(self, rng):
+        scores = rng.normal(0, 1, 300)
+        value = auc(scores, scores)
+        assert value == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_monotone(self, rng):
+        benign = rng.normal(0, 1, 100)
+        attack = rng.normal(1.5, 1, 100)
+        fpr, tpr = roc_curve(benign, attack)
+        assert np.all(np.diff(fpr) >= -1e-12)
+        assert np.all(np.diff(tpr) >= -1e-12)
+        assert fpr[0] == 0.0 and fpr[-1] == 1.0

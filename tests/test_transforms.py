@@ -1,0 +1,117 @@
+"""Unit tests for the benign image transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging import transforms as tf
+
+
+class TestPhotometric:
+    def test_brightness_shifts_mean(self, color_image):
+        out = tf.adjust_brightness(color_image, 20.0)
+        assert out.mean() > color_image.mean() + 10.0
+
+    def test_brightness_clips(self):
+        out = tf.adjust_brightness(np.full((4, 4), 250.0), 20.0)
+        assert out.max() == 255.0
+
+    def test_contrast_preserves_mean(self, gray_image):
+        out = tf.adjust_contrast(gray_image, 1.5)
+        assert out.mean() == pytest.approx(gray_image.mean(), rel=0.05)
+
+    def test_contrast_zero_flattens(self, gray_image):
+        out = tf.adjust_contrast(gray_image, 0.0)
+        assert out.std() == pytest.approx(0.0, abs=1e-9)
+
+    def test_contrast_rejects_negative(self, gray_image):
+        with pytest.raises(ImageError, match="factor"):
+            tf.adjust_contrast(gray_image, -1.0)
+
+    def test_noise_deterministic_by_seed(self, gray_image):
+        a = tf.add_gaussian_noise(gray_image, 3.0, seed=1)
+        b = tf.add_gaussian_noise(gray_image, 3.0, seed=1)
+        c = tf.add_gaussian_noise(gray_image, 3.0, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_noise_sigma_zero_identity(self, gray_image):
+        assert np.allclose(tf.add_gaussian_noise(gray_image, 0.0), gray_image)
+
+    def test_quantize_levels(self):
+        image = np.linspace(0, 255, 100).reshape(10, 10)
+        out = tf.quantize(image, levels=4)
+        assert len(np.unique(out)) <= 4
+
+    def test_quantize_256_near_identity(self, color_image):
+        out = tf.quantize(color_image, 256)
+        assert np.abs(out - color_image.astype(float)).max() <= 0.5
+
+    def test_quantize_validates(self, gray_image):
+        with pytest.raises(ImageError, match="levels"):
+            tf.quantize(gray_image, 1)
+
+
+class TestGeometric:
+    def test_flip_horizontal_involution(self, color_image):
+        out = tf.flip_horizontal(tf.flip_horizontal(color_image))
+        assert np.array_equal(out, color_image.astype(float))
+
+    def test_flip_vertical_moves_top_row(self, gray_image):
+        out = tf.flip_vertical(gray_image)
+        assert np.array_equal(out[0], gray_image[-1])
+
+    def test_rotate90_four_times_identity(self, color_image):
+        out = tf.rotate90(tf.rotate90(color_image, 2), 2)
+        assert np.array_equal(out, color_image.astype(float))
+
+    def test_rotate90_shape_swap(self):
+        image = np.zeros((4, 6))
+        assert tf.rotate90(image).shape == (6, 4)
+
+    def test_center_crop(self):
+        image = np.arange(36, dtype=np.float64).reshape(6, 6)
+        out = tf.center_crop(image, (2, 2))
+        assert np.array_equal(out, image[2:4, 2:4])
+
+    def test_center_crop_validates(self, gray_image):
+        with pytest.raises(ImageError, match="crop"):
+            tf.center_crop(gray_image, (1000, 2))
+
+
+class TestHistogramMatch:
+    def test_matches_distribution(self, rng):
+        from repro.imaging.histogram import histogram_distance, histogram_match
+
+        source = rng.uniform(0, 100, (32, 32))
+        reference = rng.uniform(150, 255, (32, 32))
+        matched = histogram_match(source, reference)
+        before = histogram_distance(source, reference, bins=32)
+        after = histogram_distance(matched, reference, bins=32)
+        assert after < 0.2 * before
+
+    def test_preserves_rank_order(self, rng):
+        from repro.imaging.histogram import histogram_match
+
+        source = rng.uniform(0, 255, (16, 16))
+        matched = histogram_match(source, rng.uniform(0, 255, (16, 16)))
+        flat_src = source.ravel()
+        flat_out = matched.ravel()
+        order = np.argsort(flat_src)
+        assert np.all(np.diff(flat_out[order]) >= -1e-9)
+
+    def test_color_channels_independent(self, rng):
+        from repro.imaging.histogram import histogram_match
+
+        source = rng.uniform(0, 255, (12, 12, 3))
+        reference = rng.uniform(0, 255, (12, 12, 3))
+        matched = histogram_match(source, reference)
+        single = histogram_match(source[:, :, 0], reference[:, :, 0])
+        assert np.allclose(matched[:, :, 0], single)
+
+    def test_channel_structure_validated(self, rng):
+        from repro.errors import ImageError
+        from repro.imaging.histogram import histogram_match
+
+        with pytest.raises(ImageError, match="channel"):
+            histogram_match(rng.uniform(0, 255, (8, 8)), rng.uniform(0, 255, (8, 8, 3)))
