@@ -38,7 +38,7 @@ def main() -> None:
         for o, t in zip(originals, targets)
     ]
     ensemble = build_default_ensemble(MODEL_INPUT)
-    ensemble.calibrate_whitebox(list(originals), calibration_attacks)
+    ensemble.calibrate(list(originals), calibration_attacks)
 
     operating_points = [
         ("strong baseline", lambda o, t: partial_attack(o, t, strength=1.0)),

@@ -98,7 +98,7 @@ def main() -> None:
     print("\nscanning contributed full-size images with Decamouflage (black-box)...")
     holdout = neurips_like_corpus(30, image_shape=SOURCE_SHAPE, seed=77).materialize()
     ensemble = build_default_ensemble(MODEL_INPUT)
-    ensemble.calibrate_blackbox(holdout, percentile=2.0)
+    ensemble.calibrate(holdout, percentile=2.0)
     kept_poisons = [p for p in poisons if not ensemble.is_attack(p.attack.attack_image)]
     print(f"  poisons caught: {N_POISONS - len(kept_poisons)}/{N_POISONS}")
 

@@ -48,7 +48,7 @@ def main() -> None:
         print("calibrating from a benign hold-out corpus (black-box setting)...")
         holdout = neurips_like_corpus(40, name="scan-holdout").materialize()
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_blackbox(holdout, percentile=1.0)
+        ensemble.calibrate(holdout, percentile=1.0)
 
         print(f"\nscanning {root} ...")
         correct = 0

@@ -53,7 +53,7 @@ def main() -> None:
     # -- 4. detection ------------------------------------------------------
     ensemble = build_default_ensemble(MODEL_INPUT, algorithm=ALGORITHM)
     # Black-box setting: calibrate on known-benign images only.
-    ensemble.calibrate_blackbox(holdout, percentile=1.0)
+    ensemble.calibrate(holdout, percentile=1.0)
 
     print("\nDecamouflage verdicts:")
     print("  original ->", ensemble.detect(original).explain().splitlines()[0])

@@ -21,7 +21,7 @@ The most common entry points are re-exported here::
     import repro
 
     ensemble = repro.build_default_ensemble((32, 32))
-    ensemble.calibrate_blackbox(benign_holdout)
+    ensemble.calibrate(benign_holdout)
     if ensemble.is_attack(image):
         ...
 """

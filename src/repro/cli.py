@@ -121,7 +121,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             return 2
     else:
         holdout = neurips_like_corpus(50, name="cli-holdout").materialize()
-    ensemble.calibrate_blackbox(holdout, percentile=args.percentile)
+    ensemble.calibrate(holdout, percentile=args.percentile)
 
     def scan_one(path):
         try:

@@ -5,7 +5,7 @@ Quick start::
     from repro.core import build_default_ensemble
 
     ensemble = build_default_ensemble(model_input_shape=(32, 32))
-    ensemble.calibrate_blackbox(my_benign_holdout_images)
+    ensemble.calibrate(my_benign_holdout_images)
     verdict = ensemble.detect(suspicious_image)
     print(verdict.explain())
 """

@@ -2,23 +2,34 @@
 
 Every Decamouflage method reduces an image to one scalar score and compares
 it to a calibrated threshold (paper Algorithms 1–3). The base class owns
-the threshold plumbing — white-box and black-box calibration, decision,
-batch helpers — so the three concrete detectors only define *how to score*
-and *which side of the threshold is suspicious*.
+the threshold plumbing — the unified :meth:`Detector.calibrate` entry point
+(percentile / sigma / midpoint strategies), decisions, batch helpers, and
+per-detector latency metrics — so the three concrete detectors only define
+*how to score* and *which side of the threshold is suspicious*.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.result import Detection, Direction, ThresholdRule
-from repro.core.thresholds import calibrate_blackbox, calibrate_whitebox
-from repro.errors import DetectionError
+from repro.core.thresholds import (
+    calibrate_blackbox,
+    calibrate_blackbox_sigma,
+    calibrate_whitebox,
+)
+from repro.errors import CalibrationError, DetectionError
+from repro.observability import Metrics
 
-__all__ = ["Detector"]
+__all__ = ["CALIBRATION_STRATEGIES", "Detector"]
+
+#: Strategies accepted by :meth:`Detector.calibrate`.
+CALIBRATION_STRATEGIES = ("percentile", "sigma", "midpoint")
 
 
 class Detector(ABC):
@@ -28,6 +39,10 @@ class Detector(ABC):
     :class:`ThresholdRule` or calibrated from data. ``detect`` raises
     :class:`DetectionError` until a threshold exists (except for detectors
     that define a fixed default rule, like steganalysis).
+
+    Setting :attr:`metrics` to a :class:`repro.observability.Metrics`
+    registry makes every ``detect``/``detect_batch`` call record its
+    per-image scoring latency under ``detector.<method>.<metric>``.
     """
 
     #: short name used in reports: "scaling", "filtering", "steganalysis"
@@ -37,6 +52,8 @@ class Detector(ABC):
 
     def __init__(self, threshold: ThresholdRule | None = None) -> None:
         self._threshold = threshold
+        #: optional observability registry; set by the serving pipeline.
+        self.metrics: Metrics | None = None
 
     # -- scoring ---------------------------------------------------------
 
@@ -49,9 +66,18 @@ class Detector(ABC):
     def attack_direction(self) -> Direction:
         """Which side of the threshold indicates an attack."""
 
-    def scores(self, images: Iterable[np.ndarray]) -> list[float]:
-        """Score a batch of images."""
+    def score_batch(self, images: Sequence[np.ndarray]) -> list[float]:
+        """Score a batch of images.
+
+        The base implementation is a per-image loop; detectors whose math
+        vectorizes (the scaling round trip) override this with a fused
+        path that produces **bit-identical** scores at lower cost.
+        """
         return [self.score(image) for image in images]
+
+    def scores(self, images: Iterable[np.ndarray]) -> list[float]:
+        """Score a batch of images (alias of :meth:`score_batch`)."""
+        return self.score_batch(list(images))
 
     # -- threshold management --------------------------------------------
 
@@ -60,7 +86,7 @@ class Detector(ABC):
         if self._threshold is None:
             raise DetectionError(
                 f"{self.method} detector has no threshold; call "
-                "calibrate_whitebox/calibrate_blackbox or pass one explicitly"
+                "calibrate() or pass one explicitly"
             )
         return self._threshold
 
@@ -77,19 +103,82 @@ class Detector(ABC):
     def is_calibrated(self) -> bool:
         return self._threshold is not None
 
+    def calibrate(
+        self,
+        benign: Sequence[np.ndarray],
+        attacks: Sequence[np.ndarray] | None = None,
+        *,
+        strategy: str = "percentile",
+        percentile: float = 1.0,
+        n_sigma: float = 3.0,
+    ) -> ThresholdRule:
+        """Calibrate the threshold from example images.
+
+        One entry point for every calibration regime in the paper:
+
+        * ``strategy="percentile"`` (default) — benign images only; the
+          threshold sits at the *percentile* tail of the benign score
+          distribution (the paper's black-box setting, Section 5.1).
+        * ``strategy="sigma"`` — benign images only; mean ± *n_sigma*·std
+          of the benign scores (the Mean/STD rule of Tables 3 and 5).
+        * ``strategy="midpoint"`` — needs *attacks*; exact accuracy-
+          maximizing threshold from both populations (the paper's
+          white-box setting).
+
+        Passing *attacks* selects the midpoint strategy automatically;
+        combining *attacks* with ``strategy="sigma"`` is rejected because
+        the sigma rule cannot use them.
+        """
+        if strategy not in CALIBRATION_STRATEGIES:
+            known = ", ".join(CALIBRATION_STRATEGIES)
+            raise CalibrationError(f"unknown strategy {strategy!r}; known: {known}")
+        if attacks is not None:
+            if strategy == "sigma":
+                raise CalibrationError(
+                    "attack examples are only used by the 'midpoint' strategy; "
+                    "drop them or use strategy='midpoint'"
+                )
+            strategy = "midpoint"
+        if strategy == "midpoint":
+            if attacks is None:
+                raise CalibrationError(
+                    "strategy='midpoint' needs attack example images"
+                )
+            rule = calibrate_whitebox(
+                self.scores(benign),
+                self.scores(attacks),
+                direction=self.attack_direction,
+            )
+        elif strategy == "sigma":
+            rule = calibrate_blackbox_sigma(
+                self.scores(benign),
+                direction=self.attack_direction,
+                n_sigma=n_sigma,
+            )
+        else:
+            rule = calibrate_blackbox(
+                self.scores(benign),
+                direction=self.attack_direction,
+                percentile=percentile,
+            )
+        self._threshold = rule
+        return rule
+
+    # -- deprecated calibration spellings ---------------------------------
+
     def calibrate_whitebox(
         self,
         benign_images: Sequence[np.ndarray],
         attack_images: Sequence[np.ndarray],
     ) -> ThresholdRule:
-        """Calibrate from both populations (paper's white-box setting)."""
-        rule = calibrate_whitebox(
-            self.scores(benign_images),
-            self.scores(attack_images),
-            direction=self.attack_direction,
+        """Deprecated: use ``calibrate(benign, attacks)``."""
+        warnings.warn(
+            "calibrate_whitebox() is deprecated; use "
+            "calibrate(benign, attacks) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._threshold = rule
-        return rule
+        return self.calibrate(benign_images, attack_images)
 
     def calibrate_blackbox(
         self,
@@ -97,20 +186,31 @@ class Detector(ABC):
         *,
         percentile: float = 1.0,
     ) -> ThresholdRule:
-        """Calibrate from benign images only (paper's black-box setting)."""
-        rule = calibrate_blackbox(
-            self.scores(benign_images),
-            direction=self.attack_direction,
-            percentile=percentile,
+        """Deprecated: use ``calibrate(benign, percentile=...)``."""
+        warnings.warn(
+            "calibrate_blackbox() is deprecated; use "
+            "calibrate(benign, percentile=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._threshold = rule
-        return rule
+        return self.calibrate(benign_images, percentile=percentile)
 
     # -- decisions ---------------------------------------------------------
 
+    def _record_latency(self, elapsed_seconds: float, n_images: int) -> None:
+        """Record per-image scoring latency into the attached registry."""
+        if self.metrics is None or n_images <= 0:
+            return
+        histogram = self.metrics.histogram(f"detector.{self.method}.{self.metric}")
+        per_image_ms = elapsed_seconds * 1000.0 / n_images
+        for _ in range(n_images):
+            histogram.record(per_image_ms)
+
     def detect(self, image: np.ndarray) -> Detection:
         """Score one image and apply the calibrated rule."""
+        start = time.perf_counter()
         value = self.score(image)
+        self._record_latency(time.perf_counter() - start, 1)
         rule = self.threshold
         return Detection(
             method=self.method,
@@ -119,6 +219,31 @@ class Detector(ABC):
             threshold=rule,
             is_attack=rule.is_attack(value),
         )
+
+    def detect_batch(self, images: Sequence[np.ndarray]) -> list[Detection]:
+        """Score a batch and apply the calibrated rule to every image.
+
+        Equivalent to ``[self.detect(im) for im in images]`` — verdicts and
+        scores are bit-for-bit identical — but routed through
+        :meth:`score_batch` so vectorized detectors amortize their setup.
+        """
+        images = list(images)
+        rule = self.threshold
+        if not images:
+            return []
+        start = time.perf_counter()
+        values = self.score_batch(images)
+        self._record_latency(time.perf_counter() - start, len(images))
+        return [
+            Detection(
+                method=self.method,
+                metric=self.metric,
+                score=value,
+                threshold=rule,
+                is_attack=rule.is_attack(value),
+            )
+            for value in values
+        ]
 
     def is_attack(self, image: np.ndarray) -> bool:
         """Convenience: just the boolean verdict."""

@@ -9,16 +9,18 @@ combined; the canonical Decamouflage instance is built by
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.detector import Detector
-from repro.core.result import EnsembleDetection
+from repro.core.result import EnsembleDetection, ThresholdRule
 from repro.core.filtering_detector import FilteringDetector
 from repro.core.scaling_detector import ScalingDetector
 from repro.core.steganalysis_detector import SteganalysisDetector
 from repro.errors import DetectionError
+from repro.observability import Metrics
 
 __all__ = ["DetectionEnsemble", "build_default_ensemble"]
 
@@ -26,7 +28,12 @@ __all__ = ["DetectionEnsemble", "build_default_ensemble"]
 class DetectionEnsemble:
     """Majority voting over independent detectors."""
 
-    def __init__(self, detectors: Sequence[Detector]) -> None:
+    def __init__(
+        self,
+        detectors: Sequence[Detector],
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
         if not detectors:
             raise DetectionError("ensemble needs at least one detector")
         if len(detectors) % 2 == 0:
@@ -35,17 +42,67 @@ class DetectionEnsemble:
                 f"votes, got {len(detectors)}"
             )
         self.detectors = list(detectors)
+        self._metrics: Metrics | None = None
+        if metrics is not None:
+            self.metrics = metrics
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def metrics(self) -> Metrics | None:
+        """Attached observability registry, propagated to every member."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, metrics: Metrics | None) -> None:
+        self._metrics = metrics
+        for detector in self.detectors:
+            detector.metrics = metrics
+
+    # -- calibration --------------------------------------------------------
+
+    def calibrate(
+        self,
+        benign: Sequence[np.ndarray],
+        attacks: Sequence[np.ndarray] | None = None,
+        *,
+        strategy: str = "percentile",
+        percentile: float = 1.0,
+        n_sigma: float = 3.0,
+    ) -> dict[str, ThresholdRule]:
+        """Calibrate every member with one strategy (see
+        :meth:`repro.core.Detector.calibrate` for the strategies).
+
+        Steganalysis members keep their fixed CSP rule — the paper's point
+        is that this method needs no calibration data at all. Returns the
+        calibrated rules keyed by ``"<method>/<metric>"``.
+        """
+        rules: dict[str, ThresholdRule] = {}
+        for detector in self.detectors:
+            if detector.method == "steganalysis":
+                continue  # fixed CSP threshold needs no data
+            rules[f"{detector.method}/{detector.metric}"] = detector.calibrate(
+                benign,
+                attacks,
+                strategy=strategy,
+                percentile=percentile,
+                n_sigma=n_sigma,
+            )
+        return rules
 
     def calibrate_whitebox(
         self,
         benign_images: Sequence[np.ndarray],
         attack_images: Sequence[np.ndarray],
     ) -> None:
-        """White-box calibrate every member (steganalysis keeps its fixed rule)."""
-        for detector in self.detectors:
-            if detector.method == "steganalysis":
-                continue  # fixed CSP threshold needs no data
-            detector.calibrate_whitebox(benign_images, attack_images)
+        """Deprecated: use ``calibrate(benign, attacks)``."""
+        warnings.warn(
+            "calibrate_whitebox() is deprecated; use "
+            "calibrate(benign, attacks) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.calibrate(benign_images, attack_images)
 
     def calibrate_blackbox(
         self,
@@ -53,15 +110,19 @@ class DetectionEnsemble:
         *,
         percentile: float = 1.0,
     ) -> None:
-        """Black-box calibrate every member from benign images only."""
-        for detector in self.detectors:
-            if detector.method == "steganalysis":
-                continue
-            detector.calibrate_blackbox(benign_images, percentile=percentile)
+        """Deprecated: use ``calibrate(benign, percentile=...)``."""
+        warnings.warn(
+            "calibrate_blackbox() is deprecated; use "
+            "calibrate(benign, percentile=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.calibrate(benign_images, percentile=percentile)
 
-    def detect(self, image: np.ndarray) -> EnsembleDetection:
-        """Run all members and majority-vote their verdicts."""
-        detections = tuple(detector.detect(image) for detector in self.detectors)
+    # -- decisions ----------------------------------------------------------
+
+    @staticmethod
+    def _vote(detections: tuple) -> EnsembleDetection:
         votes = sum(1 for d in detections if d.is_attack)
         return EnsembleDetection(
             is_attack=votes > len(detections) // 2,
@@ -69,6 +130,22 @@ class DetectionEnsemble:
             votes_total=len(detections),
             detections=detections,
         )
+
+    def detect(self, image: np.ndarray) -> EnsembleDetection:
+        """Run all members and majority-vote their verdicts."""
+        detections = tuple(detector.detect(image) for detector in self.detectors)
+        return self._vote(detections)
+
+    def detect_batch(self, images: Sequence[np.ndarray]) -> list[EnsembleDetection]:
+        """Batch decision path: every member scores the whole batch.
+
+        Produces bit-identical verdicts to per-image :meth:`detect` while
+        letting vectorized members (the scaling detector) amortize their
+        per-call setup across the batch.
+        """
+        images = list(images)
+        columns = [detector.detect_batch(images) for detector in self.detectors]
+        return [self._vote(tuple(row)) for row in zip(*columns)]
 
     def is_attack(self, image: np.ndarray) -> bool:
         return self.detect(image).is_attack

@@ -13,6 +13,7 @@ which is useful forensics when triaging a poisoned dataset.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -87,62 +88,132 @@ class MultiScaleScanner:
             if size[0] < h and size[1] < w
         }
 
+    def calibrate(
+        self,
+        benign: Sequence[np.ndarray],
+        attacks: Sequence[np.ndarray] | None = None,
+        *,
+        strategy: str = "percentile",
+        percentile: float = 1.0,
+        n_sigma: float = 3.0,
+    ) -> None:
+        """Calibrate every candidate size with one strategy (see
+        :meth:`repro.core.Detector.calibrate` for the strategies).
+
+        Sizes not smaller than the hold-out images are dropped (they could
+        never apply to same-sized inputs anyway).
+        """
+        if not benign:
+            raise DetectionError("calibration needs at least one benign image")
+        applicable = self._applicable(benign[0])
+        if not applicable:
+            raise DetectionError(
+                "no candidate size is smaller than the hold-out images"
+            )
+        for detector in applicable.values():
+            detector.calibrate(
+                benign,
+                attacks,
+                strategy=strategy,
+                percentile=percentile,
+                n_sigma=n_sigma,
+            )
+        self.detectors = dict(applicable)
+
     def calibrate_blackbox(
         self,
         benign_images: Sequence[np.ndarray],
         *,
         percentile: float = 1.0,
     ) -> None:
-        """Percentile-calibrate every candidate size from benign images.
+        """Deprecated: use ``calibrate(benign, percentile=...)``."""
+        warnings.warn(
+            "calibrate_blackbox() is deprecated; use "
+            "calibrate(benign, percentile=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.calibrate(benign_images, percentile=percentile)
 
-        Sizes not smaller than the hold-out images are dropped (they could
-        never apply to same-sized inputs anyway).
-        """
-        if not benign_images:
-            raise DetectionError("calibration needs at least one benign image")
-        applicable = self._applicable(benign_images[0])
-        if not applicable:
-            raise DetectionError(
-                "no candidate size is smaller than the hold-out images"
-            )
-        for size, detector in applicable.items():
-            detector.calibrate_blackbox(benign_images, percentile=percentile)
-        self.detectors = dict(applicable)
-
-    def detect(self, image: np.ndarray) -> MultiScaleDetection:
-        """Test every applicable size; flag if any fires."""
-        per_size: dict[tuple[int, int], tuple[float, float, bool]] = {}
-        best_size: tuple[int, int] | None = None
-        best_margin = -np.inf
-        for size, detector in self._applicable(image).items():
-            if not detector.is_calibrated:
-                raise DetectionError(
-                    f"size {size} is not calibrated; call calibrate_blackbox first"
-                )
-            score = detector.score(image)
-            rule = detector.threshold
-            fired = rule.is_attack(score)
-            per_size[size] = (score, rule.value, fired)
-            if fired:
-                # Normalized margin: how far past the threshold, in units of
-                # the threshold, so sizes are comparable.
-                denominator = abs(rule.value) or 1.0
-                if rule.direction is Direction.GREATER:
-                    margin = (score - rule.value) / denominator
-                else:
-                    margin = (rule.value - score) / denominator
-                if margin > best_margin:
-                    best_margin = margin
-                    best_size = size
+    def _finalize(
+        self,
+        per_size: dict[tuple[int, int], tuple[float, float, bool]],
+        image_shape: tuple[int, ...],
+    ) -> MultiScaleDetection:
+        """Pick the fired size with the largest normalized margin."""
         if not per_size:
             raise DetectionError(
-                f"no candidate size applies to a {image.shape[:2]} image"
+                f"no candidate size applies to a {image_shape[:2]} image"
             )
+        direction = (
+            Direction.GREATER if self.metric == "mse" else Direction.LESS
+        )
+        best_size: tuple[int, int] | None = None
+        best_margin = -np.inf
+        for size, (score, threshold_value, fired) in per_size.items():
+            if not fired:
+                continue
+            # Normalized margin: how far past the threshold, in units of
+            # the threshold, so sizes are comparable.
+            denominator = abs(threshold_value) or 1.0
+            if direction is Direction.GREATER:
+                margin = (score - threshold_value) / denominator
+            else:
+                margin = (threshold_value - score) / denominator
+            if margin > best_margin:
+                best_margin = margin
+                best_size = size
         return MultiScaleDetection(
             is_attack=best_size is not None,
             inferred_target_size=best_size,
             per_size=per_size,
         )
+
+    def detect(self, image: np.ndarray) -> MultiScaleDetection:
+        """Test every applicable size; flag if any fires."""
+        per_size: dict[tuple[int, int], tuple[float, float, bool]] = {}
+        for size, detector in self._applicable(image).items():
+            if not detector.is_calibrated:
+                raise DetectionError(
+                    f"size {size} is not calibrated; call calibrate() first"
+                )
+            score = detector.score(image)
+            rule = detector.threshold
+            per_size[size] = (score, rule.value, rule.is_attack(score))
+        return self._finalize(per_size, image.shape)
+
+    def detect_batch(self, images: Sequence[np.ndarray]) -> list[MultiScaleDetection]:
+        """Batch scan: each candidate size scores its applicable images.
+
+        Bit-identical results to per-image :meth:`detect`; the per-size
+        detectors run their vectorized ``score_batch`` path, so the
+        operator pairs for all candidate sizes are fetched once per batch
+        instead of once per image.
+        """
+        images = list(images)
+        per_image: list[dict[tuple[int, int], tuple[float, float, bool]]] = [
+            {} for _ in images
+        ]
+        for size, detector in self.detectors.items():
+            indices = [
+                index
+                for index, image in enumerate(images)
+                if size[0] < image.shape[0] and size[1] < image.shape[1]
+            ]
+            if not indices:
+                continue
+            if not detector.is_calibrated:
+                raise DetectionError(
+                    f"size {size} is not calibrated; call calibrate() first"
+                )
+            scores = detector.score_batch([images[i] for i in indices])
+            rule = detector.threshold
+            for index, score in zip(indices, scores):
+                per_image[index][size] = (score, rule.value, rule.is_attack(score))
+        return [
+            self._finalize(per_size, image.shape)
+            for per_size, image in zip(per_image, images)
+        ]
 
     def is_attack(self, image: np.ndarray) -> bool:
         return self.detect(image).is_attack

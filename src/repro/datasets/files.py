@@ -93,7 +93,7 @@ def load_directory(directory: str | Path, *, limit: int | None = None) -> list[n
 
     Convenience for the common calibration call site::
 
-        ensemble.calibrate_blackbox(load_directory("holdout/"))
+        ensemble.calibrate(load_directory("holdout/"))
     """
     corpus = DirectoryCorpus(directory)
     count = len(corpus) if limit is None else min(limit, len(corpus))

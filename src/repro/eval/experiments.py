@@ -144,7 +144,7 @@ def fig8_threshold_search(data: ExperimentData, *, n_points: int = 41) -> Experi
     for metric, detector in _scaling_detectors(data).items():
         benign = detector.scores(data.calibration.benign)
         attack = detector.scores(data.calibration.attacks)
-        best = detector.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+        best = detector.calibrate(data.calibration.benign, data.calibration.attacks)
         lo = min(min(benign), min(attack))
         hi = max(max(benign), max(attack))
         grid = np.linspace(lo, hi, n_points)
@@ -238,7 +238,7 @@ def _whitebox_table(
 ) -> ExperimentResult:
     rows = []
     for metric, detector in detectors.items():
-        rule = detector.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+        rule = detector.calibrate(data.calibration.benign, data.calibration.attacks)
         outcome = evaluate_detector(detector, data.evaluation)
         rows.append(
             {
@@ -282,7 +282,7 @@ def _blackbox_table(
     for metric, detector in detectors.items():
         benign_scores = np.asarray(detector.scores(data.calibration.benign))
         for percentile in percentiles:
-            detector.calibrate_blackbox(data.calibration.benign, percentile=percentile)
+            detector.calibrate(data.calibration.benign, percentile=percentile)
             outcome = evaluate_detector(detector, data.evaluation)
             rows.append(
                 {
@@ -432,10 +432,10 @@ def table8_ensemble(data: ExperimentData, *, percentile: float = 1.0) -> Experim
     """Table 8: Decamouflage as a majority-vote ensemble, WB and BB."""
     rows = []
     whitebox = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    whitebox.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    whitebox.calibrate(data.calibration.benign, data.calibration.attacks)
     rows.append({"Setting": "White-box ensemble", **metrics_row(evaluate_ensemble(whitebox, data.evaluation))})
     blackbox = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    blackbox.calibrate_blackbox(data.calibration.benign, percentile=percentile)
+    blackbox.calibrate(data.calibration.benign, percentile=percentile)
     rows.append({"Setting": "Black-box ensemble", **metrics_row(evaluate_ensemble(blackbox, data.evaluation))})
     return ExperimentResult(
         experiment_id="T8",
@@ -477,7 +477,7 @@ def table9_missed_attacks(data: ExperimentData, *, seed: int = 0) -> ExperimentR
     clean_accuracy = evaluate_accuracy(model, test_set)
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
 
     rng = np.random.default_rng(seed)
     n_attacks = min(30, data.n_calibration)
@@ -666,7 +666,7 @@ def ablation_adaptive_attacks(data: ExperimentData, *, n_images: int = 12) -> Ex
     from repro.imaging.scaling import resize
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
 
     variants = {
         "strong (baseline)": lambda o, t: partial_attack(o, t, algorithm=data.algorithm, strength=1.0),
@@ -770,7 +770,7 @@ def ablation_benign_transforms(data: ExperimentData, *, n_images: int = 15) -> E
     from repro.imaging import transforms as tf
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
 
     operations = {
         "identity": lambda img: np.asarray(img, dtype=np.float64),
@@ -827,7 +827,7 @@ def ablation_jpeg_reencoding(data: ExperimentData, *, n_images: int = 12) -> Exp
     from repro.imaging.scaling import resize
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
 
     n = min(n_images, data.n_evaluation)
     benign_ref = float(

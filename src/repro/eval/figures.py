@@ -99,7 +99,7 @@ def fig8_threshold_search(data: ExperimentData, out_dir: Path) -> Path:
     detector = ScalingDetector(data.model_input_shape, algorithm=data.algorithm, metric="mse")
     benign = detector.scores(data.calibration.benign)
     attack = detector.scores(data.calibration.attacks)
-    best = detector.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    best = detector.calibrate(data.calibration.benign, data.calibration.attacks)
     lo = min(min(benign), min(attack))
     hi = max(max(benign), max(attack))
     xs = np.linspace(lo, hi, 80)
@@ -129,7 +129,7 @@ def _score_histogram(
 ) -> Path:
     benign = detector.scores(data.calibration.benign)
     attack = detector.scores(data.calibration.attacks)
-    rule = detector.calibrate_whitebox(data.calibration.benign, data.calibration.attacks)
+    rule = detector.calibrate(data.calibration.benign, data.calibration.attacks)
     chart = histogram_chart(
         {"BENIGN": benign, "ATTACK": attack},
         title=title,

@@ -40,7 +40,14 @@ from repro.imaging.image import as_float, as_uint8, ensure_image
 from repro.imaging.metrics import histogram_intersection, mse, psnr, ssim
 from repro.imaging.png import read_png, write_png
 from repro.imaging.ppm import read_ppm, write_ppm
-from repro.imaging.scaling import ALGORITHMS, downscale_then_upscale, resize
+from repro.imaging.scaling import (
+    ALGORITHMS,
+    clear_operator_cache,
+    downscale_then_upscale,
+    get_scaling_operators,
+    operator_cache_stats,
+    resize,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -50,12 +57,14 @@ __all__ = [
     "binary_spectrum",
     "centered_spectrum",
     "channel_histogram",
+    "clear_operator_cache",
     "coefficient_sparsity",
     "count_spectrum_points",
     "downscale_then_upscale",
     "ensure_image",
     "find_regions",
     "gaussian_filter",
+    "get_scaling_operators",
     "histogram_distance",
     "histogram_intersection",
     "histogram_match",
@@ -65,6 +74,7 @@ __all__ = [
     "median_filter",
     "minimum_filter",
     "mse",
+    "operator_cache_stats",
     "psnr",
     "radial_lowpass_mask",
     "read_png",

@@ -8,9 +8,18 @@ attacks, benchmarks). It applies the separable operators from
 
 which makes the resizer, the attack, and the analysis all agree *exactly* on
 the scaling semantics — the property the reproduction depends on.
+
+Operator pairs are served from a process-wide LRU cache keyed by
+``(src_shape, dst_shape, algorithm)`` so a deployment builds each scaling
+operator once, not once per image. The cache counts hits and misses;
+:func:`operator_cache_stats` exposes them for dashboards (the serving
+pipeline folds them into ``pipeline.stats``).
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -18,10 +27,107 @@ from repro.errors import ScalingError
 from repro.imaging.coefficients import scaling_operators
 from repro.imaging.image import as_float, ensure_image
 
-__all__ = ["resize", "downscale_then_upscale", "ALGORITHMS"]
+__all__ = [
+    "resize",
+    "downscale_then_upscale",
+    "get_scaling_operators",
+    "operator_cache_stats",
+    "clear_operator_cache",
+    "OperatorCache",
+    "ALGORITHMS",
+]
 
 #: Algorithms accepted by :func:`resize`.
 ALGORITHMS = ("nearest", "bilinear", "bicubic", "lanczos4", "area")
+
+
+class OperatorCache:
+    """Thread-safe LRU cache of ``(L, R)`` scaling operator pairs.
+
+    Keyed by ``((h_in, w_in), (h_out, w_out), algorithm)``. A deployment
+    sees a handful of distinct keys (one per served model size), so the
+    default capacity is generous; eviction exists only to bound memory in
+    pathological sweeps over many sizes.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ScalingError(f"operator cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[
+            tuple[tuple[int, int], tuple[int, int], str], tuple[np.ndarray, np.ndarray]
+        ] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(
+        self,
+        in_shape: tuple[int, int],
+        out_shape: tuple[int, int],
+        algorithm: str = "bilinear",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return cached ``(L, R)`` with ``scaled = L @ image @ R``."""
+        key = (tuple(in_shape), tuple(out_shape), algorithm)
+        with self._lock:
+            pair = self._entries.get(key)
+            if pair is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return pair
+            self._misses += 1
+        # Build outside the lock: construction is pure and idempotent, so a
+        # rare duplicate build beats serializing every miss on one lock.
+        pair = scaling_operators(key[0], key[1], algorithm)
+        with self._lock:
+            self._entries[key] = pair
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return pair
+
+    def stats(self) -> dict[str, float | int]:
+        """Hit/miss counters and the current fill, for dashboards."""
+        with self._lock:
+            hits, misses, size = self._hits, self._misses, len(self._entries)
+        total = hits + misses
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: Process-wide operator cache shared by every resize/detector in the process.
+_OPERATOR_CACHE = OperatorCache()
+
+
+def get_scaling_operators(
+    in_shape: tuple[int, int],
+    out_shape: tuple[int, int],
+    algorithm: str = "bilinear",
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(L, R)`` for ``scaled = L @ image @ R``, via the process cache."""
+    return _OPERATOR_CACHE.get(in_shape, out_shape, algorithm)
+
+
+def operator_cache_stats() -> dict[str, float | int]:
+    """Hit/miss statistics of the process-wide operator cache."""
+    return _OPERATOR_CACHE.stats()
+
+
+def clear_operator_cache() -> None:
+    """Reset the process-wide operator cache (tests and benchmarks)."""
+    _OPERATOR_CACHE.clear()
 
 
 def resize(
@@ -41,8 +147,7 @@ def resize(
     if h_out <= 0 or w_out <= 0:
         raise ScalingError(f"output shape must be positive, got {out_shape}")
     img = as_float(image)
-    h_in, w_in = img.shape[:2]
-    left, right = scaling_operators((h_in, w_in), (h_out, w_out), algorithm)
+    left, right = get_scaling_operators(img.shape[:2], (h_out, w_out), algorithm)
     if img.ndim == 2:
         return left @ img @ right
     planes = [left @ img[:, :, c] @ right for c in range(img.shape[2])]

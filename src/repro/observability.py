@@ -1,0 +1,198 @@
+"""Lightweight process metrics: counters, stage timers, latency histograms.
+
+The serving pipeline and the detectors are instrumented with these
+primitives so a deployment can answer "where does the time go" without
+attaching a profiler. Everything is in-process and dependency-free:
+
+* :class:`Counter` — a monotonically increasing integer.
+* :class:`LatencyHistogram` — log-bucketed latency distribution with
+  percentile estimates (p50/p95/p99) and exact count/mean/min/max.
+* :class:`Metrics` — a named registry of both, with ``as_dict()`` producing
+  a JSON-ready dashboard export and ``timer(name)`` measuring a ``with``
+  block into a histogram.
+
+All operations are thread-safe; the hot-path cost of one ``record`` is a
+lock acquisition plus two integer updates, cheap enough for per-image use.
+
+Usage::
+
+    metrics = Metrics()
+    with metrics.timer("pipeline.screen"):
+        verdict = ensemble.detect(image)
+    metrics.counter("images.accepted").add(1)
+    metrics.as_dict()   # {"counters": {...}, "latency_ms": {...}}
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = ["Counter", "LatencyHistogram", "Metrics"]
+
+#: Histogram bucket geometry: the i-th bucket's upper bound in milliseconds
+#: is ``_BUCKET_START_MS * _BUCKET_FACTOR ** i``. Spans ~1 µs to ~100 s.
+_BUCKET_START_MS = 0.001
+_BUCKET_FACTOR = 1.6
+_BUCKET_COUNT = 40
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class LatencyHistogram:
+    """Log-bucketed latency distribution in milliseconds.
+
+    Buckets grow geometrically from ~1 µs to ~100 s, so the estimate error
+    of a percentile is bounded by the bucket factor (~60%) — coarse, but
+    the point of p50/p95 on a dashboard is order of magnitude and trend,
+    not microsecond precision. Count, mean, min, and max are exact.
+    """
+
+    __slots__ = ("_buckets", "_count", "_lock", "_max", "_min", "_total")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * (_BUCKET_COUNT + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def _bucket_index(self, value_ms: float) -> int:
+        if value_ms <= _BUCKET_START_MS:
+            return 0
+        index = int(math.log(value_ms / _BUCKET_START_MS) / math.log(_BUCKET_FACTOR)) + 1
+        return min(index, _BUCKET_COUNT)
+
+    def record(self, value_ms: float) -> None:
+        """Add one observation (milliseconds; negatives clamp to zero)."""
+        value_ms = max(0.0, float(value_ms))
+        with self._lock:
+            self._buckets[self._bucket_index(value_ms)] += 1
+            self._count += 1
+            self._total += value_ms
+            self._min = min(self._min, value_ms)
+            self._max = max(self._max, value_ms)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at *fraction* (0..1) of the distribution.
+
+        Returns the upper bound of the bucket containing the target rank,
+        clamped to the exact observed min/max.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = fraction * self._count
+            seen = 0
+            for index, bucket_count in enumerate(self._buckets):
+                seen += bucket_count
+                if seen >= rank and bucket_count:
+                    upper = _BUCKET_START_MS * _BUCKET_FACTOR ** index
+                    return min(max(upper, self._min), self._max)
+            return self._max
+
+    def summary(self) -> dict[str, float]:
+        """Dashboard-ready summary of the distribution."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0}
+            count, total = self._count, self._total
+            low, high = self._min, self._max
+        return {
+            "count": count,
+            "mean_ms": total / count,
+            "min_ms": low,
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+            "max_ms": high,
+        }
+
+
+class _Timer:
+    """Context manager that records a ``with`` block into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: LatencyHistogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.record((time.perf_counter() - self._start) * 1000.0)
+
+
+class Metrics:
+    """Named registry of counters and latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter called *name*."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Get (or create) the latency histogram called *name*."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    def timer(self, name: str) -> _Timer:
+        """``with metrics.timer("stage"):`` records the block's duration."""
+        return _Timer(self.histogram(name))
+
+    def observe(self, name: str, value_ms: float) -> None:
+        """Record a pre-measured latency into histogram *name*."""
+        self.histogram(name).record(value_ms)
+
+    def latency_summaries(self) -> dict[str, dict[str, float]]:
+        """Per-histogram summaries, sorted by name."""
+        with self._lock:
+            histograms = dict(self._histograms)
+        return {name: histograms[name].summary() for name in sorted(histograms)}
+
+    def as_dict(self) -> dict[str, dict]:
+        """JSON-ready export of every counter and histogram."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "counters": {name: counters[name].value for name in sorted(counters)},
+            "latency_ms": self.latency_summaries(),
+        }

@@ -9,6 +9,7 @@ log. Both pieces are plain files; no services, no databases.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -71,6 +72,10 @@ class AuditLog:
         self.quarantine_dir = Path(quarantine_dir) if quarantine_dir else None
         if self.quarantine_dir:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        # Serializes appends so concurrent pipeline submissions cannot
+        # interleave partial lines, without the pipeline holding its own
+        # lock across file I/O.
+        self._io_lock = threading.Lock()
 
     def quarantine(self, image_id: str, image: np.ndarray) -> str:
         """Persist a flagged image; returns the stored path."""
@@ -84,8 +89,9 @@ class AuditLog:
         return str(path)
 
     def append(self, record: AuditRecord) -> None:
-        with self.log_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(asdict(record)) + "\n")
+        line = json.dumps(asdict(record)) + "\n"
+        with self._io_lock, self.log_path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
 
     def records(self) -> list[AuditRecord]:
         """Read every record back (for reports and tests)."""

@@ -17,9 +17,17 @@ decides what happens on a hit. Usage::
     if outcome.accepted:
         prediction = model(outcome.model_input)
 
+    outcomes = pipeline.submit_batch(batch)      # vectorized decision path
+    pipeline.stats.as_dict()                     # counters + p50/p95 + cache
+
 The pipeline never mutates accepted benign inputs (the paper's core
 argument for detection over prevention); only the explicit SANITIZE policy
 touches pixels, and only for flagged images.
+
+Concurrency notes: scoring is pure math and runs outside the pipeline
+lock; the lock guards only the sequence and the stats counters. Audit-log
+writes happen *outside* the lock (the log serializes its own file I/O), so
+one slow disk cannot stall concurrent submissions.
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ import numpy as np
 from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
 from repro.core.result import EnsembleDetection
 from repro.errors import DetectionError
-from repro.imaging.scaling import resize
+from repro.imaging.scaling import operator_cache_stats, resize
+from repro.observability import Metrics
 from repro.serving.audit import AuditLog, AuditRecord
 from repro.serving.policy import Policy
 
@@ -54,22 +63,34 @@ class PipelineOutcome:
 
 @dataclass
 class PipelineStats:
-    """Running counters for monitoring dashboards."""
+    """Running counters for monitoring dashboards.
+
+    ``as_dict()`` augments the action counters with the per-detector and
+    per-stage latency summaries (p50/p95/p99) from the attached
+    :class:`~repro.observability.Metrics` registry and the process-wide
+    scaling-operator cache hit rates.
+    """
 
     submitted: int = 0
     accepted: int = 0
     rejected: int = 0
     quarantined: int = 0
     sanitized: int = 0
+    #: observability registry shared with the pipeline (not a counter)
+    metrics: Metrics | None = field(default=None, repr=False, compare=False)
 
-    def as_dict(self) -> dict[str, int]:
-        return {
+    def as_dict(self) -> dict:
+        out: dict = {
             "submitted": self.submitted,
             "accepted": self.accepted,
             "rejected": self.rejected,
             "quarantined": self.quarantined,
             "sanitized": self.sanitized,
         }
+        if self.metrics is not None:
+            out["latency_ms"] = self.metrics.latency_summaries()
+        out["operator_cache"] = operator_cache_stats()
+        return out
 
 
 class ProtectedPipeline:
@@ -83,6 +104,7 @@ class ProtectedPipeline:
         policy: Policy = Policy.REJECT,
         ensemble: DetectionEnsemble | None = None,
         audit_log: AuditLog | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         self.model_input_shape = model_input_shape
         self.algorithm = algorithm
@@ -91,27 +113,48 @@ class ProtectedPipeline:
             model_input_shape, algorithm=algorithm
         )
         self.audit_log = audit_log
-        self.stats = PipelineStats()
+        self.metrics = metrics or Metrics()
+        self.ensemble.metrics = self.metrics
+        self.stats = PipelineStats(metrics=self.metrics)
         self._sequence = 0
-        # Guards sequence/stats/audit mutation; scoring itself is pure and
-        # runs outside the lock, so parallel batches overlap on the math.
+        # Guards sequence/stats mutation only. Scoring is pure and audit
+        # appends serialize on the log's own I/O lock, so neither holds
+        # this lock — one slow disk cannot serialize the whole batch.
         self._lock = threading.Lock()
 
     # -- calibration --------------------------------------------------------
 
     def calibrate(
         self,
-        benign_holdout: list[np.ndarray],
+        benign: list[np.ndarray],
+        attacks: list[np.ndarray] | None = None,
         *,
-        attack_examples: list[np.ndarray] | None = None,
+        strategy: str = "percentile",
         percentile: float = 1.0,
+        n_sigma: float = 3.0,
+        attack_examples: list[np.ndarray] | None = None,
     ) -> None:
-        """Calibrate the ensemble: black-box by default, white-box when
-        attack examples are supplied."""
-        if attack_examples:
-            self.ensemble.calibrate_whitebox(benign_holdout, attack_examples)
-        else:
-            self.ensemble.calibrate_blackbox(benign_holdout, percentile=percentile)
+        """Calibrate the ensemble (see :meth:`repro.core.Detector.calibrate`
+        for the strategies). Supplying *attacks* selects the white-box
+        midpoint strategy; benign-only calls default to the percentile rule.
+        """
+        if attack_examples is not None:
+            import warnings
+
+            warnings.warn(
+                "attack_examples= is deprecated; pass attack images as the "
+                "second positional argument: calibrate(benign, attacks)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            attacks = attacks if attacks is not None else attack_examples
+        self.ensemble.calibrate(
+            benign,
+            attacks,
+            strategy=strategy,
+            percentile=percentile,
+            n_sigma=n_sigma,
+        )
 
     @property
     def is_calibrated(self) -> bool:
@@ -119,21 +162,20 @@ class ProtectedPipeline:
 
     # -- the hot path --------------------------------------------------------
 
-    def submit(self, image: np.ndarray, *, image_id: str | None = None) -> PipelineOutcome:
-        """Screen one image and produce the model input per policy."""
-        if not self.is_calibrated:
-            raise DetectionError("pipeline is not calibrated; call calibrate() first")
-        with self._lock:
-            self._sequence += 1
-            sequence = self._sequence
-        identifier = image_id or f"image-{sequence:06d}"
-
-        # Pure computation — outside the lock so batches parallelize.
-        detection = self.ensemble.detect(image)
+    def _resolve(
+        self,
+        image: np.ndarray,
+        identifier: str,
+        sequence: int,
+        detection: EnsembleDetection,
+    ) -> tuple[PipelineOutcome, AuditRecord | None]:
+        """Apply the response policy to one screened image (pure + I/O-free
+        except for the explicit quarantine write)."""
         quarantine_path: str | None = None
         if not detection.is_attack:
             action = "accepted"
-            model_input = resize(image, self.model_input_shape, self.algorithm)
+            with self.metrics.timer("pipeline.scale"):
+                model_input = resize(image, self.model_input_shape, self.algorithm)
         elif self.policy is Policy.REJECT:
             action = "rejected"
             model_input = None
@@ -151,28 +193,50 @@ class ProtectedPipeline:
             )
             model_input = resize(sanitized, self.model_input_shape, self.algorithm)
 
-        with self._lock:
-            self.stats.submitted += 1
-            counter = {
-                "accepted": "accepted",
-                "rejected": "rejected",
-                "quarantined": "quarantined",
-                "sanitized": "sanitized",
-            }[action]
-            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
-            if self.audit_log is not None:
-                self.audit_log.append(
-                    AuditRecord.from_detection(
-                        identifier, sequence, detection, action, quarantine_path
-                    )
-                )
-        return PipelineOutcome(
+        outcome = PipelineOutcome(
             image_id=identifier,
             accepted=model_input is not None,
             action=action,
             detection=detection,
             model_input=model_input,
         )
+        record = (
+            AuditRecord.from_detection(
+                identifier, sequence, detection, action, quarantine_path
+            )
+            if self.audit_log is not None
+            else None
+        )
+        return outcome, record
+
+    def _count(self, action: str) -> None:
+        """Bump the counters for one resolved action (caller holds the lock)."""
+        self.stats.submitted += 1
+        setattr(self.stats, action, getattr(self.stats, action) + 1)
+
+    def submit(self, image: np.ndarray, *, image_id: str | None = None) -> PipelineOutcome:
+        """Screen one image and produce the model input per policy."""
+        if not self.is_calibrated:
+            raise DetectionError("pipeline is not calibrated; call calibrate() first")
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        identifier = image_id or f"image-{sequence:06d}"
+
+        # Pure computation — outside the lock so submissions parallelize.
+        with self.metrics.timer("pipeline.screen"):
+            detection = self.ensemble.detect(image)
+        outcome, record = self._resolve(image, identifier, sequence, detection)
+
+        with self._lock:
+            self._count(outcome.action)
+        if record is not None:
+            # Disk write outside the pipeline lock: the audit log has its
+            # own I/O lock, so a slow disk only stalls other writers, not
+            # the scoring/stats path.
+            with self.metrics.timer("pipeline.audit"):
+                self.audit_log.append(record)
+        return outcome
 
     def submit_batch(
         self,
@@ -183,18 +247,53 @@ class ProtectedPipeline:
     ) -> list[PipelineOutcome]:
         """Screen a list of images with generated sequential ids.
 
-        ``max_workers > 1`` screens images on a thread pool — the scoring
+        The whole batch goes through the ensemble's vectorized
+        ``detect_batch`` path, so verdicts are bit-identical to per-image
+        :meth:`submit` at higher throughput. ``max_workers > 1``
+        additionally splits the batch across a thread pool — the scoring
         math is numpy-heavy and releases the GIL, so offline curation of
         large pools scales with cores. Outcomes keep the input order.
         """
+        if not self.is_calibrated:
+            raise DetectionError("pipeline is not calibrated; call calibrate() first")
+        images = list(images)
+        if not images:
+            return []
         identifiers = [f"{prefix}-{index:05d}" for index in range(len(images))]
-        if max_workers <= 1 or len(images) <= 1:
-            return [
-                self.submit(image, image_id=identifier)
-                for image, identifier in zip(images, identifiers)
-            ]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(
-                lambda pair: self.submit(pair[0], image_id=pair[1]),
-                zip(images, identifiers),
-            ))
+        with self._lock:
+            first = self._sequence + 1
+            self._sequence += len(images)
+        sequences = range(first, first + len(images))
+
+        with self.metrics.timer("pipeline.screen"):
+            if max_workers <= 1 or len(images) <= 1:
+                detections = self.ensemble.detect_batch(images)
+            else:
+                workers = min(max_workers, len(images))
+                bounds = np.linspace(0, len(images), workers + 1).astype(int)
+                chunks = [
+                    images[bounds[i]:bounds[i + 1]]
+                    for i in range(workers)
+                    if bounds[i] < bounds[i + 1]
+                ]
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    parts = list(pool.map(self.ensemble.detect_batch, chunks))
+                detections = [d for part in parts for d in part]
+
+        outcomes: list[PipelineOutcome] = []
+        records: list[AuditRecord] = []
+        for image, identifier, sequence, detection in zip(
+            images, identifiers, sequences, detections
+        ):
+            outcome, record = self._resolve(image, identifier, sequence, detection)
+            outcomes.append(outcome)
+            if record is not None:
+                records.append(record)
+        with self._lock:
+            for outcome in outcomes:
+                self._count(outcome.action)
+        if records:
+            with self.metrics.timer("pipeline.audit"):
+                for record in records:
+                    self.audit_log.append(record)
+        return outcomes

@@ -1,0 +1,134 @@
+"""The unified calibrate() entry point and its deprecated predecessors."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.ensemble import build_default_ensemble
+from repro.core.multiscale import MultiScaleScanner
+from repro.core.result import Direction
+from repro.core.scaling_detector import ScalingDetector
+from repro.core.thresholds import (
+    calibrate_blackbox,
+    calibrate_blackbox_sigma,
+    calibrate_whitebox,
+)
+from repro.errors import CalibrationError
+from repro.serving import ProtectedPipeline
+
+from tests.conftest import MODEL_INPUT
+
+
+@pytest.fixture
+def detector():
+    return ScalingDetector(MODEL_INPUT, metric="mse")
+
+
+class TestStrategies:
+    def test_percentile_default_matches_module_function(self, detector, benign_images):
+        rule = detector.calibrate(benign_images, percentile=5.0)
+        expected = calibrate_blackbox(
+            [detector.score(i) for i in benign_images],
+            direction=Direction.GREATER,
+            percentile=5.0,
+        )
+        assert rule.value == expected.value
+        assert rule.direction is expected.direction
+        assert detector.threshold is rule
+
+    def test_sigma_matches_module_function(self, detector, benign_images):
+        rule = detector.calibrate(benign_images, strategy="sigma", n_sigma=2.0)
+        expected = calibrate_blackbox_sigma(
+            [detector.score(i) for i in benign_images],
+            direction=Direction.GREATER,
+            n_sigma=2.0,
+        )
+        assert rule.value == expected.value
+
+    def test_midpoint_matches_module_function(self, detector, benign_images, attack_images):
+        rule = detector.calibrate(benign_images, attack_images, strategy="midpoint")
+        expected = calibrate_whitebox(
+            [detector.score(i) for i in benign_images],
+            [detector.score(i) for i in attack_images],
+            direction=Direction.GREATER,
+        )
+        assert rule.value == expected.value
+
+    def test_attacks_imply_midpoint(self, detector, benign_images, attack_images):
+        implied = detector.calibrate(benign_images, attack_images)
+        explicit = ScalingDetector(MODEL_INPUT, metric="mse").calibrate(
+            benign_images, attack_images, strategy="midpoint"
+        )
+        assert implied.value == explicit.value
+
+    def test_midpoint_without_attacks_rejected(self, detector, benign_images):
+        with pytest.raises(CalibrationError, match="attack"):
+            detector.calibrate(benign_images, strategy="midpoint")
+
+    def test_sigma_with_attacks_rejected(self, detector, benign_images, attack_images):
+        with pytest.raises(CalibrationError, match="midpoint"):
+            detector.calibrate(benign_images, attack_images, strategy="sigma")
+
+    def test_unknown_strategy_rejected(self, detector, benign_images):
+        with pytest.raises(CalibrationError, match="unknown strategy"):
+            detector.calibrate(benign_images, strategy="quantile")
+
+
+class TestEnsembleAndScanner:
+    def test_ensemble_returns_rules_without_steganalysis(self, benign_images):
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        rules = ensemble.calibrate(benign_images, percentile=5.0)
+        assert set(rules) == {"scaling/mse", "filtering/ssim"}
+        assert all(d.is_calibrated for d in ensemble.detectors)
+
+    def test_scanner_strategy_plumbed_through(self, benign_images, attack_images):
+        scanner = MultiScaleScanner([MODEL_INPUT], algorithm="bilinear")
+        scanner.calibrate(benign_images, attack_images)
+        reference = ScalingDetector(MODEL_INPUT, metric="mse").calibrate(
+            benign_images, attack_images
+        )
+        assert scanner.detectors[MODEL_INPUT].threshold.value == reference.value
+
+
+class TestDeprecatedSpellings:
+    def test_detector_whitebox_warns_and_works(self, detector, benign_images, attack_images):
+        with pytest.warns(DeprecationWarning, match="calibrate_whitebox"):
+            rule = detector.calibrate_whitebox(benign_images, attack_images)
+        fresh = ScalingDetector(MODEL_INPUT, metric="mse")
+        assert rule.value == fresh.calibrate(benign_images, attack_images).value
+
+    def test_detector_blackbox_warns_and_works(self, detector, benign_images):
+        with pytest.warns(DeprecationWarning, match="calibrate_blackbox"):
+            rule = detector.calibrate_blackbox(benign_images, percentile=5.0)
+        fresh = ScalingDetector(MODEL_INPUT, metric="mse")
+        assert rule.value == fresh.calibrate(benign_images, percentile=5.0).value
+
+    def test_ensemble_shims_warn(self, benign_images, attack_images):
+        ensemble = build_default_ensemble(MODEL_INPUT)
+        with pytest.warns(DeprecationWarning):
+            ensemble.calibrate_whitebox(benign_images, attack_images)
+        with pytest.warns(DeprecationWarning):
+            ensemble.calibrate_blackbox(benign_images, percentile=5.0)
+
+    def test_scanner_shim_warns(self, benign_images):
+        scanner = MultiScaleScanner([MODEL_INPUT], algorithm="bilinear")
+        with pytest.warns(DeprecationWarning):
+            scanner.calibrate_blackbox(benign_images, percentile=5.0)
+
+    def test_pipeline_attack_examples_kwarg_warns(self, benign_images, attack_images):
+        pipeline = ProtectedPipeline(MODEL_INPUT)
+        with pytest.warns(DeprecationWarning, match="attack_examples"):
+            pipeline.calibrate(benign_images, attack_examples=attack_images)
+        assert pipeline.is_calibrated
+
+    def test_new_spellings_do_not_warn(self, benign_images, attack_images):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ScalingDetector(MODEL_INPUT, metric="mse").calibrate(benign_images)
+            build_default_ensemble(MODEL_INPUT).calibrate(benign_images, attack_images)
+            scanner = MultiScaleScanner([MODEL_INPUT], algorithm="bilinear")
+            scanner.calibrate(benign_images)
+            pipeline = ProtectedPipeline(MODEL_INPUT)
+            pipeline.calibrate(benign_images, attack_images)

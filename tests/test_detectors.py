@@ -26,13 +26,13 @@ class TestScalingDetector:
 
     def test_whitebox_calibration_perfect_on_train(self, benign_images, attack_images):
         detector = ScalingDetector(MODEL_INPUT, metric="mse")
-        detector.calibrate_whitebox(benign_images, attack_images)
+        detector.calibrate(benign_images, attack_images)
         assert all(not detector.is_attack(img) for img in benign_images)
         assert all(detector.is_attack(img) for img in attack_images)
 
     def test_blackbox_calibration(self, benign_images, attack_images):
         detector = ScalingDetector(MODEL_INPUT, metric="mse")
-        detector.calibrate_blackbox(benign_images, percentile=10.0)
+        detector.calibrate(benign_images, percentile=10.0)
         assert all(detector.is_attack(img) for img in attack_images)
 
     def test_uncalibrated_raises(self, benign_images):
@@ -51,7 +51,7 @@ class TestScalingDetector:
 
     def test_detection_object_fields(self, benign_images, attack_images):
         detector = ScalingDetector(MODEL_INPUT, metric="mse")
-        detector.calibrate_whitebox(benign_images, attack_images)
+        detector.calibrate(benign_images, attack_images)
         detection = detector.detect(attack_images[0])
         assert detection.method == "scaling"
         assert detection.metric == "mse"
@@ -79,7 +79,7 @@ class TestFilteringDetector:
 
     def test_whitebox_calibration(self, benign_images, attack_images):
         detector = FilteringDetector(metric="ssim")
-        detector.calibrate_whitebox(benign_images, attack_images)
+        detector.calibrate(benign_images, attack_images)
         flags = [detector.is_attack(img) for img in attack_images]
         assert np.mean(flags) >= 0.8
 

@@ -77,14 +77,14 @@ class TestDefaultEnsemble:
 
     def test_whitebox_end_to_end(self, benign_images, attack_images):
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_whitebox(benign_images, attack_images)
+        ensemble.calibrate(benign_images, attack_images)
         assert all(ensemble.is_attack(img) for img in attack_images)
         benign_flags = [ensemble.is_attack(img) for img in benign_images]
         assert np.mean(benign_flags) <= 0.2
 
     def test_blackbox_end_to_end(self, benign_images, attack_images):
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_blackbox(benign_images, percentile=5.0)
+        ensemble.calibrate(benign_images, percentile=5.0)
         attack_flags = [ensemble.is_attack(img) for img in attack_images]
         assert np.mean(attack_flags) >= 0.8
 
@@ -92,6 +92,6 @@ class TestDefaultEnsemble:
         self, benign_images, attack_images
     ):
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_whitebox(benign_images, attack_images)
+        ensemble.calibrate(benign_images, attack_images)
         steg = next(d for d in ensemble.detectors if d.method == "steganalysis")
         assert steg.threshold.value == 2.0

@@ -77,5 +77,5 @@ class TestLoadDirectory:
             write_png(tmp_path / f"holdout_{index}.png", np.asarray(image))
         holdout = load_directory(tmp_path)
         detector = ScalingDetector((16, 16), metric="mse")
-        detector.calibrate_blackbox(holdout, percentile=5.0)
+        detector.calibrate(holdout, percentile=5.0)
         assert detector.is_calibrated

@@ -107,7 +107,7 @@ class TestBackdoorLifecycle:
         #    humans but are attack images).
         holdout = neurips_like_corpus(30, image_shape=SOURCE, seed=77).materialize()
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_blackbox(holdout, percentile=2.0)
+        ensemble.calibrate(holdout, percentile=2.0)
         caught = sum(
             1 for sample in world["poisons"] if ensemble.is_attack(sample.attack.attack_image)
         )

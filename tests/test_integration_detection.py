@@ -32,7 +32,7 @@ class TestWhiteboxTransfer:
     def test_threshold_transfers_across_datasets(self, transfer_sets):
         calibration, evaluation = transfer_sets
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_whitebox(calibration.benign, calibration.attacks)
+        ensemble.calibrate(calibration.benign, calibration.attacks)
         counts = evaluate_decisions(
             [ensemble.is_attack(i) for i in evaluation.benign],
             [ensemble.is_attack(i) for i in evaluation.attacks],
@@ -45,7 +45,7 @@ class TestBlackboxTransfer:
     def test_benign_only_calibration_still_detects(self, transfer_sets):
         calibration, evaluation = transfer_sets
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_blackbox(calibration.benign, percentile=2.0)
+        ensemble.calibrate(calibration.benign, percentile=2.0)
         attack_flags = [ensemble.is_attack(i) for i in evaluation.attacks]
         assert np.mean(attack_flags) >= 0.85
 
@@ -57,7 +57,7 @@ class TestAttackAlgorithmMismatch:
         because the hidden pixels sit in the same grid positions."""
         calibration, evaluation = transfer_sets
         ensemble = build_default_ensemble(MODEL_INPUT)  # bilinear detector
-        ensemble.calibrate_whitebox(calibration.benign, calibration.attacks)
+        ensemble.calibrate(calibration.benign, calibration.attacks)
         original = evaluation.benign[0]
         target = np.asarray(evaluation.attacks[1], dtype=float)
         from repro.imaging.scaling import resize
@@ -72,7 +72,7 @@ class TestOfflineDataCuration:
         """The offline threat model: filter a mixed pool before training."""
         calibration, evaluation = transfer_sets
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_blackbox(calibration.benign, percentile=2.0)
+        ensemble.calibrate(calibration.benign, percentile=2.0)
         pool = list(evaluation.benign[:5]) + list(evaluation.attacks[:5])
         truth = [False] * 5 + [True] * 5
         kept = [img for img, is_attack in zip(pool, truth) if not ensemble.is_attack(img)]

@@ -126,6 +126,6 @@ class TestJpegVsAttack:
         from repro.core import ScalingDetector
 
         detector = ScalingDetector((16, 16), metric="mse")
-        detector.calibrate_whitebox(benign_images, attack_images)
+        detector.calibrate(benign_images, attack_images)
         recompressed = jpeg_roundtrip(attack_images[1], 85)
         assert detector.is_attack(recompressed)

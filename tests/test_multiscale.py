@@ -13,7 +13,7 @@ from tests.conftest import MODEL_INPUT
 def scanner(benign_images):
     # Candidate sizes bracketing the fixtures' true target size (16x16).
     scanner = MultiScaleScanner(candidate_sizes=[(8, 8), (16, 16), (32, 32)])
-    scanner.calibrate_blackbox(benign_images, percentile=5.0)
+    scanner.calibrate(benign_images, percentile=5.0)
     return scanner
 
 
@@ -45,7 +45,7 @@ class TestScanner:
 
     def test_oversized_candidates_dropped_at_calibration(self, benign_images):
         scanner = MultiScaleScanner(candidate_sizes=[(16, 16), (299, 299)])
-        scanner.calibrate_blackbox(benign_images)  # images are 128x128
+        scanner.calibrate(benign_images)  # images are 128x128
         assert (299, 299) not in scanner.detectors
         assert (16, 16) in scanner.detectors
 

@@ -1,0 +1,110 @@
+"""The metrics primitives: counters, histograms, timers, registry export."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import Counter, LatencyHistogram, Metrics
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_concurrent_adds_do_not_lose_updates(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.add()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestLatencyHistogram:
+    def test_empty_summary(self):
+        assert LatencyHistogram().summary() == {"count": 0}
+
+    def test_exact_statistics(self):
+        histogram = LatencyHistogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["mean_ms"] == pytest.approx(2.5)
+        assert summary["min_ms"] == 1.0
+        assert summary["max_ms"] == 4.0
+
+    def test_percentiles_are_ordered_and_bounded(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        p99 = histogram.percentile(0.99)
+        assert 1.0 <= p50 <= p95 <= p99 <= 100.0
+        # Log buckets are coarse, but the median of 1..100 cannot be
+        # estimated anywhere near the tails.
+        assert 25.0 <= p50 <= 85.0
+
+    def test_percentile_validates_fraction(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_negative_clamps_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-5.0)
+        assert histogram.summary()["min_ms"] == 0.0
+
+    def test_single_observation_collapses(self):
+        histogram = LatencyHistogram()
+        histogram.record(7.0)
+        summary = histogram.summary()
+        assert summary["p50_ms"] == summary["p99_ms"] == 7.0
+
+
+class TestMetrics:
+    def test_named_instruments_are_stable(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.histogram("b") is metrics.histogram("b")
+        assert metrics.counter("a") is not metrics.counter("c")
+
+    def test_timer_records_block_duration(self):
+        metrics = Metrics()
+        with metrics.timer("stage"):
+            pass
+        summary = metrics.histogram("stage").summary()
+        assert summary["count"] == 1
+        assert summary["max_ms"] < 1000.0
+
+    def test_observe(self):
+        metrics = Metrics()
+        metrics.observe("stage", 12.5)
+        assert metrics.histogram("stage").summary()["mean_ms"] == 12.5
+
+    def test_as_dict_shape(self):
+        metrics = Metrics()
+        metrics.counter("images").add(3)
+        metrics.observe("screen", 1.0)
+        exported = metrics.as_dict()
+        assert exported["counters"] == {"images": 3}
+        assert set(exported["latency_ms"]) == {"screen"}
+        assert exported["latency_ms"]["screen"]["count"] == 1
+
+    def test_latency_summaries_sorted(self):
+        metrics = Metrics()
+        metrics.observe("b", 1.0)
+        metrics.observe("a", 1.0)
+        assert list(metrics.latency_summaries()) == ["a", "b"]

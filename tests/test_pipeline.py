@@ -48,7 +48,7 @@ class TestEvaluate:
             benign_images, target_images, model_input_shape=MODEL_INPUT
         )
         detector = ScalingDetector(MODEL_INPUT, metric="mse")
-        detector.calibrate_whitebox(attack_set.benign, attack_set.attacks)
+        detector.calibrate(attack_set.benign, attack_set.attacks)
         outcome = evaluate_detector(detector, attack_set)
         assert outcome.counts.accuracy == 1.0
         assert len(outcome.benign_scores) == len(benign_images)
@@ -59,7 +59,7 @@ class TestEvaluate:
             benign_images, target_images, model_input_shape=MODEL_INPUT
         )
         ensemble = build_default_ensemble(MODEL_INPUT)
-        ensemble.calibrate_whitebox(attack_set.benign, attack_set.attacks)
+        ensemble.calibrate(attack_set.benign, attack_set.attacks)
         counts = evaluate_ensemble(ensemble, attack_set)
         assert counts.recall == 1.0
         assert counts.frr <= 0.2

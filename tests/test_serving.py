@@ -26,7 +26,7 @@ class TestCalibration:
 
     def test_whitebox_calibration_path(self, benign_images, attack_images):
         pipeline = ProtectedPipeline(MODEL_INPUT)
-        pipeline.calibrate(benign_images, attack_examples=attack_images)
+        pipeline.calibrate(benign_images, attack_images)
         assert pipeline.is_calibrated
 
 
@@ -111,6 +111,79 @@ class TestStatsAndIds:
         pipeline.calibrate(benign_images, percentile=5.0)
         pipeline.submit_batch(list(benign_images), max_workers=3)
         assert len(log.records()) == len(benign_images)
+
+
+class TestBatchParity:
+    def _fresh(self, benign_images):
+        pipeline = ProtectedPipeline(MODEL_INPUT)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        return pipeline
+
+    def test_batch_verdicts_match_serial_submit(self, benign_images, attack_images):
+        images = list(benign_images) + list(attack_images)
+        serial = self._fresh(benign_images)
+        one_by_one = [serial.submit(image) for image in images]
+        batched = self._fresh(benign_images)
+        batch = batched.submit_batch(images)
+        assert [o.action for o in batch] == [o.action for o in one_by_one]
+        for b, s in zip(batch, one_by_one):
+            assert [d.score for d in b.detection.detections] == [
+                d.score for d in s.detection.detections
+            ]
+
+    def test_parallel_batch_stats_match_serial(self, benign_images, attack_images):
+        images = list(benign_images[:4]) + list(attack_images[:3])
+        serial = self._fresh(benign_images)
+        serial.submit_batch(images, max_workers=1)
+        parallel = self._fresh(benign_images)
+        parallel.submit_batch(images, max_workers=4)
+        serial_stats = serial.stats.as_dict()
+        parallel_stats = parallel.stats.as_dict()
+        for key in ("submitted", "accepted", "rejected", "quarantined", "sanitized"):
+            assert parallel_stats[key] == serial_stats[key]
+
+    def test_empty_batch(self, pipeline):
+        assert pipeline.submit_batch([]) == []
+        assert pipeline.stats.submitted == 0
+
+    def test_uncalibrated_batch_raises(self, benign_images):
+        with pytest.raises(DetectionError, match="calibrate"):
+            ProtectedPipeline(MODEL_INPUT).submit_batch(benign_images)
+
+
+class TestObservability:
+    def test_stats_dict_reports_latency_and_cache(self, pipeline, benign_images):
+        pipeline.submit(benign_images[0])
+        stats = pipeline.stats.as_dict()
+        assert "pipeline.screen" in stats["latency_ms"]
+        assert stats["latency_ms"]["pipeline.screen"]["count"] == 1
+        assert stats["latency_ms"]["pipeline.screen"]["p95_ms"] > 0.0
+        assert "detector.scaling.mse" in stats["latency_ms"]
+        assert {"hits", "misses", "hit_rate"} <= set(stats["operator_cache"])
+
+    def test_batch_records_per_image_latency(self, pipeline, benign_images):
+        pipeline.submit_batch(list(benign_images[:3]))
+        latency = pipeline.stats.as_dict()["latency_ms"]
+        assert latency["detector.scaling.mse"]["count"] == 3
+        assert latency["pipeline.screen"]["count"] == 1
+
+    def test_injected_metrics_registry(self, benign_images):
+        from repro.observability import Metrics
+
+        metrics = Metrics()
+        pipeline = ProtectedPipeline(MODEL_INPUT, metrics=metrics)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        pipeline.submit(benign_images[0])
+        assert metrics.histogram("pipeline.screen").count == 1
+        # The registry propagated down to the ensemble members.
+        assert all(d.metrics is metrics for d in pipeline.ensemble.detectors)
+
+    def test_audit_stage_timed(self, benign_images, tmp_path):
+        log = AuditLog(tmp_path / "log.jsonl")
+        pipeline = ProtectedPipeline(MODEL_INPUT, audit_log=log)
+        pipeline.calibrate(benign_images, percentile=5.0)
+        pipeline.submit(benign_images[0])
+        assert pipeline.metrics.histogram("pipeline.audit").count == 1
 
 
 class TestAuditLog:
