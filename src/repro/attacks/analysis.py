@@ -25,7 +25,6 @@ import numpy as np
 from repro.errors import ScalingError
 from repro.imaging.coefficients import (
     coefficient_sparsity,
-    scaling_matrix,
     scaling_operators,
     vulnerable_source_pixels,
 )

@@ -10,6 +10,7 @@ Quick start::
     print(verdict.explain())
 """
 
+from repro.core.analysis import ImageAnalysis
 from repro.core.detector import Detector
 from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
 from repro.core.evaluation import ConfusionCounts, evaluate_decisions
@@ -49,6 +50,7 @@ __all__ = [
     "Direction",
     "EnsembleDetection",
     "FilteringDetector",
+    "ImageAnalysis",
     "ScalingDetector",
     "SteganalysisDetector",
     "ThresholdRule",

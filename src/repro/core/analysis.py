@@ -1,0 +1,252 @@
+"""Shared lazy-analysis context: one validated image, memoized intermediates.
+
+All three Decamouflage methods (paper Algorithms 1–3) consume the *same*
+input image. Before this layer existed, each detector re-validated the
+image, re-converted it to float, and computed its intermediate (round
+trip, filtered image, log spectrum) privately — so the ensemble did the
+shared preprocessing three times and the multi-scale scanner repeated it
+once per candidate size.
+
+:class:`ImageAnalysis` wraps one :func:`~repro.imaging.image.ensure_image`-
+validated image and memoizes every named intermediate the detectors need,
+keyed by the parameters that define it:
+
+* ``round_trip(shape, algorithm, upscale_algorithm)`` — the scaling
+  detector's reconstruction ``S = up(down(I))``
+* ``filtered(name, size)`` — the filtering detector's ``F = filter(I)``
+* ``log_spectrum()`` — the steganalysis detector's centered log spectrum
+* ``mse_against(key)`` / ``ssim_against(key)`` — memoized residual-metric
+  scalars between the image and an intermediate
+
+Every value is computed at most once per context; repeat requests are memo
+hits. Hit/miss counts are tracked per intermediate name and, when a
+:class:`~repro.observability.Metrics` registry is attached, mirrored into
+``analysis.<intermediate>.hit`` / ``analysis.<intermediate>.miss``
+counters so a serving dashboard can show the shared-work savings.
+
+Numerics contract: every intermediate and scalar equals, **bit for bit**,
+what the pre-context per-detector path produced. The context only removes
+redundant validation, dtype conversion, and recomputation — it never
+changes the math.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DetectionError
+from repro.imaging.filtering import FILTERS
+from repro.imaging.fourier import log_spectrum_image
+from repro.imaging.image import ensure_image
+from repro.imaging.metrics import ssim
+from repro.imaging.scaling import get_scaling_operators
+from repro.observability import Metrics
+
+__all__ = ["ImageAnalysis"]
+
+#: Memo key kinds whose values are image-sized arrays (droppable to bound
+#: memory during large calibration sweeps); scalar results are never dropped.
+_ARRAY_KINDS = ("round_trip", "filtered", "log_spectrum")
+
+
+class ImageAnalysis:
+    """Lazy, memoizing analysis context for one image.
+
+    The image is validated exactly once, at construction. The float64
+    working view and every intermediate are computed on first request and
+    memoized; detectors pull from the context via
+    :meth:`repro.core.Detector.score_from` so an ensemble, a multi-scale
+    scan, or a serving decision shares one copy of everything.
+
+    The float view may alias the caller's array when it is already
+    float64 — the context and every consumer treat it as read-only.
+    """
+
+    __slots__ = ("image", "metrics", "_float", "_memo", "_counts")
+
+    def __init__(self, image: np.ndarray, *, metrics: Metrics | None = None) -> None:
+        ensure_image(image)
+        self.image = image
+        self.metrics = metrics
+        self._float: np.ndarray | None = None
+        self._memo: dict[tuple, object] = {}
+        #: per-intermediate [hits, misses], keyed by the kind name
+        self._counts: dict[str, list[int]] = {}
+
+    # -- accounting --------------------------------------------------------
+
+    def _tally(self, name: str, *, hit: bool) -> None:
+        counts = self._counts.setdefault(name, [0, 0])
+        counts[0 if hit else 1] += 1
+        if self.metrics is not None:
+            suffix = "hit" if hit else "miss"
+            self.metrics.counter(f"analysis.{name}.{suffix}").add(1)
+
+    def memo_stats(self) -> dict[str, dict[str, int]]:
+        """Per-intermediate hit/miss counts for this context."""
+        return {
+            name: {"hits": hits, "misses": misses}
+            for name, (hits, misses) in sorted(self._counts.items())
+        }
+
+    # -- the float working view -------------------------------------------
+
+    @property
+    def float_image(self) -> np.ndarray:
+        """The image as float64 on the 0–255 scale, converted at most once.
+
+        Read-only by convention: when the input is already float64 this is
+        the caller's own array, not a copy.
+        """
+        if self._float is None:
+            self._tally("float", hit=False)
+            self._float = self.image.astype(np.float64, copy=False)
+        else:
+            self._tally("float", hit=True)
+        return self._float
+
+    # -- memo keys ---------------------------------------------------------
+
+    @staticmethod
+    def round_trip_key(
+        shape: tuple[int, int],
+        algorithm: str = "bilinear",
+        upscale_algorithm: str | None = None,
+    ) -> tuple:
+        """Memo key of the ``up(down(I))`` reconstruction."""
+        h, w = shape
+        return ("round_trip", (int(h), int(w)), algorithm, upscale_algorithm or algorithm)
+
+    @staticmethod
+    def filtered_key(name: str = "minimum", size: int = 2) -> tuple:
+        """Memo key of the order-statistic-filtered image."""
+        return ("filtered", name, int(size))
+
+    @staticmethod
+    def log_spectrum_key() -> tuple:
+        """Memo key of the centered, normalized log spectrum."""
+        return ("log_spectrum",)
+
+    # -- memo plumbing -----------------------------------------------------
+
+    def _compute(self, key: tuple) -> object:
+        kind = key[0]
+        if kind == "round_trip":
+            _, shape, algorithm, up_algorithm = key
+            f = self.float_image
+            left_d, right_d = get_scaling_operators(f.shape[:2], shape, algorithm)
+            left_u, right_u = get_scaling_operators(shape, f.shape[:2], up_algorithm)
+            if f.ndim == 2:
+                return (left_u @ ((left_d @ f) @ right_d)) @ right_u
+            down = [(left_d @ f[:, :, c]) @ right_d for c in range(f.shape[2])]
+            return np.stack([(left_u @ plane) @ right_u for plane in down], axis=2)
+        if kind == "filtered":
+            _, name, size = key
+            if name not in FILTERS:
+                known = ", ".join(sorted(FILTERS))
+                raise DetectionError(f"unknown filter {name!r}; known: {known}")
+            return FILTERS[name](self.float_image, size)
+        if kind == "log_spectrum":
+            return log_spectrum_image(self.image)
+        if kind == "mse":
+            other = self.get(key[1:])
+            # Same values, same evaluation order as imaging.metrics.mse —
+            # only the redundant per-call float copies are skipped.
+            return float(np.mean((self.float_image - other) ** 2))
+        if kind == "ssim":
+            return ssim(self.float_image, self.get(key[1:]))
+        raise DetectionError(f"unknown analysis intermediate kind {kind!r}")
+
+    def get(self, key: tuple) -> object:
+        """The intermediate for *key*, computed on first request."""
+        value = self._memo.get(key)
+        if value is not None:
+            self._tally(key[0], hit=True)
+            return value
+        self._tally(key[0], hit=False)
+        value = self._compute(key)
+        self._memo[key] = value
+        return value
+
+    def peek(self, key: tuple) -> object | None:
+        """The memoized value for *key*, or None — never computes."""
+        return self._memo.get(key)
+
+    def put(self, key: tuple, value: object) -> None:
+        """Seed the memo with an externally computed value (counted as a
+        miss — the work happened, just outside the context). Used by fused
+        batch paths that compute one intermediate for many contexts."""
+        self._tally(key[0], hit=False)
+        self._memo[key] = value
+
+    def forget_arrays(self) -> None:
+        """Drop image-sized memo entries, keeping scalars and the float view.
+
+        Calibration sweeps score one corpus with several detectors; the
+        per-image arrays each detector memoized are dead weight once its
+        scalar scores exist, so the ensemble/scanner trim them between
+        members to bound peak memory.
+        """
+        for key in [k for k in self._memo if k[0] in _ARRAY_KINDS]:
+            del self._memo[key]
+
+    # -- named intermediates ----------------------------------------------
+
+    def round_trip(
+        self,
+        shape: tuple[int, int],
+        algorithm: str = "bilinear",
+        upscale_algorithm: str | None = None,
+    ) -> np.ndarray:
+        """``S = up(down(I))`` through ``shape`` (paper Algorithm 1).
+
+        Bit-identical to
+        :func:`repro.imaging.scaling.downscale_then_upscale` on the same
+        image — the operators come from the same process-wide cache and
+        multiply in the same order.
+        """
+        return self.get(self.round_trip_key(shape, algorithm, upscale_algorithm))
+
+    def filtered(self, name: str = "minimum", size: int = 2) -> np.ndarray:
+        """``F = filter(I)`` (paper Algorithm 2), via :data:`FILTERS`."""
+        return self.get(self.filtered_key(name, size))
+
+    def log_spectrum(self) -> np.ndarray:
+        """Centered log-magnitude spectrum on the 0–255 scale (paper Eq. 4)."""
+        return self.get(self.log_spectrum_key())
+
+    # -- residual metrics --------------------------------------------------
+
+    def mse_against(self, key: tuple) -> float:
+        """Memoized ``MSE(I, intermediate)`` (paper Eq. 5)."""
+        return self.get(("mse",) + tuple(key))
+
+    def ssim_against(self, key: tuple) -> float:
+        """Memoized ``SSIM(I, intermediate)`` (paper Eq. 6)."""
+        return self.get(("ssim",) + tuple(key))
+
+    # -- explanation artifacts --------------------------------------------
+
+    def artifacts(self) -> dict[str, np.ndarray]:
+        """Already-computed image intermediates, labeled for persistence.
+
+        Only returns what scoring happened to memoize — nothing is
+        computed here — so the serving pipeline can attach round-trip and
+        filtered images to a quarantine record at zero extra cost.
+        """
+        out: dict[str, np.ndarray] = {}
+        for key, value in self._memo.items():
+            kind = key[0]
+            if kind == "round_trip":
+                (h, w), algorithm, up_algorithm = key[1], key[2], key[3]
+                label = f"round_trip_{h}x{w}_{algorithm}"
+                if up_algorithm != algorithm:
+                    label += f"_{up_algorithm}"
+            elif kind == "filtered":
+                label = f"filtered_{key[1]}_{key[2]}"
+            elif kind == "log_spectrum":
+                label = "log_spectrum"
+            else:
+                continue
+            out[label] = value  # type: ignore[assignment]
+        return out

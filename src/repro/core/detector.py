@@ -6,17 +6,26 @@ the threshold plumbing — the unified :meth:`Detector.calibrate` entry point
 (percentile / sigma / midpoint strategies), decisions, batch helpers, and
 per-detector latency metrics — so the three concrete detectors only define
 *how to score* and *which side of the threshold is suspicious*.
+
+Since the shared-analysis refactor the scoring primitive is
+:meth:`Detector.score_from`, which reads from an
+:class:`~repro.core.analysis.ImageAnalysis` context instead of a raw array.
+The context validates the image once, converts it to float once, and
+memoizes every intermediate — so an ensemble, a multi-scale scan, or a
+serving decision that runs several detectors over one image shares all of
+that work. :meth:`Detector.score` remains as a thin wrapper that builds a
+throwaway context, so single-detector callers are unaffected.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.analysis import ImageAnalysis
 from repro.core.result import Detection, Direction, ThresholdRule
 from repro.core.thresholds import (
     calibrate_blackbox,
@@ -40,6 +49,12 @@ class Detector(ABC):
     :class:`DetectionError` until a threshold exists (except for detectors
     that define a fixed default rule, like steganalysis).
 
+    Subclasses implement :meth:`score_from`, pulling their intermediates
+    from the shared :class:`ImageAnalysis` context; every image-accepting
+    entry point (``score``, ``score_batch``, ``detect``, ``detect_batch``)
+    also accepts ready-made contexts, so composite callers can score many
+    detectors against one context.
+
     Setting :attr:`metrics` to a :class:`repro.observability.Metrics`
     registry makes every ``detect``/``detect_batch`` call record its
     per-image scoring latency under ``detector.<method>.<metric>``.
@@ -57,25 +72,53 @@ class Detector(ABC):
 
     # -- scoring ---------------------------------------------------------
 
+    @staticmethod
+    def as_analysis(
+        item: np.ndarray | ImageAnalysis,
+        metrics: Metrics | None = None,
+    ) -> ImageAnalysis:
+        """Coerce an image (or pass an existing context through) to an
+        :class:`ImageAnalysis`. Composite callers wrap each image once and
+        hand the same context to every member detector."""
+        if isinstance(item, ImageAnalysis):
+            return item
+        return ImageAnalysis(item, metrics=metrics)
+
     @abstractmethod
-    def score(self, image: np.ndarray) -> float:
+    def score_from(self, analysis: ImageAnalysis) -> float:
+        """Reduce the analyzed image to this method's scalar attack score.
+
+        This is the scoring primitive: implementations read their
+        intermediates from *analysis* so repeated work is shared across
+        detectors. Third-party subclasses should override this (not
+        :meth:`score`, which is a wrapper building a throwaway context).
+        """
+
+    def score(self, image: np.ndarray | ImageAnalysis) -> float:
         """Reduce *image* to this method's scalar attack score."""
+        return self.score_from(self.as_analysis(image, self.metrics))
 
     @property
     @abstractmethod
     def attack_direction(self) -> Direction:
         """Which side of the threshold indicates an attack."""
 
-    def score_batch(self, images: Sequence[np.ndarray]) -> list[float]:
-        """Score a batch of images.
+    def score_batch(
+        self, images: Sequence[np.ndarray | ImageAnalysis]
+    ) -> list[float]:
+        """Score a batch of images (or prepared analysis contexts).
 
-        The base implementation is a per-image loop; detectors whose math
-        vectorizes (the scaling round trip) override this with a fused
-        path that produces **bit-identical** scores at lower cost.
+        The base implementation is a per-image loop over
+        :meth:`score_from`; detectors whose math vectorizes across images
+        (the filtering detector's stacked window reduce) override this
+        with a fused path that produces **bit-identical** scores.
         """
-        return [self.score(image) for image in images]
+        return [
+            self.score_from(self.as_analysis(image, self.metrics))
+            for image in images
+        ]
 
-    def scores(self, images: Iterable[np.ndarray]) -> list[float]:
+    def scores(self, images: Iterable[np.ndarray | ImageAnalysis]) -> list[float]:
         """Score a batch of images (alias of :meth:`score_batch`)."""
         return self.score_batch(list(images))
 
@@ -105,8 +148,8 @@ class Detector(ABC):
 
     def calibrate(
         self,
-        benign: Sequence[np.ndarray],
-        attacks: Sequence[np.ndarray] | None = None,
+        benign: Sequence[np.ndarray | ImageAnalysis],
+        attacks: Sequence[np.ndarray | ImageAnalysis] | None = None,
         *,
         strategy: str = "percentile",
         percentile: float = 1.0,
@@ -164,37 +207,6 @@ class Detector(ABC):
         self._threshold = rule
         return rule
 
-    # -- deprecated calibration spellings ---------------------------------
-
-    def calibrate_whitebox(
-        self,
-        benign_images: Sequence[np.ndarray],
-        attack_images: Sequence[np.ndarray],
-    ) -> ThresholdRule:
-        """Deprecated: use ``calibrate(benign, attacks)``."""
-        warnings.warn(
-            "calibrate_whitebox() is deprecated; use "
-            "calibrate(benign, attacks) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.calibrate(benign_images, attack_images)
-
-    def calibrate_blackbox(
-        self,
-        benign_images: Sequence[np.ndarray],
-        *,
-        percentile: float = 1.0,
-    ) -> ThresholdRule:
-        """Deprecated: use ``calibrate(benign, percentile=...)``."""
-        warnings.warn(
-            "calibrate_blackbox() is deprecated; use "
-            "calibrate(benign, percentile=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.calibrate(benign_images, percentile=percentile)
-
     # -- decisions ---------------------------------------------------------
 
     def _record_latency(self, elapsed_seconds: float, n_images: int) -> None:
@@ -206,10 +218,10 @@ class Detector(ABC):
         for _ in range(n_images):
             histogram.record(per_image_ms)
 
-    def detect(self, image: np.ndarray) -> Detection:
-        """Score one image and apply the calibrated rule."""
+    def detect_from(self, analysis: ImageAnalysis) -> Detection:
+        """Score one prepared context and apply the calibrated rule."""
         start = time.perf_counter()
-        value = self.score(image)
+        value = self.score_from(analysis)
         self._record_latency(time.perf_counter() - start, 1)
         rule = self.threshold
         return Detection(
@@ -220,12 +232,18 @@ class Detector(ABC):
             is_attack=rule.is_attack(value),
         )
 
-    def detect_batch(self, images: Sequence[np.ndarray]) -> list[Detection]:
+    def detect(self, image: np.ndarray | ImageAnalysis) -> Detection:
+        """Score one image and apply the calibrated rule."""
+        return self.detect_from(self.as_analysis(image, self.metrics))
+
+    def detect_batch(
+        self, images: Sequence[np.ndarray | ImageAnalysis]
+    ) -> list[Detection]:
         """Score a batch and apply the calibrated rule to every image.
 
         Equivalent to ``[self.detect(im) for im in images]`` — verdicts and
         scores are bit-for-bit identical — but routed through
-        :meth:`score_batch` so vectorized detectors amortize their setup.
+        :meth:`score_batch` so fused detectors amortize their setup.
         """
         images = list(images)
         rule = self.threshold
@@ -245,6 +263,6 @@ class Detector(ABC):
             for value in values
         ]
 
-    def is_attack(self, image: np.ndarray) -> bool:
+    def is_attack(self, image: np.ndarray | ImageAnalysis) -> bool:
         """Convenience: just the boolean verdict."""
         return self.detect(image).is_attack

@@ -5,15 +5,23 @@ stabilize accuracy and (b) force an adaptive attacker to beat all methods
 at once (paper Section 6). Any odd number of calibrated detectors can be
 combined; the canonical Decamouflage instance is built by
 :func:`build_default_ensemble`.
+
+Every decision path builds **one**
+:class:`~repro.core.analysis.ImageAnalysis` context per image and hands it
+to every member: the image is validated and float-converted once, not once
+per member, and members that share an intermediate (e.g. two scaling
+configurations with the same model size) hit the memo instead of
+recomputing it.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Sequence
+from itertools import chain
 
 import numpy as np
 
+from repro.core.analysis import ImageAnalysis
 from repro.core.detector import Detector
 from repro.core.result import EnsembleDetection, ThresholdRule
 from repro.core.filtering_detector import FilteringDetector
@@ -59,12 +67,20 @@ class DetectionEnsemble:
         for detector in self.detectors:
             detector.metrics = metrics
 
+    # -- shared analysis ----------------------------------------------------
+
+    def analyze(self, image: np.ndarray | ImageAnalysis) -> ImageAnalysis:
+        """The shared analysis context members score from (pass-through for
+        prepared contexts). Carries the ensemble's metrics registry so memo
+        hit/miss counters land on the attached dashboard."""
+        return Detector.as_analysis(image, self._metrics)
+
     # -- calibration --------------------------------------------------------
 
     def calibrate(
         self,
-        benign: Sequence[np.ndarray],
-        attacks: Sequence[np.ndarray] | None = None,
+        benign: Sequence[np.ndarray | ImageAnalysis],
+        attacks: Sequence[np.ndarray | ImageAnalysis] | None = None,
         *,
         strategy: str = "percentile",
         percentile: float = 1.0,
@@ -76,7 +92,14 @@ class DetectionEnsemble:
         Steganalysis members keep their fixed CSP rule — the paper's point
         is that this method needs no calibration data at all. Returns the
         calibrated rules keyed by ``"<method>/<metric>"``.
+
+        The corpora are wrapped into shared analysis contexts once, so
+        every member scores the same validated, float-converted images;
+        image-sized memo entries are dropped between members to keep peak
+        memory at one corpus, not one corpus per member.
         """
+        benign = [self.analyze(image) for image in benign]
+        attacks = None if attacks is None else [self.analyze(image) for image in attacks]
         rules: dict[str, ThresholdRule] = {}
         for detector in self.detectors:
             if detector.method == "steganalysis":
@@ -88,36 +111,9 @@ class DetectionEnsemble:
                 percentile=percentile,
                 n_sigma=n_sigma,
             )
+            for analysis in chain(benign, attacks or ()):
+                analysis.forget_arrays()
         return rules
-
-    def calibrate_whitebox(
-        self,
-        benign_images: Sequence[np.ndarray],
-        attack_images: Sequence[np.ndarray],
-    ) -> None:
-        """Deprecated: use ``calibrate(benign, attacks)``."""
-        warnings.warn(
-            "calibrate_whitebox() is deprecated; use "
-            "calibrate(benign, attacks) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.calibrate(benign_images, attack_images)
-
-    def calibrate_blackbox(
-        self,
-        benign_images: Sequence[np.ndarray],
-        *,
-        percentile: float = 1.0,
-    ) -> None:
-        """Deprecated: use ``calibrate(benign, percentile=...)``."""
-        warnings.warn(
-            "calibrate_blackbox() is deprecated; use "
-            "calibrate(benign, percentile=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.calibrate(benign_images, percentile=percentile)
 
     # -- decisions ----------------------------------------------------------
 
@@ -131,23 +127,32 @@ class DetectionEnsemble:
             detections=detections,
         )
 
-    def detect(self, image: np.ndarray) -> EnsembleDetection:
-        """Run all members and majority-vote their verdicts."""
-        detections = tuple(detector.detect(image) for detector in self.detectors)
+    def detect_from(self, analysis: ImageAnalysis) -> EnsembleDetection:
+        """Run all members against one shared context and majority-vote."""
+        detections = tuple(
+            detector.detect_from(analysis) for detector in self.detectors
+        )
         return self._vote(detections)
 
-    def detect_batch(self, images: Sequence[np.ndarray]) -> list[EnsembleDetection]:
+    def detect(self, image: np.ndarray | ImageAnalysis) -> EnsembleDetection:
+        """Run all members and majority-vote their verdicts."""
+        return self.detect_from(self.analyze(image))
+
+    def detect_batch(
+        self, images: Sequence[np.ndarray | ImageAnalysis]
+    ) -> list[EnsembleDetection]:
         """Batch decision path: every member scores the whole batch.
 
-        Produces bit-identical verdicts to per-image :meth:`detect` while
-        letting vectorized members (the scaling detector) amortize their
-        per-call setup across the batch.
+        Produces bit-identical verdicts to per-image :meth:`detect`. Each
+        image is wrapped in one shared context for all members, and fused
+        members (the filtering detector) additionally amortize their work
+        across the batch.
         """
-        images = list(images)
-        columns = [detector.detect_batch(images) for detector in self.detectors]
+        analyses = [self.analyze(image) for image in images]
+        columns = [detector.detect_batch(analyses) for detector in self.detectors]
         return [self._vote(tuple(row)) for row in zip(*columns)]
 
-    def is_attack(self, image: np.ndarray) -> bool:
+    def is_attack(self, image: np.ndarray | ImageAnalysis) -> bool:
         return self.detect(image).is_attack
 
 

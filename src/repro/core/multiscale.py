@@ -9,16 +9,23 @@ which model the attacker aimed at* can simply test all plausible sizes.
 flags an image if any of them fires, and reports the size with the largest
 threshold margin — i.e. *which model the attack was most likely aimed at*,
 which is useful forensics when triaging a poisoned dataset.
+
+Each scanned image gets **one** shared
+:class:`~repro.core.analysis.ImageAnalysis` context for all candidate
+sizes: validation and the float conversion happen once per image instead
+of once per size (only the per-size round trips differ).
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
+from itertools import chain
 
 import numpy as np
 
+from repro.core.analysis import ImageAnalysis
+from repro.core.detector import Detector
 from repro.core.result import Direction
 from repro.core.scaling_detector import ScalingDetector
 from repro.errors import DetectionError
@@ -90,8 +97,8 @@ class MultiScaleScanner:
 
     def calibrate(
         self,
-        benign: Sequence[np.ndarray],
-        attacks: Sequence[np.ndarray] | None = None,
+        benign: Sequence[np.ndarray | ImageAnalysis],
+        attacks: Sequence[np.ndarray | ImageAnalysis] | None = None,
         *,
         strategy: str = "percentile",
         percentile: float = 1.0,
@@ -101,11 +108,20 @@ class MultiScaleScanner:
         :meth:`repro.core.Detector.calibrate` for the strategies).
 
         Sizes not smaller than the hold-out images are dropped (they could
-        never apply to same-sized inputs anyway).
+        never apply to same-sized inputs anyway). The corpora are wrapped
+        into shared analysis contexts so every size scores the same
+        validated float images; the per-size round trips are dropped
+        between sizes to keep peak memory at one corpus.
         """
         if not benign:
             raise DetectionError("calibration needs at least one benign image")
-        applicable = self._applicable(benign[0])
+        benign = [Detector.as_analysis(image) for image in benign]
+        attacks = (
+            None
+            if attacks is None
+            else [Detector.as_analysis(image) for image in attacks]
+        )
+        applicable = self._applicable(benign[0].image)
         if not applicable:
             raise DetectionError(
                 "no candidate size is smaller than the hold-out images"
@@ -118,22 +134,9 @@ class MultiScaleScanner:
                 percentile=percentile,
                 n_sigma=n_sigma,
             )
+            for analysis in chain(benign, attacks or ()):
+                analysis.forget_arrays()
         self.detectors = dict(applicable)
-
-    def calibrate_blackbox(
-        self,
-        benign_images: Sequence[np.ndarray],
-        *,
-        percentile: float = 1.0,
-    ) -> None:
-        """Deprecated: use ``calibrate(benign, percentile=...)``."""
-        warnings.warn(
-            "calibrate_blackbox() is deprecated; use "
-            "calibrate(benign, percentile=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.calibrate(benign_images, percentile=percentile)
 
     def _finalize(
         self,
@@ -169,36 +172,39 @@ class MultiScaleScanner:
             per_size=per_size,
         )
 
-    def detect(self, image: np.ndarray) -> MultiScaleDetection:
-        """Test every applicable size; flag if any fires."""
+    def detect(self, image: np.ndarray | ImageAnalysis) -> MultiScaleDetection:
+        """Test every applicable size against one shared context."""
+        analysis = Detector.as_analysis(image)
         per_size: dict[tuple[int, int], tuple[float, float, bool]] = {}
-        for size, detector in self._applicable(image).items():
+        for size, detector in self._applicable(analysis.image).items():
             if not detector.is_calibrated:
                 raise DetectionError(
                     f"size {size} is not calibrated; call calibrate() first"
                 )
-            score = detector.score(image)
+            score = detector.score_from(analysis)
             rule = detector.threshold
             per_size[size] = (score, rule.value, rule.is_attack(score))
-        return self._finalize(per_size, image.shape)
+        return self._finalize(per_size, analysis.image.shape)
 
-    def detect_batch(self, images: Sequence[np.ndarray]) -> list[MultiScaleDetection]:
+    def detect_batch(
+        self, images: Sequence[np.ndarray | ImageAnalysis]
+    ) -> list[MultiScaleDetection]:
         """Batch scan: each candidate size scores its applicable images.
 
-        Bit-identical results to per-image :meth:`detect`; the per-size
-        detectors run their vectorized ``score_batch`` path, so the
-        operator pairs for all candidate sizes are fetched once per batch
-        instead of once per image.
+        Bit-identical results to per-image :meth:`detect`; each image is
+        wrapped in one shared context for every size, so validation and
+        float conversion happen once per image instead of once per
+        size × image.
         """
-        images = list(images)
+        analyses = [Detector.as_analysis(image) for image in images]
         per_image: list[dict[tuple[int, int], tuple[float, float, bool]]] = [
-            {} for _ in images
+            {} for _ in analyses
         ]
         for size, detector in self.detectors.items():
             indices = [
                 index
-                for index, image in enumerate(images)
-                if size[0] < image.shape[0] and size[1] < image.shape[1]
+                for index, analysis in enumerate(analyses)
+                if size[0] < analysis.image.shape[0] and size[1] < analysis.image.shape[1]
             ]
             if not indices:
                 continue
@@ -206,14 +212,14 @@ class MultiScaleScanner:
                 raise DetectionError(
                     f"size {size} is not calibrated; call calibrate() first"
                 )
-            scores = detector.score_batch([images[i] for i in indices])
+            scores = detector.score_batch([analyses[i] for i in indices])
             rule = detector.threshold
             for index, score in zip(indices, scores):
                 per_image[index][size] = (score, rule.value, rule.is_attack(score))
         return [
-            self._finalize(per_size, image.shape)
-            for per_size, image in zip(per_image, images)
+            self._finalize(per_size, analysis.image.shape)
+            for per_size, analysis in zip(per_image, analyses)
         ]
 
-    def is_attack(self, image: np.ndarray) -> bool:
+    def is_attack(self, image: np.ndarray | ImageAnalysis) -> bool:
         return self.detect(image).is_attack

@@ -11,16 +11,13 @@ where ``S = up(down(I))``.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 
+from repro.core.analysis import ImageAnalysis
 from repro.core.detector import Detector
 from repro.core.result import Direction, ThresholdRule
 from repro.errors import DetectionError
-from repro.imaging.image import as_float, ensure_image
-from repro.imaging.metrics import mse, ssim
-from repro.imaging.scaling import downscale_then_upscale, get_scaling_operators
+from repro.imaging.scaling import downscale_then_upscale
 
 __all__ = ["ScalingDetector"]
 
@@ -31,6 +28,11 @@ class ScalingDetector(Detector):
     Parameters mirror the deployment being defended: ``model_input_shape``
     is the CNN's expected input size, ``algorithm`` the scaling algorithm
     the serving pipeline uses (which the attacker targeted).
+
+    The round trip and its residual metric come from the shared
+    :class:`~repro.core.analysis.ImageAnalysis` context, so a multi-scale
+    scan or an ensemble sharing one context per image validates and
+    float-converts it exactly once, and a repeated score is a memo hit.
     """
 
     method = "scaling"
@@ -66,89 +68,10 @@ class ScalingDetector(Detector):
             self.upscale_algorithm,
         )
 
-    def score(self, image: np.ndarray) -> float:
-        reconstructed = self.round_trip(image)
+    def score_from(self, analysis: ImageAnalysis) -> float:
+        key = ImageAnalysis.round_trip_key(
+            self.model_input_shape, self.algorithm, self.upscale_algorithm
+        )
         if self.metric == "mse":
-            return mse(image, reconstructed)
-        return ssim(image, reconstructed)
-
-    #: Residuals at or below this element count are finalized together
-    #: (one stacked square + mean per shape group). Above it, the stack
-    #: copy costs more than the saved reduction-call overhead, so large
-    #: residuals finalize in place one at a time. Both paths are
-    #: bit-identical; the cutoff only picks the cheaper one.
-    _GROUPED_FINALIZE_MAX_ELEMENTS = 3072
-
-    def _round_trip_fused(
-        self,
-        f: np.ndarray,
-        operators: dict[tuple[int, int], tuple],
-        up_alg: str,
-    ) -> np.ndarray:
-        """Reconstruction ``S`` via cached operators, no temporaries."""
-        shape = f.shape[:2]
-        pairs = operators.get(shape)
-        if pairs is None:
-            # Serving batches are overwhelmingly same-shaped: memoize per
-            # source shape so the process cache (and its lock) is consulted
-            # once per shape, not twice per image.
-            pairs = operators[shape] = (
-                get_scaling_operators(shape, self.model_input_shape, self.algorithm),
-                get_scaling_operators(self.model_input_shape, shape, up_alg),
-            )
-        (left_d, right_d), (left_u, right_u) = pairs
-        if f.ndim == 2:
-            return (left_u @ ((left_d @ f) @ right_d)) @ right_u
-        down = [(left_d @ f[:, :, c]) @ right_d for c in range(f.shape[2])]
-        return np.stack([(left_u @ plane) @ right_u for plane in down], axis=2)
-
-    def score_batch(self, images: Sequence[np.ndarray]) -> list[float]:
-        """Batch scoring with a fused, allocation-lean round trip.
-
-        Produces **bit-identical** scores to per-image :meth:`score`: the
-        same matmuls run in the same order on the same float64 values — the
-        batch path only strips the per-call validation, the redundant
-        ``as_float`` copies, and the intermediate temporaries that dominate
-        the per-image wall time, and (for small images) finalizes the MSE
-        of each same-shape group with one vectorized reduction. (A stacked
-        einsum over ``(N, H, W, C)`` for the round trip itself was also
-        evaluated and measured *slower* on CPU — the stack copies are
-        memory-bound while the per-image operands stay cache-resident.)
-        """
-        images = list(images)
-        up_alg = self.upscale_algorithm or self.algorithm
-        operators: dict[tuple[int, int], tuple] = {}
-        if self.metric != "mse":
-            scores = []
-            for image in images:
-                ensure_image(image)
-                f = image if image.dtype == np.float64 else as_float(image)
-                scores.append(ssim(image, self._round_trip_fused(f, operators, up_alg)))
-            return scores
-
-        scores: list[float] = [0.0] * len(images)
-        # Small residuals are held back and reduced per shape group; large
-        # ones are consumed immediately so batch memory stays bounded.
-        pending: dict[tuple[int, ...], list[tuple[int, np.ndarray]]] = {}
-        for index, image in enumerate(images):
-            ensure_image(image)
-            f = image if image.dtype == np.float64 else as_float(image)
-            reconstructed = self._round_trip_fused(f, operators, up_alg)
-            # In-place residual: `reconstructed` is a fresh buffer, and
-            # (f - S)**2 has identical values however it is evaluated.
-            diff = np.subtract(f, reconstructed, out=reconstructed)
-            if diff.size > self._GROUPED_FINALIZE_MAX_ELEMENTS:
-                scores[index] = float(np.mean(np.square(diff, out=diff)))
-            else:
-                pending.setdefault(diff.shape, []).append((index, diff))
-        for group in pending.values():
-            if len(group) == 1:
-                index, diff = group[0]
-                scores[index] = float(np.mean(np.square(diff, out=diff)))
-                continue
-            stacked = np.stack([diff for _, diff in group])
-            np.square(stacked, out=stacked)
-            means = stacked.mean(axis=tuple(range(1, stacked.ndim)))
-            for (index, _), mean in zip(group, means):
-                scores[index] = float(mean)
-        return scores
+            return analysis.mse_against(key)
+        return analysis.ssim_against(key)

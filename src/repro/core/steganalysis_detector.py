@@ -13,11 +13,10 @@ original and attack images"), which is why the detector is born calibrated.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.core.analysis import ImageAnalysis
 from repro.core.detector import Detector
 from repro.core.result import Direction, ThresholdRule
-from repro.imaging.fourier import csp_count
+from repro.imaging.fourier import csp_count_from_spectrum
 
 __all__ = ["SteganalysisDetector", "DEFAULT_CSP_THRESHOLD"]
 
@@ -31,7 +30,10 @@ class SteganalysisDetector(Detector):
     Spectrum extraction knobs (brightness threshold, low-pass radius,
     prominence) are exposed for experimentation but the defaults are used
     throughout the paper reproduction; see
-    :func:`repro.imaging.fourier.csp_count` for their meaning.
+    :func:`repro.imaging.fourier.csp_count` for their meaning. The log
+    spectrum itself comes from the shared analysis context (it is
+    parameter-free), so figure code or a second steganalysis configuration
+    scoring the same context reuses the FFT.
     """
 
     method = "steganalysis"
@@ -61,10 +63,10 @@ class SteganalysisDetector(Detector):
     def attack_direction(self) -> Direction:
         return Direction.GREATER
 
-    def score(self, image: np.ndarray) -> float:
+    def score_from(self, analysis: ImageAnalysis) -> float:
         return float(
-            csp_count(
-                image,
+            csp_count_from_spectrum(
+                analysis.log_spectrum(),
                 brightness_threshold=self.brightness_threshold,
                 lowpass_radius_fraction=self.lowpass_radius_fraction,
                 inner_radius_fraction=self.inner_radius_fraction,

@@ -31,11 +31,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.evaluation import ConfusionCounts, evaluate_decisions
+from repro.core.analysis import ImageAnalysis
+from repro.core.evaluation import evaluate_decisions
 from repro.core.ensemble import build_default_ensemble
 from repro.core.filtering_detector import FilteringDetector
 from repro.core.pipeline import evaluate_detector, evaluate_ensemble
-from repro.core.result import Direction, ThresholdRule
+from repro.core.result import ThresholdRule
 from repro.core.scaling_detector import ScalingDetector
 from repro.core.steganalysis_detector import SteganalysisDetector
 from repro.core.thresholds import auc, threshold_accuracy
@@ -537,14 +538,26 @@ def table9_missed_attacks(data: ExperimentData, *, seed: int = 0) -> ExperimentR
 def appendix_psnr(data: ExperimentData) -> ExperimentResult:
     """Appendix Figs. 15–16: PSNR does not separate benign from attack."""
     rows = []
-    scaling = ScalingDetector(data.model_input_shape, algorithm=data.algorithm)
-    filtering = FilteringDetector()
-    for method, reference in (
-        ("scaling", lambda img: scaling.round_trip(img)),
-        ("filtering", lambda img: filtering.filtered(img)),
-    ):
-        benign = [psnr(img, reference(img)) for img in data.calibration.benign]
-        attack = [psnr(img, reference(img)) for img in data.calibration.attacks]
+    references = {
+        "scaling": ImageAnalysis.round_trip_key(data.model_input_shape, data.algorithm),
+        "filtering": ImageAnalysis.filtered_key("minimum", 2),
+    }
+
+    def psnr_by_method(images) -> dict[str, list[float]]:
+        # One shared context per image: both methods' reference images come
+        # out of the same validated float view.
+        scores: dict[str, list[float]] = {method: [] for method in references}
+        for img in images:
+            analysis = ImageAnalysis(img)
+            for method, key in references.items():
+                scores[method].append(psnr(img, analysis.get(key)))
+        return scores
+
+    benign_by_method = psnr_by_method(data.calibration.benign)
+    attack_by_method = psnr_by_method(data.calibration.attacks)
+    for method in references:
+        benign = benign_by_method[method]
+        attack = attack_by_method[method]
         separation = auc(benign, attack)
         overlap_lo = max(min(benign), min(attack))
         overlap_hi = min(max(benign), max(attack))
@@ -588,15 +601,18 @@ def ablation_histogram_metric(data: ExperimentData, *, n_images: int = 15) -> Ex
     from repro.errors import AttackError
     from repro.imaging.scaling import resize
 
-    scaling = ScalingDetector(data.model_input_shape, algorithm=data.algorithm)
     mse_detector = ScalingDetector(data.model_input_shape, algorithm=data.algorithm, metric="mse")
+    round_trip_key = ImageAnalysis.round_trip_key(data.model_input_shape, data.algorithm)
 
     n = min(n_images, data.n_calibration)
-    benign_hist = [
-        histogram_intersection(img, scaling.round_trip(img))
-        for img in data.calibration.benign[:n]
-    ]
-    benign_mse = mse_detector.scores(data.calibration.benign[:n])
+    # One context per image: the histogram metric and the MSE detector both
+    # read the same memoized round trip.
+    benign_hist: list[float] = []
+    benign_mse: list[float] = []
+    for img in data.calibration.benign[:n]:
+        analysis = ImageAnalysis(img)
+        benign_hist.append(histogram_intersection(img, analysis.get(round_trip_key)))
+        benign_mse.append(mse_detector.score_from(analysis))
 
     def score_attacks(match_palette: bool) -> tuple[list[float], list[float]]:
         hist_scores: list[float] = []
@@ -613,8 +629,9 @@ def ablation_histogram_metric(data: ExperimentData, *, n_images: int = 15) -> Ex
                 attack = craft(original, target, algorithm=data.algorithm).attack_image
             except AttackError:
                 continue
-            hist_scores.append(histogram_intersection(attack, scaling.round_trip(attack)))
-            mse_scores.append(mse_detector.score(attack))
+            analysis = ImageAnalysis(attack)
+            hist_scores.append(histogram_intersection(attack, analysis.get(round_trip_key)))
+            mse_scores.append(mse_detector.score_from(analysis))
         return hist_scores, mse_scores
 
     naive_hist, naive_mse = score_attacks(match_palette=False)

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.analysis import ImageAnalysis
 from repro.core.filtering_detector import FilteringDetector
 from repro.core.scaling_detector import ScalingDetector
 from repro.core.steganalysis_detector import SteganalysisDetector
@@ -31,13 +32,23 @@ from repro.core.thresholds import threshold_accuracy
 from repro.core.result import ThresholdRule
 from repro.eval.data import ExperimentData
 from repro.eval.plotting import bar_chart, histogram_chart, line_chart
-from repro.imaging.fourier import binary_spectrum, log_spectrum_image
-from repro.imaging.filtering import minimum_filter
+from repro.imaging.fourier import binary_spectrum
 from repro.imaging.image import as_uint8
 from repro.imaging.png import write_png
 from repro.imaging.scaling import resize
 
-__all__ = ["render_all_figures"]
+__all__ = [
+    "fig_attack_example",
+    "fig_min_filter_reveal",
+    "fig_spectrum_pair",
+    "fig_vulnerability_map",
+    "fig8_threshold_search",
+    "fig9_scaling_histograms",
+    "fig11_filtering_histograms",
+    "fig13_csp_bars",
+    "fig15_psnr_histograms",
+    "render_all_figures",
+]
 
 
 def _montage(panels: list[np.ndarray], *, pad: int = 6) -> np.ndarray:
@@ -74,21 +85,27 @@ def fig_attack_example(data: ExperimentData, out_dir: Path) -> Path:
 
 def fig_min_filter_reveal(data: ExperimentData, out_dir: Path) -> Path:
     """Fig. 4: the minimum filter reveals the embedded target."""
-    attack = data.calibration.attacks[0]
-    filtered = minimum_filter(attack, 2)
+    attack = ImageAnalysis(data.calibration.attacks[0])
+    filtered = attack.filtered("minimum", 2)
     path = out_dir / "fig04_min_filter_reveal.png"
-    write_png(path, as_uint8(_montage([attack, filtered])))
+    write_png(path, as_uint8(_montage([attack.float_image, filtered])))
     return path
 
 
 def fig_spectrum_pair(data: ExperimentData, out_dir: Path) -> Path:
-    """Figs. 6–7: centered spectra and binary spectra, benign vs attack."""
+    """Figs. 6–7: centered spectra and binary spectra, benign vs attack.
+
+    Each image's spectrum is computed once (via the shared analysis
+    context) and reused for the binarized panel.
+    """
     benign = data.calibration.benign[0]
     attack = data.calibration.attacks[0]
     panels = []
     for image in (benign, attack):
-        panels.append(_gray_to_rgb(log_spectrum_image(image)))
-        panels.append(_gray_to_rgb(binary_spectrum(image).astype(np.float64) * 255.0))
+        spectrum = ImageAnalysis(image).log_spectrum()
+        binary = binary_spectrum(image, spectrum=spectrum)
+        panels.append(_gray_to_rgb(spectrum))
+        panels.append(_gray_to_rgb(binary.astype(np.float64) * 255.0))
     path = out_dir / "fig07_spectrum_pair.png"
     write_png(path, as_uint8(_montage(panels)))
     return path
@@ -208,14 +225,27 @@ def fig15_psnr_histograms(data: ExperimentData, out_dir: Path) -> list[Path]:
     from repro.imaging.metrics import psnr
 
     paths = []
-    scaling = ScalingDetector(data.model_input_shape, algorithm=data.algorithm)
-    filtering = FilteringDetector()
-    for name, reference in (
-        ("fig15_psnr_hist_scaling.png", scaling.round_trip),
-        ("fig16_psnr_hist_filtering.png", filtering.filtered),
-    ):
-        benign = [psnr(img, reference(img)) for img in data.calibration.benign]
-        attack = [psnr(img, reference(img)) for img in data.calibration.attacks]
+    figures = {
+        "fig15_psnr_hist_scaling.png": ImageAnalysis.round_trip_key(
+            data.model_input_shape, data.algorithm
+        ),
+        "fig16_psnr_hist_filtering.png": ImageAnalysis.filtered_key("minimum", 2),
+    }
+
+    def psnr_scores(images) -> dict[str, list[float]]:
+        # One shared context per image serves both figures' references.
+        scores: dict[str, list[float]] = {name: [] for name in figures}
+        for img in images:
+            analysis = ImageAnalysis(img)
+            for name, key in figures.items():
+                scores[name].append(psnr(img, analysis.get(key)))
+        return scores
+
+    benign_scores = psnr_scores(data.calibration.benign)
+    attack_scores = psnr_scores(data.calibration.attacks)
+    for name in figures:
+        benign = benign_scores[name]
+        attack = attack_scores[name]
         chart = histogram_chart(
             {"BENIGN": benign, "ATTACK": attack},
             title=name.split(".")[0].replace("_", " ").upper(),

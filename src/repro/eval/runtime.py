@@ -24,6 +24,7 @@ from repro.eval.experiments import ExperimentResult
 from repro.eval.tables import format_number
 
 __all__ = [
+    "PAPER_RUNTIMES",
     "time_detector",
     "time_detector_batch",
     "table7_runtime",

@@ -23,6 +23,7 @@ from repro.imaging.coefficients import (
 )
 from repro.imaging.contours import Region, count_spectrum_points, find_regions, label_components
 from repro.imaging.filtering import (
+    filter_batch,
     gaussian_filter,
     maximum_filter,
     median_filter,
@@ -32,6 +33,8 @@ from repro.imaging.filtering import (
 from repro.imaging.fourier import (
     binary_spectrum,
     centered_spectrum,
+    csp_count,
+    csp_count_from_spectrum,
     log_spectrum_image,
     radial_lowpass_mask,
 )
@@ -60,8 +63,11 @@ __all__ = [
     "clear_operator_cache",
     "coefficient_sparsity",
     "count_spectrum_points",
+    "csp_count",
+    "csp_count_from_spectrum",
     "downscale_then_upscale",
     "ensure_image",
+    "filter_batch",
     "find_regions",
     "gaussian_filter",
     "get_scaling_operators",

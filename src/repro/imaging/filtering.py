@@ -29,6 +29,7 @@ __all__ = [
     "median_filter",
     "uniform_filter",
     "gaussian_filter",
+    "filter_batch",
     "FILTERS",
 ]
 
@@ -109,3 +110,44 @@ FILTERS = {
     "median": median_filter,
     "uniform": uniform_filter,
 }
+
+#: Window reducer behind each order-statistic filter, for the batch path.
+_REDUCERS = {
+    "minimum": np.min,
+    "maximum": np.max,
+    "median": np.median,
+    "uniform": np.mean,
+}
+
+
+def filter_batch(stack: np.ndarray, name: str, size: int) -> np.ndarray:
+    """Apply one :data:`FILTERS` filter to a stack of same-shaped images.
+
+    *stack* is ``(N, H, W)`` or ``(N, H, W, C)`` float64. The result's
+    ``i``-th slice is **bit-identical** to ``FILTERS[name](stack[i], size)``:
+    reflect padding never crosses the batch axis and every output element
+    reduces the same ``size``×``size`` window with the same reducer — the
+    batch path only replaces N python-level passes (pad, window view,
+    reduce) with one.
+    """
+    if name not in _REDUCERS:
+        known = ", ".join(sorted(_REDUCERS))
+        raise ImageError(f"unknown filter {name!r}; known: {known}")
+    if stack.ndim not in (3, 4):
+        raise ImageError(
+            f"filter_batch expects a (N, H, W[, C]) stack, got shape {stack.shape}"
+        )
+    if size < 1:
+        raise ImageError(f"filter size must be >= 1, got {size}")
+    if size == 1:
+        return stack.astype(np.float64, copy=True)
+    img = stack.astype(np.float64, copy=False)
+    pad_before = (size - 1) // 2
+    pad_after = size - 1 - pad_before
+    pad = [(0, 0), (pad_before, pad_after), (pad_before, pad_after)]
+    if img.ndim == 4:
+        pad.append((0, 0))
+    padded = np.pad(img, pad, mode="reflect")
+    windows = sliding_window_view(padded, (size, size), axis=(1, 2))
+    # windows shape: (N, H, W[, C], size, size) -> reduce the trailing two.
+    return _REDUCERS[name](windows, axis=(-2, -1))

@@ -27,6 +27,7 @@ __all__ = [
     "radial_lowpass_mask",
     "binary_spectrum",
     "csp_count",
+    "csp_count_from_spectrum",
 ]
 
 
@@ -74,6 +75,7 @@ def binary_spectrum(
     *,
     brightness_threshold: float = 160.0,
     lowpass_radius_fraction: float = 0.5,
+    spectrum: np.ndarray | None = None,
 ) -> np.ndarray:
     """Binarized low-frequency spectrum — input to contour counting.
 
@@ -81,9 +83,11 @@ def binary_spectrum(
     brightness threshold. ``brightness_threshold`` is on the normalized
     0–255 spectrum scale; ``lowpass_radius_fraction`` sets ``D_T`` relative
     to the smaller image half-extent so the same setting works across image
-    sizes.
+    sizes. Pass *spectrum* (the image's :func:`log_spectrum_image`) to
+    reuse an already-computed spectrum instead of re-deriving it.
     """
-    spectrum = log_spectrum_image(image)
+    if spectrum is None:
+        spectrum = log_spectrum_image(image)
     h, w = spectrum.shape
     radius = lowpass_radius_fraction * (min(h, w) / 2.0)
     mask = radial_lowpass_mask((h, w), radius)
@@ -121,11 +125,36 @@ def csp_count(
     The defaults detect ratios from ~2.2 up to ~11; for more extreme
     ratios, lower ``inner_radius_fraction`` accordingly.
     """
+    return csp_count_from_spectrum(
+        log_spectrum_image(image),
+        brightness_threshold=brightness_threshold,
+        lowpass_radius_fraction=lowpass_radius_fraction,
+        inner_radius_fraction=inner_radius_fraction,
+        min_area=min_area,
+        min_prominence=min_prominence,
+    )
+
+
+def csp_count_from_spectrum(
+    spectrum: np.ndarray,
+    *,
+    brightness_threshold: float = 160.0,
+    lowpass_radius_fraction: float = 0.5,
+    inner_radius_fraction: float = 0.09,
+    min_area: int = 2,
+    min_prominence: float = 35.0,
+) -> int:
+    """:func:`csp_count` on a precomputed :func:`log_spectrum_image`.
+
+    The spectrum is the expensive part of the CSP metric (one FFT per
+    image); callers that already hold it — the shared analysis context, or
+    figure code that also renders the spectrum — use this entry point so
+    the counting logic runs without re-deriving it.
+    """
     # Import here to avoid an import cycle (contours has no dependency on
     # fourier, but keeping the public imaging namespace flat needs this).
     from repro.imaging.contours import find_regions
 
-    spectrum = log_spectrum_image(image)
     h, w = spectrum.shape
     radius = lowpass_radius_fraction * (min(h, w) / 2.0)
     binary = (spectrum >= brightness_threshold) & radial_lowpass_mask((h, w), radius)

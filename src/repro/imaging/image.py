@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ImageError
 
 __all__ = [
+    "MAX_PIXEL",
     "as_float",
     "as_uint8",
     "clip_pixels",

@@ -182,6 +182,18 @@ class Metrics:
         """Record a pre-measured latency into histogram *name*."""
         self.histogram(name).record(value_ms)
 
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        """Current values of every counter whose name starts with *prefix*,
+        sorted by name. Used by dashboards to extract one counter family
+        (e.g. the shared-analysis memo counters under ``analysis.``)."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            name: counters[name].value
+            for name in sorted(counters)
+            if name.startswith(prefix)
+        }
+
     def latency_summaries(self) -> dict[str, dict[str, float]]:
         """Per-histogram summaries, sorted by name."""
         with self._lock:

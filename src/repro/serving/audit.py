@@ -77,8 +77,21 @@ class AuditLog:
         # lock across file I/O.
         self._io_lock = threading.Lock()
 
-    def quarantine(self, image_id: str, image: np.ndarray) -> str:
-        """Persist a flagged image; returns the stored path."""
+    def quarantine(
+        self,
+        image_id: str,
+        image: np.ndarray,
+        *,
+        artifacts: dict[str, np.ndarray] | None = None,
+    ) -> str:
+        """Persist a flagged image; returns the stored path.
+
+        *artifacts* are labeled explanation images (the detectors' round
+        trip, filtered image, log spectrum — whatever scoring already
+        computed), written next to the quarantined input as
+        ``<id>.<label>.png`` so an analyst sees *what the detectors saw*
+        without re-running them.
+        """
         if self.quarantine_dir is None:
             raise ReproError("AuditLog was created without a quarantine directory")
         # Strict allowlist: no dots, so identifiers like "../../x" cannot
@@ -86,6 +99,14 @@ class AuditLog:
         safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in image_id)
         path = self.quarantine_dir / f"{safe}.png"
         write_png(path, np.clip(image, 0, 255))
+        for label, artifact in (artifacts or {}).items():
+            safe_label = "".join(
+                c if c.isalnum() or c in "-_" else "_" for c in label
+            )
+            write_png(
+                self.quarantine_dir / f"{safe}.{safe_label}.png",
+                np.clip(artifact, 0, 255),
+            )
         return str(path)
 
     def append(self, record: AuditRecord) -> None:

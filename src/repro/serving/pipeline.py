@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.analysis import ImageAnalysis
 from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
 from repro.core.result import EnsembleDetection
 from repro.errors import DetectionError
@@ -89,6 +90,11 @@ class PipelineStats:
         }
         if self.metrics is not None:
             out["latency_ms"] = self.metrics.latency_summaries()
+            memo = self.metrics.counter_values("analysis.")
+            if memo:
+                # Shared-analysis savings: hits are intermediates a second
+                # consumer got for free, misses are actual computations.
+                out["analysis_memo"] = memo
         out["operator_cache"] = operator_cache_stats()
         return out
 
@@ -132,22 +138,11 @@ class ProtectedPipeline:
         strategy: str = "percentile",
         percentile: float = 1.0,
         n_sigma: float = 3.0,
-        attack_examples: list[np.ndarray] | None = None,
     ) -> None:
         """Calibrate the ensemble (see :meth:`repro.core.Detector.calibrate`
         for the strategies). Supplying *attacks* selects the white-box
         midpoint strategy; benign-only calls default to the percentile rule.
         """
-        if attack_examples is not None:
-            import warnings
-
-            warnings.warn(
-                "attack_examples= is deprecated; pass attack images as the "
-                "second positional argument: calibrate(benign, attacks)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            attacks = attacks if attacks is not None else attack_examples
         self.ensemble.calibrate(
             benign,
             attacks,
@@ -164,13 +159,14 @@ class ProtectedPipeline:
 
     def _resolve(
         self,
-        image: np.ndarray,
+        analysis: ImageAnalysis,
         identifier: str,
         sequence: int,
         detection: EnsembleDetection,
     ) -> tuple[PipelineOutcome, AuditRecord | None]:
         """Apply the response policy to one screened image (pure + I/O-free
         except for the explicit quarantine write)."""
+        image = analysis.image
         quarantine_path: str | None = None
         if not detection.is_attack:
             action = "accepted"
@@ -183,7 +179,12 @@ class ProtectedPipeline:
             action = "quarantined"
             model_input = None
             if self.audit_log is not None and self.audit_log.quarantine_dir is not None:
-                quarantine_path = self.audit_log.quarantine(identifier, image)
+                # Attach whatever intermediates screening already memoized
+                # (round trip, filtered image, spectrum) as explanation
+                # artifacts — zero recomputation.
+                quarantine_path = self.audit_log.quarantine(
+                    identifier, image, artifacts=analysis.artifacts()
+                )
         else:  # Policy.SANITIZE
             from repro.defenses.reconstruction import reconstruct_image
 
@@ -224,9 +225,12 @@ class ProtectedPipeline:
         identifier = image_id or f"image-{sequence:06d}"
 
         # Pure computation — outside the lock so submissions parallelize.
+        # One shared analysis context carries the image through screening
+        # and into quarantine artifacts.
         with self.metrics.timer("pipeline.screen"):
-            detection = self.ensemble.detect(image)
-        outcome, record = self._resolve(image, identifier, sequence, detection)
+            analysis = self.ensemble.analyze(image)
+            detection = self.ensemble.detect_from(analysis)
+        outcome, record = self._resolve(analysis, identifier, sequence, detection)
 
         with self._lock:
             self._count(outcome.action)
@@ -265,14 +269,17 @@ class ProtectedPipeline:
             self._sequence += len(images)
         sequences = range(first, first + len(images))
 
+        analyses = [self.ensemble.analyze(image) for image in images]
         with self.metrics.timer("pipeline.screen"):
-            if max_workers <= 1 or len(images) <= 1:
-                detections = self.ensemble.detect_batch(images)
+            if max_workers <= 1 or len(analyses) <= 1:
+                detections = self.ensemble.detect_batch(analyses)
             else:
-                workers = min(max_workers, len(images))
-                bounds = np.linspace(0, len(images), workers + 1).astype(int)
+                # Chunks are disjoint, so each context is touched by
+                # exactly one worker — no cross-thread memo races.
+                workers = min(max_workers, len(analyses))
+                bounds = np.linspace(0, len(analyses), workers + 1).astype(int)
                 chunks = [
-                    images[bounds[i]:bounds[i + 1]]
+                    analyses[bounds[i]:bounds[i + 1]]
                     for i in range(workers)
                     if bounds[i] < bounds[i + 1]
                 ]
@@ -282,10 +289,10 @@ class ProtectedPipeline:
 
         outcomes: list[PipelineOutcome] = []
         records: list[AuditRecord] = []
-        for image, identifier, sequence, detection in zip(
-            images, identifiers, sequences, detections
+        for analysis, identifier, sequence, detection in zip(
+            analyses, identifiers, sequences, detections
         ):
-            outcome, record = self._resolve(image, identifier, sequence, detection)
+            outcome, record = self._resolve(analysis, identifier, sequence, detection)
             outcomes.append(outcome)
             if record is not None:
                 records.append(record)

@@ -92,36 +92,38 @@ class TestEnsembleAndScanner:
         assert scanner.detectors[MODEL_INPUT].threshold.value == reference.value
 
 
-class TestDeprecatedSpellings:
-    def test_detector_whitebox_warns_and_works(self, detector, benign_images, attack_images):
-        with pytest.warns(DeprecationWarning, match="calibrate_whitebox"):
-            rule = detector.calibrate_whitebox(benign_images, attack_images)
-        fresh = ScalingDetector(MODEL_INPUT, metric="mse")
-        assert rule.value == fresh.calibrate(benign_images, attack_images).value
+class TestRemovedSpellings:
+    """The PR-1 deprecation cycle ended: the method shims are gone.
 
-    def test_detector_blackbox_warns_and_works(self, detector, benign_images):
-        with pytest.warns(DeprecationWarning, match="calibrate_blackbox"):
-            rule = detector.calibrate_blackbox(benign_images, percentile=5.0)
-        fresh = ScalingDetector(MODEL_INPUT, metric="mse")
-        assert rule.value == fresh.calibrate(benign_images, percentile=5.0).value
+    The *module-level* threshold helpers in ``repro.core.thresholds``
+    (``calibrate_whitebox``/``calibrate_blackbox``) are stable API and
+    must keep working — only the detector/ensemble/scanner method shims
+    and the pipeline kwarg were scheduled for removal.
+    """
 
-    def test_ensemble_shims_warn(self, benign_images, attack_images):
+    def test_detector_shims_removed(self, detector):
+        assert not hasattr(detector, "calibrate_whitebox")
+        assert not hasattr(detector, "calibrate_blackbox")
+
+    def test_ensemble_and_scanner_shims_removed(self):
         ensemble = build_default_ensemble(MODEL_INPUT)
-        with pytest.warns(DeprecationWarning):
-            ensemble.calibrate_whitebox(benign_images, attack_images)
-        with pytest.warns(DeprecationWarning):
-            ensemble.calibrate_blackbox(benign_images, percentile=5.0)
-
-    def test_scanner_shim_warns(self, benign_images):
+        assert not hasattr(ensemble, "calibrate_whitebox")
+        assert not hasattr(ensemble, "calibrate_blackbox")
         scanner = MultiScaleScanner([MODEL_INPUT], algorithm="bilinear")
-        with pytest.warns(DeprecationWarning):
-            scanner.calibrate_blackbox(benign_images, percentile=5.0)
+        assert not hasattr(scanner, "calibrate_blackbox")
 
-    def test_pipeline_attack_examples_kwarg_warns(self, benign_images, attack_images):
+    def test_pipeline_attack_examples_kwarg_removed(self, benign_images, attack_images):
         pipeline = ProtectedPipeline(MODEL_INPUT)
-        with pytest.warns(DeprecationWarning, match="attack_examples"):
+        with pytest.raises(TypeError, match="attack_examples"):
             pipeline.calibrate(benign_images, attack_examples=attack_images)
-        assert pipeline.is_calibrated
+
+    def test_module_level_functions_survive(self, benign_images, attack_images, detector):
+        benign_scores = [detector.score(i) for i in benign_images]
+        attack_scores = [detector.score(i) for i in attack_images]
+        rule = calibrate_whitebox(
+            benign_scores, attack_scores, direction=Direction.GREATER
+        )
+        assert rule.direction is Direction.GREATER
 
     def test_new_spellings_do_not_warn(self, benign_images, attack_images):
         with warnings.catch_warnings():

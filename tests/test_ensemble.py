@@ -27,7 +27,7 @@ class _StubDetector(Detector):
     def attack_direction(self) -> Direction:
         return Direction.GREATER
 
-    def score(self, image) -> float:
+    def score_from(self, analysis) -> float:
         return 1.0
 
 

@@ -57,8 +57,13 @@ class TestPolicies:
         pipeline.calibrate(benign_images, percentile=5.0)
         outcome = pipeline.submit(attack_images[0], image_id="poison-1")
         assert outcome.action == "quarantined"
-        stored = list((tmp_path / "q").glob("*.png"))
-        assert len(stored) == 1
+        stored = {p.name for p in (tmp_path / "q").glob("*.png")}
+        assert "poison-1.png" in stored
+        # Screening's memoized intermediates ride along as explanation
+        # artifacts — one per member intermediate, no recomputation.
+        assert any(name.startswith("poison-1.round_trip_") for name in stored)
+        assert "poison-1.filtered_minimum_2.png" in stored
+        assert "poison-1.log_spectrum.png" in stored
 
     def test_sanitize_policy_neutralizes(self, benign_images, attack_images, target_images):
         from repro.imaging.metrics import mse
