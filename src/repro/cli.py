@@ -36,7 +36,12 @@ def _read_image(path: Path) -> np.ndarray:
     reader = _READERS.get(path.suffix.lower())
     if reader is None:
         raise ReproError(f"{path}: unsupported extension (expected .png/.ppm/.pgm)")
-    return reader(path)
+    try:
+        return reader(path)
+    except OSError as exc:
+        # Unreadable file (permissions, dangling symlink, directory named
+        # like an image): a clean CLI error, not a traceback.
+        raise ReproError(f"{path}: cannot read file ({exc})") from exc
 
 
 def _write_image(path: Path, image: np.ndarray) -> None:
@@ -55,8 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    scan = sub.add_parser("scan", help="scan a directory of images for attacks")
-    scan.add_argument("directory", type=Path, help="directory of .png/.ppm/.pgm images")
+    scan = sub.add_parser("scan", help="scan a directory (or one file) for attacks")
+    scan.add_argument("directory", type=Path,
+                      help="directory of .png/.ppm/.pgm images, or one image file")
     scan.add_argument("--input-size", type=int, nargs=2, default=(32, 32), metavar=("H", "W"),
                       help="the protected model's input size (default 32 32)")
     scan.add_argument("--algorithm", default="bilinear",
@@ -89,6 +95,38 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--map", type=Path, default=None,
                          help="write the vulnerability map as a PNG heat image")
 
+    serve = sub.add_parser(
+        "serve", help="run the HTTP detection service (see docs/serving.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 binds an ephemeral port (printed at startup)")
+    serve.add_argument("--input-size", type=int, nargs=2, default=(32, 32), metavar=("H", "W"),
+                       help="the protected model's input size (default 32 32)")
+    serve.add_argument("--algorithm", default="bilinear",
+                       help="scaling algorithm the serving pipeline uses")
+    serve.add_argument("--holdout", type=Path, default=None,
+                       help="directory of known-benign images for calibration "
+                            "(default: synthetic hold-out corpus)")
+    serve.add_argument("--percentile", type=float, default=1.0,
+                       help="benign percentile sacrificed for the threshold")
+    serve.add_argument("--policy", choices=["reject", "quarantine", "sanitize"],
+                       default="reject", help="response policy for flagged inputs")
+    serve.add_argument("--audit-log", type=Path, default=None,
+                       help="JSONL decision log path (enables auditing)")
+    serve.add_argument("--quarantine-dir", type=Path, default=None,
+                       help="where the quarantine policy stores flagged images")
+    serve.add_argument("--audit-max-bytes", type=int, default=None,
+                       help="rotate the audit log before exceeding this size")
+    serve.add_argument("--max-active", type=int, default=4,
+                       help="requests scored concurrently")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admission waiting room; beyond it requests get 429")
+    serve.add_argument("--deadline-ms", type=float, default=2000.0,
+                       help="max wait in the admission queue before 503")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request")
+
     report = sub.add_parser("report", help="run the paper-reproduction experiment suite")
     report.add_argument("--images", type=int, default=60,
                         help="corpus size per role (paper uses 1000; default 60)")
@@ -102,26 +140,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_holdout(args: argparse.Namespace) -> list[np.ndarray]:
+    """The calibration hold-out for scan/serve: ``--holdout DIR`` or the
+    synthetic corpus. Raises :class:`ReproError` on an unusable holdout."""
+    if args.holdout is None:
+        return neurips_like_corpus(50, name="cli-holdout").materialize()
+    from repro.datasets.files import load_directory
+
+    holdout = load_directory(args.holdout)
+    if len(holdout) < 20:
+        raise ReproError(
+            f"holdout needs >= 20 benign images, found {len(holdout)}"
+        )
+    return holdout
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
-    paths = sorted(
-        p for p in args.directory.iterdir()
-        if p.suffix.lower() in _READERS
-    ) if args.directory.is_dir() else []
-    if not paths:
-        print(f"no scannable images in {args.directory}", file=sys.stderr)
-        return 2
-
-    ensemble = build_default_ensemble(tuple(args.input_size), algorithm=args.algorithm)
-    if args.holdout is not None:
-        from repro.datasets.files import load_directory
-
-        holdout = load_directory(args.holdout)
-        if len(holdout) < 20:
-            print(f"holdout needs >= 20 benign images, found {len(holdout)}", file=sys.stderr)
+    if args.directory.is_dir():
+        paths = sorted(
+            p for p in args.directory.iterdir()
+            if p.suffix.lower() in _READERS
+        )
+        if not paths:
+            print(f"no scannable images in {args.directory}", file=sys.stderr)
             return 2
     else:
-        holdout = neurips_like_corpus(50, name="cli-holdout").materialize()
-    ensemble.calibrate(holdout, percentile=args.percentile)
+        # A single file: scan just it, and make decode failures fatal —
+        # the user named this exact path, so a silent SKIP would lie.
+        _read_image(args.directory)  # raises ReproError with the reason
+        paths = [args.directory]
+
+    ensemble = build_default_ensemble(tuple(args.input_size), algorithm=args.algorithm)
+    ensemble.calibrate(_load_holdout(args), percentile=args.percentile)
 
     def scan_one(path):
         try:
@@ -196,6 +246,57 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.audit import AuditLog
+    from repro.serving.pipeline import ProtectedPipeline
+    from repro.serving.policy import Policy
+    from repro.serving.server import DetectionServer, ServerConfig
+
+    audit_log = None
+    if args.audit_log is not None or args.quarantine_dir is not None:
+        if args.audit_log is None:
+            raise ReproError("--quarantine-dir requires --audit-log")
+        audit_log = AuditLog(
+            args.audit_log,
+            quarantine_dir=args.quarantine_dir,
+            max_bytes=args.audit_max_bytes,
+        )
+    pipeline = ProtectedPipeline(
+        tuple(args.input_size),
+        algorithm=args.algorithm,
+        policy=Policy(args.policy),
+        audit_log=audit_log,
+    )
+    holdout = _load_holdout(args)
+    print(f"calibrating on {len(holdout)} benign images ...", flush=True)
+    pipeline.calibrate(holdout, percentile=args.percentile)
+
+    server = DetectionServer(
+        pipeline,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_active=args.max_active,
+            queue_depth=args.queue_depth,
+            deadline_ms=args.deadline_ms,
+            verbose=args.verbose,
+        ),
+    )
+    server.install_signal_handlers()
+    host, port = server.address
+    print(f"serving on http://{host}:{port} (SIGTERM/Ctrl-C drains gracefully)",
+          flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        # Reached after a signal-triggered drain stopped the accept loop
+        # (or on an unexpected error): make sure the drain fully finishes
+        # — in-flight requests done, audit log flushed — before exiting.
+        server.shutdown()
+        print("drained; audit log flushed", flush=True)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.report import render_report, run_all_experiments
 
@@ -226,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_craft(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "figures":
             return _cmd_figures(args)
         return _cmd_report(args)

@@ -77,6 +77,10 @@ class DirectoryCorpus(Sequence):
                 self._cache[index] = _READERS[path.suffix.lower()](path)
             except CodecError as exc:
                 raise CodecError(f"{path.name}: {exc}") from exc
+            except OSError as exc:
+                # Unreadable file: surface as a codec failure with the
+                # filename, not an uncaught traceback.
+                raise CodecError(f"{path.name}: cannot read file ({exc})") from exc
         return self._cache[index]
 
     def __iter__(self) -> Iterator[np.ndarray]:

@@ -35,3 +35,8 @@ class CalibrationError(ReproError):
 
 class DetectionError(ReproError):
     """A detector was used before calibration or with invalid options."""
+
+
+class ServingError(ReproError):
+    """The detection service could not satisfy a request (client side:
+    transport failures, retries exhausted, non-success responses)."""

@@ -41,8 +41,8 @@ from repro.imaging.fourier import (
 from repro.imaging.histogram import channel_histogram, histogram_distance, histogram_match
 from repro.imaging.image import as_float, as_uint8, ensure_image
 from repro.imaging.metrics import histogram_intersection, mse, psnr, ssim
-from repro.imaging.png import read_png, write_png
-from repro.imaging.ppm import read_ppm, write_ppm
+from repro.imaging.png import decode_png, encode_png, read_png, write_png
+from repro.imaging.ppm import decode_netpbm, encode_netpbm, read_ppm, write_ppm
 from repro.imaging.scaling import (
     ALGORITHMS,
     clear_operator_cache,
@@ -83,6 +83,10 @@ __all__ = [
     "operator_cache_stats",
     "psnr",
     "radial_lowpass_mask",
+    "decode_netpbm",
+    "decode_png",
+    "encode_netpbm",
+    "encode_png",
     "read_png",
     "read_ppm",
     "resize",

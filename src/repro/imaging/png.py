@@ -23,7 +23,7 @@ import numpy as np
 from repro.errors import CodecError
 from repro.imaging.image import as_uint8, ensure_image
 
-__all__ = ["read_png", "write_png"]
+__all__ = ["decode_png", "encode_png", "read_png", "write_png"]
 
 _SIGNATURE = b"\x89PNG\r\n\x1a\n"
 
@@ -100,7 +100,16 @@ def _unfilter(raw: bytes, height: int, width: int, channels: int) -> np.ndarray:
 
 def read_png(path: str | Path) -> np.ndarray:
     """Decode a PNG file into a uint8 array (``(H, W)`` or ``(H, W, C)``)."""
-    data = Path(path).read_bytes()
+    return decode_png(Path(path).read_bytes(), origin=str(path))
+
+
+def decode_png(data: bytes, *, origin: str = "<bytes>") -> np.ndarray:
+    """Decode in-memory PNG *data* (``(H, W)`` or ``(H, W, C)`` uint8).
+
+    *origin* labels error messages — a filename for :func:`read_png`, a
+    request id for the detection server's raw-body uploads.
+    """
+    path = origin
     if not data.startswith(_SIGNATURE):
         raise CodecError(f"{path}: not a PNG file")
     header: tuple[int, int, int, int] | None = None
@@ -152,6 +161,11 @@ def read_png(path: str | Path) -> np.ndarray:
 
 def write_png(path: str | Path, image: np.ndarray) -> None:
     """Encode a uint8 (or float 0–255) array as a PNG file."""
+    Path(path).write_bytes(encode_png(image))
+
+
+def encode_png(image: np.ndarray) -> bytes:
+    """Encode a uint8 (or float 0–255) array as in-memory PNG bytes."""
     ensure_image(image)
     pixels = as_uint8(image)
     if pixels.ndim == 2:
@@ -171,6 +185,4 @@ def write_png(path: str | Path, image: np.ndarray) -> None:
         [np.zeros((height, 1), dtype=np.uint8), pixels.reshape(height, -1)], axis=1
     )
     idat = zlib.compress(rows.tobytes(), level=6)
-    Path(path).write_bytes(
-        _SIGNATURE + chunk(b"IHDR", ihdr) + chunk(b"IDAT", idat) + chunk(b"IEND", b"")
-    )
+    return _SIGNATURE + chunk(b"IHDR", ihdr) + chunk(b"IDAT", idat) + chunk(b"IEND", b"")

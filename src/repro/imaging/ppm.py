@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import CodecError
 from repro.imaging.image import as_uint8, channel_count, ensure_image
 
-__all__ = ["read_ppm", "write_ppm"]
+__all__ = ["decode_netpbm", "encode_netpbm", "read_ppm", "write_ppm"]
 
 
 def _read_tokens(data: bytes, count: int) -> tuple[list[int], int]:
@@ -59,7 +59,15 @@ def _read_tokens(data: bytes, count: int) -> tuple[list[int], int]:
 
 def read_ppm(path: str | Path) -> np.ndarray:
     """Decode a PGM/PPM file to uint8 ``(H, W)`` or ``(H, W, 3)``."""
-    data = Path(path).read_bytes()
+    return decode_netpbm(Path(path).read_bytes(), origin=str(path))
+
+
+def decode_netpbm(data: bytes, *, origin: str = "<bytes>") -> np.ndarray:
+    """Decode in-memory PGM/PPM *data* to uint8 ``(H, W)`` or ``(H, W, 3)``.
+
+    *origin* labels error messages, as in :func:`repro.imaging.png.decode_png`.
+    """
+    path = origin
     magic = data[:2]
     if magic not in (b"P2", b"P3", b"P5", b"P6"):
         raise CodecError(f"{path}: not a supported netpbm file (magic {magic!r})")
@@ -86,6 +94,11 @@ def read_ppm(path: str | Path) -> np.ndarray:
 
 def write_ppm(path: str | Path, image: np.ndarray) -> None:
     """Encode a grayscale or RGB image as binary PGM/PPM."""
+    Path(path).write_bytes(encode_netpbm(image))
+
+
+def encode_netpbm(image: np.ndarray) -> bytes:
+    """Encode a grayscale or RGB image as in-memory binary PGM/PPM bytes."""
     ensure_image(image)
     channels = channel_count(image)
     if channels not in (1, 3):
@@ -96,4 +109,4 @@ def write_ppm(path: str | Path, image: np.ndarray) -> None:
     magic = b"P6" if channels == 3 else b"P5"
     height, width = pixels.shape[:2]
     header = magic + f"\n{width} {height}\n255\n".encode("ascii")
-    Path(path).write_bytes(header + pixels.tobytes())
+    return header + pixels.tobytes()

@@ -5,11 +5,15 @@ primitives so a deployment can answer "where does the time go" without
 attaching a profiler. Everything is in-process and dependency-free:
 
 * :class:`Counter` — a monotonically increasing integer.
+* :class:`Gauge` — a value that goes up *and* down (queue depth, in-flight
+  requests), with ``set``/``inc``/``dec``.
 * :class:`LatencyHistogram` — log-bucketed latency distribution with
   percentile estimates (p50/p95/p99) and exact count/mean/min/max.
-* :class:`Metrics` — a named registry of both, with ``as_dict()`` producing
-  a JSON-ready dashboard export and ``timer(name)`` measuring a ``with``
-  block into a histogram.
+* :class:`Metrics` — a named registry of all three, with ``as_dict()``
+  producing a JSON-ready dashboard export and ``timer(name)`` measuring a
+  ``with`` block into a histogram.
+* :func:`render_prometheus` — the registry in Prometheus text exposition
+  format (version 0.0.4), served by the detection server's ``/metrics``.
 
 All operations are thread-safe; the hot-path cost of one ``record`` is a
 lock acquisition plus two integer updates, cheap enough for per-image use.
@@ -26,10 +30,11 @@ Usage::
 from __future__ import annotations
 
 import math
+import re
 import threading
 import time
 
-__all__ = ["Counter", "LatencyHistogram", "Metrics"]
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "Metrics", "render_prometheus"]
 
 #: Histogram bucket geometry: the i-th bucket's upper bound in milliseconds
 #: is ``_BUCKET_START_MS * _BUCKET_FACTOR ** i``. Spans ~1 µs to ~100 s.
@@ -53,6 +58,37 @@ class Counter:
 
     @property
     def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A thread-safe value that can go up and down.
+
+    Counters answer "how many ever"; gauges answer "how many right now"
+    (queue depth, in-flight requests). ``set`` assigns, ``inc``/``dec``
+    adjust; all return nothing.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
         return self._value
 
 
@@ -94,6 +130,27 @@ class LatencyHistogram:
     @property
     def count(self) -> int:
         return self._count
+
+    @property
+    def sum_ms(self) -> float:
+        return self._total
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound_ms, cumulative_count)`` pairs for every non-empty
+        bucket boundary, Prometheus-histogram style (the ``+Inf`` bucket is
+        the caller's job: it equals :attr:`count`). Only boundaries where
+        the cumulative count changes are reported, so quiet histograms stay
+        small on the wire."""
+        with self._lock:
+            buckets = list(self._buckets)
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for index, bucket_count in enumerate(buckets):
+            if not bucket_count:
+                continue
+            seen += bucket_count
+            out.append((_BUCKET_START_MS * _BUCKET_FACTOR ** index, seen))
+        return out
 
     def percentile(self, fraction: float) -> float:
         """Estimated value at *fraction* (0..1) of the distribution.
@@ -156,6 +213,7 @@ class Metrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -165,6 +223,14 @@ class Metrics:
             if counter is None:
                 counter = self._counters[name] = Counter()
             return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or create) the gauge called *name*."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
 
     def histogram(self, name: str) -> LatencyHistogram:
         """Get (or create) the latency histogram called *name*."""
@@ -194,6 +260,12 @@ class Metrics:
             if name.startswith(prefix)
         }
 
+    def gauge_values(self) -> dict[str, float]:
+        """Current value of every gauge, sorted by name."""
+        with self._lock:
+            gauges = dict(self._gauges)
+        return {name: gauges[name].value for name in sorted(gauges)}
+
     def latency_summaries(self) -> dict[str, dict[str, float]]:
         """Per-histogram summaries, sorted by name."""
         with self._lock:
@@ -201,10 +273,86 @@ class Metrics:
         return {name: histograms[name].summary() for name in sorted(histograms)}
 
     def as_dict(self) -> dict[str, dict]:
-        """JSON-ready export of every counter and histogram."""
+        """JSON-ready export of every counter, gauge, and histogram."""
         with self._lock:
             counters = dict(self._counters)
         return {
             "counters": {name: counters[name].value for name in sorted(counters)},
+            "gauges": self.gauge_values(),
             "latency_ms": self.latency_summaries(),
         }
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+#: Characters allowed in a Prometheus metric name; everything else becomes
+#: an underscore (``pipeline.screen`` -> ``pipeline_screen``).
+_PROMETHEUS_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(prefix: str, name: str) -> str:
+    flat = _PROMETHEUS_NAME_RE.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    # Prometheus floats: integers render without a trailing ".0".
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    metrics: Metrics,
+    *,
+    prefix: str = "decamouflage",
+    extra_gauges: dict[str, float] | None = None,
+) -> str:
+    """Render *metrics* in Prometheus text exposition format 0.0.4.
+
+    Counters become ``<prefix>_<name>_total``, gauges ``<prefix>_<name>``,
+    and each :class:`LatencyHistogram` a native Prometheus histogram in
+    milliseconds: ``<name>_ms_bucket{le="..."}`` (cumulative), ``_sum``,
+    and ``_count``. *extra_gauges* lets a caller splice in point-in-time
+    values that live outside the registry (the process-wide operator-cache
+    hit rate, for example).
+    """
+    lines: list[str] = []
+
+    with metrics._lock:
+        counters = dict(metrics._counters)
+        gauges = dict(metrics._gauges)
+        histograms = dict(metrics._histograms)
+
+    for name in sorted(counters):
+        flat = _prometheus_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(counters[name].value)}")
+
+    merged_gauges: dict[str, float] = {
+        name: gauge.value for name, gauge in gauges.items()
+    }
+    merged_gauges.update(extra_gauges or {})
+    for name in sorted(merged_gauges):
+        flat = _prometheus_name(prefix, name)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(merged_gauges[name])}")
+
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        flat = _prometheus_name(prefix, name) + "_ms"
+        count = histogram.count
+        lines.append(f"# TYPE {flat} histogram")
+        for upper_ms, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f'{flat}_bucket{{le="{_format_value(upper_ms)}"}} {cumulative}'
+            )
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{flat}_sum {_format_value(histogram.sum_ms)}")
+        lines.append(f"{flat}_count {count}")
+
+    return "\n".join(lines) + "\n"

@@ -64,14 +64,36 @@ class AuditRecord:
 
 
 class AuditLog:
-    """Append-only JSONL decision log with an optional quarantine folder."""
+    """Append-only JSONL decision log with an optional quarantine folder.
 
-    def __init__(self, log_path: str | Path, *, quarantine_dir: str | Path | None = None) -> None:
+    With ``max_bytes`` set, the log rotates before an append would push the
+    current file past the limit: ``log`` becomes ``log.1``, ``log.1``
+    becomes ``log.2``, and so on up to ``backup_count`` rotated files (the
+    oldest is dropped). A long-running server therefore occupies at most
+    ``(backup_count + 1) * max_bytes`` bytes of disk, give or take one
+    record. Rotation happens under the same I/O lock as appends, so
+    concurrent writers never interleave partial lines or lose records.
+    """
+
+    def __init__(
+        self,
+        log_path: str | Path,
+        *,
+        quarantine_dir: str | Path | None = None,
+        max_bytes: int | None = None,
+        backup_count: int = 5,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ReproError(f"max_bytes must be positive, got {max_bytes}")
+        if backup_count < 1:
+            raise ReproError(f"backup_count must be >= 1, got {backup_count}")
         self.log_path = Path(log_path)
         self.log_path.parent.mkdir(parents=True, exist_ok=True)
         self.quarantine_dir = Path(quarantine_dir) if quarantine_dir else None
         if self.quarantine_dir:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.backup_count = backup_count
         # Serializes appends so concurrent pipeline submissions cannot
         # interleave partial lines, without the pipeline holding its own
         # lock across file I/O.
@@ -109,21 +131,67 @@ class AuditLog:
             )
         return str(path)
 
+    def _rotated_path(self, index: int) -> Path:
+        return self.log_path.with_name(f"{self.log_path.name}.{index}")
+
+    def _rotate_locked(self) -> None:
+        """Shift ``log -> log.1 -> ... -> log.N`` (caller holds the lock)."""
+        oldest = self._rotated_path(self.backup_count)
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.backup_count - 1, 0, -1):
+            source = self._rotated_path(index)
+            if source.exists():
+                source.replace(self._rotated_path(index + 1))
+        if self.log_path.exists():
+            self.log_path.replace(self._rotated_path(1))
+
     def append(self, record: AuditRecord) -> None:
         line = json.dumps(asdict(record)) + "\n"
-        with self._io_lock, self.log_path.open("a", encoding="utf-8") as handle:
-            handle.write(line)
+        with self._io_lock:
+            if self.max_bytes is not None:
+                try:
+                    size = self.log_path.stat().st_size
+                except FileNotFoundError:
+                    size = 0
+                # Rotate *before* crossing the limit so the active file
+                # never exceeds max_bytes (unless one record alone does).
+                if size and size + len(line.encode("utf-8")) > self.max_bytes:
+                    self._rotate_locked()
+            with self.log_path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
 
-    def records(self) -> list[AuditRecord]:
-        """Read every record back (for reports and tests)."""
-        if not self.log_path.exists():
-            return []
+    def flush(self) -> None:
+        """Barrier for shutdown: returns once every in-flight append has
+        reached the filesystem. Appends open/write/close per record, so
+        taking the I/O lock is the whole job."""
+        with self._io_lock:
+            pass
+
+    def rotated_paths(self) -> list[Path]:
+        """Existing rotated files, newest (``.1``) first."""
+        return [
+            path
+            for index in range(1, self.backup_count + 1)
+            if (path := self._rotated_path(index)).exists()
+        ]
+
+    def records(self, *, include_rotated: bool = False) -> list[AuditRecord]:
+        """Read records back (for reports and tests).
+
+        By default only the active file is read; ``include_rotated=True``
+        prepends the surviving rotated files in chronological order.
+        """
+        paths = list(reversed(self.rotated_paths())) if include_rotated else []
+        if self.log_path.exists():
+            paths.append(self.log_path)
         out = []
-        for line in self.log_path.read_text(encoding="utf-8").splitlines():
-            if not line.strip():
-                continue
-            try:
-                out.append(AuditRecord(**json.loads(line)))
-            except (json.JSONDecodeError, TypeError) as exc:
-                raise ReproError(f"corrupt audit log line: {exc}") from exc
+        for path in paths:
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    out.append(AuditRecord(**json.loads(line)))
+                except (json.JSONDecodeError, TypeError) as exc:
+                    raise ReproError(f"corrupt audit log line: {exc}") from exc
         return out

@@ -1,0 +1,235 @@
+"""Blocking client for the detection service (stdlib ``http.client``).
+
+Mirrors the server's wire contract (:mod:`repro.serving.wire`) and adds
+the retry discipline a caller under load needs: ``429``/``503`` responses
+and transport failures are retried with exponential backoff, honoring the
+server's ``Retry-After`` when present. Other non-2xx statuses raise
+:class:`~repro.errors.ServingError` immediately — a ``400`` will not
+succeed on retry.
+
+Usage::
+
+    client = DetectionClient(host, port)
+    client.wait_ready(timeout_s=10.0)
+    verdict = client.detect(image)           # DetectionVerdict
+    verdicts = client.detect_batch(images)
+    client.close()
+
+A client instance holds one keep-alive connection and is **not**
+thread-safe; give each thread its own instance (they are cheap).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.wire import (
+    BATCH_CONTENT_TYPE,
+    IMAGE_CONTENT_TYPE,
+    encode_image_payload,
+    pack_batch,
+)
+
+__all__ = ["DetectionVerdict", "DetectionClient"]
+
+#: Statuses that signal transient overload and are worth retrying.
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+@dataclass(frozen=True)
+class DetectionVerdict:
+    """One image's verdict, as returned by the service."""
+
+    request_id: str
+    image_id: str
+    verdict: str  # "attack" | "benign"
+    action: str  # "accepted" | "rejected" | "quarantined" | "sanitized"
+    accepted: bool
+    votes_for_attack: int
+    votes_total: int
+    scores: dict[str, float]
+    thresholds: dict[str, str]
+    latency_ms: float
+
+    @property
+    def is_attack(self) -> bool:
+        return self.verdict == "attack"
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DetectionVerdict":
+        return cls(**{name: payload[name] for name in cls.__dataclass_fields__})
+
+
+class DetectionClient:
+    """Blocking HTTP client with retry + exponential backoff on 429/503."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 30.0,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "DetectionClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _once(
+        self, method: str, path: str, body: bytes | None, headers: dict[str, str]
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = self._connect()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+        except (http.client.HTTPException, OSError):
+            # The connection is in an unknown state; rebuild it on retry.
+            self.close()
+            raise
+        return response.status, dict(response.getheaders()), payload
+
+    def _backoff_s(self, attempt: int, response_headers: dict[str, str]) -> float:
+        retry_after = response_headers.get("Retry-After")
+        if retry_after is not None:
+            try:
+                return min(float(retry_after), self.backoff_max_s)
+            except ValueError:
+                pass
+        return min(self.backoff_base_s * 2.0**attempt, self.backoff_max_s)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request with the retry discipline; returns (status, headers,
+        body) for any terminal status, raising only on retry exhaustion or
+        a transport failure that outlives the retries."""
+        headers = dict(headers or {})
+        last_error: str = ""
+        for attempt in range(self.max_retries + 1):
+            try:
+                status, response_headers, payload = self._once(
+                    method, path, body, headers
+                )
+            except (http.client.HTTPException, OSError) as exc:
+                last_error = f"transport error: {exc!r}"
+                if attempt >= self.max_retries:
+                    break
+                time.sleep(self._backoff_s(attempt, {}))
+                continue
+            if status in _RETRYABLE_STATUSES and attempt < self.max_retries:
+                time.sleep(self._backoff_s(attempt, response_headers))
+                continue
+            return status, response_headers, payload
+        raise ServingError(
+            f"{method} {path} failed after {self.max_retries + 1} attempts ({last_error})"
+        )
+
+    def _request_json(self, method: str, path: str, **kwargs) -> dict:
+        status, _, payload = self._request(method, path, **kwargs)
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ServingError(
+                f"{method} {path}: non-JSON response (status {status})"
+            ) from exc
+        if status != 200:
+            message = decoded.get("error", payload[:200]) if isinstance(decoded, dict) else payload[:200]
+            raise ServingError(f"{method} {path}: HTTP {status}: {message}")
+        return decoded
+
+    # -- the API --------------------------------------------------------------
+
+    def detect(
+        self,
+        image: np.ndarray | None = None,
+        *,
+        payload: bytes | None = None,
+        request_id: str | None = None,
+    ) -> DetectionVerdict:
+        """Screen one image (an array, or already-encoded PNG/netpbm bytes)."""
+        if (image is None) == (payload is None):
+            raise ServingError("pass exactly one of image= or payload=")
+        body = payload if payload is not None else encode_image_payload(image)
+        headers = {"Content-Type": IMAGE_CONTENT_TYPE}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
+        decoded = self._request_json("POST", "/v1/detect", body=body, headers=headers)
+        return DetectionVerdict.from_payload(decoded)
+
+    def detect_batch(
+        self, images: list[np.ndarray], *, request_id: str | None = None
+    ) -> list[DetectionVerdict]:
+        """Screen a list of images in one round trip."""
+        body = pack_batch([encode_image_payload(image) for image in images])
+        headers = {"Content-Type": BATCH_CONTENT_TYPE}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
+        decoded = self._request_json(
+            "POST", "/v1/detect/batch", body=body, headers=headers
+        )
+        return [DetectionVerdict.from_payload(item) for item in decoded["results"]]
+
+    def health(self) -> tuple[int, dict]:
+        """One ``GET /healthz`` (no retries): ``(status, payload)``."""
+        status, _, payload = self._once("GET", "/healthz", None, {})
+        return status, json.loads(payload)
+
+    def wait_ready(self, *, timeout_s: float = 10.0, poll_s: float = 0.05) -> None:
+        """Poll ``/healthz`` until ready or *timeout_s* elapses."""
+        deadline = time.monotonic() + timeout_s
+        last: object = None
+        while time.monotonic() < deadline:
+            try:
+                status, payload = self.health()
+            except (http.client.HTTPException, OSError) as exc:
+                last = repr(exc)
+            else:
+                if status == 200:
+                    return
+                last = payload
+            time.sleep(poll_s)
+        raise ServingError(f"server not ready after {timeout_s}s (last: {last})")
+
+    def metrics_text(self) -> str:
+        """Scrape ``GET /metrics`` (Prometheus text exposition)."""
+        status, _, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServingError(f"GET /metrics: HTTP {status}")
+        return payload.decode("utf-8")

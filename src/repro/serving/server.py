@@ -1,0 +1,458 @@
+"""Stdlib-only HTTP detection service around a :class:`ProtectedPipeline`.
+
+The paper positions Decamouflage as an online defense sitting in front of
+a model's resize step; this module puts that defense on the network with
+nothing beyond ``http.server``:
+
+* ``POST /v1/detect`` — raw PNG/netpbm body in, JSON verdict out
+  (per-detector scores, thresholds, the pipeline action).
+* ``POST /v1/detect/batch`` — length-prefixed batch body
+  (:func:`repro.serving.wire.pack_batch`), JSON list of verdicts.
+* ``GET /healthz`` — readiness: calibrated pipeline, not draining, and the
+  admission queue below saturation.
+* ``GET /metrics`` — Prometheus text exposition rendered from the
+  pipeline's :class:`~repro.observability.Metrics`, including the
+  operator-cache and shared-analysis memo hit rates.
+
+Every detect request passes through a bounded admission queue: up to
+``max_active`` requests score concurrently, up to ``queue_depth`` more may
+wait, and each waiter carries a deadline. A full queue answers ``429``
+with ``Retry-After``; a deadline overrun answers ``503``. SIGTERM (or
+:meth:`DetectionServer.shutdown`) drains gracefully — the listener stops
+accepting, in-flight requests finish, and the audit log is flushed, so an
+accepted request is never dropped.
+
+Every request carries an ``X-Request-Id`` (client-provided or generated)
+that is echoed in the response, used as the pipeline ``image_id`` (and so
+threaded into audit records), and printed on the server's log lines.
+
+Usage::
+
+    pipeline = ProtectedPipeline((32, 32))
+    pipeline.calibrate(benign_holdout)
+    server = DetectionServer(pipeline, ServerConfig(port=0))
+    server.start()                       # background thread
+    host, port = server.address
+    ...
+    server.shutdown()                    # graceful drain
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import CodecError, DetectionError, ImageError, ReproError
+from repro.imaging.scaling import operator_cache_stats
+from repro.observability import render_prometheus
+from repro.serving.pipeline import PipelineOutcome, ProtectedPipeline
+from repro.serving.wire import (
+    METRICS_CONTENT_TYPE,
+    decode_image_payload,
+    unpack_batch,
+)
+
+__all__ = ["ServerConfig", "DetectionServer", "AdmissionQueue"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for :class:`DetectionServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; read the real one from ``server.address``.
+    port: int = 8080
+    #: Requests scoring concurrently; the rest wait in the admission queue.
+    max_active: int = 4
+    #: Waiting-room capacity. A full room answers 429 + Retry-After.
+    queue_depth: int = 16
+    #: Per-request admission deadline; overruns answer 503.
+    deadline_ms: float = 2000.0
+    #: Advisory client back-off on 429/503, seconds.
+    retry_after_s: float = 1.0
+    #: Largest accepted request body; beyond it answers 413.
+    max_body_bytes: int = 64 * 1024 * 1024
+    #: Socket timeout per connection, seconds (kills idle keep-alives so a
+    #: drain cannot hang on a silent client).
+    socket_timeout_s: float = 10.0
+    #: Print one log line per request to stderr.
+    verbose: bool = False
+
+
+class _Saturated(ReproError):
+    """Admission queue waiting room is full."""
+
+
+class _DeadlineExceeded(ReproError):
+    """A request waited past its admission deadline."""
+
+
+class AdmissionQueue:
+    """Bounded two-stage admission control: active slots + waiting room.
+
+    ``acquire`` either takes an active slot immediately, waits (bounded by
+    the deadline) in the waiting room, or fails fast when the room is
+    full. The current occupancy is mirrored into the ``server.in_flight``
+    and ``server.queue_depth`` gauges on every transition.
+    """
+
+    def __init__(self, max_active: int, queue_depth: int, metrics) -> None:
+        if max_active < 1:
+            raise ReproError(f"max_active must be >= 1, got {max_active}")
+        if queue_depth < 0:
+            raise ReproError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_active = max_active
+        self.queue_depth = queue_depth
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._in_flight_gauge = metrics.gauge("server.in_flight")
+        self._queue_gauge = metrics.gauge("server.queue_depth")
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    def acquire(self, deadline_s: float) -> None:
+        deadline = time.monotonic() + deadline_s
+        with self._cond:
+            if self._active >= self.max_active:
+                if self._waiting >= self.queue_depth:
+                    raise _Saturated(
+                        f"admission queue full ({self._waiting} waiting)"
+                    )
+                self._waiting += 1
+                self._queue_gauge.set(self._waiting)
+                try:
+                    while self._active >= self.max_active:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise _DeadlineExceeded(
+                                f"gave up after {deadline_s * 1000:.0f} ms in queue"
+                            )
+                        self._cond.wait(remaining)
+                finally:
+                    self._waiting -= 1
+                    self._queue_gauge.set(self._waiting)
+            self._active += 1
+            self._in_flight_gauge.set(self._active)
+
+    def release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._in_flight_gauge.set(self._active)
+            self._cond.notify()
+
+    def quiesced(self) -> bool:
+        with self._cond:
+            return self._active == 0 and self._waiting == 0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP connection; the server object hangs off ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "decamouflage"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def _detection(self) -> "DetectionServer":
+        return self.server.detection_server  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        self.timeout = self._detection.config.socket_timeout_s
+        super().setup()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self._detection.config.verbose:
+            super().log_message(format, *args)
+
+    def _request_id(self) -> str:
+        supplied = self.headers.get("X-Request-Id", "").strip()
+        return supplied or uuid.uuid4().hex[:12]
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        request_id: str | None = None,
+        retry_after_s: float | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
+        if retry_after_s is not None:
+            self.send_header("Retry-After", f"{max(1, round(retry_after_s))}")
+        if self._detection.draining:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+        self._detection.metrics.counter(f"server.responses.{status}").add(1)
+
+    def _send_json(self, status: int, payload: dict | list, **kwargs) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"), **kwargs)
+
+    def _send_error_json(
+        self, status: int, message: str, request_id: str, **kwargs
+    ) -> None:
+        self.log_message('"%s" %d %s [%s]', self.requestline, status, message, request_id)
+        self._send_json(
+            status,
+            {"error": message, "request_id": request_id},
+            request_id=request_id,
+            **kwargs,
+        )
+
+    def _read_body(self, request_id: str) -> bytes | None:
+        """Read the request body; answers 411/413 itself and returns None."""
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self._send_error_json(411, "Content-Length required", request_id)
+            return None
+        length = int(length)
+        if length > self._detection.config.max_body_bytes:
+            self._send_error_json(
+                413, f"body of {length} bytes exceeds limit", request_id
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- GET: health + metrics ----------------------------------------------
+
+    def do_GET(self) -> None:
+        server = self._detection
+        request_id = self._request_id()
+        if self.path == "/healthz":
+            payload = server.health()
+            status = 200 if payload["ready"] else 503
+            self._send_json(status, payload, request_id=request_id)
+        elif self.path == "/metrics":
+            body = server.render_metrics().encode("utf-8")
+            self._send(
+                200, body, content_type=METRICS_CONTENT_TYPE, request_id=request_id
+            )
+        else:
+            self._send_error_json(404, f"unknown path {self.path}", request_id)
+
+    # -- POST: detection -----------------------------------------------------
+
+    def do_POST(self) -> None:
+        server = self._detection
+        request_id = self._request_id()
+        if self.path not in ("/v1/detect", "/v1/detect/batch"):
+            self._send_error_json(404, f"unknown path {self.path}", request_id)
+            return
+        server.metrics.counter("server.requests").add(1)
+        if server.draining:
+            self._send_error_json(
+                503,
+                "server is draining",
+                request_id,
+                retry_after_s=server.config.retry_after_s,
+            )
+            return
+        body = self._read_body(request_id)
+        if body is None:
+            return
+        try:
+            server.admission.acquire(server.config.deadline_ms / 1000.0)
+        except _Saturated as exc:
+            self._send_error_json(
+                429, str(exc), request_id, retry_after_s=server.config.retry_after_s
+            )
+            return
+        except _DeadlineExceeded as exc:
+            self._send_error_json(
+                503, str(exc), request_id, retry_after_s=server.config.retry_after_s
+            )
+            return
+        try:
+            with server.metrics.timer("server.request"):
+                if self.path == "/v1/detect":
+                    self._detect_single(body, request_id)
+                else:
+                    self._detect_batch(body, request_id)
+        finally:
+            server.admission.release()
+
+    def _detect_single(self, body: bytes, request_id: str) -> None:
+        server = self._detection
+        start = time.perf_counter()
+        try:
+            image = decode_image_payload(body, origin=request_id)
+            outcome = server.pipeline.submit(image, image_id=request_id)
+        except (CodecError, ImageError) as exc:
+            self._send_error_json(400, str(exc), request_id)
+            return
+        except DetectionError as exc:
+            self._send_error_json(503, str(exc), request_id)
+            return
+        payload = _verdict_payload(
+            outcome, request_id, (time.perf_counter() - start) * 1000.0
+        )
+        self.log_message(
+            '"%s" 200 %s [%s]', self.requestline, payload["verdict"], request_id
+        )
+        self._send_json(200, payload, request_id=request_id)
+
+    def _detect_batch(self, body: bytes, request_id: str) -> None:
+        server = self._detection
+        start = time.perf_counter()
+        try:
+            payloads = unpack_batch(body, origin=request_id)
+            images = [
+                decode_image_payload(blob, origin=f"{request_id}[{index}]")
+                for index, blob in enumerate(payloads)
+            ]
+            outcomes = server.pipeline.submit_batch(images, prefix=request_id)
+        except (CodecError, ImageError) as exc:
+            self._send_error_json(400, str(exc), request_id)
+            return
+        except DetectionError as exc:
+            self._send_error_json(503, str(exc), request_id)
+            return
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        results = [
+            _verdict_payload(outcome, request_id, elapsed_ms) for outcome in outcomes
+        ]
+        self.log_message(
+            '"%s" 200 batch=%d [%s]', self.requestline, len(results), request_id
+        )
+        self._send_json(
+            200, {"request_id": request_id, "results": results}, request_id=request_id
+        )
+
+
+def _verdict_payload(
+    outcome: PipelineOutcome, request_id: str, latency_ms: float
+) -> dict:
+    detection = outcome.detection
+    return {
+        "request_id": request_id,
+        "image_id": outcome.image_id,
+        "verdict": "attack" if detection.is_attack else "benign",
+        "action": outcome.action,
+        "accepted": outcome.accepted,
+        "votes_for_attack": detection.votes_for_attack,
+        "votes_total": detection.votes_total,
+        "scores": {
+            f"{d.method}/{d.metric}": float(d.score) for d in detection.detections
+        },
+        "thresholds": {
+            f"{d.method}/{d.metric}": d.threshold.describe(d.metric)
+            for d in detection.detections
+        },
+        "latency_ms": latency_ms,
+    }
+
+
+class DetectionServer:
+    """The detection service: a ThreadingHTTPServer plus lifecycle."""
+
+    def __init__(
+        self, pipeline: ProtectedPipeline, config: ServerConfig | None = None
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config or ServerConfig()
+        self.metrics = pipeline.metrics
+        self.admission = AdmissionQueue(
+            self.config.max_active, self.config.queue_depth, self.metrics
+        )
+        self.draining = False
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        # Handler threads are joined on server_close() so a drain really
+        # waits for every in-flight request.
+        self._httpd.daemon_threads = False
+        self._httpd.block_on_close = True
+        self._httpd.detection_server = self  # type: ignore[attr-defined]
+        self._serve_thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` — the real port even when configured as 0."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def health(self) -> dict:
+        saturated = self.admission.waiting >= self.config.queue_depth
+        calibrated = self.pipeline.is_calibrated
+        return {
+            "ready": calibrated and not self.draining and not saturated,
+            "calibrated": calibrated,
+            "draining": self.draining,
+            "queue_saturated": saturated,
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus text for ``GET /metrics``: the pipeline registry plus
+        point-in-time pipeline action counts and operator-cache stats."""
+        stats = self.pipeline.stats
+        extra = {
+            f"pipeline.{name}": float(getattr(stats, name))
+            for name in ("submitted", "accepted", "rejected", "quarantined", "sanitized")
+        }
+        for key, value in operator_cache_stats().items():
+            extra[f"operator_cache.{key}"] = float(value)
+        return render_prometheus(self.metrics, extra_gauges=extra)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Serve on a background thread (tests, embedding); returns at once."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="detection-server", daemon=True
+        )
+        self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def _drain(signum, frame) -> None:  # pragma: no cover - signal path
+            threading.Thread(
+                target=self.shutdown, name="detection-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, flush audit.
+
+        Idempotent and safe to call from any thread except a handler
+        thread (it joins them).
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self.draining = True
+            # Stop the accept loop, then join every handler thread
+            # (block_on_close) so in-flight requests complete before the
+            # audit log is flushed.
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=self.config.socket_timeout_s)
+            if self.pipeline.audit_log is not None:
+                self.pipeline.audit_log.flush()
+            self._closed = True

@@ -1,0 +1,91 @@
+"""Wire format shared by the detection server and client.
+
+The service speaks raw image bytes — no multipart, no base64 — using the
+library's own codecs:
+
+* A single-image body is a PNG (``\\x89PNG...``) or binary/ASCII netpbm
+  (``P2``/``P3``/``P5``/``P6``) payload, distinguished by magic bytes.
+* A batch body concatenates single-image payloads with a tiny length
+  prefix: ``count:uint32`` then, per image, ``length:uint32`` + payload
+  (big-endian). Content type :data:`BATCH_CONTENT_TYPE`.
+
+Both sides import from here so the framing cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.imaging.png import decode_png, encode_png
+from repro.imaging.ppm import decode_netpbm
+
+__all__ = [
+    "BATCH_CONTENT_TYPE",
+    "IMAGE_CONTENT_TYPE",
+    "METRICS_CONTENT_TYPE",
+    "decode_image_payload",
+    "encode_image_payload",
+    "pack_batch",
+    "unpack_batch",
+]
+
+#: Content type of a single raw image body (the codec is sniffed anyway).
+IMAGE_CONTENT_TYPE = "application/octet-stream"
+#: Content type of a length-prefixed batch body.
+BATCH_CONTENT_TYPE = "application/x-decamouflage-batch"
+#: Prometheus text exposition format, as served by ``GET /metrics``.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+_NETPBM_MAGICS = (b"P2", b"P3", b"P5", b"P6")
+
+
+def decode_image_payload(data: bytes, *, origin: str = "<body>") -> np.ndarray:
+    """Decode one raw image body, sniffing PNG vs netpbm by magic bytes."""
+    if not data:
+        raise CodecError(f"{origin}: empty image body")
+    if data.startswith(_PNG_SIGNATURE):
+        return decode_png(data, origin=origin)
+    if data[:2] in _NETPBM_MAGICS:
+        return decode_netpbm(data, origin=origin)
+    raise CodecError(
+        f"{origin}: body is neither PNG nor netpbm (magic {data[:8]!r})"
+    )
+
+
+def encode_image_payload(image: np.ndarray) -> bytes:
+    """Encode one image for the wire (PNG: compact and lossless)."""
+    return encode_png(image)
+
+
+def pack_batch(payloads: list[bytes]) -> bytes:
+    """Frame already-encoded image payloads as one batch body."""
+    parts = [struct.pack(">I", len(payloads))]
+    for payload in payloads:
+        parts.append(struct.pack(">I", len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def unpack_batch(data: bytes, *, origin: str = "<body>") -> list[bytes]:
+    """Split a batch body back into per-image payloads."""
+    if len(data) < 4:
+        raise CodecError(f"{origin}: truncated batch header")
+    (count,) = struct.unpack_from(">I", data, 0)
+    offset = 4
+    payloads: list[bytes] = []
+    for index in range(count):
+        if offset + 4 > len(data):
+            raise CodecError(f"{origin}: truncated length prefix for image {index}")
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise CodecError(f"{origin}: truncated payload for image {index}")
+        payloads.append(data[offset : offset + length])
+        offset += length
+    if offset != len(data):
+        raise CodecError(f"{origin}: {len(data) - offset} trailing bytes after batch")
+    return payloads

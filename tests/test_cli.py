@@ -141,3 +141,60 @@ class TestAnalyze:
         heat = read_png(map_path)
         assert heat.shape[:2] == (128, 128)
         assert heat.max() == 255  # normalized peak
+
+
+class TestScanBadInputs:
+    """`scan` answers unreadable or non-image inputs with a clean exit 2
+    and an `error:` line — never a traceback."""
+
+    def test_scan_single_image_file(self, image_dir, capsys):
+        scan_dir, holdout_dir = image_dir
+        code = main([
+            "scan", str(scan_dir / "attack0.png"),
+            "--input-size", str(MODEL_INPUT[0]), str(MODEL_INPUT[1]),
+            "--holdout", str(holdout_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "scanned 1" in out
+
+    def test_scan_non_image_file_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "not_an_image.png"
+        bogus.write_bytes(b"this is not a png")
+        code = main(["scan", str(bogus)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "not a PNG" in err
+
+    def test_scan_unsupported_extension_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("hello")
+        code = main(["scan", str(bogus)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "unsupported extension" in err
+
+    def test_scan_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["scan", str(tmp_path / "missing.png")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "cannot read file" in err
+
+    def test_serve_bad_holdout_exits_2(self, tmp_path, capsys):
+        holdout = tmp_path / "holdout"
+        holdout.mkdir()
+        corrupt = holdout / "bad.png"
+        corrupt.write_bytes(b"garbage bytes, not an image")
+        code = main(["serve", "--port", "0", "--holdout", str(holdout)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_serve_quarantine_requires_audit_log(self, tmp_path, capsys):
+        code = main(["serve", "--port", "0", "--quarantine-dir", str(tmp_path / "q")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--audit-log" in err

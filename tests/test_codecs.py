@@ -161,3 +161,38 @@ class TestPpm:
     def test_rejects_rgba(self, tmp_path):
         with pytest.raises(CodecError, match="4-channel"):
             write_ppm(tmp_path / "x.ppm", np.zeros((2, 2, 4), dtype=np.uint8))
+
+
+class TestBytesCodecs:
+    """In-memory encode/decode — the wire format of the detection service."""
+
+    def test_png_bytes_round_trip(self, color_image):
+        from repro.imaging.png import decode_png, encode_png
+
+        data = encode_png(color_image)
+        assert data.startswith(b"\x89PNG")
+        assert np.array_equal(decode_png(data), color_image)
+
+    def test_netpbm_bytes_round_trip(self, color_image):
+        from repro.imaging.ppm import decode_netpbm, encode_netpbm
+
+        data = encode_netpbm(color_image)
+        assert data.startswith(b"P6")
+        assert np.array_equal(decode_netpbm(data), color_image)
+
+    def test_decode_errors_carry_origin_label(self):
+        from repro.errors import CodecError
+        from repro.imaging.png import decode_png
+        from repro.imaging.ppm import decode_netpbm
+
+        with pytest.raises(CodecError, match="req-7"):
+            decode_png(b"nope", origin="req-7")
+        with pytest.raises(CodecError, match="<bytes>"):
+            decode_netpbm(b"nope")
+
+    def test_file_api_unchanged(self, tmp_path, color_image):
+        """read/write wrappers produce byte-identical files to the bytes API."""
+        from repro.imaging.png import encode_png, write_png
+
+        write_png(tmp_path / "a.png", color_image)
+        assert (tmp_path / "a.png").read_bytes() == encode_png(color_image)

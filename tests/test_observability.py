@@ -108,3 +108,93 @@ class TestMetrics:
         metrics.observe("b", 1.0)
         metrics.observe("a", 1.0)
         assert list(metrics.latency_summaries()) == ["a", "b"]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        from repro.observability import Gauge
+
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(5)
+        gauge.inc()
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 8.0
+
+    def test_concurrent_incs_do_not_lose_updates(self):
+        from repro.observability import Gauge
+
+        gauge = Gauge()
+
+        def churn():
+            for _ in range(1000):
+                gauge.inc()
+            for _ in range(500):
+                gauge.dec()
+
+        threads = [threading.Thread(target=churn) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value == 8 * 500
+
+    def test_registry_and_as_dict(self):
+        metrics = Metrics()
+        assert metrics.gauge("depth") is metrics.gauge("depth")
+        metrics.gauge("depth").set(3)
+        exported = metrics.as_dict()
+        assert exported["gauges"] == {"depth": 3.0}
+        assert metrics.gauge_values() == {"depth": 3.0}
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram_families(self):
+        from repro.observability import render_prometheus
+
+        metrics = Metrics()
+        metrics.counter("images.accepted").add(7)
+        metrics.gauge("server.queue_depth").set(2)
+        metrics.observe("pipeline.screen", 3.0)
+        text = render_prometheus(metrics)
+        assert "# TYPE decamouflage_images_accepted_total counter" in text
+        assert "decamouflage_images_accepted_total 7" in text
+        assert "# TYPE decamouflage_server_queue_depth gauge" in text
+        assert "decamouflage_server_queue_depth 2" in text
+        assert "# TYPE decamouflage_pipeline_screen_ms histogram" in text
+        assert 'decamouflage_pipeline_screen_ms_bucket{le="+Inf"} 1' in text
+        assert "decamouflage_pipeline_screen_ms_sum 3" in text
+        assert "decamouflage_pipeline_screen_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_extra_gauges_and_name_sanitisation(self):
+        from repro.observability import render_prometheus
+
+        metrics = Metrics()
+        text = render_prometheus(
+            metrics, extra_gauges={"operator_cache.hit_rate": 0.25}
+        )
+        assert "decamouflage_operator_cache_hit_rate 0.25" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.observability import render_prometheus
+
+        metrics = Metrics()
+        for value in (0.5, 0.5, 50.0):
+            metrics.observe("stage", value)
+        lines = [
+            line for line in render_prometheus(metrics).splitlines()
+            if line.startswith("decamouflage_stage_ms_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_cumulative_buckets_skip_empty(self):
+        histogram = LatencyHistogram()
+        histogram.record(1.0)
+        histogram.record(100.0)
+        buckets = histogram.cumulative_buckets()
+        assert [count for _, count in buckets] == [1, 2]
+        assert buckets[0][0] < buckets[1][0]

@@ -236,3 +236,85 @@ class TestAuditLog:
         assert stored.parent == tmp_path / "q"  # stayed inside quarantine
         assert ".." not in stored.stem
         assert stored.exists()
+
+
+def _record(index: int) -> AuditRecord:
+    return AuditRecord(
+        image_id=f"img-{index:05d}",
+        sequence=index,
+        verdict="benign",
+        action="accepted",
+        votes_for_attack=0,
+        votes_total=3,
+        scores={"scaling/mse": 1.0},
+        thresholds={"scaling/mse": "mse >= 2"},
+    )
+
+
+class TestAuditRotation:
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="max_bytes"):
+            AuditLog(tmp_path / "a.jsonl", max_bytes=0)
+        with pytest.raises(ReproError, match="backup_count"):
+            AuditLog(tmp_path / "a.jsonl", max_bytes=100, backup_count=0)
+
+    def test_rotation_bounds_active_file(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl", max_bytes=600, backup_count=3)
+        for index in range(40):
+            log.append(_record(index))
+        assert log.log_path.stat().st_size <= 600
+        rotated = log.rotated_paths()
+        assert 1 <= len(rotated) <= 3
+        for path in rotated:
+            assert path.stat().st_size <= 600
+
+    def test_oldest_files_dropped_beyond_backup_count(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl", max_bytes=300, backup_count=2)
+        for index in range(200):
+            log.append(_record(index))
+        files = {p.name for p in tmp_path.iterdir()}
+        assert files == {"audit.jsonl", "audit.jsonl.1", "audit.jsonl.2"}
+        # Total disk stays bounded even after 200 records.
+        total = sum(p.stat().st_size for p in tmp_path.iterdir())
+        assert total <= 3 * 300 + 300  # +1 record of slack
+
+    def test_records_include_rotated_in_order(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl", max_bytes=600, backup_count=50)
+        for index in range(30):
+            log.append(_record(index))
+        everything = log.records(include_rotated=True)
+        assert [r.sequence for r in everything] == list(range(30))
+        # Default stays the active file only.
+        assert len(log.records()) < 30
+
+    def test_concurrent_hammer_loses_nothing_and_corrupts_nothing(self, tmp_path):
+        """Many threads appending through rotation: every line everywhere
+        parses, and with enough backups no record is lost."""
+        import threading
+
+        log = AuditLog(tmp_path / "audit.jsonl", max_bytes=500, backup_count=200)
+        n_threads, per_thread = 8, 50
+
+        def hammer(thread_id: int):
+            for index in range(per_thread):
+                log.append(_record(thread_id * 1000 + index))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        everything = log.records(include_rotated=True)
+        assert len(everything) == n_threads * per_thread
+        assert {r.image_id for r in everything} == {
+            f"img-{t * 1000 + i:05d}" for t in range(n_threads) for i in range(per_thread)
+        }
+
+    def test_flush_is_reentrant_barrier(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        log.append(_record(0))
+        log.flush()  # no-op barrier; must not deadlock or raise
+        assert len(log.records()) == 1

@@ -1,0 +1,404 @@
+"""Lifecycle tests for the HTTP detection service (server + client).
+
+Real sockets on ephemeral ports, no mocks: every test starts a
+:class:`DetectionServer` wrapping a calibrated pipeline, talks to it
+through :class:`DetectionClient`, and shuts it down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, ServingError
+from repro.imaging.image import as_uint8
+from repro.serving import (
+    AuditLog,
+    DetectionClient,
+    DetectionServer,
+    Policy,
+    ProtectedPipeline,
+    ServerConfig,
+)
+from repro.serving.wire import (
+    decode_image_payload,
+    encode_image_payload,
+    pack_batch,
+    unpack_batch,
+)
+
+from tests.conftest import MODEL_INPUT
+
+
+def _make_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
+    pipeline = ProtectedPipeline(MODEL_INPUT, **kwargs)
+    pipeline.calibrate(benign_images, percentile=5.0)
+    return pipeline
+
+
+@pytest.fixture
+def served(benign_images):
+    """A running server on an ephemeral port + a connected client."""
+    pipeline = _make_pipeline(benign_images)
+    server = DetectionServer(pipeline, ServerConfig(port=0))
+    server.start()
+    client = DetectionClient(*server.address)
+    client.wait_ready(timeout_s=10.0)
+    yield server, client, pipeline
+    client.close()
+    server.shutdown()
+
+
+class TestWire:
+    def test_single_payload_round_trip(self, benign_images):
+        image = np.asarray(benign_images[0])
+        payload = encode_image_payload(image)
+        assert np.array_equal(decode_image_payload(payload), image)
+
+    def test_batch_framing_round_trip(self, benign_images):
+        payloads = [encode_image_payload(np.asarray(i)) for i in benign_images[:3]]
+        assert unpack_batch(pack_batch(payloads)) == payloads
+        assert unpack_batch(pack_batch([])) == []
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError, match="neither PNG nor netpbm"):
+            decode_image_payload(b"definitely not an image")
+        with pytest.raises(CodecError, match="truncated"):
+            unpack_batch(pack_batch([b"x" * 10])[:-3])
+
+
+class TestEndToEnd:
+    def test_benign_and_attack_detected(self, served, benign_images, attack_images):
+        _, client, _ = served
+        benign = client.detect(np.asarray(benign_images[0]))
+        assert not benign.is_attack
+        assert benign.action == "accepted"
+        attack = client.detect(as_uint8(attack_images[0]))
+        assert attack.is_attack
+        assert attack.action == "rejected"
+        assert not attack.accepted
+
+    def test_verdict_matches_in_process_submit_bit_for_bit(
+        self, served, benign_images, attack_images
+    ):
+        """The wire adds nothing: scores through the HTTP path equal an
+        in-process ``submit()`` on the same pixels, float-for-float (JSON
+        round-trips doubles exactly via repr)."""
+        _, client, pipeline = served
+        for source in (benign_images[0], attack_images[0]):
+            image = as_uint8(source)
+            local = pipeline.submit(image)
+            remote = client.detect(image)
+            assert remote.is_attack == local.detection.is_attack
+            assert remote.action == local.action
+            assert remote.votes_for_attack == local.detection.votes_for_attack
+            local_scores = {
+                f"{d.method}/{d.metric}": float(d.score)
+                for d in local.detection.detections
+            }
+            assert remote.scores == local_scores  # bit-for-bit, no approx
+
+    def test_batch_matches_single(self, served, benign_images, attack_images):
+        _, client, _ = served
+        images = [as_uint8(benign_images[0]), as_uint8(attack_images[0])]
+        batch = client.detect_batch(images)
+        singles = [client.detect(image) for image in images]
+        assert [v.verdict for v in batch] == [v.verdict for v in singles]
+        assert [v.scores for v in batch] == [v.scores for v in singles]
+
+    def test_request_id_echoed_and_audited(self, benign_images, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl")
+        pipeline = _make_pipeline(benign_images, audit_log=log)
+        server = DetectionServer(pipeline, ServerConfig(port=0))
+        server.start()
+        try:
+            with DetectionClient(*server.address) as client:
+                client.wait_ready(timeout_s=10.0)
+                verdict = client.detect(
+                    np.asarray(benign_images[0]), request_id="req-42"
+                )
+            assert verdict.request_id == "req-42"
+            assert verdict.image_id == "req-42"
+        finally:
+            server.shutdown()
+        assert [r.image_id for r in log.records()] == ["req-42"]
+
+    def test_bad_body_is_400_not_retried(self, served):
+        _, client, _ = served
+        with pytest.raises(ServingError, match="400"):
+            client.detect(payload=b"not an image at all")
+
+    def test_unknown_path_404(self, served):
+        _, client, _ = served
+        status, _, _ = client._request("GET", "/nope")
+        assert status == 404
+
+
+class TestHealth:
+    def test_ready_payload(self, served):
+        _, client, _ = served
+        status, payload = client.health()
+        assert status == 200
+        assert payload == {
+            "ready": True,
+            "calibrated": True,
+            "draining": False,
+            "queue_saturated": False,
+        }
+
+    def test_uncalibrated_is_not_ready(self):
+        server = DetectionServer(ProtectedPipeline(MODEL_INPUT), ServerConfig(port=0))
+        server.start()
+        try:
+            with DetectionClient(*server.address) as client:
+                status, payload = client.health()
+                assert status == 503
+                assert payload["calibrated"] is False
+                with pytest.raises(ServingError, match="not ready"):
+                    client.wait_ready(timeout_s=0.3, poll_s=0.05)
+        finally:
+            server.shutdown()
+
+
+def _block_submissions(pipeline, gate: threading.Event, started: threading.Event):
+    """Make every submit wait on *gate* (instance-level wrap, test only)."""
+    original = pipeline.submit
+
+    def slow_submit(image, **kwargs):
+        started.set()
+        assert gate.wait(timeout=30.0), "test gate never opened"
+        return original(image, **kwargs)
+
+    pipeline.submit = slow_submit
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_429_with_retry_after(self, benign_images):
+        pipeline = _make_pipeline(benign_images)
+        gate, started = threading.Event(), threading.Event()
+        _block_submissions(pipeline, gate, started)
+        server = DetectionServer(
+            pipeline,
+            ServerConfig(port=0, max_active=1, queue_depth=0, deadline_ms=30_000),
+        )
+        server.start()
+        image = np.asarray(benign_images[0])
+        outcomes: list = []
+
+        def occupy():
+            with DetectionClient(*server.address) as client:
+                outcomes.append(client.detect(image))
+
+        occupant = threading.Thread(target=occupy)
+        try:
+            occupant.start()
+            assert started.wait(timeout=10.0)
+            # The only active slot is held and the waiting room is size 0:
+            # an immediate 429 + Retry-After, never a hang.
+            with DetectionClient(*server.address, max_retries=0) as probe:
+                status, headers, payload = probe._request(
+                    "POST",
+                    "/v1/detect",
+                    body=encode_image_payload(image),
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "queue full" in json.loads(payload)["error"]
+        finally:
+            gate.set()
+            occupant.join(timeout=30.0)
+            server.shutdown()
+        assert not occupant.is_alive()
+        assert [v.action for v in outcomes] == ["accepted"]
+
+    def test_queue_deadline_503(self, benign_images):
+        pipeline = _make_pipeline(benign_images)
+        gate, started = threading.Event(), threading.Event()
+        _block_submissions(pipeline, gate, started)
+        server = DetectionServer(
+            pipeline,
+            ServerConfig(port=0, max_active=1, queue_depth=4, deadline_ms=100),
+        )
+        server.start()
+        image = np.asarray(benign_images[0])
+
+        def occupy():
+            with DetectionClient(*server.address) as client:
+                client.detect(image)
+
+        occupant = threading.Thread(target=occupy)
+        try:
+            occupant.start()
+            assert started.wait(timeout=10.0)
+            with DetectionClient(*server.address, max_retries=0) as probe:
+                status, _, payload = probe._request(
+                    "POST",
+                    "/v1/detect",
+                    body=encode_image_payload(image),
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+            assert status == 503
+            assert "gave up" in json.loads(payload)["error"]
+        finally:
+            gate.set()
+            occupant.join(timeout=30.0)
+            server.shutdown()
+
+    def test_client_retries_through_transient_429(self, benign_images):
+        """With retries enabled, the client rides out a temporarily full
+        queue and still gets its verdict."""
+        pipeline = _make_pipeline(benign_images)
+        gate, started = threading.Event(), threading.Event()
+        _block_submissions(pipeline, gate, started)
+        server = DetectionServer(
+            pipeline,
+            ServerConfig(
+                port=0, max_active=1, queue_depth=0, deadline_ms=30_000,
+                retry_after_s=0.1,
+            ),
+        )
+        server.start()
+        image = np.asarray(benign_images[0])
+        outcomes: list = []
+
+        def occupy():
+            with DetectionClient(*server.address) as client:
+                outcomes.append(client.detect(image))
+
+        occupant = threading.Thread(target=occupy)
+        try:
+            occupant.start()
+            assert started.wait(timeout=10.0)
+            opener = threading.Timer(0.3, gate.set)
+            opener.start()
+            with DetectionClient(
+                *server.address, max_retries=8, backoff_base_s=0.05
+            ) as client:
+                verdict = client.detect(image)
+            assert verdict.action == "accepted"
+        finally:
+            gate.set()
+            occupant.join(timeout=30.0)
+            server.shutdown()
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_and_flushes_audit(
+        self, benign_images, tmp_path
+    ):
+        """shutdown() during in-flight requests loses none of them: every
+        accepted request gets a 200 and an audit record."""
+        log = AuditLog(tmp_path / "audit.jsonl")
+        pipeline = _make_pipeline(benign_images, audit_log=log)
+        gate, started = threading.Event(), threading.Event()
+        _block_submissions(pipeline, gate, started)
+        n_inflight = 3
+        server = DetectionServer(
+            pipeline,
+            ServerConfig(port=0, max_active=n_inflight, queue_depth=0),
+        )
+        server.start()
+        image = np.asarray(benign_images[0])
+        verdicts: list = []
+        errors: list = []
+
+        def one(request_id: str):
+            try:
+                with DetectionClient(*server.address, max_retries=0) as client:
+                    verdicts.append(client.detect(image, request_id=request_id))
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one, args=(f"inflight-{i}",))
+            for i in range(n_inflight)
+        ]
+        for thread in threads:
+            thread.start()
+        # Wait until all three occupy active slots, then drain mid-flight.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if pipeline.metrics.gauge("server.in_flight").value == n_inflight:
+                break
+            time.sleep(0.01)
+        gate.set()
+        server.shutdown()  # joins handler threads before flushing the log
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert errors == []
+        assert sorted(v.request_id for v in verdicts) == sorted(
+            f"inflight-{i}" for i in range(n_inflight)
+        )
+        assert all(v.action == "accepted" for v in verdicts)
+        audited = sorted(r.image_id for r in log.records())
+        assert audited == sorted(f"inflight-{i}" for i in range(n_inflight))
+
+    def test_shutdown_is_idempotent_and_post_drain_refuses(self, benign_images):
+        pipeline = _make_pipeline(benign_images)
+        server = DetectionServer(pipeline, ServerConfig(port=0))
+        server.start()
+        host, port = server.address
+        server.shutdown()
+        server.shutdown()  # second call is a no-op, not an error
+        with pytest.raises(ServingError):
+            with DetectionClient(host, port, max_retries=1, backoff_base_s=0.01) as c:
+                c.detect(np.asarray(benign_images[0]))
+
+
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? [0-9.eE+-]+$|^\# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+)
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_parses(self, served, benign_images, attack_images):
+        _, client, _ = served
+        client.detect(np.asarray(benign_images[0]))
+        client.detect(as_uint8(attack_images[0]))
+        text = client.metrics_text()
+        lines = text.strip().splitlines()
+        assert lines, "empty exposition"
+        for line in lines:
+            assert _METRIC_LINE.match(line), f"unparseable line: {line!r}"
+
+    def test_expected_families_present(self, served, benign_images):
+        _, client, _ = served
+        client.detect(np.asarray(benign_images[0]))
+        text = client.metrics_text()
+        for needle in (
+            "decamouflage_server_requests_total",
+            "decamouflage_server_responses_200_total",
+            "decamouflage_server_in_flight",
+            "decamouflage_server_queue_depth",
+            "decamouflage_pipeline_submitted",
+            "decamouflage_operator_cache_hit_rate",
+            "decamouflage_analysis_",  # shared-analysis memo hit/miss counters
+            "decamouflage_server_request_ms_bucket",
+            'le="+Inf"',
+        ):
+            assert needle in text, f"missing {needle} in exposition"
+
+    def test_histogram_buckets_cumulative_and_consistent(self, served, benign_images):
+        _, client, _ = served
+        for _ in range(3):
+            client.detect(np.asarray(benign_images[0]))
+        text = client.metrics_text()
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("decamouflage_server_request_ms_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        count = next(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("decamouflage_server_request_ms_count")
+        )
+        assert buckets[-1] == count == 3.0
