@@ -1,0 +1,94 @@
+"""Analyzer wall-clock benchmark: serial vs. multiprocessing, cold vs. warm.
+
+Times ``tools/analyze`` over the full repo (``src tools benchmarks``) in
+three configurations — cold serial, cold fan-out (one worker per CPU), and
+warm cache — and writes the table to
+``benchmarks/results/bench_analyze.txt``. The numbers back the
+``--max-seconds 60`` budget the CI static-analysis job enforces: the
+analyzer must never quietly become the slow part of the pipeline.
+
+Run standalone::
+
+    python benchmarks/bench_analyze.py
+
+or through pytest::
+
+    PYTHONPATH=src pytest benchmarks/bench_analyze.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from analyze.engine import run_analysis  # noqa: E402
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_analyze.txt"
+
+ROOTS = [REPO_ROOT / "src", REPO_ROOT / "tools", REPO_ROOT / "benchmarks"]
+
+#: The budget the CI job enforces via ``--max-seconds``; the cold serial
+#: run must clear it with a wide margin even on a slow runner.
+CI_BUDGET_SECONDS = 60.0
+
+
+def _timed(label: str, **kwargs) -> tuple[str, float, int, int]:
+    start = time.perf_counter()
+    result = run_analysis(ROOTS, **kwargs)
+    elapsed = time.perf_counter() - start
+    return label, elapsed, result.files_analyzed, result.cache_hits
+
+
+def run_analyze_bench(cache_path: Path) -> str:
+    jobs = os.cpu_count() or 1
+    rows = [
+        _timed("cold, serial (--jobs 1)", jobs=1, cache_path=None),
+        _timed(f"cold, fan-out (--jobs {jobs})", jobs=jobs, cache_path=None),
+    ]
+    # Prime the cache, then measure the warm no-change run CI skips
+    # (CI uses --no-cache) but every local iteration enjoys.
+    _timed("cache prime", jobs=jobs, cache_path=cache_path)
+    rows.append(_timed("warm cache (--jobs 1)", jobs=1, cache_path=cache_path))
+
+    lines = [
+        "Static-analysis wall-clock over src + tools + benchmarks "
+        f"(all four passes, {rows[0][2]} files, {jobs} CPUs)",
+        "",
+        f"{'configuration':<28} {'elapsed':>9} {'files':>6} {'cached':>7}",
+    ]
+    for label, elapsed, files, cached in rows:
+        lines.append(f"{label:<28} {elapsed:>8.2f}s {files:>6} {cached:>7}")
+    lines.append("")
+    lines.append(
+        f"CI budget (--max-seconds): {CI_BUDGET_SECONDS:.0f}s; "
+        f"cold serial uses {100 * rows[0][1] / CI_BUDGET_SECONDS:.1f}% of it"
+    )
+    return "\n".join(lines)
+
+
+def test_analyze_wall_clock(run_once, tmp_path):
+    table = run_once(run_analyze_bench, tmp_path / "cache.json")
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(table + "\n")
+    print("\n" + table)
+
+    # The budget assertion CI relies on, with margin: the cold serial run
+    # must finish in a small fraction of the --max-seconds 60 budget.
+    serial_line = next(
+        line for line in table.splitlines() if line.startswith("cold, serial")
+    )
+    elapsed = float(serial_line.split()[-3].rstrip("s"))
+    assert elapsed < CI_BUDGET_SECONDS / 4
+
+
+if __name__ == "__main__":
+    table = run_analyze_bench(Path(".analyze-bench-cache.json"))
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(table + "\n")
+    print(table)
+    Path(".analyze-bench-cache.json").unlink(missing_ok=True)

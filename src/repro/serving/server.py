@@ -415,11 +415,19 @@ class DetectionServer:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Serve on a background thread (tests, embedding); returns at once."""
-        self._serve_thread = threading.Thread(
-            target=self._httpd.serve_forever, name="detection-server", daemon=True
-        )
-        self._serve_thread.start()
+        """Serve on a background thread (tests, embedding); returns at once.
+
+        Guarded by the shutdown lock: ``start`` and ``shutdown`` race on
+        ``_serve_thread``, and starting after a drain would leak a thread
+        spinning on a closed socket.
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                raise ReproError("server is closed; create a new DetectionServer")
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever, name="detection-server", daemon=True
+            )
+            self._serve_thread.start()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
@@ -436,11 +444,13 @@ class DetectionServer:
         signal.signal(signal.SIGTERM, _drain)
         signal.signal(signal.SIGINT, _drain)
 
-    def shutdown(self) -> None:
+    def shutdown(self) -> None:  # analyze: ignore[io-under-lock]
         """Graceful drain: stop accepting, finish in-flight, flush audit.
 
         Idempotent and safe to call from any thread except a handler
-        thread (it joins them).
+        thread (it joins them). Joining and flushing *while holding* the
+        shutdown lock is the point — concurrent shutdown() calls must not
+        return before the drain completes — hence the analyzer suppression.
         """
         with self._shutdown_lock:
             if self._closed:

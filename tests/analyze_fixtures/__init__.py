@@ -1,0 +1,8 @@
+"""Fixture snippets for the static-analysis framework's own test suite.
+
+Each ``*_bad.py`` file deliberately violates one rule; the matching
+``*_good.py`` file exercises the same shape without violating it. These
+modules are never imported by tests (some would not even run) — they are
+parsed by ``tools/analyze`` as source files. They live under ``tests/`` so
+the CI analysis run over ``src tools benchmarks`` never sees them.
+"""

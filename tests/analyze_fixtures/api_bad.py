@@ -1,0 +1,27 @@
+"""Triggers every api-surface code.
+
+Analyzed with module name ``repro.imaging.api_bad`` so the cross-layer
+rule sees an imaging-layer module importing from the serving layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.serving.server import DetectionServer
+
+__all__ = ["build"]
+
+
+def build() -> object:
+    # deprecated-name: the removed Detector method spelling.
+    server = DetectionServer
+    return server.calibrate_whitebox
+
+
+UNLISTED_CONSTANT = 3
+
+
+def also_unlisted() -> dict:
+    return json.loads("{}")

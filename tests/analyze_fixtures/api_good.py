@@ -1,0 +1,25 @@
+"""Non-triggering api-surface shapes.
+
+Analyzed with module name ``repro.serving.api_good``: a serving-layer
+module may import from core/imaging (lower layers), every import is used,
+``__all__`` is complete, and the stable ``thresholds`` module functions
+are referenced, not the removed method spellings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import thresholds
+from repro.imaging.image import ensure_image
+
+__all__ = ["LISTED_CONSTANT", "summarize"]
+
+LISTED_CONSTANT = 7
+
+
+def summarize(payload: str) -> dict:
+    data = json.loads(payload)
+    data["validator"] = ensure_image.__name__
+    data["calibrator"] = thresholds.calibrate_whitebox.__name__
+    return data

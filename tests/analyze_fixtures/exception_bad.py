@@ -1,0 +1,21 @@
+"""Triggers exception-policy: bare except and a silent broad handler."""
+
+from __future__ import annotations
+
+__all__ = ["swallow", "bare"]
+
+
+def swallow(path: str) -> str | None:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        # swallowed-exception: no raise, no logging, exception never read.
+        return None
+
+
+def bare(values: list[int]) -> int:
+    try:
+        return values[0]
+    except:  # bare-except: catches SystemExit/KeyboardInterrupt too.
+        return 0

@@ -1,0 +1,45 @@
+"""Non-triggering exception handling: narrow, logged, recorded, re-raised."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["narrow", "logged", "recorded", "wrapped"]
+
+_logger = logging.getLogger(__name__)
+
+
+def narrow(path: str) -> str | None:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except FileNotFoundError:
+        return None
+
+
+def logged(path: str) -> str | None:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        _logger.warning("read failed: %s", path)
+        return None
+
+
+def recorded(jobs: list[str]) -> list[tuple[str, str]]:
+    failures = []
+    for job in jobs:
+        try:
+            with open(job) as handle:
+                handle.read()
+        except Exception as exc:
+            failures.append((job, str(exc)))
+    return failures
+
+
+def wrapped(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception as exc:
+        raise RuntimeError(f"cannot read {path}") from exc

@@ -1,0 +1,37 @@
+"""Triggers every lock-discipline code: unguarded-write, bare-acquire, io-under-lock."""
+
+from __future__ import annotations
+
+import threading
+
+
+class LeakyCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+        self._sink = None
+
+    def add(self, amount: int) -> None:
+        with self._lock:
+            self._total += amount
+
+    def reset(self) -> None:
+        # unguarded-write: _total is touched under the lock in add().
+        self._total = 0
+
+    def unsafe_add(self, amount: int) -> None:
+        # bare-acquire: an exception between acquire and release leaks the lock.
+        self._lock.acquire()
+        self._total += amount
+        self._lock.release()
+
+    def persist(self, path: str) -> None:
+        # io-under-lock: file I/O while holding the lock stalls every writer.
+        with self._lock:
+            with open(path, "w") as handle:
+                handle.write(str(self._total))
+
+    def notify(self) -> None:
+        # io-under-lock (callback form): _sink is state, not a method.
+        with self._lock:
+            self._sink(self._total)

@@ -1,0 +1,34 @@
+"""Non-triggering lock usage: guarded writes, context managers, I/O outside."""
+
+from __future__ import annotations
+
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, amount: int) -> None:
+        with self._lock:
+            self._total += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._total = 0
+
+    def _bump_locked(self, amount: int) -> None:
+        """Caller holds the lock; the naming convention exempts this helper."""
+        self._total += amount
+
+    def snapshot(self) -> int:
+        with self._lock:
+            value = self._total
+        return value
+
+    def persist(self, path: str) -> None:
+        with self._lock:
+            value = self._total
+        with open(path, "w") as handle:
+            handle.write(str(value))

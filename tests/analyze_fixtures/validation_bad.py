@@ -1,0 +1,24 @@
+"""Triggers validation-boundary: raw use of an image param before validation.
+
+Analyzed with module name ``repro.imaging.validation_bad`` (the pass only
+applies to ``repro.imaging``/``repro.core`` surfaces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crop_center", "difference"]
+
+
+def crop_center(image: np.ndarray, size: int) -> np.ndarray:
+    h, w = image.shape[:2]
+    top = (h - size) // 2
+    left = (w - size) // 2
+    # unvalidated-image: subscript before any ensure_image/as_float call.
+    return image[top : top + size, left : left + size]
+
+
+def difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # unvalidated-image (twice): arithmetic straight on the raw params.
+    return a - b

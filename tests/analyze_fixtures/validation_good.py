@@ -1,0 +1,35 @@
+"""Non-triggering validation-boundary shapes: validate, then use.
+
+Analyzed with module name ``repro.imaging.validation_good``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import as_float, ensure_image
+
+__all__ = ["crop_center", "difference", "brightness"]
+
+
+def crop_center(image: np.ndarray, size: int) -> np.ndarray:
+    ensure_image(image)
+    h, w = image.shape[:2]
+    top = (h - size) // 2
+    left = (w - size) // 2
+    return image[top : top + size, left : left + size]
+
+
+def _as_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return as_float(a), as_float(b)
+
+
+def difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Clean via helper transitivity: _as_pair validates both positions.
+    fa, fb = _as_pair(a, b)
+    return fa - fb
+
+
+def brightness(image: np.ndarray) -> float:
+    # No raw use at all: delegating the array whole is always fine.
+    return float(np.mean(as_float(image)))

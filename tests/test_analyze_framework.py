@@ -1,0 +1,390 @@
+"""Framework-level tests: suppressions, baseline, cache, reporters, CLI.
+
+These exercise the shared infrastructure of ``tools/analyze`` — everything
+the individual passes sit on top of. The pass-specific behaviour lives in
+``test_analyze_passes.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from analyze.cli import main  # noqa: E402
+from analyze.engine import (  # noqa: E402
+    analyze_source,
+    discover_files,
+    module_name_for,
+    run_analysis,
+)
+from analyze.findings import (  # noqa: E402
+    Baseline,
+    Finding,
+    assign_fingerprints,
+    filter_suppressed,
+    parse_suppressions,
+)
+from analyze.reporters import JSON_SCHEMA_VERSION, render_json  # noqa: E402
+
+SWALLOW = textwrap.dedent(
+    """\
+    def risky(path):
+        try:
+            return open(path).read()
+        except Exception:
+            return None
+    """
+)
+
+
+def _one_finding(source: str = SWALLOW) -> Finding:
+    report = analyze_source(source, "sample.py", rules=["exception-policy"])
+    assert len(report.findings) == 1
+    return report.findings[0]
+
+
+# -- suppression syntax ------------------------------------------------------
+
+
+def test_suppression_on_the_finding_line():
+    source = SWALLOW.replace(
+        "except Exception:",
+        "except Exception:  # analyze: ignore[swallowed-exception] known-safe",
+    )
+    report = analyze_source(source, "s.py", rules=["exception-policy"])
+    assert report.findings == [] and report.suppressed == 1
+
+
+def test_suppression_on_the_preceding_line():
+    source = textwrap.dedent(
+        """\
+        def risky(path):
+            try:
+                return open(path).read()
+            # analyze: ignore[swallowed-exception] probing optional file
+            except Exception:
+                return None
+        """
+    )
+    report = analyze_source(source, "s.py", rules=["exception-policy"])
+    assert report.findings == [] and report.suppressed == 1
+
+
+def test_scope_level_suppression_on_def_line():
+    source = textwrap.dedent(
+        """\
+        def risky(path):  # analyze: ignore[exception-policy] scope-wide opt-out
+            try:
+                return open(path).read()
+            except Exception:
+                return None
+        """
+    )
+    report = analyze_source(source, "s.py", rules=["exception-policy"])
+    assert report.findings == [] and report.suppressed == 1
+
+
+def test_rule_name_and_all_tokens_match():
+    finding = _one_finding()
+    by_rule = filter_suppressed([finding], {finding.line: {"exception-policy"}})
+    by_all = filter_suppressed([finding], {finding.line: {"all"}})
+    assert by_rule == ([], 1) and by_all == ([], 1)
+
+
+def test_unrelated_token_does_not_suppress():
+    finding = _one_finding()
+    kept, dropped = filter_suppressed([finding], {finding.line: {"io-under-lock"}})
+    assert kept == [finding] and dropped == 0
+
+
+def test_parse_suppressions_splits_comma_list():
+    lines = ["x = 1  # analyze: ignore[io-under-lock, bare-except] both fine"]
+    assert parse_suppressions(lines) == {1: {"io-under-lock", "bare-except"}}
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprints_survive_line_shifts():
+    before = _one_finding()
+    after = _one_finding("# leading comment\n\n\n" + SWALLOW)
+    assign_fingerprints([before])
+    assign_fingerprints([after])
+    assert before.line != after.line
+    assert before.fingerprint == after.fingerprint
+
+
+def test_identical_siblings_get_distinct_ordinals():
+    twice = SWALLOW + "\n\n" + SWALLOW.replace("def risky", "def risky_again")
+    report = analyze_source(twice, "s.py", rules=["exception-policy"])
+    # Same message, different symbols -> distinct fingerprints already.
+    assign_fingerprints(report.findings)
+    prints = {f.fingerprint for f in report.findings}
+    assert len(prints) == len(report.findings) == 2
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    finding = _one_finding()
+    assign_fingerprints([finding])
+
+    baseline = Baseline(path=tmp_path / "baseline.json")
+    baseline.update_from([finding])
+    baseline.entries[finding.fingerprint] = "probing an optional sidecar file"
+    baseline.save()
+
+    reloaded = Baseline.load(tmp_path / "baseline.json")
+    assert reloaded.entries == {
+        finding.fingerprint: "probing an optional sidecar file"
+    }
+    fresh, baselined, stale = reloaded.apply([finding])
+    assert fresh == [] and baselined == 1 and stale == []
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    baseline = Baseline(path=tmp_path / "baseline.json")
+    baseline.entries["gone.py::exception-policy::bare-except::f::msg::0"] = "old"
+    fresh, baselined, stale = baseline.apply([])
+    assert fresh == [] and baselined == 0
+    assert stale == ["gone.py::exception-policy::bare-except::f::msg::0"]
+
+
+def test_update_from_keeps_existing_justifications(tmp_path):
+    finding = _one_finding()
+    assign_fingerprints([finding])
+    baseline = Baseline(path=tmp_path / "baseline.json")
+    baseline.entries[finding.fingerprint] = "deliberate"
+    baseline.update_from([finding])
+    assert baseline.entries[finding.fingerprint] == "deliberate"
+
+
+def test_repo_baseline_is_empty():
+    # The acceptance bar for this PR: every real finding was fixed or
+    # inline-suppressed with a justification, so the checked-in baseline
+    # carries no entries.
+    data = json.loads((REPO_ROOT / "tools" / "analyze_baseline.json").read_text())
+    assert data["entries"] == []
+
+
+# -- reporters ---------------------------------------------------------------
+
+
+def test_json_reporter_schema():
+    finding = _one_finding()
+    assign_fingerprints([finding])
+    payload = json.loads(
+        render_json(
+            [finding],
+            files_analyzed=1,
+            suppressed=2,
+            baselined=3,
+            cache_hits=4,
+            elapsed_s=0.5,
+            stale_baseline=["x"],
+        )
+    )
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_analyzed"] == 1
+    assert payload["counts"] == {
+        "findings": 1,
+        "suppressed": 2,
+        "baselined": 3,
+        "cache_hits": 4,
+    }
+    assert payload["stale_baseline"] == ["x"]
+    (entry,) = payload["findings"]
+    assert set(entry) == {
+        "path", "line", "col", "rule", "code", "message", "symbol", "fingerprint",
+    }
+
+
+# -- engine: discovery, naming, cache, fan-out -------------------------------
+
+
+def test_discover_files_skips_pycache(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.py").write_text("x = 1\n")
+    found = discover_files([tmp_path])
+    assert [p.name for p in found] == ["mod.py"]
+
+
+def test_module_name_anchors_at_src():
+    assert module_name_for(Path("src/repro/core/analysis.py")) == "repro.core.analysis"
+    assert module_name_for(Path("src/repro/imaging/__init__.py")) == "repro.imaging"
+    assert module_name_for(Path("tools/analyze/engine.py")) == "tools.analyze.engine"
+
+
+def test_cache_hits_on_unchanged_tree(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(SWALLOW)
+    cache = tmp_path / "cache.json"
+
+    cold = run_analysis([tmp_path], cache_path=cache)
+    warm = run_analysis([tmp_path], cache_path=cache)
+    assert cold.cache_hits == 0 and warm.cache_hits == 1
+    assert [f.render() for f in warm.findings] == [
+        f.render() for f in cold.findings
+    ]
+
+    # Touching the file (content change -> new size) invalidates its entry.
+    target.write_text(SWALLOW + "\n# trailing comment\n")
+    third = run_analysis([tmp_path], cache_path=cache)
+    assert third.cache_hits == 0
+
+
+def test_cache_is_keyed_on_enabled_rules(tmp_path):
+    (tmp_path / "mod.py").write_text(SWALLOW)
+    cache = tmp_path / "cache.json"
+    run_analysis([tmp_path], rules=["lock-discipline"], cache_path=cache)
+    second = run_analysis([tmp_path], rules=["exception-policy"], cache_path=cache)
+    assert second.cache_hits == 0
+    assert {f.code for f in second.findings} == {"swallowed-exception"}
+
+
+def test_parallel_run_matches_serial(tmp_path):
+    for index in range(6):
+        (tmp_path / f"mod_{index}.py").write_text(
+            SWALLOW.replace("def risky", f"def risky_{index}")
+        )
+    serial = run_analysis([tmp_path], jobs=1)
+    fanned = run_analysis([tmp_path], jobs=2)
+    assert [f.render() for f in serial.findings] == [
+        f.render() for f in fanned.findings
+    ]
+    assert [f.fingerprint for f in serial.findings] == [
+        f.fingerprint for f in fanned.findings
+    ]
+
+
+# -- CLI exit codes ----------------------------------------------------------
+
+
+def _write_clean_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "clean"
+    tree.mkdir()
+    (tree / "ok.py").write_text('"""Clean module."""\n\n__all__ = []\n')
+    return tree
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
+    tree = _write_clean_tree(tmp_path)
+    code = main([str(tree), "--no-cache", "--no-baseline"])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SWALLOW)
+    code = main([str(bad), "--no-cache", "--no-baseline"])
+    assert code == 1
+    assert "swallowed-exception" in capsys.readouterr().out
+
+
+def test_cli_exit_two_on_unknown_rule(tmp_path, capsys):
+    tree = _write_clean_tree(tmp_path)
+    code = main([str(tree), "--rules", "nope", "--no-cache", "--no-baseline"])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_exit_two_on_missing_path(tmp_path, capsys):
+    code = main([str(tmp_path / "ghost"), "--no-cache", "--no-baseline"])
+    assert code == 2
+    assert "do not exist" in capsys.readouterr().err
+
+
+def test_cli_update_baseline_then_clean(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SWALLOW)
+    baseline = tmp_path / "baseline.json"
+
+    code = main(
+        [str(bad), "--no-cache", "--baseline", str(baseline), "--update-baseline"]
+    )
+    assert code == 0 and baseline.exists()
+    capsys.readouterr()
+
+    # With the finding baselined, the same tree is green...
+    assert main([str(bad), "--no-cache", "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+    # ...and fixing the file turns the entry stale -> red again.
+    bad.write_text('"""Fixed."""\n\n__all__ = []\n')
+    code = main([str(bad), "--no-cache", "--baseline", str(baseline)])
+    assert code == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_stale_baseline_fails(tmp_path, capsys):
+    tree = _write_clean_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"fingerprint": "ghost::rule::code::sym::msg::0",
+                     "justification": "obsolete"}
+                ],
+            }
+        )
+    )
+    code = main([str(tree), "--no-cache", "--baseline", str(baseline)])
+    assert code == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_max_seconds_budget(tmp_path, capsys):
+    tree = _write_clean_tree(tmp_path)
+    # An impossible budget trips the exit-1 path even on a clean tree.
+    code = main(
+        [str(tree), "--no-cache", "--no-baseline", "--max-seconds", "0"]
+    )
+    assert code == 1
+    assert "over the" in capsys.readouterr().err
+
+
+def test_cli_json_format_round_trips(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SWALLOW)
+    code = main([str(bad), "--no-cache", "--no-baseline", "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["counts"]["findings"] == 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("lock-discipline", "validation-boundary",
+                 "exception-policy", "api-surface"):
+        assert rule in out
+
+
+def test_cli_catches_fixture_tree_like_ci_would(capsys):
+    # The CI job's guarantee in miniature: pointing the analyzer at a tree
+    # containing the bad fixtures must fail the build.
+    fixtures = REPO_ROOT / "tests" / "analyze_fixtures"
+    code = main(
+        [
+            str(fixtures / "lock_bad.py"),
+            str(fixtures / "exception_bad.py"),
+            "--no-cache",
+            "--no-baseline",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "io-under-lock" in out and "bare-except" in out

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""CLI entry point for the repo's static-analysis framework.
+
+Usage::
+
+    python tools/analyze.py                       # src tools benchmarks
+    python tools/analyze.py src --rules api-surface --format json
+    python tools/analyze.py --list-rules
+
+See ``docs/static-analysis.md`` for the passes, the invariants they
+encode, and the suppression/baseline workflow. The implementation lives
+in the ``tools/analyze/`` package; this file only bootstraps ``sys.path``
+so the package resolves when invoked as a script from the repo root.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze.cli import main  # noqa: E402  (path bootstrap must run first)
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,17 @@
+"""``tools/analyze`` — stdlib-only multi-pass AST static analysis.
+
+The framework machine-checks the contracts this repo's concurrency,
+validation, and API layers rely on (see ``docs/static-analysis.md``):
+
+* :mod:`analyze.engine` — discovery, mtime-keyed cache, process fan-out;
+* :mod:`analyze.passes` — the rule implementations;
+* :mod:`analyze.findings` — findings, suppressions, and the baseline;
+* :mod:`analyze.reporters` — human and JSON output;
+* :mod:`analyze.cli` — the ``python tools/analyze.py`` entry point.
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+__version__ = "1.0"

@@ -1,0 +1,182 @@
+"""Command-line interface for the static-analysis framework.
+
+Exit codes (CI contract):
+
+* ``0`` — no new findings (baselined and suppressed ones do not count),
+  and no stale baseline entries;
+* ``1`` — at least one new finding, or a stale baseline entry, or the
+  ``--max-seconds`` budget was exceeded;
+* ``2`` — usage error (unknown rule, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from analyze.engine import run_analysis
+from analyze.findings import Baseline
+from analyze.passes import ALL_PASSES, known_rules
+from analyze.reporters import render_human, render_json
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "DEFAULT_BASELINE",
+    "DEFAULT_CACHE",
+    "build_parser",
+    "main",
+]
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+DEFAULT_BASELINE = "tools/analyze_baseline.json"
+DEFAULT_CACHE = ".analyze-cache.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="analyze",
+        description="Multi-pass stdlib AST static analysis for this repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list passes and exit"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 0 = one per CPU (default: 1)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        help=f"mtime-keyed result cache path (default: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the run exceeds this wall-clock budget",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in ALL_PASSES:
+        lines.append(f"{cls.name}: {cls.description}")
+        for code in cls.codes:
+            lines.append(f"  - {code}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+        unknown = set(rules) - set(known_rules())
+        if unknown:
+            print(
+                f"error: unknown rule(s) {sorted(unknown)}; "
+                f"known: {known_rules()}",
+                file=sys.stderr,
+            )
+            return 2
+
+    roots = [Path(p) for p in args.paths]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        print(f"error: path(s) do not exist: {missing}", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    result = run_analysis(
+        roots,
+        rules=rules,
+        jobs=args.jobs,
+        cache_path=None if args.no_cache else Path(args.cache),
+    )
+    elapsed = time.perf_counter() - start
+
+    baseline = Baseline(path=Path(args.baseline))
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        baseline.update_from(result.findings)
+        baseline.save()
+        print(
+            f"baseline updated: {len(baseline.entries)} entr"
+            f"{'y' if len(baseline.entries) == 1 else 'ies'} -> {baseline.path}"
+        )
+        return 0
+
+    fresh, baselined, stale = baseline.apply(result.findings)
+
+    render = render_json if args.format == "json" else render_human
+    print(
+        render(
+            fresh,
+            files_analyzed=result.files_analyzed,
+            suppressed=result.suppressed,
+            baselined=baselined,
+            cache_hits=result.cache_hits,
+            elapsed_s=elapsed,
+            stale_baseline=stale,
+        )
+    )
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"error: analysis took {elapsed:.2f}s, over the "
+            f"--max-seconds {args.max_seconds:.2f} budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if fresh or stale else 0

@@ -1,0 +1,307 @@
+"""Analysis engine: discovery, parse cache, and multiprocessing fan-out.
+
+The engine is deliberately dumb about *what* the passes check — it owns
+the mechanics every pass shares:
+
+* **discovery** — ``*.py`` files under the given roots, skipping
+  ``__pycache__``, hidden directories, and egg-info;
+* **module naming** — ``src/repro/serving/server.py`` becomes
+  ``repro.serving.server`` so passes can reason about layers; files not
+  under a ``src`` root get a best-effort dotted name from their path;
+* **per-file analysis** — parse once, build the scope index once, run
+  every enabled pass, then drop findings silenced by inline
+  ``# analyze: ignore[...]`` comments (line-level or scope-level);
+* **mtime-keyed cache** — a JSON sidecar mapping path -> (mtime_ns, size,
+  config key) -> findings, so an unchanged tree re-checks in milliseconds;
+* **fan-out** — ``--jobs N`` spreads cache misses across worker processes;
+  results are deterministic regardless of worker count because findings
+  are re-sorted by (path, line, col) after the merge.
+
+Parse failures are not crashes: a file that does not parse yields a single
+``parse/syntax-error`` finding and analysis continues.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from analyze.findings import (
+    Finding,
+    assign_fingerprints,
+    filter_suppressed,
+    parse_suppressions,
+)
+from analyze.passes import get_passes
+from analyze.passes.base import PassContext, build_scope_index
+
+__all__ = [
+    "CACHE_VERSION",
+    "FileReport",
+    "RunResult",
+    "discover_files",
+    "module_name_for",
+    "analyze_source",
+    "analyze_file",
+    "run_analysis",
+]
+
+#: Bump when pass behaviour changes so stale cache entries never mask
+#: new findings.
+CACHE_VERSION = 1
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class FileReport:
+    """Per-file outcome: surviving findings plus suppression accounting."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    from_cache: bool = False
+
+    def as_cache_entry(self) -> dict:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class RunResult:
+    """Whole-run outcome over every analyzed file."""
+
+    findings: list[Finding]
+    files_analyzed: int
+    suppressed: int
+    cache_hits: int
+
+
+def discover_files(roots: list[Path]) -> list[Path]:
+    """Every ``.py`` file under *roots* (files pass through), sorted."""
+    files: set[Path] = set()
+    for root in roots:
+        if root.is_file():
+            files.add(root)
+            continue
+        for path in root.rglob("*.py"):
+            parts = set(path.parts)
+            if parts & _SKIP_DIRS:
+                continue
+            if any(part.endswith(".egg-info") for part in path.parts):
+                continue
+            files.add(path)
+    return sorted(files)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for *path*, anchored at a ``src`` directory.
+
+    ``src/repro/core/analysis.py`` -> ``repro.core.analysis``;
+    ``tools/analyze/engine.py`` -> ``tools.analyze.engine``;
+    ``__init__.py`` files name their package.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # Keep at most the last three path segments: enough to tell
+        # scripts apart without depending on where the repo is checked out.
+        parts = parts[-3:]
+    if not parts:
+        return ""
+    parts = list(parts)
+    parts[-1] = parts[-1].removesuffix(".py")
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    module: str | None = None,
+    rules: list[str] | None = None,
+) -> FileReport:
+    """Analyze one in-memory source blob (the unit tests' entry point)."""
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="parse",
+                code="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+
+    lines = source.splitlines()
+    context = PassContext(
+        path=path,
+        module=module if module is not None else module_name_for(Path(path)),
+        tree=tree,
+        lines=lines,
+        scopes=build_scope_index(tree),
+    )
+    findings: list[Finding] = []
+    for analysis_pass in get_passes(rules):
+        findings.extend(analysis_pass.run(context))
+
+    suppressions = parse_suppressions(lines)
+    scope_lines_of = {
+        f.line: context.scope_header_lines(f.line) for f in findings
+    }
+    kept, dropped = filter_suppressed(findings, suppressions, scope_lines_of)
+    kept.sort(key=lambda f: (f.line, f.col, f.rule, f.code))
+    report.findings = kept
+    report.suppressed = dropped
+    return report
+
+
+def analyze_file(path: Path, rules: list[str] | None = None) -> FileReport:
+    """Analyze one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        report = FileReport(path=str(path))
+        report.findings.append(
+            Finding(
+                path=str(path),
+                line=1,
+                col=1,
+                rule="parse",
+                code="unreadable",
+                message=f"cannot read file: {exc}",
+            )
+        )
+        return report
+    return analyze_source(source, str(path), rules=rules)
+
+
+def _analyze_one(args: tuple[str, list[str] | None]) -> FileReport:
+    path, rules = args
+    return analyze_file(Path(path), rules)
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def _config_key(rules: list[str] | None) -> str:
+    from analyze.passes import known_rules
+
+    enabled = sorted(rules) if rules is not None else sorted(known_rules())
+    return f"v{CACHE_VERSION}:" + ",".join(enabled)
+
+
+def _load_cache(cache_path: Path | None) -> dict:
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        return json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}  # a corrupt cache is equivalent to a cold one
+
+
+def _save_cache(cache_path: Path | None, cache: dict) -> None:
+    if cache_path is None:
+        return
+    try:
+        cache_path.write_text(json.dumps(cache), encoding="utf-8")
+    except OSError:
+        pass  # best-effort: a read-only checkout must not fail the run
+
+
+def _fresh_entry(cache: dict, path: Path, config_key: str) -> dict | None:
+    entry = cache.get(str(path))
+    if not entry or entry.get("config") != config_key:
+        return None
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    if entry.get("mtime_ns") != stat.st_mtime_ns or entry.get("size") != stat.st_size:
+        return None
+    return entry
+
+
+def run_analysis(
+    roots: list[Path],
+    *,
+    rules: list[str] | None = None,
+    jobs: int = 1,
+    cache_path: Path | None = None,
+) -> RunResult:
+    """Analyze every file under *roots*; returns merged, sorted findings."""
+    files = discover_files(roots)
+    config_key = _config_key(rules)
+    cache = _load_cache(cache_path)
+
+    reports: dict[str, FileReport] = {}
+    misses: list[Path] = []
+    for path in files:
+        entry = _fresh_entry(cache, path, config_key)
+        if entry is None:
+            misses.append(path)
+            continue
+        report = FileReport(
+            path=str(path),
+            findings=[Finding(**f) for f in entry["findings"]],
+            suppressed=entry["suppressed"],
+            from_cache=True,
+        )
+        reports[str(path)] = report
+
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and len(misses) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            fresh = list(
+                pool.map(
+                    _analyze_one,
+                    [(str(path), rules) for path in misses],
+                    chunksize=max(1, len(misses) // (jobs * 4) or 1),
+                )
+            )
+    else:
+        fresh = [_analyze_one((str(path), rules)) for path in misses]
+
+    for report in fresh:
+        reports[report.path] = report
+
+    new_cache: dict = {}
+    for path in files:
+        key = str(path)
+        report = reports[key]
+        try:
+            stat = path.stat()
+            new_cache[key] = {
+                "config": config_key,
+                "mtime_ns": stat.st_mtime_ns,
+                "size": stat.st_size,
+                **report.as_cache_entry(),
+            }
+        except OSError:
+            pass  # file vanished mid-run; simply not cached
+    _save_cache(cache_path, new_cache)
+
+    findings = [f for path in files for f in reports[str(path)].findings]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.code))
+    assign_fingerprints(findings)
+    return RunResult(
+        findings=findings,
+        files_analyzed=len(files),
+        suppressed=sum(r.suppressed for r in reports.values()),
+        cache_hits=sum(1 for r in reports.values() if r.from_cache),
+    )

@@ -1,0 +1,182 @@
+"""Finding model, inline suppressions, and the checked-in baseline.
+
+A :class:`Finding` is one rule violation at one source location. Its
+*fingerprint* deliberately excludes the line number — it is built from the
+file, the rule code, the enclosing symbol, and an ordinal among identical
+siblings — so baseline entries survive unrelated edits that shift lines.
+
+Suppressions are inline comments::
+
+    self.log_path.open("a")  # analyze: ignore[io-under-lock] why it is fine
+
+A suppression comment matches a finding when it sits on the finding's
+line, on the directly preceding comment-only line, or on the ``def`` /
+``class`` line of any enclosing scope (scope-level suppressions are how a
+method whose whole contract is "holds the lock while doing I/O" opts out
+once, with one justification, instead of per-statement). The bracket list
+accepts specific codes (``io-under-lock``), whole rules
+(``lock-discipline``), or ``all``.
+
+The baseline is a JSON file of fingerprints with mandatory justifications;
+``--update-baseline`` rewrites it from the current findings. A baseline
+entry that no longer matches any finding is reported as stale so the file
+can only shrink over time.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Baseline",
+    "SUPPRESS_RE",
+    "parse_suppressions",
+    "filter_suppressed",
+    "assign_fingerprints",
+]
+
+#: ``# analyze: ignore[code, other-code] optional justification``
+SUPPRESS_RE = re.compile(r"#\s*analyze:\s*ignore\[([A-Za-z0-9_*,\s-]+)\]")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location."""
+
+    path: str  #: repo-relative POSIX path
+    line: int
+    col: int
+    rule: str  #: pass name, e.g. ``lock-discipline``
+    code: str  #: specific check, e.g. ``io-under-lock``
+    message: str
+    symbol: str = ""  #: innermost enclosing ``Class.method`` qualname
+    fingerprint: str = ""  #: line-independent identity (set post-collection)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}/{self.code}: {self.message}{where}"
+        )
+
+
+def assign_fingerprints(findings: list[Finding]) -> None:
+    """Set each finding's fingerprint: path+code+symbol plus an ordinal.
+
+    The ordinal disambiguates several identical violations inside one
+    symbol (three unguarded writes to different attributes get distinct
+    fingerprints via the message; three to the *same* attribute via the
+    ordinal), while staying independent of line numbers.
+    """
+    seen: dict[tuple, int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col)):
+        key = (finding.path, finding.rule, finding.code, finding.symbol, finding.message)
+        ordinal = seen.get(key, 0)
+        seen[key] = ordinal + 1
+        finding.fingerprint = "::".join(
+            [finding.path, finding.rule, finding.code, finding.symbol,
+             finding.message, str(ordinal)]
+        )
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of suppressed tokens on that line."""
+    out: dict[int, set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = SUPPRESS_RE.search(text)
+        if match:
+            out[number] = {
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            }
+    return out
+
+
+def _matches(tokens: set[str], finding: Finding) -> bool:
+    return bool(tokens & {finding.code, finding.rule, "all", "*"})
+
+
+def filter_suppressed(
+    findings: list[Finding],
+    suppressions: dict[int, set[str]],
+    scope_lines_of: dict[int, list[int]] | None = None,
+) -> tuple[list[Finding], int]:
+    """Drop suppressed findings; return (kept, suppressed_count).
+
+    *scope_lines_of* maps a finding's line to the ``def``/``class`` header
+    lines of its enclosing scopes (innermost first), produced by the
+    engine's scope index.
+    """
+    if not suppressions:
+        return findings, 0
+    kept: list[Finding] = []
+    dropped = 0
+    for finding in findings:
+        candidate_lines = [finding.line, finding.line - 1]
+        if scope_lines_of:
+            candidate_lines.extend(scope_lines_of.get(finding.line, []))
+        if any(
+            _matches(suppressions[line], finding)
+            for line in candidate_lines
+            if line in suppressions
+        ):
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped
+
+
+@dataclass
+class Baseline:
+    """Checked-in accepted findings: fingerprint -> justification."""
+
+    path: Path
+    entries: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            item["fingerprint"]: item.get("justification", "")
+            for item in data.get("entries", [])
+        }
+        return cls(path=path, entries=entries)
+
+    def save(self) -> None:
+        payload = {
+            "version": 1,
+            "entries": [
+                {"fingerprint": fingerprint, "justification": justification}
+                for fingerprint, justification in sorted(self.entries.items())
+            ],
+        }
+        self.path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], int, list[str]]:
+        """Split findings into (new, baselined_count, stale_fingerprints)."""
+        matched: set[str] = set()
+        fresh: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                matched.add(finding.fingerprint)
+            else:
+                fresh.append(finding)
+        stale = sorted(set(self.entries) - matched)
+        return fresh, len(matched), stale
+
+    def update_from(self, findings: list[Finding]) -> None:
+        """Rewrite entries from *findings*, keeping existing justifications."""
+        self.entries = {
+            finding.fingerprint: self.entries.get(
+                finding.fingerprint, "TODO: justify or fix"
+            )
+            for finding in findings
+        }

@@ -1,0 +1,41 @@
+"""Pass registry: every analysis pass the framework ships."""
+
+from __future__ import annotations
+
+from analyze.passes.api_surface import ApiSurfacePass
+from analyze.passes.base import AnalysisPass, PassContext
+from analyze.passes.exception_policy import ExceptionPolicyPass
+from analyze.passes.lock_discipline import LockDisciplinePass
+from analyze.passes.validation_boundary import ValidationBoundaryPass
+
+__all__ = [
+    "AnalysisPass",
+    "PassContext",
+    "ALL_PASSES",
+    "get_passes",
+    "known_rules",
+]
+
+#: Registration order is report order.
+ALL_PASSES: tuple[type[AnalysisPass], ...] = (
+    LockDisciplinePass,
+    ValidationBoundaryPass,
+    ExceptionPolicyPass,
+    ApiSurfacePass,
+)
+
+
+def known_rules() -> list[str]:
+    return [cls.name for cls in ALL_PASSES]
+
+
+def get_passes(rules: list[str] | None = None) -> list[AnalysisPass]:
+    """Instantiate the requested passes (all of them by default)."""
+    if rules is None:
+        return [cls() for cls in ALL_PASSES]
+    unknown = set(rules) - set(known_rules())
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {sorted(unknown)}; known: {known_rules()}"
+        )
+    return [cls() for cls in ALL_PASSES if cls.name in rules]

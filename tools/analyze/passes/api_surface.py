@@ -1,0 +1,281 @@
+"""API-surface pass: import hygiene, ``__all__``, deprecation, and layering.
+
+Absorbs the old ``tools/lint_imports.py`` rules and extends them:
+
+* ``unused-import`` — a module- or function-level import whose bound name
+  is never loaded. Uses include attribute chains, decorators, annotations
+  (the repo uses ``from __future__ import annotations``, so they stay
+  ordinary expressions), and ``__all__`` entries.
+* ``missing-from-all`` — a module that declares ``__all__`` but binds a
+  public name at module level that the list omits. Imported names are
+  exempt (re-exports are opt-in); modules without ``__all__`` are skipped.
+* ``deprecated-name`` — importing or referencing a name the deprecation
+  policy already removed (the PR 2 calibration shims). Once a spelling is
+  gone it must not be reintroduced by a new call site.
+* ``cross-layer-import`` — a ``repro`` subpackage importing from a higher
+  layer (``repro.imaging`` importing ``repro.serving``). The layer ranks
+  encode the dependency DAG the repo actually has; anything new that
+  points upward is a cycle waiting to happen.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from analyze.findings import Finding
+from analyze.passes.base import AnalysisPass, PassContext
+
+__all__ = ["ApiSurfacePass", "LAYER_RANKS", "DEPRECATED_NAMES"]
+
+#: Method spellings removed under the deprecation policy; referencing one
+#: as an attribute is an error. PR 2 removed the ``Detector.calibrate_*``
+#: shims, but the module-level functions in ``repro.core.thresholds`` are
+#: stable API — so an owner listed in ``allowed_owners`` (the rightmost
+#: name of the attribute chain being called on) is exempt.
+DEPRECATED_NAMES: dict[str, dict] = {
+    "calibrate_whitebox": {
+        "hint": "use calibrate(..., strategy='midpoint'/'sigma') "
+        "(repro.core.thresholds.calibrate_whitebox remains stable API)",
+        "allowed_owners": {"thresholds"},
+    },
+    "calibrate_blackbox": {
+        "hint": "use calibrate(..., strategy='percentile') "
+        "(repro.core.thresholds.calibrate_blackbox remains stable API)",
+        "allowed_owners": {"thresholds"},
+    },
+}
+
+
+def _owner_leaf(node: ast.Attribute) -> str:
+    """Rightmost name of the owner expression: ``a.b.thresholds`` -> ``thresholds``."""
+    owner = node.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr
+    if isinstance(owner, ast.Name):
+        return owner.id
+    return ""
+
+#: ``repro`` subpackage -> layer rank. A module may import another
+#: subpackage only when the target's rank is strictly lower; imports
+#: inside one subpackage are always allowed. The ranks encode today's
+#: dependency DAG: errors < {imaging, observability} < {attacks, datasets}
+#: < {core, ml, defenses} < {eval, serving} < cli.
+LAYER_RANKS = {
+    "errors": 0,
+    "observability": 10,
+    "imaging": 10,
+    "attacks": 20,
+    "datasets": 20,
+    "core": 30,
+    "ml": 30,
+    "defenses": 30,
+    "eval": 40,
+    "serving": 40,
+    "cli": 50,
+    "__main__": 60,
+}
+
+
+def _imported_names(node: ast.Import | ast.ImportFrom) -> list[tuple[str, str]]:
+    """(bound name, display name) pairs an import statement introduces."""
+    pairs = []
+    for alias in node.names:
+        if alias.name == "*":
+            continue
+        bound = alias.asname or alias.name.split(".")[0]
+        pairs.append((bound, alias.asname or alias.name))
+    return pairs
+
+
+def _used_names(tree: ast.AST) -> set[str]:
+    """Every identifier the module loads anywhere (all scopes)."""
+    return {
+        node.id
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _dunder_all(tree: ast.Module) -> tuple[list[str] | None, set[str]]:
+    """(declared __all__ or None, names listed in it)."""
+    for node in tree.body:
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None, set()
+                names = [str(item) for item in value]
+                return names, set(names)
+    return None, set()
+
+
+def _public_module_bindings(tree: ast.Module) -> dict[str, int]:
+    """Public names bound by module-level statements (not imports) -> line."""
+    public: dict[str, int] = {}
+
+    def add(name: str, line: int) -> None:
+        if not name.startswith("_") and name not in public:
+            public[name] = line
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            add(node.name, node.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    add(target.id, node.lineno)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            add(element.id, node.lineno)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                add(node.target.id, node.lineno)
+    return public
+
+
+def _subpackage_of(module: str) -> str | None:
+    """``repro.serving.server`` -> ``serving``; non-repro modules -> None.
+
+    The package root (``repro``/``repro.__init__``) may import anything:
+    re-exporting the public surface is its job.
+    """
+    parts = module.split(".")
+    if not parts or parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _import_targets(
+    node: ast.Import | ast.ImportFrom, module: str
+) -> list[str]:
+    """Absolute dotted module paths an import statement pulls in."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if node.level:  # relative import: resolve against the current module
+        base = module.split(".")
+        base = base[: len(base) - node.level]
+        prefix = ".".join(base)
+        target = f"{prefix}.{node.module}" if node.module else prefix
+        return [target]
+    return [node.module] if node.module else []
+
+
+class ApiSurfacePass(AnalysisPass):
+    name = "api-surface"
+    codes = (
+        "unused-import",
+        "missing-from-all",
+        "deprecated-name",
+        "cross-layer-import",
+    )
+    description = "unused imports, __all__ completeness, deprecations, layering"
+
+    def run(self, context: PassContext) -> list[Finding]:
+        tree = context.tree
+        findings: list[Finding] = []
+        used = _used_names(tree)
+        all_names, all_set = _dunder_all(tree)
+
+        own_subpackage = _subpackage_of(context.module) if context.module else None
+        own_rank = LAYER_RANKS.get(own_subpackage) if own_subpackage else None
+
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                continue
+            for bound, display in _imported_names(node):
+                if bound not in used and bound not in all_set:
+                    findings.append(
+                        context.finding(
+                            node,
+                            self.name,
+                            "unused-import",
+                            f"unused import '{display}'",
+                        )
+                    )
+                leaf = display.rpartition(".")[2]
+                spec = DEPRECATED_NAMES.get(leaf)
+                if spec is not None and isinstance(node, ast.ImportFrom):
+                    source = (node.module or "").rpartition(".")[2]
+                    if source not in spec["allowed_owners"]:
+                        findings.append(
+                            context.finding(
+                                node,
+                                self.name,
+                                "deprecated-name",
+                                f"import of removed name '{leaf}'; {spec['hint']}",
+                            )
+                        )
+            if own_rank is not None:
+                findings.extend(self._check_layering(context, node, own_rank))
+
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in DEPRECATED_NAMES
+                and isinstance(node.ctx, ast.Load)
+            ):
+                spec = DEPRECATED_NAMES[node.attr]
+                if _owner_leaf(node) in spec["allowed_owners"]:
+                    continue
+                findings.append(
+                    context.finding(
+                        node,
+                        self.name,
+                        "deprecated-name",
+                        f"reference to removed method spelling "
+                        f"'.{node.attr}'; {spec['hint']}",
+                    )
+                )
+
+        if all_names is not None:
+            listed = all_set | {"__all__"}
+            for name, line in sorted(_public_module_bindings(tree).items()):
+                if name not in listed:
+                    findings.append(
+                        Finding(
+                            path=context.path,
+                            line=line,
+                            col=1,
+                            rule=self.name,
+                            code="missing-from-all",
+                            message=f"public name '{name}' missing from __all__",
+                            symbol="",
+                        )
+                    )
+        return findings
+
+    def _check_layering(
+        self,
+        context: PassContext,
+        node: ast.Import | ast.ImportFrom,
+        own_rank: int,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        own_subpackage = _subpackage_of(context.module)
+        for target in _import_targets(node, context.module):
+            target_subpackage = _subpackage_of(target)
+            if target_subpackage is None or target_subpackage == own_subpackage:
+                continue
+            target_rank = LAYER_RANKS.get(target_subpackage)
+            if target_rank is None or target_rank < own_rank:
+                continue
+            findings.append(
+                context.finding(
+                    node,
+                    self.name,
+                    "cross-layer-import",
+                    f"'{context.module}' (layer '{own_subpackage}') imports "
+                    f"'{target}' (layer '{target_subpackage}'): lower layers "
+                    f"must not depend on equal or higher layers",
+                )
+            )
+        return findings

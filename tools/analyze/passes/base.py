@@ -1,0 +1,115 @@
+"""Shared infrastructure for analysis passes.
+
+A pass is a class with a ``name``, a set of ``codes`` it can emit, and a
+``run(context)`` method returning findings. The :class:`PassContext`
+carries everything a pass may need about one file — parsed tree, source
+lines, the dotted module name (``repro.serving.server``), and a scope
+index mapping lines to enclosing ``def``/``class`` headers — so passes
+stay pure functions of their input and the engine can fan files out to
+worker processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from analyze.findings import Finding
+
+__all__ = ["PassContext", "AnalysisPass", "Scope", "build_scope_index", "call_name"]
+
+
+@dataclass(frozen=True)
+class Scope:
+    """One function/class body span: header line plus the body interval."""
+
+    qualname: str
+    header_line: int
+    start: int
+    end: int
+
+
+def build_scope_index(tree: ast.Module) -> list[Scope]:
+    """Every function/class scope with its qualname, outermost first."""
+    scopes: list[Scope] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                scopes.append(
+                    Scope(
+                        qualname=qualname,
+                        header_line=child.lineno,
+                        start=child.lineno,
+                        end=child.end_lineno or child.lineno,
+                    )
+                )
+                visit(child, qualname)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return scopes
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may inspect about one file."""
+
+    path: str  #: repo-relative POSIX path
+    module: str  #: dotted module name, or "" when not importable (scripts)
+    tree: ast.Module
+    lines: list[str]
+    scopes: list[Scope] = field(default_factory=list)
+
+    def symbol_at(self, line: int) -> str:
+        """Innermost enclosing qualname for a 1-based line (or "")."""
+        best = ""
+        best_span = None
+        for scope in self.scopes:
+            if scope.start <= line <= scope.end:
+                span = scope.end - scope.start
+                if best_span is None or span <= best_span:
+                    best, best_span = scope.qualname, span
+        return best
+
+    def scope_header_lines(self, line: int) -> list[int]:
+        """Header lines of every scope enclosing *line*, for suppressions."""
+        return [s.header_line for s in self.scopes if s.start <= line <= s.end]
+
+    def finding(self, node: ast.AST, rule: str, code: str, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col + 1,
+            rule=rule,
+            code=code,
+            message=message,
+            symbol=self.symbol_at(line),
+        )
+
+
+class AnalysisPass:
+    """Base class: subclasses set ``name``/``codes`` and implement ``run``."""
+
+    name: str = ""
+    codes: tuple[str, ...] = ()
+    description: str = ""
+
+    def run(self, context: PassContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+def call_name(node: ast.Call) -> str:
+    """The called name: ``open`` for ``open(...)``, ``write`` for ``x.write(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""

@@ -1,0 +1,119 @@
+"""Exception-policy pass: no silent swallowing in library code.
+
+A detector that converts a crash into a silently-absent verdict is worse
+than one that crashes: the serving path's contract is that every accepted
+request produces an audit record and an explicit verdict, and every error
+is surfaced as a typed :class:`repro.errors.ReproError` subclass or a
+logged boundary event. Two codes:
+
+* ``bare-except`` — ``except:`` catches ``SystemExit``/``KeyboardInterrupt``
+  too and is never what library code means. Always flagged.
+* ``swallowed-exception`` — ``except Exception`` (or ``BaseException``)
+  whose handler neither re-raises, nor logs (any call whose name contains
+  ``log``/``warn``/``error``/``print``/``debug``), nor even *reads* the
+  bound exception. Handlers that record the exception somewhere — a load
+  generator appending ``(status, exc)`` to its results — are fine; the
+  rule only fires when the exception is provably discarded.
+
+CLI entry points and HTTP request-handler boundaries that intentionally
+catch-all should carry an inline ``# analyze: ignore[swallowed-exception]``
+with the justification, keeping every such boundary greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from analyze.findings import Finding
+from analyze.passes.base import AnalysisPass, PassContext
+
+__all__ = ["ExceptionPolicyPass"]
+
+_BROAD = {"Exception", "BaseException"}
+_LOGGING_FRAGMENTS = ("log", "warn", "error", "print", "debug", "report")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return False
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            return True
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _BROAD:
+            return True
+    return False
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_logs(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if any(fragment in name.lower() for fragment in _LOGGING_FRAGMENTS):
+            return True
+    return False
+
+
+def _handler_uses_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    return any(
+        isinstance(node, ast.Name)
+        and node.id == handler.name
+        and isinstance(node.ctx, ast.Load)
+        for node in ast.walk(handler)
+    )
+
+
+class ExceptionPolicyPass(AnalysisPass):
+    name = "exception-policy"
+    codes = ("bare-except", "swallowed-exception")
+    description = "no bare except; broad handlers must re-raise, log, or record"
+
+    def run(self, context: PassContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    context.finding(
+                        node,
+                        self.name,
+                        "bare-except",
+                        "bare 'except:' also catches SystemExit/"
+                        "KeyboardInterrupt; name the exceptions (or "
+                        "'except Exception' plus logging at a boundary)",
+                    )
+                )
+                continue
+            if not _is_broad(node):
+                continue
+            if (
+                _handler_reraises(node)
+                or _handler_logs(node)
+                or _handler_uses_exception(node)
+            ):
+                continue
+            findings.append(
+                context.finding(
+                    node,
+                    self.name,
+                    "swallowed-exception",
+                    "'except Exception' that neither re-raises, logs, nor "
+                    "reads the exception silently discards failures; "
+                    "narrow it or record the error",
+                )
+            )
+        return findings

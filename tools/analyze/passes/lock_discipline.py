@@ -1,0 +1,322 @@
+"""Lock-discipline pass: the concurrency contracts the serving path relies on.
+
+Decamouflage's reproduction claim is that verdicts are deterministic under
+any interleaving; that only holds while every class that owns a
+``threading.Lock``/``RLock``/``Condition`` touches its shared state in a
+disciplined way. This pass infers, per class:
+
+* **lock attributes** — ``self._lock = threading.Lock()`` (or ``RLock`` /
+  ``Condition``) anywhere in the class;
+* **lock-associated attributes** — non-method instance attributes read or
+  written inside any ``with self._lock:`` block. Being touched under the
+  lock once is the class's own declaration that the attribute is shared.
+
+and emits three codes:
+
+* ``unguarded-write`` — a write to a lock-associated attribute outside any
+  ``with``-lock block, outside ``__init__``. Methods named ``*_locked`` or
+  whose docstring says the caller holds the lock are exempt (that is the
+  repo's documented convention for helpers like
+  ``ProtectedPipeline._count``).
+* ``bare-acquire`` — calling ``.acquire()`` on a lock attribute instead of
+  using it as a context manager; an exception between ``acquire`` and
+  ``release`` leaks the lock forever.
+* ``io-under-lock`` — file/socket I/O, thread joins, or stored-callback
+  invocation inside a ``with``-lock block (or anywhere in a
+  caller-holds-the-lock method). This is the exact bug class PR 1 fixed by
+  moving audit-log writes out of the pipeline lock: one slow disk
+  serialized every concurrent submission.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from analyze.findings import Finding
+from analyze.passes.base import AnalysisPass, PassContext, call_name
+
+__all__ = ["LockDisciplinePass"]
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Plain-name calls that do I/O.
+_IO_NAME_CALLS = {"open", "print", "write_png", "read_png", "write_ppm", "read_ppm"}
+
+#: Method calls that do blocking I/O (or block on other threads).
+_IO_ATTR_CALLS = {
+    "open",
+    "write",
+    "writelines",
+    "read",
+    "readline",
+    "readlines",
+    "flush",
+    "recv",
+    "send",
+    "sendall",
+    "sendfile",
+    "connect",
+    "accept",
+    "join",
+    "unlink",
+    "replace",
+    "rename",
+    "stat",
+    "mkdir",
+    "touch",
+    "write_text",
+    "read_text",
+    "write_bytes",
+    "read_bytes",
+}
+
+_HOLDS_LOCK_MARKERS = ("caller holds the lock", "holds the lock", "callers hold the lock")
+
+
+def _is_self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs_of_class(cls: ast.ClassDef) -> set[str]:
+    """Attributes assigned a Lock/RLock/Condition anywhere in the class."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call) and call_name(value) in _LOCK_FACTORIES):
+            continue
+        for target in node.targets:
+            attr = _is_self_attr(target)
+            if attr:
+                locks.add(attr)
+    return locks
+
+
+def _method_defs(cls: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _holds_lock_by_convention(method: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    if method.name.endswith("_locked"):
+        return True
+    doc = ast.get_docstring(method) or ""
+    return any(marker in doc.lower() for marker in _HOLDS_LOCK_MARKERS)
+
+
+def _with_lock_blocks(
+    method: ast.AST, lock_attrs: set[str]
+) -> list[tuple[ast.With, str]]:
+    """Every ``with self.<lock>:`` statement in *method* with its lock name."""
+    blocks: list[tuple[ast.With, str]] = []
+    for node in ast.walk(method):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            attr = _is_self_attr(item.context_expr)
+            if attr in lock_attrs:
+                blocks.append((node, attr))
+                break
+    return blocks
+
+
+def _attr_stores(node: ast.AST) -> list[tuple[str, ast.AST]]:
+    """(attribute, node) for every ``self.X = / += ...`` inside *node*.
+
+    Nested targets like ``self.stats.submitted += 1`` count as a write to
+    the root attribute (``stats``): mutating an object hanging off self is
+    still mutation of shared state.
+    """
+    stores: list[tuple[str, ast.AST]] = []
+    for child in ast.walk(node):
+        targets: list[ast.AST] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        for target in targets:
+            root = target
+            while isinstance(root, (ast.Attribute, ast.Subscript)) and not (
+                isinstance(root, ast.Attribute)
+                and isinstance(root.value, ast.Name)
+                and root.value.id == "self"
+            ):
+                root = root.value
+            attr = _is_self_attr(root)
+            if attr:
+                stores.append((attr, target))
+    return stores
+
+
+def _attrs_touched(node: ast.AST) -> set[str]:
+    """Every ``self.X`` attribute loaded or stored inside *node*."""
+    touched: set[str] = set()
+    for child in ast.walk(node):
+        attr = _is_self_attr(child)
+        if attr:
+            touched.add(attr)
+    return touched
+
+
+class LockDisciplinePass(AnalysisPass):
+    name = "lock-discipline"
+    codes = ("unguarded-write", "bare-acquire", "io-under-lock")
+    description = "shared-state writes, acquire(), and I/O relative to owned locks"
+
+    def run(self, context: PassContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(context, node))
+        return findings
+
+    # -- per-class -----------------------------------------------------------
+
+    def _check_class(self, context: PassContext, cls: ast.ClassDef) -> list[Finding]:
+        lock_attrs = _lock_attrs_of_class(cls)
+        if not lock_attrs:
+            return []
+        methods = _method_defs(cls)
+        method_names = {m.name for m in methods}
+
+        # Infer which attributes the class itself treats as lock-guarded.
+        guarded: set[str] = set()
+        locked_nodes: list[tuple[ast.AST, str, str]] = []  # (block, lock, method)
+        for method in methods:
+            for block, lock in _with_lock_blocks(method, lock_attrs):
+                guarded |= _attrs_touched(block)
+                locked_nodes.append((block, lock, method.name))
+            if _holds_lock_by_convention(method) and method.name != "__init__":
+                # The whole body runs under a caller's lock.
+                locked_nodes.append((method, "<caller>", method.name))
+        guarded -= lock_attrs
+        guarded -= method_names
+
+        findings: list[Finding] = []
+        findings.extend(
+            self._check_unguarded_writes(context, cls, methods, lock_attrs, guarded)
+        )
+        findings.extend(self._check_bare_acquire(context, cls, lock_attrs))
+        for block, lock, method_name in locked_nodes:
+            findings.extend(
+                self._check_io_under_lock(
+                    context, block, lock, method_name, method_names, lock_attrs
+                )
+            )
+        return findings
+
+    def _check_unguarded_writes(
+        self,
+        context: PassContext,
+        cls: ast.ClassDef,
+        methods: list,
+        lock_attrs: set[str],
+        guarded: set[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        if not guarded:
+            return findings
+        for method in methods:
+            if method.name == "__init__" or _holds_lock_by_convention(method):
+                continue
+            locked_spans = [
+                (block.lineno, block.end_lineno or block.lineno)
+                for block, _ in _with_lock_blocks(method, lock_attrs)
+            ]
+            for attr, target in _attr_stores(method):
+                if attr not in guarded or attr in lock_attrs:
+                    continue
+                line = getattr(target, "lineno", method.lineno)
+                if any(start <= line <= end for start, end in locked_spans):
+                    continue
+                findings.append(
+                    context.finding(
+                        target,
+                        self.name,
+                        "unguarded-write",
+                        f"'{cls.name}.{method.name}' writes lock-associated "
+                        f"attribute 'self.{attr}' outside any "
+                        f"'with self.<lock>' block",
+                    )
+                )
+        return findings
+
+    def _check_bare_acquire(
+        self, context: PassContext, cls: ast.ClassDef, lock_attrs: set[str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+                continue
+            attr = _is_self_attr(func.value)
+            if attr in lock_attrs:
+                findings.append(
+                    context.finding(
+                        node,
+                        self.name,
+                        "bare-acquire",
+                        f"'self.{attr}.acquire()' without a context manager; "
+                        f"an exception before release() leaks the lock — "
+                        f"use 'with self.{attr}:'",
+                    )
+                )
+        return findings
+
+    def _check_io_under_lock(
+        self,
+        context: PassContext,
+        scope: ast.AST,
+        lock: str,
+        method_name: str,
+        method_names: set[str],
+        lock_attrs: set[str],
+    ) -> list[Finding]:
+        held = f"self.{lock}" if lock != "<caller>" else "a caller-held lock"
+        findings: list[Finding] = []
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            is_io = False
+            why = ""
+            if isinstance(node.func, ast.Name) and name in _IO_NAME_CALLS:
+                is_io, why = True, f"call to '{name}()'"
+            elif isinstance(node.func, ast.Attribute) and name in _IO_ATTR_CALLS:
+                # Skip lock.acquire-style calls on the locks themselves.
+                if _is_self_attr(node.func.value) in lock_attrs:
+                    continue
+                is_io, why = True, f"call to '.{name}()'"
+            elif isinstance(node.func, ast.Attribute):
+                attr = _is_self_attr(node.func)
+                if attr and attr not in method_names and attr not in lock_attrs:
+                    # ``self.X(...)`` where X is not a method: a stored
+                    # user callback invoked while the lock is held can
+                    # re-enter the class or block indefinitely.
+                    is_io = True
+                    why = f"stored callback 'self.{attr}(...)'"
+            if is_io:
+                findings.append(
+                    context.finding(
+                        node,
+                        self.name,
+                        "io-under-lock",
+                        f"{why} in '{method_name}' while holding {held}; "
+                        f"I/O and callbacks under a lock serialize every "
+                        f"waiter on one slow operation",
+                    )
+                )
+        return findings

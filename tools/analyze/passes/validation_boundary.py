@@ -1,0 +1,219 @@
+"""Validation-boundary pass: image arrays are validated before use.
+
+The repo's dtype policy (``docs/api.md``, ``repro.imaging.image``) is that
+every public entry point taking an image array routes it through
+:func:`repro.imaging.image.ensure_image` (directly, via ``as_float`` /
+``as_uint8``, or by wrapping it in a
+:class:`repro.core.analysis.ImageAnalysis`) before indexing or arithmetic.
+That is what turns a malformed input into a clean :class:`ImageError`
+instead of an arbitrary numpy broadcast surprise — and what keeps the
+uint8-storage / float64-working-form contract (0–255 scale, the scale the
+paper's MSE threshold 1714.96 assumes) true everywhere.
+
+The pass applies to public module-level functions and public methods in
+``repro.imaging.*`` and ``repro.core.*``. A parameter is treated as an
+image when its name is image-like (``image``, ``img``, ``a``/``b`` metric
+pairs, ...) **and** its annotation mentions ``ndarray``. The check is
+order-aware: the first *raw use* (subscript, arithmetic, comparison) must
+come after the parameter was passed to a validator. Validation is
+transitive through same-module helpers — ``mse(a, b)`` is clean because
+``_check_pair(a, b)`` calls ``ensure_image`` on both positions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from analyze.findings import Finding
+from analyze.passes.base import AnalysisPass, PassContext
+
+__all__ = ["ValidationBoundaryPass"]
+
+#: Module prefixes whose public surface must validate.
+_TARGET_PREFIXES = ("repro.imaging", "repro.core")
+
+#: Parameter names that denote an image array.
+_IMAGE_PARAM_NAMES = {
+    "image",
+    "img",
+    "a",
+    "b",
+    "original",
+    "reference",
+    "first",
+    "second",
+    "attack_image",
+    "benign_image",
+}
+
+#: Calls that perform (or imply) ensure_image validation of a bare argument.
+_VALIDATORS = {
+    "ensure_image",
+    "as_float",
+    "as_uint8",
+    "channel_count",
+    "is_grayscale",
+    "split_channels",
+    "pad_reflect",
+    "image_summary",
+    "ImageAnalysis",
+}
+
+
+def _annotation_is_ndarray(arg: ast.arg) -> bool:
+    if arg.annotation is None:
+        return False
+    return "ndarray" in ast.unparse(arg.annotation)
+
+
+def _image_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+    return [
+        arg.arg
+        for arg in args
+        if arg.arg in _IMAGE_PARAM_NAMES and _annotation_is_ndarray(arg)
+    ]
+
+
+def _bare_name_args(call: ast.Call) -> list[str]:
+    names = [arg.id for arg in call.args if isinstance(arg, ast.Name)]
+    names.extend(
+        kw.value.id for kw in call.keywords if isinstance(kw.value, ast.Name)
+    )
+    return names
+
+
+def _positional_name_args(call: ast.Call) -> list[str | None]:
+    return [arg.id if isinstance(arg, ast.Name) else None for arg in call.args]
+
+
+def _callee_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _validating_positions(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    local_validators: dict[str, set[int]],
+) -> set[int]:
+    """Parameter positions *fn* validates (directly or via local helpers)."""
+    params = [a.arg for a in (list(fn.args.posonlyargs) + list(fn.args.args))]
+    positions: set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node)
+        if callee in _VALIDATORS:
+            for name in _bare_name_args(node):
+                if name in params:
+                    positions.add(params.index(name))
+        elif callee in local_validators:
+            for slot, name in enumerate(_positional_name_args(node)):
+                if name in params and slot in local_validators[callee]:
+                    positions.add(params.index(name))
+    return positions
+
+
+def _first_raw_use(fn: ast.AST, param: str) -> ast.AST | None:
+    """Earliest subscript/arithmetic/comparison applied directly to *param*."""
+    uses: list[ast.AST] = []
+
+    def is_param(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == param
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Subscript) and is_param(node.value):
+            uses.append(node)
+        elif isinstance(node, ast.BinOp) and (is_param(node.left) or is_param(node.right)):
+            uses.append(node)
+        elif isinstance(node, ast.UnaryOp) and is_param(node.operand):
+            uses.append(node)
+        elif isinstance(node, ast.Compare) and (
+            is_param(node.left) or any(is_param(c) for c in node.comparators)
+        ):
+            uses.append(node)
+        elif isinstance(node, ast.AugAssign) and is_param(node.target):
+            uses.append(node)
+    if not uses:
+        return None
+    return min(uses, key=lambda n: (n.lineno, n.col_offset))
+
+
+def _first_validation_line(
+    fn: ast.AST, param: str, local_validators: dict[str, set[int]]
+) -> int | None:
+    lines: list[int] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node)
+        if callee in _VALIDATORS and param in _bare_name_args(node):
+            lines.append(node.lineno)
+        elif callee in local_validators:
+            for slot, name in enumerate(_positional_name_args(node)):
+                if name == param and slot in local_validators[callee]:
+                    lines.append(node.lineno)
+    return min(lines) if lines else None
+
+
+class ValidationBoundaryPass(AnalysisPass):
+    name = "validation-boundary"
+    codes = ("unvalidated-image",)
+    description = "public imaging/core functions validate image params before use"
+
+    def run(self, context: PassContext) -> list[Finding]:
+        if not context.module.startswith(_TARGET_PREFIXES):
+            return []
+        # Fixpoint over same-module helpers: which positions does each
+        # function validate? Two rounds cover helper-of-helper chains.
+        functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        local: dict[str, set[int]] = {name: set() for name in functions}
+        for _ in range(3):
+            changed = False
+            for name, fn in functions.items():
+                positions = _validating_positions(fn, local)
+                if positions - local[name]:
+                    local[name] |= positions
+                    changed = True
+            if not changed:
+                break
+
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            enclosing = context.symbol_at(node.lineno)
+            if enclosing.rpartition(".")[0].startswith("_"):
+                continue
+            for param in _image_params(node):
+                use = _first_raw_use(node, param)
+                if use is None:
+                    continue
+                validated_at = _first_validation_line(node, param, local)
+                if validated_at is not None and validated_at <= use.lineno:
+                    continue
+                where = (
+                    "before it is validated"
+                    if validated_at is not None
+                    else "without ever validating it"
+                )
+                findings.append(
+                    context.finding(
+                        use,
+                        self.name,
+                        "unvalidated-image",
+                        f"public function '{node.name}' indexes or does "
+                        f"arithmetic on image parameter '{param}' {where}; "
+                        f"route it through ensure_image/as_float/"
+                        f"ImageAnalysis first (uint8/float64 policy)",
+                    )
+                )
+        return findings

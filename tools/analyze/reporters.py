@@ -1,0 +1,76 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON schema is stable and versioned — CI annotations and dashboards
+may rely on it::
+
+    {
+      "version": 1,
+      "files_analyzed": 123,
+      "elapsed_s": 0.42,
+      "counts": {"findings": 2, "suppressed": 3, "baselined": 1},
+      "stale_baseline": ["..."],
+      "findings": [
+        {"path": ..., "line": ..., "col": ..., "rule": ..., "code": ...,
+         "message": ..., "symbol": ..., "fingerprint": ...},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from analyze.findings import Finding
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_human", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(
+    findings: list[Finding],
+    *,
+    files_analyzed: int,
+    suppressed: int,
+    baselined: int,
+    cache_hits: int,
+    elapsed_s: float,
+    stale_baseline: list[str],
+) -> str:
+    lines = [finding.render() for finding in findings]
+    for fingerprint in stale_baseline:
+        lines.append(f"stale baseline entry (no longer matches): {fingerprint}")
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} in {files_analyzed} files "
+        f"({suppressed} suppressed, {baselined} baselined, "
+        f"{cache_hits} cached) in {elapsed_s:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    *,
+    files_analyzed: int,
+    suppressed: int,
+    baselined: int,
+    cache_hits: int,
+    elapsed_s: float,
+    stale_baseline: list[str],
+) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_analyzed": files_analyzed,
+        "elapsed_s": round(elapsed_s, 6),
+        "counts": {
+            "findings": len(findings),
+            "suppressed": suppressed,
+            "baselined": baselined,
+            "cache_hits": cache_hits,
+        },
+        "stale_baseline": stale_baseline,
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,143 +1,26 @@
 #!/usr/bin/env python3
-"""Stdlib-only AST lint: unused imports and incomplete ``__all__`` lists.
+"""Thin compatibility shim: the import lint moved into the analysis framework.
 
-Two rules, applied to every ``.py`` file under the given paths (default:
-``src``, ``tools``, ``benchmarks``):
+The unused-import and ``__all__``-completeness rules now live in the
+``api-surface`` pass of ``tools/analyze`` (which adds deprecated-name and
+cross-layer-import checks on top). This shim keeps the old command line
+working — ``python tools/lint_imports.py [paths...]`` — by delegating to::
 
-* **unused-import** — a module-level or function-level import whose bound
-  name is never used. Uses include attribute chains, decorators, type
-  annotations (the repo uses ``from __future__ import annotations``, so
-  annotations stay ordinary expressions in the AST), ``__all__`` entries,
-  and bare string references inside ``__all__``.
-* **missing-from-all** — a module that declares ``__all__`` but binds a
-  public (non-underscore) name at module level that the list omits.
-  Imported names are exempt (re-exports are opt-in); modules without an
-  ``__all__`` are skipped entirely.
+    python tools/analyze.py [paths...] --rules api-surface
 
-Exit status is the number of offending files (0 = clean), so CI can run
-it directly. No third-party dependencies.
+Exit status follows the framework's contract (0 clean, 1 findings).
+Prefer calling ``tools/analyze.py`` directly; this file exists only so
+scripts and muscle memory from before the framework keep working.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PATHS = ("src", "tools", "benchmarks")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-
-def _imported_names(node: ast.Import | ast.ImportFrom) -> list[tuple[str, str]]:
-    """(bound name, display name) pairs an import statement introduces."""
-    pairs = []
-    for alias in node.names:
-        if alias.name == "*":
-            continue
-        bound = alias.asname or alias.name.split(".")[0]
-        pairs.append((bound, alias.asname or alias.name))
-    return pairs
-
-
-def _used_names(tree: ast.AST) -> set[str]:
-    """Every identifier the module loads anywhere (all scopes).
-
-    Attribute chains like ``pkg.mod.attr`` are covered by their root
-    ``ast.Name`` child, and annotations are ordinary expressions here
-    because the repo uses ``from __future__ import annotations``.
-    """
-    return {
-        node.id
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
-    }
-
-
-def _dunder_all(tree: ast.Module) -> tuple[list[str] | None, set[str]]:
-    """(declared __all__ or None, names listed in it)."""
-    for node in tree.body:
-        targets = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return None, set()
-                names = [str(item) for item in value]
-                return names, set(names)
-    return None, set()
-
-
-def _public_module_bindings(tree: ast.Module) -> set[str]:
-    """Public names bound by module-level statements (not imports)."""
-    public: set[str] = set()
-
-    def add(name: str) -> None:
-        if not name.startswith("_"):
-            public.add(name)
-
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    add(target.id)
-                elif isinstance(target, (ast.Tuple, ast.List)):
-                    for element in target.elts:
-                        if isinstance(element, ast.Name):
-                            add(element.id)
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name) and node.value is not None:
-                add(node.target.id)
-    return public
-
-
-def lint_file(path: Path) -> list[str]:
-    """Human-readable findings for one file (empty = clean)."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    used = _used_names(tree)
-    all_names, all_set = _dunder_all(tree)
-    findings = []
-
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.Import, ast.ImportFrom)):
-            continue
-        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
-            continue
-        for bound, display in _imported_names(node):
-            if bound in used or bound in all_set:
-                continue
-            findings.append(f"{path}:{node.lineno}: unused import '{display}'")
-
-    if all_names is not None:
-        missing = sorted(_public_module_bindings(tree) - all_set - {"__all__"})
-        for name in missing:
-            findings.append(f"{path}: public name '{name}' missing from __all__")
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    roots = [Path(arg) for arg in argv] or [Path(p) for p in DEFAULT_PATHS]
-    files: list[Path] = []
-    for root in roots:
-        if root.is_file():
-            files.append(root)
-        else:
-            files.extend(sorted(root.rglob("*.py")))
-    dirty = 0
-    for path in files:
-        findings = lint_file(path)
-        if findings:
-            dirty += 1
-            print("\n".join(findings))
-    if dirty:
-        print(f"\n{dirty} file(s) with findings", file=sys.stderr)
-    return dirty
-
+from analyze.cli import main  # noqa: E402  (path bootstrap must run first)
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    raise SystemExit(main([*sys.argv[1:], "--rules", "api-surface"]))
