@@ -124,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission waiting room; beyond it requests get 429")
     serve.add_argument("--deadline-ms", type=float, default=2000.0,
                        help="max wait in the admission queue before 503")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="scoring shard processes (0 = score in-process); "
+                            "shards respawn automatically on crash")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request")
 
@@ -280,12 +283,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             deadline_ms=args.deadline_ms,
             verbose=args.verbose,
+            workers=args.workers,
         ),
     )
     server.install_signal_handlers()
+    server.ensure_workers()
     host, port = server.address
     print(f"serving on http://{host}:{port} (SIGTERM/Ctrl-C drains gracefully)",
           flush=True)
+    if server.worker_pool is not None:
+        pids = server.worker_pool.pids()
+        print("workers: "
+              + " ".join(f"{wid}={pid}" for wid, pid in pids.items()),
+              flush=True)
     try:
         server.serve_forever()
     finally:

@@ -41,8 +41,14 @@ def _iter_chunks(data: bytes):
         end = start + length
         if end + 4 > len(data):
             raise CodecError(f"truncated PNG chunk {ctype!r}")
-        yield ctype, data[start:end]
-        offset = end + 4  # skip CRC
+        payload = data[start:end]
+        (stored_crc,) = struct.unpack(">I", data[end : end + 4])
+        if zlib.crc32(ctype + payload) & 0xFFFFFFFF != stored_crc:
+            # Without this check a flipped CRC byte would decode silently;
+            # network-facing callers rely on "any corruption raises".
+            raise CodecError(f"CRC mismatch in PNG chunk {ctype!r}")
+        yield ctype, payload
+        offset = end + 4
 
 
 def _paeth(a: int, b: int, c: int) -> int:

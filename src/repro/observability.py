@@ -306,11 +306,26 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _format_labels(labels: dict[str, str]) -> str:
+    parts = []
+    for key in sorted(labels):
+        value = (
+            str(labels[key])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{_PROMETHEUS_NAME_RE.sub("_", key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
 def render_prometheus(
     metrics: Metrics,
     *,
     prefix: str = "decamouflage",
     extra_gauges: dict[str, float] | None = None,
+    labeled_gauges: dict[str, list[tuple[dict[str, str], float]]] | None = None,
+    labeled_counters: dict[str, list[tuple[dict[str, str], float]]] | None = None,
 ) -> str:
     """Render *metrics* in Prometheus text exposition format 0.0.4.
 
@@ -319,7 +334,10 @@ def render_prometheus(
     milliseconds: ``<name>_ms_bucket{le="..."}`` (cumulative), ``_sum``,
     and ``_count``. *extra_gauges* lets a caller splice in point-in-time
     values that live outside the registry (the process-wide operator-cache
-    hit rate, for example).
+    hit rate, for example). *labeled_gauges*/*labeled_counters* map a
+    family name to ``(labels, value)`` series — one ``# TYPE`` header, one
+    line per label set — which is how the worker pool exposes per-shard
+    metrics as ``..._inflight{worker_id="0"}`` without N distinct names.
     """
     lines: list[str] = []
 
@@ -333,6 +351,12 @@ def render_prometheus(
         lines.append(f"# TYPE {flat} counter")
         lines.append(f"{flat} {_format_value(counters[name].value)}")
 
+    for name in sorted(labeled_counters or {}):
+        flat = _prometheus_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        for labels, value in (labeled_counters or {})[name]:
+            lines.append(f"{flat}{_format_labels(labels)} {_format_value(value)}")
+
     merged_gauges: dict[str, float] = {
         name: gauge.value for name, gauge in gauges.items()
     }
@@ -341,6 +365,12 @@ def render_prometheus(
         flat = _prometheus_name(prefix, name)
         lines.append(f"# TYPE {flat} gauge")
         lines.append(f"{flat} {_format_value(merged_gauges[name])}")
+
+    for name in sorted(labeled_gauges or {}):
+        flat = _prometheus_name(prefix, name)
+        lines.append(f"# TYPE {flat} gauge")
+        for labels, value in (labeled_gauges or {})[name]:
+            lines.append(f"{flat}{_format_labels(labels)} {_format_value(value)}")
 
     for name in sorted(histograms):
         histogram = histograms[name]

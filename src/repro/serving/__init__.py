@@ -13,6 +13,7 @@ from repro.serving.client import DetectionClient, DetectionVerdict
 from repro.serving.pipeline import PipelineOutcome, PipelineStats, ProtectedPipeline
 from repro.serving.policy import Policy
 from repro.serving.server import AdmissionQueue, DetectionServer, ServerConfig
+from repro.serving.workers import WorkerPool, WorkerPoolConfig, WorkerSpec
 
 __all__ = [
     "AdmissionQueue",
@@ -26,4 +27,7 @@ __all__ = [
     "Policy",
     "ProtectedPipeline",
     "ServerConfig",
+    "WorkerPool",
+    "WorkerPoolConfig",
+    "WorkerSpec",
 ]

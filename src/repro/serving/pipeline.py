@@ -47,7 +47,12 @@ from repro.observability import Metrics
 from repro.serving.audit import AuditLog, AuditRecord
 from repro.serving.policy import Policy
 
-__all__ = ["PipelineOutcome", "PipelineStats", "ProtectedPipeline"]
+__all__ = [
+    "PipelineOutcome",
+    "PipelineStats",
+    "ProtectedPipeline",
+    "verdict_payload",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +102,35 @@ class PipelineStats:
                 out["analysis_memo"] = memo
         out["operator_cache"] = operator_cache_stats()
         return out
+
+
+def verdict_payload(
+    outcome: PipelineOutcome, *, request_id: str, latency_ms: float
+) -> dict:
+    """The JSON-ready wire verdict for one outcome.
+
+    This is THE serialization of a detection decision — the HTTP server and
+    the worker shards both call it, so a sharded deployment answers
+    bit-for-bit what an in-process one would.
+    """
+    detection = outcome.detection
+    return {
+        "request_id": request_id,
+        "image_id": outcome.image_id,
+        "verdict": "attack" if detection.is_attack else "benign",
+        "action": outcome.action,
+        "accepted": outcome.accepted,
+        "votes_for_attack": detection.votes_for_attack,
+        "votes_total": detection.votes_total,
+        "scores": {
+            f"{d.method}/{d.metric}": float(d.score) for d in detection.detections
+        },
+        "thresholds": {
+            f"{d.method}/{d.metric}": d.threshold.describe(d.metric)
+            for d in detection.detections
+        },
+        "latency_ms": latency_ms,
+    }
 
 
 class ProtectedPipeline:
@@ -241,6 +275,20 @@ class ProtectedPipeline:
             with self.metrics.timer("pipeline.audit"):
                 self.audit_log.append(record)
         return outcome
+
+    def record_remote_outcome(self, action: str) -> int:
+        """Account one verdict scored by a worker shard; returns the
+        canonical sequence number.
+
+        Sharded deployments keep the parent's pipeline as the single source
+        of truth for ``stats`` and audit sequencing — workers score, the
+        dispatcher records — so ``pipeline.stats`` reads the same whether
+        scoring happened here or in a shard.
+        """
+        with self._lock:
+            self._sequence += 1
+            self._count(action)
+            return self._sequence
 
     def submit_batch(
         self,

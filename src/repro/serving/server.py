@@ -50,12 +50,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import CodecError, DetectionError, ImageError, ReproError
 from repro.imaging.scaling import operator_cache_stats
 from repro.observability import render_prometheus
-from repro.serving.pipeline import PipelineOutcome, ProtectedPipeline
+from repro.serving.audit import AuditRecord
+from repro.serving.pipeline import ProtectedPipeline, verdict_payload
 from repro.serving.wire import (
     METRICS_CONTENT_TYPE,
     decode_image_payload,
     unpack_batch,
 )
+from repro.serving.workers import WorkerPool, WorkerPoolConfig, WorkerSpec
 
 __all__ = ["ServerConfig", "DetectionServer", "AdmissionQueue"]
 
@@ -82,6 +84,17 @@ class ServerConfig:
     socket_timeout_s: float = 10.0
     #: Print one log line per request to stderr.
     verbose: bool = False
+    #: Scoring shard processes (:mod:`repro.serving.workers`); 0 keeps the
+    #: in-process scoring path exactly as before.
+    workers: int = 0
+    #: Shard lifecycle knobs, forwarded to :class:`WorkerPoolConfig`.
+    worker_heartbeat_interval_s: float = 0.25
+    worker_liveness_timeout_s: float = 10.0
+    worker_job_timeout_s: float = 30.0
+    worker_restart_backoff_base_s: float = 0.1
+    worker_restart_backoff_max_s: float = 5.0
+    #: Test-only fault seam (see :attr:`WorkerPoolConfig.fault_spec`).
+    fault_injection: str | None = None
 
 
 class _Saturated(ReproError):
@@ -290,17 +303,14 @@ class _Handler(BaseHTTPRequestHandler):
         server = self._detection
         start = time.perf_counter()
         try:
-            image = decode_image_payload(body, origin=request_id)
-            outcome = server.pipeline.submit(image, image_id=request_id)
+            payload = server.score_single(body, request_id)
         except (CodecError, ImageError) as exc:
             self._send_error_json(400, str(exc), request_id)
             return
         except DetectionError as exc:
             self._send_error_json(503, str(exc), request_id)
             return
-        payload = _verdict_payload(
-            outcome, request_id, (time.perf_counter() - start) * 1000.0
-        )
+        payload["latency_ms"] = (time.perf_counter() - start) * 1000.0
         self.log_message(
             '"%s" 200 %s [%s]', self.requestline, payload["verdict"], request_id
         )
@@ -310,12 +320,7 @@ class _Handler(BaseHTTPRequestHandler):
         server = self._detection
         start = time.perf_counter()
         try:
-            payloads = unpack_batch(body, origin=request_id)
-            images = [
-                decode_image_payload(blob, origin=f"{request_id}[{index}]")
-                for index, blob in enumerate(payloads)
-            ]
-            outcomes = server.pipeline.submit_batch(images, prefix=request_id)
+            results = server.score_batch(body, request_id)
         except (CodecError, ImageError) as exc:
             self._send_error_json(400, str(exc), request_id)
             return
@@ -323,38 +328,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(503, str(exc), request_id)
             return
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        results = [
-            _verdict_payload(outcome, request_id, elapsed_ms) for outcome in outcomes
-        ]
+        for result in results:
+            result["latency_ms"] = elapsed_ms
         self.log_message(
             '"%s" 200 batch=%d [%s]', self.requestline, len(results), request_id
         )
         self._send_json(
             200, {"request_id": request_id, "results": results}, request_id=request_id
         )
-
-
-def _verdict_payload(
-    outcome: PipelineOutcome, request_id: str, latency_ms: float
-) -> dict:
-    detection = outcome.detection
-    return {
-        "request_id": request_id,
-        "image_id": outcome.image_id,
-        "verdict": "attack" if detection.is_attack else "benign",
-        "action": outcome.action,
-        "accepted": outcome.accepted,
-        "votes_for_attack": detection.votes_for_attack,
-        "votes_total": detection.votes_total,
-        "scores": {
-            f"{d.method}/{d.metric}": float(d.score) for d in detection.detections
-        },
-        "thresholds": {
-            f"{d.method}/{d.metric}": d.threshold.describe(d.metric)
-            for d in detection.detections
-        },
-        "latency_ms": latency_ms,
-    }
 
 
 class DetectionServer:
@@ -381,6 +362,80 @@ class DetectionServer:
         self._serve_thread: threading.Thread | None = None
         self._shutdown_lock = threading.Lock()
         self._closed = False
+        self._pool: WorkerPool | None = None
+
+    # -- scoring (in-process or sharded) -------------------------------------
+
+    @property
+    def worker_pool(self) -> WorkerPool | None:
+        """The shard pool when serving with ``workers > 0``; else None."""
+        return self._pool
+
+    def score_single(self, body: bytes, request_id: str) -> dict:
+        """Score one raw image body into a wire verdict dict."""
+        if self._pool is not None:
+            reply = self._pool.submit([body], request_id=request_id, batch=False)
+            verdicts = self._record_sharded(reply)
+            if len(verdicts) != 1:
+                raise DetectionError(
+                    f"worker returned {len(verdicts)} verdicts for a single image"
+                )
+            return verdicts[0]
+        image = decode_image_payload(body, origin=request_id)
+        outcome = self.pipeline.submit(image, image_id=request_id)
+        return verdict_payload(outcome, request_id=request_id, latency_ms=0.0)
+
+    def score_batch(self, body: bytes, request_id: str) -> list[dict]:
+        """Score one batch body into a list of wire verdict dicts."""
+        payloads = unpack_batch(body, origin=request_id)
+        if self._pool is not None:
+            reply = self._pool.submit(payloads, request_id=request_id, batch=True)
+            return self._record_sharded(reply)
+        images = [
+            decode_image_payload(blob, origin=f"{request_id}[{index}]")
+            for index, blob in enumerate(payloads)
+        ]
+        outcomes = self.pipeline.submit_batch(images, prefix=request_id)
+        return [
+            verdict_payload(outcome, request_id=request_id, latency_ms=0.0)
+            for outcome in outcomes
+        ]
+
+    def _record_sharded(self, reply: dict) -> list[dict]:
+        """Fold shard verdicts into the canonical pipeline accounting:
+        sequence numbers, ``pipeline.stats``, and JSONL audit records all
+        live here in the dispatcher, never in a shard."""
+        verdicts = reply.get("verdicts")
+        paths = reply.get("quarantine_paths")
+        if not isinstance(verdicts, list):
+            raise DetectionError("worker reply is missing its verdict list")
+        if not isinstance(paths, list) or len(paths) != len(verdicts):
+            paths = [None] * len(verdicts)
+        records = []
+        try:
+            for verdict, path in zip(verdicts, paths):
+                sequence = self.pipeline.record_remote_outcome(verdict["action"])
+                if self.pipeline.audit_log is not None:
+                    records.append(
+                        AuditRecord(
+                            image_id=verdict["image_id"],
+                            sequence=sequence,
+                            verdict=verdict["verdict"],
+                            action=verdict["action"],
+                            votes_for_attack=verdict["votes_for_attack"],
+                            votes_total=verdict["votes_total"],
+                            scores=verdict["scores"],
+                            thresholds=verdict["thresholds"],
+                            quarantine_path=path,
+                        )
+                    )
+        except (KeyError, TypeError) as exc:
+            raise DetectionError(f"worker returned a malformed verdict: {exc}") from exc
+        if records:
+            with self.metrics.timer("pipeline.audit"):
+                for record in records:
+                    self.pipeline.audit_log.append(record)
+        return verdicts
 
     # -- introspection -------------------------------------------------------
 
@@ -393,16 +448,28 @@ class DetectionServer:
     def health(self) -> dict:
         saturated = self.admission.waiting >= self.config.queue_depth
         calibrated = self.pipeline.is_calibrated
-        return {
+        payload = {
             "ready": calibrated and not self.draining and not saturated,
             "calibrated": calibrated,
             "draining": self.draining,
             "queue_saturated": saturated,
         }
+        pool = self._pool
+        if pool is not None:
+            healthy = pool.healthy_count
+            payload["workers"] = {
+                "configured": self.config.workers,
+                "healthy": healthy,
+            }
+            # No shard can answer -> not ready, even though the HTTP
+            # listener itself is fine.
+            payload["ready"] = payload["ready"] and healthy > 0
+        return payload
 
     def render_metrics(self) -> str:
         """Prometheus text for ``GET /metrics``: the pipeline registry plus
-        point-in-time pipeline action counts and operator-cache stats."""
+        point-in-time pipeline action counts, operator-cache stats, and —
+        when sharded — per-worker families labeled by ``worker_id``."""
         stats = self.pipeline.stats
         extra = {
             f"pipeline.{name}": float(getattr(stats, name))
@@ -410,7 +477,13 @@ class DetectionServer:
         }
         for key, value in operator_cache_stats().items():
             extra[f"operator_cache.{key}"] = float(value)
-        return render_prometheus(self.metrics, extra_gauges=extra)
+        labeled = self._pool.labeled_families() if self._pool is not None else {}
+        return render_prometheus(
+            self.metrics,
+            extra_gauges=extra,
+            labeled_gauges=labeled.get("gauges"),
+            labeled_counters=labeled.get("counters"),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -424,6 +497,7 @@ class DetectionServer:
         with self._shutdown_lock:
             if self._closed:
                 raise ReproError("server is closed; create a new DetectionServer")
+            self._ensure_workers_locked()
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever, name="detection-server", daemon=True
             )
@@ -431,7 +505,46 @@ class DetectionServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
+        with self._shutdown_lock:
+            if self._closed:
+                raise ReproError("server is closed; create a new DetectionServer")
+            self._ensure_workers_locked()
         self._httpd.serve_forever()
+
+    def ensure_workers(self) -> None:
+        """Spawn the shard pool now (idempotent; normally lazy at serve).
+
+        Lets a caller learn the worker pids before the accept loop starts —
+        the CLI prints them so an operator (or the CI smoke test) can
+        observe crash recovery from outside.
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                raise ReproError("server is closed; create a new DetectionServer")
+            self._ensure_workers_locked()
+
+    def _ensure_workers_locked(self) -> None:
+        """Spawn the shard pool on first serve (caller holds the lock).
+
+        Lazy so construction order stays flexible: the pipeline must be
+        calibrated by the time the server starts serving — the shard spec
+        snapshots the calibrated detectors — not when the server object is
+        created.
+        """
+        if self.config.workers <= 0 or self._pool is not None:
+            return
+        spec = WorkerSpec.from_pipeline(self.pipeline)
+        pool_config = WorkerPoolConfig(
+            workers=self.config.workers,
+            heartbeat_interval_s=self.config.worker_heartbeat_interval_s,
+            liveness_timeout_s=self.config.worker_liveness_timeout_s,
+            job_timeout_s=self.config.worker_job_timeout_s,
+            restart_backoff_base_s=self.config.worker_restart_backoff_base_s,
+            restart_backoff_max_s=self.config.worker_restart_backoff_max_s,
+            fault_spec=self.config.fault_injection,
+        )
+        self._pool = WorkerPool(spec, pool_config, metrics=self.metrics)
+        self._pool.start()
 
     def install_signal_handlers(self) -> None:
         """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
@@ -463,6 +576,10 @@ class DetectionServer:
             self._httpd.server_close()
             if self._serve_thread is not None:
                 self._serve_thread.join(timeout=self.config.socket_timeout_s)
+            # Handler threads are drained, so no job is in flight: stop the
+            # shards before the final audit flush.
+            if self._pool is not None:
+                self._pool.shutdown()
             if self.pipeline.audit_log is not None:
                 self.pipeline.audit_log.flush()
             self._closed = True

@@ -1,4 +1,4 @@
-"""Wire format shared by the detection server and client.
+"""Wire format shared by the detection server, client, and worker shards.
 
 The service speaks raw image bytes — no multipart, no base64 — using the
 library's own codecs:
@@ -9,7 +9,21 @@ library's own codecs:
   prefix: ``count:uint32`` then, per image, ``length:uint32`` + payload
   (big-endian). Content type :data:`BATCH_CONTENT_TYPE`.
 
-Both sides import from here so the framing cannot drift apart.
+The same length-prefixed framing carries the dispatcher ↔ worker-shard
+protocol over ``multiprocessing`` pipes (:mod:`repro.serving.workers`):
+
+* a **job** frame is ``[kind, job_id, request_id, *image payloads]``
+  (:func:`pack_job` / :func:`unpack_job`), ``kind`` one of
+  :data:`JOB_KINDS`;
+* a **result** frame is ``[kind, job_id, body]`` (:func:`pack_result` /
+  :func:`unpack_result`), ``kind`` one of :data:`RESULT_KINDS` — a JSON
+  verdict list for ``"ok"``, a JSON error descriptor for ``"err"``, and a
+  JSON metrics snapshot for heartbeats (``"hb"``).
+
+All sides import from here so the framing cannot drift apart, and every
+malformed frame raises :class:`~repro.errors.CodecError` — truncation,
+trailing bytes, unknown kinds, or non-UTF-8 identifiers never hang or
+silently mis-parse.
 """
 
 from __future__ import annotations
@@ -26,10 +40,16 @@ __all__ = [
     "BATCH_CONTENT_TYPE",
     "IMAGE_CONTENT_TYPE",
     "METRICS_CONTENT_TYPE",
+    "JOB_KINDS",
+    "RESULT_KINDS",
     "decode_image_payload",
     "encode_image_payload",
     "pack_batch",
     "unpack_batch",
+    "pack_job",
+    "unpack_job",
+    "pack_result",
+    "unpack_result",
 ]
 
 #: Content type of a single raw image body (the codec is sniffed anyway).
@@ -89,3 +109,57 @@ def unpack_batch(data: bytes, *, origin: str = "<body>") -> list[bytes]:
     if offset != len(data):
         raise CodecError(f"{origin}: {len(data) - offset} trailing bytes after batch")
     return payloads
+
+
+#: Job kinds a dispatcher may send to a worker shard.
+JOB_KINDS = ("single", "batch", "stop")
+#: Result kinds a worker shard may send back.
+RESULT_KINDS = ("ok", "err", "hb")
+
+
+def _decode_field(raw: bytes, *, origin: str, what: str) -> str:
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"{origin}: {what} is not valid UTF-8") from exc
+
+
+def pack_job(kind: str, job_id: str, request_id: str, payloads: list[bytes]) -> bytes:
+    """Frame one dispatcher→worker job on top of :func:`pack_batch`."""
+    if kind not in JOB_KINDS:
+        raise CodecError(f"unknown job kind {kind!r}")
+    return pack_batch(
+        [kind.encode("utf-8"), job_id.encode("utf-8"), request_id.encode("utf-8"), *payloads]
+    )
+
+
+def unpack_job(data: bytes, *, origin: str = "<job>") -> tuple[str, str, str, list[bytes]]:
+    """Split a job frame into ``(kind, job_id, request_id, payloads)``."""
+    frames = unpack_batch(data, origin=origin)
+    if len(frames) < 3:
+        raise CodecError(f"{origin}: job frame has {len(frames)} fields, need >= 3")
+    kind = _decode_field(frames[0], origin=origin, what="job kind")
+    if kind not in JOB_KINDS:
+        raise CodecError(f"{origin}: unknown job kind {kind!r}")
+    job_id = _decode_field(frames[1], origin=origin, what="job id")
+    request_id = _decode_field(frames[2], origin=origin, what="request id")
+    return kind, job_id, request_id, frames[3:]
+
+
+def pack_result(kind: str, job_id: str, body: bytes) -> bytes:
+    """Frame one worker→dispatcher result on top of :func:`pack_batch`."""
+    if kind not in RESULT_KINDS:
+        raise CodecError(f"unknown result kind {kind!r}")
+    return pack_batch([kind.encode("utf-8"), job_id.encode("utf-8"), body])
+
+
+def unpack_result(data: bytes, *, origin: str = "<result>") -> tuple[str, str, bytes]:
+    """Split a result frame into ``(kind, job_id, body)``."""
+    frames = unpack_batch(data, origin=origin)
+    if len(frames) != 3:
+        raise CodecError(f"{origin}: result frame has {len(frames)} fields, need 3")
+    kind = _decode_field(frames[0], origin=origin, what="result kind")
+    if kind not in RESULT_KINDS:
+        raise CodecError(f"{origin}: unknown result kind {kind!r}")
+    job_id = _decode_field(frames[1], origin=origin, what="job id")
+    return kind, job_id, frames[2]

@@ -1,0 +1,889 @@
+"""Process-based scoring shards behind the detection server.
+
+PR 3's service scores in-process behind a thread pool; one Python process
+GIL-bound on SSIM/FFT math caps throughput. This module shards scoring
+across ``multiprocessing`` worker processes, each owning its own calibrated
+:class:`~repro.serving.pipeline.ProtectedPipeline`, while the HTTP handler
+threads become thin dispatchers speaking the :mod:`repro.serving.wire`
+framing over stdlib pipes:
+
+* :class:`WorkerSpec` — the picklable recipe for one shard's pipeline,
+  captured once from the parent's calibrated pipeline (the detectors are
+  shipped with their thresholds, so shard verdicts are bit-for-bit what
+  the parent would compute).
+* :class:`WorkerPool` — spawns N shards, routes jobs to the least-loaded
+  healthy one, and owns the lifecycle: per-worker heartbeats with a
+  liveness deadline, crash detection, automatic respawn under bounded
+  exponential backoff, and requeue-exactly-once failover for jobs that
+  were in flight on a dead shard (a second failure answers 503).
+* :func:`_worker_main` — the shard process: decode, score, reply; send a
+  heartbeat whenever idle for one interval.
+
+Division of labour: shards score and write quarantine artifacts (they hold
+the memoized analysis intermediates); the dispatcher keeps the canonical
+``pipeline.stats``, sequence numbers, and JSONL audit records via
+:meth:`ProtectedPipeline.record_remote_outcome` — so a sharded deployment
+reads identically to an in-process one from the outside.
+
+Fault injection: :attr:`WorkerPoolConfig.fault_spec` is a test-only seam
+(``"kill:0,slow:1:5"``) parsed inside the shard, because monkeypatching
+does not cross a spawn boundary. Faults apply only to a shard's first
+incarnation, so respawn recovers naturally. See ``tests/fault_injection``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.ensemble import DetectionEnsemble
+from repro.errors import CodecError, DetectionError, ImageError, ReproError
+from repro.observability import Metrics
+from repro.serving.audit import AuditLog, AuditRecord
+from repro.serving.pipeline import ProtectedPipeline, verdict_payload
+from repro.serving.policy import Policy
+from repro.serving.wire import (
+    decode_image_payload,
+    pack_job,
+    pack_result,
+    unpack_job,
+    unpack_result,
+)
+
+__all__ = ["WorkerSpec", "WorkerPoolConfig", "WorkerPool"]
+
+
+# -- what a shard needs to know ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a shard process needs to rebuild the parent's pipeline.
+
+    Captured once (at pool start) from a calibrated pipeline and reused for
+    every respawn, so a shard that crashed mid-flight comes back with the
+    exact same thresholds.
+    """
+
+    model_input_shape: tuple[int, int]
+    algorithm: str
+    policy: str
+    #: the parent's calibrated detectors, pickled with their (unpicklable)
+    #: metrics registry stripped; thresholds travel inside.
+    detectors_pickle: bytes
+    #: quarantine destination, or None when the policy never quarantines.
+    audit_log_path: str | None = None
+    quarantine_dir: str | None = None
+
+    @classmethod
+    def from_pipeline(cls, pipeline: ProtectedPipeline) -> "WorkerSpec":
+        if not pipeline.is_calibrated:
+            raise DetectionError(
+                "cannot shard an uncalibrated pipeline; call calibrate() first"
+            )
+        detectors = list(pipeline.ensemble.detectors)
+        saved = [detector.metrics for detector in detectors]
+        try:
+            for detector in detectors:
+                detector.metrics = None
+            blob = pickle.dumps(detectors)
+        finally:
+            for detector, metrics in zip(detectors, saved):
+                detector.metrics = metrics
+        audit = pipeline.audit_log
+        quarantines = (
+            pipeline.policy is Policy.QUARANTINE
+            and audit is not None
+            and audit.quarantine_dir is not None
+        )
+        return cls(
+            model_input_shape=tuple(pipeline.model_input_shape),
+            algorithm=pipeline.algorithm,
+            policy=pipeline.policy.value,
+            detectors_pickle=blob,
+            audit_log_path=str(audit.log_path) if quarantines else None,
+            quarantine_dir=str(audit.quarantine_dir) if quarantines else None,
+        )
+
+    def build_pipeline(self) -> ProtectedPipeline:
+        """Reconstruct the calibrated pipeline inside a shard process."""
+        detectors = pickle.loads(self.detectors_pickle)
+        audit_log = None
+        if self.audit_log_path and self.quarantine_dir:
+            audit_log = _QuarantineOnlyAuditLog(
+                self.audit_log_path, quarantine_dir=self.quarantine_dir
+            )
+        return ProtectedPipeline(
+            self.model_input_shape,
+            algorithm=self.algorithm,
+            policy=Policy(self.policy),
+            ensemble=DetectionEnsemble(detectors),
+            audit_log=audit_log,
+            metrics=Metrics(),
+        )
+
+
+class _QuarantineOnlyAuditLog(AuditLog):
+    """Shard-side audit log: artifacts here, records at the dispatcher.
+
+    Quarantine PNG/artifact writes stay in the shard because only it holds
+    the memoized analysis intermediates, and request-scoped image ids keep
+    filenames collision-free across shards. JSONL records are the
+    dispatcher's job (single canonical sequence), so ``append`` only
+    remembers the quarantine path for the wire reply.
+    """
+
+    def __init__(self, log_path, *, quarantine_dir) -> None:
+        super().__init__(log_path, quarantine_dir=quarantine_dir)
+        self._quarantine_paths: dict[str, str] = {}
+
+    def append(self, record: AuditRecord) -> None:
+        if record.quarantine_path is not None:
+            self._quarantine_paths[record.image_id] = record.quarantine_path
+
+    def pop_quarantine_path(self, image_id: str) -> str | None:
+        return self._quarantine_paths.pop(image_id, None)
+
+
+# -- pool configuration ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerPoolConfig:
+    """Tunables for :class:`WorkerPool`."""
+
+    #: Number of shard processes; must be >= 1 (0 means "no pool at all"
+    #: and is the server's decision, not this class's).
+    workers: int = 2
+    #: An idle shard sends one heartbeat per interval.
+    heartbeat_interval_s: float = 0.25
+    #: An idle shard silent for longer than this is declared dead.
+    liveness_timeout_s: float = 10.0
+    #: A busy shard whose oldest in-flight job is older than this is
+    #: declared wedged (busy shards cannot heartbeat — they are scoring).
+    job_timeout_s: float = 30.0
+    #: Respawn backoff: ``base * 2**consecutive_failures``, capped at max.
+    restart_backoff_base_s: float = 0.1
+    restart_backoff_max_s: float = 5.0
+    #: Grace for a fresh process to import numpy and calibrate before the
+    #: liveness deadline applies (its first message ends the grace).
+    startup_grace_s: float = 60.0
+    #: How long shutdown waits for shards to drain before killing them.
+    drain_timeout_s: float = 10.0
+    #: Test-only fault seam, parsed by the shard itself (monkeypatches do
+    #: not survive a spawn): comma-separated ``kind:worker_id[:arg]``
+    #: clauses — ``kill`` (exit on next job), ``kill-after`` (score, exit
+    #: before replying), ``mute`` (one heartbeat, then silence),
+    #: ``garbage`` (reply with an unframed blob), ``slow:<id>:<seconds>``
+    #: (sleep before scoring). ``*`` targets every shard. Faults apply only
+    #: while ``restarts == 0`` so a respawned shard behaves.
+    fault_spec: str | None = None
+
+
+# -- parent-side bookkeeping -------------------------------------------------
+
+
+class _Job:
+    """One dispatched request, waited on by an HTTP handler thread."""
+
+    __slots__ = (
+        "job_id",
+        "kind",
+        "request_id",
+        "payloads",
+        "attempts",
+        "worker_id",
+        "done",
+        "result_kind",
+        "body",
+        "error",
+    )
+
+    def __init__(
+        self, job_id: str, kind: str, request_id: str, payloads: list[bytes]
+    ) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.request_id = request_id
+        self.payloads = payloads
+        self.attempts = 0
+        self.worker_id: int | None = None
+        self.done = threading.Event()
+        self.result_kind: str | None = None
+        self.body: bytes | None = None
+        self.error: Exception | None = None
+
+
+class _WorkerHandle:
+    """Parent-side view of one shard incarnation.
+
+    Mutable fields are guarded by the owning pool's lock; the handle object
+    itself doubles as the generation token (a respawn installs a brand-new
+    handle under the same worker id, so stale receiver threads compare
+    identity and stand down).
+    """
+
+    __slots__ = (
+        "worker_id",
+        "process",
+        "conn",
+        "send_lock",
+        "up",
+        "ready",
+        "spawned_at",
+        "last_seen",
+        "restarts",
+        "consecutive_failures",
+        "jobs",
+        "jobs_done",
+        "respawn_at",
+        "snapshot",
+    )
+
+    def __init__(self, worker_id, process, conn, restarts, consecutive) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.up = True
+        self.ready = False
+        self.spawned_at = time.monotonic()
+        self.last_seen = self.spawned_at
+        self.restarts = restarts
+        self.consecutive_failures = consecutive
+        #: in-flight job_id -> dispatch timestamp
+        self.jobs: dict[str, float] = {}
+        self.jobs_done = 0
+        self.respawn_at: float | None = None
+        self.snapshot: dict = {}
+
+
+def _error_from_wire(body: bytes) -> Exception:
+    """Rebuild a shard-reported exception so HTTP status mapping matches
+    the in-process path (CodecError/ImageError -> 400, rest -> 503)."""
+    try:
+        descriptor = json.loads(body.decode("utf-8"))
+        kind = str(descriptor.get("type", ""))
+        message = str(descriptor.get("message", "worker error"))
+    except (ValueError, UnicodeDecodeError):
+        kind, message = "", "unintelligible worker error"
+    types: dict[str, type[Exception]] = {
+        "CodecError": CodecError,
+        "ImageError": ImageError,
+        "DetectionError": DetectionError,
+    }
+    return types.get(kind, DetectionError)(message)
+
+
+class WorkerPool:
+    """N scoring shards plus the lifecycle that keeps them answering.
+
+    Thread-safety: ``_lock`` guards the worker table, the job table, and
+    the closed/started flags. Pipe sends serialize on each handle's own
+    ``send_lock``; pipe receives happen on one receiver thread per shard.
+    Process spawning, joining, and pipe I/O all happen outside ``_lock``.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        config: WorkerPoolConfig | None = None,
+        *,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config or WorkerPoolConfig()
+        if self.config.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {self.config.workers}")
+        self.metrics = metrics or Metrics()
+        self._context = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._jobs: dict[str, _Job] = {}
+        self._job_counter = 0
+        self._started = False
+        self._closed = False
+        self._wake = threading.Event()
+        self._monitor_thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every shard and the liveness monitor; returns at once
+        (shards announce readiness via their first heartbeat)."""
+        with self._lock:
+            if self._closed:
+                raise ReproError("worker pool is shut down")
+            if self._started:
+                raise ReproError("worker pool is already started")
+            self._started = True
+        for worker_id in range(self.config.workers):
+            self._spawn_worker(worker_id, restarts=0, consecutive=0)
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="worker-pool-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop every shard, join, kill stragglers, and
+        fail any job that somehow remained in flight."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._workers.values())
+        self._wake.set()
+        stop_frame = pack_job("stop", "-", "-", [])
+        for handle in handles:
+            if not handle.up:
+                continue
+            try:
+                with handle.send_lock:
+                    handle.conn.send_bytes(stop_frame)
+            except (OSError, ValueError):
+                pass  # already dead; join/kill below handles it
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for handle in handles:
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass  # receiver already closed it
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=2.0)
+        with self._lock:
+            leftover = list(self._jobs.values())
+            self._jobs.clear()
+        for job in leftover:
+            job.error = DetectionError("worker pool shut down mid-request")
+            job.done.set()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def healthy_count(self) -> int:
+        """Shards currently believed alive (spawned or respawned, pipe open)."""
+        with self._lock:
+            return sum(1 for handle in self._workers.values() if handle.up)
+
+    def pids(self) -> dict[int, int | None]:
+        """``worker_id -> os pid`` for every current shard incarnation."""
+        with self._lock:
+            return {
+                worker_id: handle.process.pid
+                for worker_id, handle in sorted(self._workers.items())
+            }
+
+    def worker_status(self) -> list[dict]:
+        """One dict per shard: liveness, restarts, load, last snapshot."""
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "worker_id": handle.worker_id,
+                    "pid": handle.process.pid,
+                    "up": handle.up,
+                    "ready": handle.ready,
+                    "restarts": handle.restarts,
+                    "inflight": len(handle.jobs),
+                    "jobs_done": handle.jobs_done,
+                    "heartbeat_age_s": now - handle.last_seen,
+                    "snapshot": dict(handle.snapshot),
+                }
+                for _, handle in sorted(self._workers.items())
+            ]
+
+    def labeled_families(self) -> dict[str, dict[str, list[tuple[dict, float]]]]:
+        """Per-shard metric series for
+        :func:`repro.observability.render_prometheus`'s labeled families
+        (``{worker_id="N"}``)."""
+        gauges: dict[str, list[tuple[dict, float]]] = {
+            "worker.up": [],
+            "worker.inflight": [],
+            "worker.heartbeat_age_s": [],
+        }
+        counters: dict[str, list[tuple[dict, float]]] = {
+            "worker.restarts": [],
+            "worker.jobs_done": [],
+            "worker.scored": [],
+            "worker.errors": [],
+        }
+        for status in self.worker_status():
+            labels = {"worker_id": str(status["worker_id"])}
+            gauges["worker.up"].append((labels, 1.0 if status["up"] else 0.0))
+            gauges["worker.inflight"].append((labels, float(status["inflight"])))
+            gauges["worker.heartbeat_age_s"].append(
+                (labels, round(status["heartbeat_age_s"], 3))
+            )
+            counters["worker.restarts"].append((labels, float(status["restarts"])))
+            counters["worker.jobs_done"].append((labels, float(status["jobs_done"])))
+            snapshot = status["snapshot"]
+            counters["worker.scored"].append(
+                (labels, float(snapshot.get("submitted", 0)))
+            )
+            counters["worker.errors"].append((labels, float(snapshot.get("errors", 0))))
+        return {"gauges": gauges, "counters": counters}
+
+    # -- dispatch ------------------------------------------------------------
+
+    def submit(
+        self, payloads: list[bytes], *, request_id: str, batch: bool = False
+    ) -> dict:
+        """Route one request to a healthy shard and wait for its verdicts.
+
+        Returns the shard's reply: ``{"verdicts": [...],
+        "quarantine_paths": [...]}``. Raises what the in-process path would
+        (CodecError/ImageError for bad payloads, DetectionError when no
+        shard can answer).
+        """
+        with self._lock:
+            if self._closed:
+                raise DetectionError("worker pool is shut down")
+            if not self._started:
+                raise ReproError("worker pool is not started")
+            self._job_counter += 1
+            job_id = f"job-{self._job_counter:08d}"
+        job = _Job(job_id, "batch" if batch else "single", request_id, payloads)
+        target = self._pick_target()
+        if target is None:
+            raise DetectionError("no healthy worker shard available")
+        self.metrics.counter("workers.dispatched").add(1)
+        start = time.perf_counter()
+        self._dispatch(job, target)
+        # Worst case one failover: two job timeouts plus scheduling slack.
+        if not job.done.wait(self.config.job_timeout_s * 2 + 5.0):
+            with self._lock:
+                self._jobs.pop(job_id, None)
+                owner = self._workers.get(job.worker_id)
+                if owner is not None:
+                    owner.jobs.pop(job_id, None)
+            raise DetectionError(f"worker job {job_id} timed out")
+        self.metrics.observe("workers.job", (time.perf_counter() - start) * 1000.0)
+        if job.error is not None:
+            raise job.error
+        if job.result_kind == "err":
+            raise _error_from_wire(job.body or b"")
+        try:
+            return json.loads((job.body or b"").decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DetectionError(f"worker returned malformed verdicts: {exc}") from exc
+
+    def _pick_target(self, exclude: int | None = None) -> _WorkerHandle | None:
+        with self._lock:
+            candidates = [
+                handle
+                for handle in self._workers.values()
+                if handle.up and handle.worker_id != exclude
+            ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda handle: (len(handle.jobs), handle.worker_id))
+
+    def _dispatch(self, job: _Job, handle: _WorkerHandle) -> None:
+        frame = pack_job(job.kind, job.job_id, job.request_id, job.payloads)
+        with self._lock:
+            if not handle.up:
+                # The target died between selection and dispatch; keep the
+                # attempt count honest and reroute below.
+                stale = True
+                self._jobs[job.job_id] = job
+            else:
+                stale = False
+                job.attempts += 1
+                job.worker_id = handle.worker_id
+                self._jobs[job.job_id] = job
+                handle.jobs[job.job_id] = time.monotonic()
+        if stale:
+            self._failover(
+                job, exclude=handle.worker_id, reason="target died before dispatch"
+            )
+            return
+        try:
+            with handle.send_lock:
+                handle.conn.send_bytes(frame)
+        except (OSError, ValueError):
+            # The pipe died under us: the down-path requeues (or fails)
+            # every job this shard held, including the one just registered.
+            self._worker_down(handle, reason="pipe send failed")
+
+    # -- failure handling ----------------------------------------------------
+
+    def _worker_down(self, handle: _WorkerHandle, *, reason: str) -> None:
+        """Declare one shard incarnation dead: fail it over and schedule a
+        respawn under backoff. Idempotent per incarnation."""
+        with self._lock:
+            if not handle.up or self._workers.get(handle.worker_id) is not handle:
+                return
+            handle.up = False
+            orphans = [
+                self._jobs[job_id] for job_id in handle.jobs if job_id in self._jobs
+            ]
+            handle.jobs.clear()
+            if not self._closed:
+                backoff = min(
+                    self.config.restart_backoff_base_s
+                    * (2 ** min(handle.consecutive_failures, 16)),
+                    self.config.restart_backoff_max_s,
+                )
+                handle.respawn_at = time.monotonic() + backoff
+        self.metrics.counter("workers.deaths").add(1)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass  # receiver thread got there first
+        if handle.process.is_alive():
+            handle.process.terminate()
+        self._wake.set()
+        for job in orphans:
+            self._failover(job, exclude=handle.worker_id, reason=reason)
+
+    def _failover(self, job: _Job, *, exclude: int, reason: str) -> None:
+        """Requeue one orphaned job exactly once; a second strike fails it."""
+        with self._lock:
+            if job.job_id not in self._jobs:
+                return  # completed or timed out concurrently
+            second_strike = job.attempts >= 2
+        if second_strike:
+            self._fail_job(
+                job,
+                DetectionError(
+                    f"request {job.request_id} lost twice to worker failures "
+                    f"(last: {reason})"
+                ),
+            )
+            return
+        target = self._pick_target(exclude=exclude)
+        if target is None:
+            self._fail_job(
+                job,
+                DetectionError(
+                    f"no healthy worker shard to requeue request {job.request_id} "
+                    f"({reason})"
+                ),
+            )
+            return
+        self.metrics.counter("workers.requeued").add(1)
+        self._dispatch(job, target)
+
+    def _fail_job(self, job: _Job, error: Exception) -> None:
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+        self.metrics.counter("workers.failed_jobs").add(1)
+        job.error = error
+        job.done.set()
+
+    # -- per-shard receiver --------------------------------------------------
+
+    def _receive_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                frame = handle.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                kind, job_id, body = unpack_result(
+                    frame, origin=f"worker-{handle.worker_id}"
+                )
+            except CodecError:
+                # A shard emitting unparseable frames can no longer be
+                # trusted to pair results with jobs — recycle it.
+                self.metrics.counter("workers.garbage_frames").add(1)
+                break
+            with self._lock:
+                handle.last_seen = time.monotonic()
+                handle.ready = True
+                handle.consecutive_failures = 0
+            if kind == "hb":
+                self._store_snapshot(handle, body)
+            else:
+                self._complete(handle, job_id, kind, body)
+        self._worker_down(handle, reason="worker pipe closed")
+
+    def _store_snapshot(self, handle: _WorkerHandle, body: bytes) -> None:
+        try:
+            snapshot = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            snapshot = {}
+        if isinstance(snapshot, dict):
+            with self._lock:
+                handle.snapshot = snapshot
+
+    def _complete(
+        self, handle: _WorkerHandle, job_id: str, kind: str, body: bytes
+    ) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.worker_id != handle.worker_id:
+                return  # late result for a job already failed over: drop it
+            del self._jobs[job_id]
+            handle.jobs.pop(job_id, None)
+            handle.jobs_done += 1
+        job.result_kind = kind
+        job.body = body
+        job.done.set()
+
+    # -- spawn + monitor -----------------------------------------------------
+
+    def _spawn_worker(self, worker_id: int, *, restarts: int, consecutive: int) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self.spec,
+                worker_id,
+                restarts,
+                self.config.heartbeat_interval_s,
+                self.config.fault_spec,
+            ),
+            name=f"decamouflage-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(worker_id, process, parent_conn, restarts, consecutive)
+        with self._lock:
+            aborted = self._closed
+            if not aborted:
+                self._workers[worker_id] = handle
+        if aborted:
+            # Shutdown won the race with this respawn: reap the process
+            # instead of leaking it past the pool's lifetime.
+            try:
+                parent_conn.close()
+            except OSError:
+                pass  # never opened far enough to matter
+            process.kill()
+            process.join(1.0)
+            return
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(handle,),
+            name=f"worker-{worker_id}-rx",
+            daemon=True,
+        )
+        receiver.start()
+        if restarts:
+            self.metrics.counter("workers.restarts").add(1)
+
+    def _monitor_loop(self) -> None:
+        interval = max(0.01, min(self.config.heartbeat_interval_s / 2, 0.25))
+        while True:
+            self._wake.wait(interval)
+            self._wake.clear()
+            now = time.monotonic()
+            dead: list[tuple[_WorkerHandle, str]] = []
+            respawn: list[tuple[int, int, int]] = []
+            with self._lock:
+                if self._closed:
+                    return
+                for handle in self._workers.values():
+                    if handle.up:
+                        reason = self._death_reason_locked(handle, now)
+                        if reason is not None:
+                            dead.append((handle, reason))
+                    elif handle.respawn_at is not None and now >= handle.respawn_at:
+                        handle.respawn_at = None
+                        respawn.append(
+                            (
+                                handle.worker_id,
+                                handle.restarts + 1,
+                                handle.consecutive_failures + 1,
+                            )
+                        )
+            for handle, reason in dead:
+                self._worker_down(handle, reason=reason)
+            for worker_id, restarts, consecutive in respawn:
+                self._spawn_worker(
+                    worker_id, restarts=restarts, consecutive=consecutive
+                )
+
+    def _death_reason_locked(self, handle: _WorkerHandle, now: float) -> str | None:
+        """Liveness verdict for one live handle (caller holds the lock)."""
+        if not handle.process.is_alive():
+            return f"worker process exited (code {handle.process.exitcode})"
+        if handle.jobs:
+            oldest = min(handle.jobs.values())
+            if now - oldest > self.config.job_timeout_s:
+                return (
+                    f"oldest in-flight job exceeded {self.config.job_timeout_s:.1f}s"
+                )
+            return None
+        deadline = (
+            self.config.liveness_timeout_s
+            if handle.ready
+            else self.config.startup_grace_s
+        )
+        if now - handle.last_seen > deadline:
+            return f"no heartbeat for {now - handle.last_seen:.1f}s"
+        return None
+
+
+# -- the shard process --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Faults:
+    """Parsed fault directives for one shard (test-only; see
+    :attr:`WorkerPoolConfig.fault_spec`)."""
+
+    kill_next: bool = False
+    kill_after: bool = False
+    mute: bool = False
+    garbage: bool = False
+    slow_s: float = 0.0
+
+
+def _parse_faults(spec: str | None, worker_id: int) -> _Faults:
+    if not spec:
+        return _Faults()
+    kill_next = kill_after = mute = garbage = False
+    slow_s = 0.0
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) < 2:
+            raise ReproError(f"malformed fault clause {clause!r}")
+        kind, target = parts[0], parts[1]
+        if target != "*" and int(target) != worker_id:
+            continue
+        if kind == "kill":
+            kill_next = True
+        elif kind == "kill-after":
+            kill_after = True
+        elif kind == "mute":
+            mute = True
+        elif kind == "garbage":
+            garbage = True
+        elif kind == "slow":
+            slow_s = float(parts[2])
+        else:
+            raise ReproError(f"unknown fault kind {kind!r}")
+    return _Faults(
+        kill_next=kill_next,
+        kill_after=kill_after,
+        mute=mute,
+        garbage=garbage,
+        slow_s=slow_s,
+    )
+
+
+def _shard_snapshot(pipeline: ProtectedPipeline, errors: int) -> dict:
+    """The per-heartbeat stats a shard reports to the dispatcher."""
+    stats = pipeline.stats
+    screen = pipeline.metrics.histogram("pipeline.screen").summary()
+    return {
+        "submitted": stats.submitted,
+        "accepted": stats.accepted,
+        "rejected": stats.rejected,
+        "quarantined": stats.quarantined,
+        "sanitized": stats.sanitized,
+        "errors": errors,
+        "screen_ms": {
+            key: round(float(screen.get(key, 0.0)), 3)
+            for key in ("count", "mean_ms", "p50_ms", "p95_ms")
+        },
+    }
+
+
+def _score_job(
+    pipeline: ProtectedPipeline, kind: str, request_id: str, payloads: list[bytes]
+) -> bytes:
+    """Decode, score, and serialize one job's verdicts (shard side)."""
+    start = time.perf_counter()
+    if kind == "single":
+        image = decode_image_payload(payloads[0], origin=request_id)
+        outcomes = [pipeline.submit(image, image_id=request_id)]
+    else:
+        images = [
+            decode_image_payload(blob, origin=f"{request_id}[{index}]")
+            for index, blob in enumerate(payloads)
+        ]
+        outcomes = pipeline.submit_batch(images, prefix=request_id)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    quarantine_paths: list[str | None] = []
+    for outcome in outcomes:
+        path = None
+        if isinstance(pipeline.audit_log, _QuarantineOnlyAuditLog):
+            path = pipeline.audit_log.pop_quarantine_path(outcome.image_id)
+        quarantine_paths.append(path)
+    verdicts = [
+        verdict_payload(outcome, request_id=request_id, latency_ms=elapsed_ms)
+        for outcome in outcomes
+    ]
+    return json.dumps(
+        {"verdicts": verdicts, "quarantine_paths": quarantine_paths}
+    ).encode("utf-8")
+
+
+def _worker_main(
+    conn,
+    spec: WorkerSpec,
+    worker_id: int,
+    restarts: int,
+    heartbeat_interval_s: float,
+    fault_spec: str | None,
+) -> None:
+    """One shard process: score jobs, heartbeat when idle, exit on stop.
+
+    Must stay module-level (spawn pickles it by reference). Faults apply
+    only to a shard's first incarnation so respawn recovers naturally.
+    """
+    faults = _parse_faults(fault_spec, worker_id) if restarts == 0 else _Faults()
+    pipeline = spec.build_pipeline()
+    errors = 0
+    heartbeats_sent = 0
+    while True:
+        if not conn.poll(heartbeat_interval_s):
+            if faults.mute and heartbeats_sent >= 1:
+                continue
+            snapshot = json.dumps(_shard_snapshot(pipeline, errors)).encode("utf-8")
+            try:
+                conn.send_bytes(pack_result("hb", "-", snapshot))
+            except (OSError, ValueError):
+                return  # dispatcher is gone
+            heartbeats_sent += 1
+            continue
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            kind, job_id, request_id, payloads = unpack_job(
+                frame, origin=f"worker-{worker_id}"
+            )
+        except CodecError:
+            errors += 1
+            continue  # dispatcher bug; the job times out and fails over
+        if kind == "stop":
+            return
+        if faults.kill_next:
+            os._exit(170)  # simulated crash mid-request
+        if faults.slow_s:
+            time.sleep(faults.slow_s)
+        try:
+            reply = pack_result("ok", job_id, _score_job(pipeline, kind, request_id, payloads))
+        except Exception as exc:  # shipped to the dispatcher, not swallowed
+            errors += 1
+            descriptor = {"type": type(exc).__name__, "message": str(exc)}
+            reply = pack_result(
+                "err", job_id, json.dumps(descriptor).encode("utf-8")
+            )
+        if faults.kill_after:
+            os._exit(171)  # simulated crash after scoring, before replying
+        if faults.garbage:
+            reply = b"\xde\xad\xbe\xef" + os.urandom(24)
+        try:
+            conn.send_bytes(reply)
+        except (OSError, ValueError):
+            return

@@ -9,6 +9,9 @@ with the central blob — so tests do not shrink further.)
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -18,6 +21,32 @@ from repro.imaging.scaling import resize
 
 SOURCE_SHAPE = (128, 128)
 MODEL_INPUT = (16, 16)
+
+#: Worker shards for the serving tests' shared server fixture. CI's
+#: fault-matrix job runs the suite at 0 (in-process), 1, and 4 so the
+#: sharded scoring path is exercised by the same end-to-end tests.
+SERVER_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0"))
+
+
+def wait_until(
+    predicate,
+    *,
+    timeout_s: float = 10.0,
+    interval_s: float = 0.01,
+    message: str = "condition",
+):
+    """Poll *predicate* until truthy; the replacement for sleep-and-hope.
+
+    Returns the predicate's (truthy) value so callers can assert on it.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"timed out after {timeout_s}s waiting for {message}")
+        time.sleep(interval_s)
 
 
 @pytest.fixture

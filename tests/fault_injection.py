@@ -1,0 +1,270 @@
+"""Fault-injection harness for the serving stack.
+
+Three families of controlled failure, all stdlib:
+
+* :func:`make_pool` / :func:`pool_with_faults` — build a real
+  :class:`~repro.serving.workers.WorkerPool` from a calibrated pipeline,
+  optionally with a ``fault_spec`` (the shard-side seam; monkeypatching
+  cannot cross a spawn boundary, so faults travel as config and trigger
+  inside the worker process itself).
+* :class:`ScriptedServer` — a raw-socket HTTP impostor that plays back a
+  scripted sequence of misbehaviours (429 + Retry-After, 503, connection
+  reset, slow-loris dribble) so client retry discipline can be asserted
+  against exact, deterministic adversity.
+* :class:`FakeTime` — a stand-in for the client module's ``time`` that
+  records every ``sleep`` instead of performing it, making backoff
+  schedules assertable to the millisecond and the tests instant.
+
+Shared by ``tests/test_serving_faults.py`` and
+``tests/test_serving_client.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_image
+from repro.serving.pipeline import ProtectedPipeline
+from repro.serving.workers import WorkerPool, WorkerPoolConfig, WorkerSpec
+
+SOURCE_SHAPE = (128, 128)
+MODEL_INPUT = (16, 16)
+
+#: Lifecycle knobs tightened so fault tests converge in seconds: fast
+#: heartbeats, a short liveness deadline, and near-immediate respawn.
+FAST_POOL = dict(
+    heartbeat_interval_s=0.05,
+    liveness_timeout_s=1.0,
+    job_timeout_s=20.0,
+    restart_backoff_base_s=0.05,
+    restart_backoff_max_s=0.5,
+)
+
+
+def calibrated_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
+    """A pipeline calibrated on the shared synthetic holdout."""
+    pipeline = ProtectedPipeline(MODEL_INPUT, **kwargs)
+    pipeline.calibrate(benign_images, percentile=5.0)
+    return pipeline
+
+
+def make_pool(
+    pipeline: ProtectedPipeline, *, workers: int = 2, fault_spec: str | None = None, **overrides
+) -> WorkerPool:
+    """A started shard pool over *pipeline*, tuned for test turnaround."""
+    config = WorkerPoolConfig(
+        workers=workers, fault_spec=fault_spec, **{**FAST_POOL, **overrides}
+    )
+    pool = WorkerPool(
+        WorkerSpec.from_pipeline(pipeline), config, metrics=pipeline.metrics
+    )
+    pool.start()
+    return pool
+
+
+def holdout_images(count: int = 6) -> list[np.ndarray]:
+    """The same deterministic synthetic scenes the test suite calibrates on."""
+    return [
+        generate_image(SOURCE_SHAPE, np.random.default_rng((7, index)), family="neurips")
+        for index in range(count)
+    ]
+
+
+# -- scripted HTTP adversity --------------------------------------------------
+
+
+def response(
+    status: int,
+    body: bytes = b"{}",
+    *,
+    headers: dict[str, str] | None = None,
+) -> dict:
+    """Script step: one complete HTTP response."""
+    return {"kind": "response", "status": status, "body": body, "headers": headers or {}}
+
+
+def reset() -> dict:
+    """Script step: accept the request, then slam the connection shut."""
+    return {"kind": "reset"}
+
+
+def slow_loris(body: bytes = b"{}", *, chunk_delay_s: float = 0.5, chunks: int = 20) -> dict:
+    """Script step: dribble the response one byte at a time. The client's
+    socket timeout is per-``recv``, so it only fires when *chunk_delay_s*
+    exceeds it — pick the client timeout below the delay."""
+    return {
+        "kind": "slow",
+        "body": body,
+        "chunk_delay_s": chunk_delay_s,
+        "chunks": chunks,
+    }
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 429: "Too Many Requests", 503: "Service Unavailable"}
+
+
+class ScriptedServer:
+    """A raw-socket HTTP server that consumes one script step per request.
+
+    The script is a list of steps (:func:`response`, :func:`reset`,
+    :func:`slow_loris`); once exhausted, every further request gets a 200
+    with the final-response body. Runs on a daemon thread; use as a
+    context manager.
+    """
+
+    def __init__(self, script: list[dict], *, final_body: bytes = b"{}") -> None:
+        self.script = list(script)
+        self.final_body = final_body
+        self.requests_seen = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self._lock = threading.Lock()
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._serve, name="scripted-server", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._sock.getsockname()
+        return host, port
+
+    def __enter__(self) -> "ScriptedServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closing = True
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_step(self) -> dict:
+        with self._lock:
+            self.requests_seen += 1
+            if self.script:
+                return self.script.pop(0)
+        return response(200, self.final_body)
+
+    def _serve(self) -> None:
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            # One thread per connection: a slow-loris dribble must not
+            # block the accept loop the client's retry depends on.
+            worker = threading.Thread(
+                target=self._handle_and_close, args=(conn,), daemon=True
+            )
+            worker.start()
+
+    def _handle_and_close(self, conn: socket.socket) -> None:
+        try:
+            self._handle(conn)
+        finally:
+            conn.close()
+
+    def _handle(self, conn: socket.socket) -> None:
+        conn.settimeout(5.0)
+        try:
+            self._drain_request(conn)
+        except OSError:
+            return
+        step = self._next_step()
+        try:
+            if step["kind"] == "reset":
+                # RST instead of FIN: the client sees a hard connection
+                # failure, not a graceful empty response.
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            elif step["kind"] == "slow":
+                head = (
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 1000000\r\n\r\n"
+                )
+                conn.sendall(head)
+                for _ in range(step["chunks"]):
+                    with self._lock:
+                        if self._closing:
+                            return
+                    conn.sendall(step["body"][:1] or b" ")
+                    time.sleep(step["chunk_delay_s"])
+            else:
+                conn.sendall(self._render(step))
+        except OSError:
+            pass  # client hung up first; the script step still counts
+
+    def _drain_request(self, conn: socket.socket) -> None:
+        """Read one request (headers + declared body) off the socket."""
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(rest) < length:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return
+            rest += chunk
+
+    def _render(self, step: dict) -> bytes:
+        status = step["status"]
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(step["body"])),
+            # One request per connection: announce it, or the client's
+            # keep-alive reuse would see spurious transport errors.
+            "Connection": "close",
+            **step["headers"],
+        }
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+        head += "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+        return head.encode("ascii") + b"\r\n" + step["body"]
+
+
+# -- deterministic time -------------------------------------------------------
+
+
+class FakeTime:
+    """Drop-in for the client module's ``time``: sleeps are recorded, not
+    slept, and ``monotonic`` advances by exactly the recorded amounts."""
+
+    def __init__(self) -> None:
+        self.sleeps: list[float] = []
+        self._now = 1000.0
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def perf_counter(self) -> float:
+        return self._now

@@ -1,0 +1,167 @@
+"""Client retry-discipline tests against a scripted misbehaving server.
+
+The :class:`~tests.fault_injection.ScriptedServer` plays back exact
+adversity — 429 with ``Retry-After``, bare 503s, TCP resets, a slow-loris
+dribble — while :class:`~tests.fault_injection.FakeTime` replaces the
+client module's ``time`` so every backoff sleep is recorded instead of
+slept. That makes the backoff *schedule* a first-class assertion: not
+"it eventually worked" but "it waited exactly these amounts".
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.serving.client as client_module
+from repro.errors import ServingError
+from repro.serving.client import DetectionClient
+from repro.serving.wire import encode_image_payload
+
+from tests.fault_injection import FakeTime, ScriptedServer, reset, response, slow_loris
+
+
+def _verdict_body(request_id: str = "req-1") -> bytes:
+    return json.dumps(
+        {
+            "request_id": request_id,
+            "image_id": request_id,
+            "verdict": "benign",
+            "action": "accepted",
+            "accepted": True,
+            "votes_for_attack": 0,
+            "votes_total": 3,
+            "scores": {"scaling/mse": 1.0},
+            "thresholds": {"scaling/mse": "<= 2.0"},
+            "latency_ms": 1.0,
+        }
+    ).encode("utf-8")
+
+
+@pytest.fixture
+def fake_time(monkeypatch) -> FakeTime:
+    fake = FakeTime()
+    monkeypatch.setattr(client_module, "time", fake)
+    return fake
+
+
+@pytest.fixture
+def image() -> np.ndarray:
+    return np.random.default_rng(3).integers(0, 256, size=(8, 8), dtype=np.uint8)
+
+
+class TestBackoffSchedule:
+    def test_retry_after_header_is_honored(self, fake_time, image):
+        """Two 429s carrying Retry-After: the client must wait the
+        advertised amount (capped by backoff_max_s), not its own curve."""
+        script = [
+            response(429, b'{"error": "queue full"}', headers={"Retry-After": "1"}),
+            response(429, b'{"error": "queue full"}', headers={"Retry-After": "7"}),
+            response(200, _verdict_body()),
+        ]
+        with ScriptedServer(script) as server:
+            with DetectionClient(
+                *server.address, max_retries=5, backoff_base_s=0.05, backoff_max_s=2.0
+            ) as client:
+                verdict = client.detect(image)
+        assert verdict.action == "accepted"
+        # First wait = the header verbatim; second = header capped at max.
+        assert fake_time.sleeps == [1.0, 2.0]
+
+    def test_503_without_header_follows_exponential_curve(self, fake_time, image):
+        script = [response(503, b'{"error": "draining"}')] * 3 + [
+            response(200, _verdict_body())
+        ]
+        with ScriptedServer(script) as server:
+            with DetectionClient(
+                *server.address, max_retries=5, backoff_base_s=0.05, backoff_max_s=2.0
+            ) as client:
+                client.detect(image)
+        assert fake_time.sleeps == [0.05, 0.1, 0.2]  # base * 2**attempt
+
+    def test_exhaustion_raises_serving_error_with_bounded_waits(
+        self, fake_time, image
+    ):
+        script = [response(503, b'{"error": "down"}')] * 10
+        with ScriptedServer(script) as server:
+            with DetectionClient(
+                *server.address, max_retries=3, backoff_base_s=0.1, backoff_max_s=0.4
+            ) as client:
+                with pytest.raises(ServingError, match="HTTP 503"):
+                    client.detect(image)
+            assert server.requests_seen == 4  # 1 try + 3 retries, then stop
+        # Every wait respects the cap; total retry time is bounded.
+        assert fake_time.sleeps == [0.1, 0.2, 0.4]
+        assert sum(fake_time.sleeps) <= 3 * 0.4
+
+    def test_bad_request_is_terminal_not_retried(self, fake_time, image):
+        script = [response(400, b'{"error": "not an image"}')]
+        with ScriptedServer(script) as server:
+            with DetectionClient(*server.address, max_retries=5) as client:
+                with pytest.raises(ServingError, match="HTTP 400"):
+                    client.detect(image)
+            assert server.requests_seen == 1
+        assert fake_time.sleeps == []
+
+
+class TestTransportFaults:
+    def test_connection_reset_retried_then_succeeds(self, fake_time, image):
+        script = [reset(), reset(), response(200, _verdict_body())]
+        with ScriptedServer(script) as server:
+            with DetectionClient(
+                *server.address, max_retries=5, backoff_base_s=0.05
+            ) as client:
+                verdict = client.detect(image)
+        assert verdict.verdict == "benign"
+        assert fake_time.sleeps == [0.05, 0.1]
+
+    def test_reset_storm_exhausts_into_transport_error(self, fake_time, image):
+        script = [reset()] * 8
+        with ScriptedServer(script) as server:
+            with DetectionClient(
+                *server.address, max_retries=2, backoff_base_s=0.05
+            ) as client:
+                with pytest.raises(ServingError, match="transport error"):
+                    client.detect(image)
+            assert server.requests_seen == 3
+        assert len(fake_time.sleeps) == 2
+
+    def test_slow_loris_times_out_retries_and_stays_bounded(self, image):
+        """A server stalling 500 ms between bytes against a 0.2 s socket
+        timeout: the read must time out (not wait out the full dribble),
+        retry, and win on the replacement connection. Real time here —
+        socket timeouts live below the mocked layer."""
+        script = [slow_loris(chunk_delay_s=0.5, chunks=20), response(200, _verdict_body())]
+        import time as real_time
+
+        with ScriptedServer(script) as server:
+            start = real_time.monotonic()
+            with DetectionClient(
+                *server.address,
+                timeout_s=0.2,
+                max_retries=3,
+                backoff_base_s=0.01,
+                backoff_max_s=0.05,
+            ) as client:
+                verdict = client.detect(image)
+            elapsed = real_time.monotonic() - start
+        assert verdict.action == "accepted"
+        # Far below the 10 s the full dribble would take: the timeout cut
+        # the loris off, and the retry budget bounded the rest.
+        assert elapsed < 4.0
+
+    def test_non_json_success_body_is_a_clean_error(self, fake_time, image):
+        script = [response(200, b"<html>proxy burp</html>")]
+        with ScriptedServer(script) as server:
+            with DetectionClient(*server.address, max_retries=0) as client:
+                with pytest.raises(ServingError, match="non-JSON response"):
+                    client.detect(image)
+
+    def test_payload_and_image_are_mutually_exclusive(self, image):
+        client = DetectionClient("127.0.0.1", 1)
+        with pytest.raises(ServingError, match="exactly one"):
+            client.detect(image, payload=encode_image_payload(image))
+        with pytest.raises(ServingError, match="exactly one"):
+            client.detect()

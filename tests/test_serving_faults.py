@@ -1,0 +1,272 @@
+"""Fault-injection tests: the serving stack under deliberate failure.
+
+Every test here breaks something on purpose — a shard SIGKILLed
+mid-request, heartbeats silenced past the liveness deadline, garbage
+frames on the result pipe, every shard down at once — and asserts the
+recovery contract: requeue exactly once, respawn under bounded backoff,
+no lost or duplicated verdicts, clean 503s when nothing can answer.
+
+Faults travel via :attr:`WorkerPoolConfig.fault_spec` (parsed inside the
+shard — monkeypatching does not survive a spawn) or as real signals
+against pids from :meth:`WorkerPool.pids`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.errors import DetectionError
+from repro.imaging.image import as_uint8
+from repro.serving import DetectionClient, DetectionServer, ServerConfig
+from repro.serving.wire import encode_image_payload
+from repro.serving.workers import _Faults, _parse_faults
+
+from tests.conftest import wait_until
+from tests.fault_injection import calibrated_pipeline, make_pool
+
+
+@pytest.fixture(scope="module")
+def payload(benign_images):
+    return encode_image_payload(as_uint8(benign_images[0]))
+
+
+def _restarts(pool, worker_id: int) -> int:
+    for status in pool.worker_status():
+        if status["worker_id"] == worker_id:
+            return status["restarts"]
+    raise AssertionError(f"worker {worker_id} missing from status")
+
+
+class TestFaultSpecParsing:
+    def test_clauses_target_the_right_shard(self):
+        faults = _parse_faults("kill:0,slow:1:2.5,mute:*", worker_id=1)
+        assert faults == _Faults(mute=True, slow_s=2.5)
+        assert _parse_faults("kill:0", worker_id=0).kill_next
+        assert _parse_faults(None, worker_id=0) == _Faults()
+
+    def test_malformed_clauses_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="malformed fault clause"):
+            _parse_faults("kill", worker_id=0)
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            _parse_faults("explode:0", worker_id=0)
+
+
+class TestCrashMidRequest:
+    def test_kill_before_scoring_requeues_once_and_answers(
+        self, benign_images, payload
+    ):
+        """Worker 0 exits the moment the job lands; the job must fail over
+        to worker 1 and still produce exactly one verdict."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(pipeline, workers=2, fault_spec="kill:0")
+        try:
+            # Force the faulty shard to be picked first: it is idle and has
+            # the lowest id, which is exactly the least-loaded tie-break.
+            reply = pool.submit([payload], request_id="req-crash")
+            assert len(reply["verdicts"]) == 1
+            assert reply["verdicts"][0]["request_id"] == "req-crash"
+            assert pipeline.metrics.counter("workers.requeued").value >= 1
+            assert pipeline.metrics.counter("workers.deaths").value >= 1
+        finally:
+            pool.shutdown()
+
+    def test_kill_after_scoring_still_exactly_one_verdict(
+        self, benign_images, payload
+    ):
+        """Worker 0 scores, then dies before replying — the nastiest spot:
+        the answer existed but never reached the dispatcher. The requeue
+        must produce one verdict, not zero and not two."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(pipeline, workers=2, fault_spec="kill-after:0")
+        try:
+            reply = pool.submit([payload], request_id="req-lost-reply")
+            assert len(reply["verdicts"]) == 1
+            assert pipeline.metrics.counter("workers.requeued").value == 1
+        finally:
+            pool.shutdown()
+
+    def test_sigkill_mid_request_from_outside(self, benign_images, payload):
+        """A real SIGKILL against the scoring shard while the request is in
+        flight: the slow fault pins the job on worker 0 long enough for the
+        signal to land mid-score."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(pipeline, workers=2, fault_spec="slow:0:30")
+        try:
+            result: dict = {}
+
+            def submit():
+                result["reply"] = pool.submit([payload], request_id="req-sigkill")
+
+            caller = threading.Thread(target=submit)
+            caller.start()
+            # The job is in flight on worker 0 (it sleeps before scoring).
+            wait_until(
+                lambda: any(
+                    s["worker_id"] == 0 and s["inflight"] == 1
+                    for s in pool.worker_status()
+                ),
+                timeout_s=10.0,
+                message="the job to land on worker 0",
+            )
+            os.kill(pool.pids()[0], signal.SIGKILL)
+            caller.join(timeout=30.0)
+            assert not caller.is_alive()
+            assert len(result["reply"]["verdicts"]) == 1  # zero lost requests
+        finally:
+            pool.shutdown()
+
+    def test_both_shards_dying_loses_the_request_cleanly(
+        self, benign_images, payload
+    ):
+        """Requeue-once means exactly once: when the failover target dies
+        too, the caller gets a clean DetectionError, not a hang."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(pipeline, workers=2, fault_spec="kill:*")
+        try:
+            with pytest.raises(DetectionError, match="lost twice|no healthy"):
+                pool.submit([payload], request_id="req-doomed")
+            assert pipeline.metrics.counter("workers.failed_jobs").value == 1
+        finally:
+            pool.shutdown()
+
+
+class TestRespawn:
+    def test_dead_shard_respawns_with_backoff_and_recovers(
+        self, benign_images, payload
+    ):
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(pipeline, workers=2, fault_spec="kill:0")
+        try:
+            first_pid = pool.pids()[0]
+            pool.submit([payload], request_id="req-1")  # kills worker 0
+            wait_until(
+                lambda: _restarts(pool, 0) >= 1 and pool.pids()[0] not in (None, first_pid),
+                timeout_s=15.0,
+                message="worker 0 to respawn with a new pid",
+            )
+            wait_until(
+                lambda: all(s["up"] for s in pool.worker_status()),
+                timeout_s=15.0,
+                message="both shards up after respawn",
+            )
+            # Faults apply only to a shard's first incarnation: the
+            # respawned worker 0 scores normally.
+            reply = pool.submit([payload], request_id="req-2")
+            assert len(reply["verdicts"]) == 1
+            assert pipeline.metrics.counter("workers.restarts").value >= 1
+        finally:
+            pool.shutdown()
+
+    def test_muted_shard_hits_liveness_deadline_and_is_recycled(
+        self, benign_images
+    ):
+        """A shard that sends one heartbeat then goes silent must be
+        declared dead by the liveness deadline and respawned — without any
+        job traffic to expose it."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(
+            pipeline, workers=1, fault_spec="mute:0", liveness_timeout_s=0.5
+        )
+        try:
+            wait_until(
+                lambda: _restarts(pool, 0) >= 1,
+                timeout_s=20.0,
+                message="the mute shard to be recycled",
+            )
+            assert pipeline.metrics.counter("workers.deaths").value >= 1
+        finally:
+            pool.shutdown()
+
+    def test_garbage_frames_recycle_the_shard_but_answer_the_request(
+        self, benign_images, payload
+    ):
+        """A shard replying with unframed bytes can no longer pair results
+        with jobs: the dispatcher recycles it and fails the job over."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(pipeline, workers=2, fault_spec="garbage:0")
+        try:
+            reply = pool.submit([payload], request_id="req-garbage")
+            assert len(reply["verdicts"]) == 1
+            assert pipeline.metrics.counter("workers.garbage_frames").value >= 1
+        finally:
+            pool.shutdown()
+
+
+class TestServerUnderFaults:
+    def test_all_shards_down_is_a_clean_503_then_recovery(self, benign_images):
+        """End to end over HTTP: the only shard crashes on the first
+        request (503, not a hang or a 500), respawns under backoff, and
+        the service answers again."""
+        pipeline = calibrated_pipeline(benign_images)
+        server = DetectionServer(
+            pipeline,
+            ServerConfig(
+                port=0,
+                workers=1,
+                fault_injection="kill:0",
+                worker_heartbeat_interval_s=0.05,
+                worker_liveness_timeout_s=1.0,
+                worker_restart_backoff_base_s=0.05,
+            ),
+        )
+        server.start()
+        body = encode_image_payload(as_uint8(benign_images[0]))
+        try:
+            with DetectionClient(*server.address, max_retries=0) as probe:
+                probe.wait_ready(timeout_s=30.0)
+                status, _, _ = probe._request(
+                    "POST",
+                    "/v1/detect",
+                    body=body,
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                assert status == 503  # lost to the crash, reported cleanly
+            wait_until(
+                lambda: server.worker_pool.healthy_count == 1
+                and _restarts(server.worker_pool, 0) >= 1,
+                timeout_s=20.0,
+                message="the shard to respawn",
+            )
+            with DetectionClient(*server.address) as client:
+                verdict = client.detect(payload=body, request_id="req-recovered")
+            assert verdict.request_id == "req-recovered"
+            # The lost request never reached the canonical accounting; the
+            # recovered one did, exactly once.
+            assert pipeline.stats.submitted == 1
+        finally:
+            server.shutdown()
+
+    def test_health_reports_worker_outage(self, benign_images):
+        pipeline = calibrated_pipeline(benign_images)
+        server = DetectionServer(
+            pipeline,
+            ServerConfig(
+                port=0,
+                workers=1,
+                fault_injection="mute:0",
+                worker_heartbeat_interval_s=0.05,
+                worker_liveness_timeout_s=0.5,
+                # Backoff far past the test horizon: the outage stays
+                # observable instead of healing under the assertion.
+                worker_restart_backoff_base_s=60.0,
+                worker_restart_backoff_max_s=60.0,
+            ),
+        )
+        server.start()
+        try:
+            wait_until(
+                lambda: server.worker_pool.healthy_count == 0,
+                timeout_s=20.0,
+                message="the mute shard to be declared dead",
+            )
+            payload = server.health()
+            assert payload["ready"] is False
+            assert payload["workers"] == {"configured": 1, "healthy": 0}
+        finally:
+            server.shutdown()

@@ -3,6 +3,12 @@
 Real sockets on ephemeral ports, no mocks: every test starts a
 :class:`DetectionServer` wrapping a calibrated pipeline, talks to it
 through :class:`DetectionClient`, and shuts it down.
+
+The shared ``served`` fixture honors ``REPRO_TEST_WORKERS`` (see
+``tests/conftest.py``): CI's fault-matrix job reruns this file with the
+pipeline sharded across 0, 1, and 4 worker processes, so the same
+end-to-end assertions — including bit-for-bit verdict parity — gate the
+sharded scoring path.
 """
 
 from __future__ import annotations
@@ -10,7 +16,6 @@ from __future__ import annotations
 import json
 import re
 import threading
-import time
 
 import numpy as np
 import pytest
@@ -32,7 +37,7 @@ from repro.serving.wire import (
     unpack_batch,
 )
 
-from tests.conftest import MODEL_INPUT
+from tests.conftest import MODEL_INPUT, SERVER_WORKERS, wait_until
 
 
 def _make_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
@@ -41,14 +46,20 @@ def _make_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
     return pipeline
 
 
+def _server_config(**kwargs) -> ServerConfig:
+    """Ephemeral port, sharded per ``REPRO_TEST_WORKERS`` (0 = in-process)."""
+    return ServerConfig(port=0, workers=SERVER_WORKERS, **kwargs)
+
+
 @pytest.fixture
 def served(benign_images):
     """A running server on an ephemeral port + a connected client."""
     pipeline = _make_pipeline(benign_images)
-    server = DetectionServer(pipeline, ServerConfig(port=0))
+    server = DetectionServer(pipeline, _server_config())
     server.start()
     client = DetectionClient(*server.address)
-    client.wait_ready(timeout_s=10.0)
+    # Worker mode spawns shard processes (cold numpy imports): be patient.
+    client.wait_ready(timeout_s=120.0 if SERVER_WORKERS else 10.0)
     yield server, client, pipeline
     client.close()
     server.shutdown()
@@ -112,13 +123,15 @@ class TestEndToEnd:
         assert [v.scores for v in batch] == [v.scores for v in singles]
 
     def test_request_id_echoed_and_audited(self, benign_images, tmp_path):
+        """The audit trail is dispatcher-side accounting, so it must read
+        identically whether scoring happened in-process or on a shard."""
         log = AuditLog(tmp_path / "audit.jsonl")
         pipeline = _make_pipeline(benign_images, audit_log=log)
-        server = DetectionServer(pipeline, ServerConfig(port=0))
+        server = DetectionServer(pipeline, _server_config())
         server.start()
         try:
             with DetectionClient(*server.address) as client:
-                client.wait_ready(timeout_s=10.0)
+                client.wait_ready(timeout_s=120.0 if SERVER_WORKERS else 10.0)
                 verdict = client.detect(
                     np.asarray(benign_images[0]), request_id="req-42"
                 )
@@ -144,12 +157,18 @@ class TestHealth:
         _, client, _ = served
         status, payload = client.health()
         assert status == 200
-        assert payload == {
+        expected = {
             "ready": True,
             "calibrated": True,
             "draining": False,
             "queue_saturated": False,
         }
+        if SERVER_WORKERS:
+            expected["workers"] = {
+                "configured": SERVER_WORKERS,
+                "healthy": SERVER_WORKERS,
+            }
+        assert payload == expected
 
     def test_uncalibrated_is_not_ready(self):
         server = DetectionServer(ProtectedPipeline(MODEL_INPUT), ServerConfig(port=0))
@@ -275,13 +294,26 @@ class TestAdmissionControl:
         try:
             occupant.start()
             assert started.wait(timeout=10.0)
-            opener = threading.Timer(0.3, gate.set)
+
+            def open_after_first_429():
+                # Event-driven, not a timer: the gate opens once the
+                # retrying client has provably been turned away at least
+                # once, so the test asserts a real 429 -> retry -> 200 arc.
+                wait_until(
+                    lambda: pipeline.metrics.counter("server.responses.429").value >= 1,
+                    timeout_s=10.0,
+                    message="the retrying client to see its first 429",
+                )
+                gate.set()
+
+            opener = threading.Thread(target=open_after_first_429)
             opener.start()
             with DetectionClient(
                 *server.address, max_retries=8, backoff_base_s=0.05
             ) as client:
                 verdict = client.detect(image)
             assert verdict.action == "accepted"
+            opener.join(timeout=10.0)
         finally:
             gate.set()
             occupant.join(timeout=30.0)
@@ -322,11 +354,11 @@ class TestGracefulDrain:
         for thread in threads:
             thread.start()
         # Wait until all three occupy active slots, then drain mid-flight.
-        deadline = time.monotonic() + 10.0
-        while time.monotonic() < deadline:
-            if pipeline.metrics.gauge("server.in_flight").value == n_inflight:
-                break
-            time.sleep(0.01)
+        wait_until(
+            lambda: pipeline.metrics.gauge("server.in_flight").value == n_inflight,
+            timeout_s=10.0,
+            message="all in-flight requests to occupy active slots",
+        )
         gate.set()
         server.shutdown()  # joins handler threads before flushing the log
         for thread in threads:
@@ -342,7 +374,7 @@ class TestGracefulDrain:
 
     def test_shutdown_is_idempotent_and_post_drain_refuses(self, benign_images):
         pipeline = _make_pipeline(benign_images)
-        server = DetectionServer(pipeline, ServerConfig(port=0))
+        server = DetectionServer(pipeline, _server_config())
         server.start()
         host, port = server.address
         server.shutdown()
@@ -353,7 +385,7 @@ class TestGracefulDrain:
 
 
 _METRIC_LINE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? [0-9.eE+-]+$|^\# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]+\"\})? [0-9.eE+-]+$|^\# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$"
 )
 
 
@@ -372,7 +404,7 @@ class TestMetricsEndpoint:
         _, client, _ = served
         client.detect(np.asarray(benign_images[0]))
         text = client.metrics_text()
-        for needle in (
+        needles = [
             "decamouflage_server_requests_total",
             "decamouflage_server_responses_200_total",
             "decamouflage_server_in_flight",
@@ -382,7 +414,15 @@ class TestMetricsEndpoint:
             "decamouflage_analysis_",  # shared-analysis memo hit/miss counters
             "decamouflage_server_request_ms_bucket",
             'le="+Inf"',
-        ):
+        ]
+        if SERVER_WORKERS:
+            # Sharded serving adds per-worker families labeled by id.
+            needles += [
+                "decamouflage_workers_dispatched_total",
+                'decamouflage_worker_up{worker_id="0"}',
+                'decamouflage_worker_jobs_done_total{worker_id="0"}',
+            ]
+        for needle in needles:
             assert needle in text, f"missing {needle} in exposition"
 
     def test_histogram_buckets_cumulative_and_consistent(self, served, benign_images):
