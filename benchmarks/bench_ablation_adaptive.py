@@ -6,11 +6,9 @@ payload fidelity (higher MSE between the downscaled attack and the target),
 so evading the ensemble and keeping a working attack don't combine.
 """
 
-from repro.eval.experiments import ablation_adaptive_attacks
 
-
-def test_ablation_adaptive(run_once, data, save_result):
-    result = run_once(ablation_adaptive_attacks, data)
+def test_ablation_adaptive(run_exp, save_result):
+    result = run_exp("AB2")
     save_result(result)
     by_variant = {row["variant"]: row for row in result.rows}
     baseline = by_variant["strong (baseline)"]

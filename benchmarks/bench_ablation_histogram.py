@@ -5,11 +5,9 @@ note it is not a valid metric. Reproduced claim: a palette-matched attack
 collapses the histogram metric's AUC while MSE remains ~1.0.
 """
 
-from repro.eval.experiments import ablation_histogram_metric
 
-
-def test_ablation_histogram(run_once, data, save_result):
-    result = run_once(ablation_histogram_metric, data)
+def test_ablation_histogram(run_exp, save_result):
+    result = run_exp("AB1")
     save_result(result)
     matched = next(r for r in result.rows if "palette-matched" in r["attack"])
     assert float(matched["MSE AUC"]) >= 0.95

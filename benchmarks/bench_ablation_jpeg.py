@@ -6,11 +6,9 @@ keeps flagging recompressed attack images, while benign inputs start
 paying a real quality cost.
 """
 
-from repro.eval.experiments import ablation_jpeg_reencoding
 
-
-def test_ablation_jpeg_reencoding(run_once, data, save_result):
-    result = run_once(ablation_jpeg_reencoding, data)
+def test_ablation_jpeg_reencoding(run_exp, save_result):
+    result = run_exp("AB6")
     save_result(result)
     by_quality = {row["quality"]: row for row in result.rows}
 

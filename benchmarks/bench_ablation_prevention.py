@@ -5,11 +5,9 @@ Reproduced claims: robust scaling destroys the payload but changes what
 sanitizes inputs at a quality cost; detection leaves benign pixels alone.
 """
 
-from repro.eval.experiments import ablation_prevention_defenses
 
-
-def test_ablation_prevention(run_once, data, save_result):
-    result = run_once(ablation_prevention_defenses, data)
+def test_ablation_prevention(run_exp, save_result):
+    result = run_exp("AB3")
     save_result(result)
     robust = next(r for r in result.rows if "robust scaling" in r["defense"])
     detection = next(r for r in result.rows if "Decamouflage" in r["defense"])

@@ -6,11 +6,9 @@ scaling detector's separation stays perfect; area averaging reads every
 pixel and closes the surface.
 """
 
-from repro.eval.experiments import ablation_surface_sweep
 
-
-def test_ablation_surface_sweep(run_once, data, save_result):
-    result = run_once(ablation_surface_sweep, data)
+def test_ablation_surface_sweep(run_exp, save_result):
+    result = run_exp("AB5")
     save_result(result)
     rows = {(r["ratio"], r["algorithm"]): r for r in result.rows}
 

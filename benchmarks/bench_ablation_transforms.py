@@ -5,11 +5,9 @@ mild noise, re-quantization, flips) neither cause benign false alarms in
 bulk nor hide attack images from the calibrated ensemble.
 """
 
-from repro.eval.experiments import ablation_benign_transforms
 
-
-def test_ablation_benign_transforms(run_once, data, save_result):
-    result = run_once(ablation_benign_transforms, data)
+def test_ablation_benign_transforms(run_exp, save_result):
+    result = run_exp("AB4")
     save_result(result)
     for row in result.rows:
         flagged, total = row["attacks still flagged"].split("/")

@@ -6,11 +6,9 @@ far too narrow for a robust fixed threshold (while raw MSE separates by
 orders of magnitude).
 """
 
-from repro.eval.experiments import appendix_psnr
 
-
-def test_appendix_psnr(run_once, data, save_result):
-    result = run_once(appendix_psnr, data)
+def test_appendix_psnr(run_exp, save_result):
+    result = run_exp("AF15/AF16")
     save_result(result)
     for row in result.rows:
         benign_db = float(row["benign mean dB"])

@@ -1,11 +1,7 @@
 """T1 — paper Table 1 (CNN input sizes, background)."""
 
-from repro.eval.experiments import table1_input_sizes
 
-
-
-
-def test_table1_input_sizes(run_once, save_result):
-    result = run_once(table1_input_sizes)
+def test_table1_input_sizes(run_exp, save_result):
+    result = run_exp("T1")
     save_result(result)
     assert len(result.rows) == 5

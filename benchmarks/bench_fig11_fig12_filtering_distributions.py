@@ -5,11 +5,9 @@ paper notes the same), which is why SSIM is the recommended filtering
 metric.
 """
 
-from repro.eval.experiments import fig11_fig12_filtering_distributions
 
-
-def test_fig11_fig12_filtering_distributions(run_once, data, save_result):
-    result = run_once(fig11_fig12_filtering_distributions, data)
+def test_fig11_fig12_filtering_distributions(run_exp, save_result):
+    result = run_exp("F11/F12")
     save_result(result)
     rows = {row["population"]: row for row in result.rows}
     assert float(rows["mse attack (calibration)"]["mean"]) > 2 * float(

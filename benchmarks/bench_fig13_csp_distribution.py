@@ -4,11 +4,9 @@ Paper: 99.3% of benign images have exactly 1 CSP; 98.2% of attack images
 have more. Reproduced claim: the two populations split at CSP = 2.
 """
 
-from repro.eval.experiments import fig13_csp_distribution
 
-
-def test_fig13_csp_distribution(run_once, data, save_result):
-    result = run_once(fig13_csp_distribution, data)
+def test_fig13_csp_distribution(run_exp, save_result):
+    result = run_exp("F13")
     save_result(result)
     rows = {row["population"]: row for row in result.rows}
     assert float(rows["benign"]["CSP == 1"].rstrip("%")) >= 85.0

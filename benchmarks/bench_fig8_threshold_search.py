@@ -4,13 +4,9 @@ Reproduced claim: the accuracy-vs-threshold curve has a wide flat optimum
 near 100%, so the automated midpoint search lands on a reliable threshold.
 """
 
-from repro.eval.experiments import fig8_threshold_search
 
-
-
-
-def test_fig8_threshold_search(run_once, data, save_result):
-    result = run_once(fig8_threshold_search, data)
+def test_fig8_threshold_search(run_exp, save_result):
+    result = run_exp("F8")
     save_result(result)
     calibrated = [row for row in result.rows if row.get("selected") == "calibrated"]
     assert len(calibrated) == 2  # one optimum per metric (MSE + SSIM)

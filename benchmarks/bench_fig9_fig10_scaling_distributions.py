@@ -6,13 +6,9 @@ population is well-behaved enough for percentile thresholds (black-box
 view).
 """
 
-from repro.eval.experiments import fig9_fig10_scaling_distributions
 
-
-
-
-def test_fig9_fig10_scaling_distributions(run_once, data, save_result):
-    result = run_once(fig9_fig10_scaling_distributions, data)
+def test_fig9_fig10_scaling_distributions(run_exp, save_result):
+    result = run_exp("F9/F10")
     save_result(result)
     rows = {row["population"]: row for row in result.rows}
     mse_benign = float(rows["mse benign (calibration)"]["mean"])

@@ -6,11 +6,9 @@ extractor's sensitivity to its two knobs, defending the reproduction's
 defaults.
 """
 
-from repro.eval.sweeps import sweep_csp_parameters, sweep_filter_choice
 
-
-def test_sweep_filter_choice(run_once, data, save_result):
-    result = run_once(sweep_filter_choice, data)
+def test_sweep_filter_choice(run_exp, save_result):
+    result = run_exp("SW1")
     save_result(result)
     full = {(r["filter"].split()[0], r["metric"]): float(r["AUC (full attack)"]) for r in result.rows}
     weak = {(r["filter"].split()[0], r["metric"]): float(r["AUC (weakened 0.4)"]) for r in result.rows}
@@ -26,8 +24,8 @@ def test_sweep_filter_choice(run_once, data, save_result):
     assert weak[("minimum", "SSIM")] >= 0.8
 
 
-def test_sweep_csp_parameters(run_once, data, save_result):
-    result = run_once(sweep_csp_parameters, data)
+def test_sweep_csp_parameters(run_exp, save_result):
+    result = run_exp("SW2")
     save_result(result)
     default = next(r for r in result.rows if r["default"])
     assert float(default["benign FRR"].rstrip("%")) <= 10.0

@@ -5,13 +5,9 @@ Reproduced claim: near-perfect accuracy on the *unseen* evaluation corpus
 with thresholds calibrated on the other corpus, MSE >= SSIM.
 """
 
-from repro.eval.experiments import table2_scaling_whitebox
 
-
-
-
-def test_table2_scaling_whitebox(run_once, data, save_result):
-    result = run_once(table2_scaling_whitebox, data)
+def test_table2_scaling_whitebox(run_exp, save_result):
+    result = run_exp("T2")
     save_result(result)
     by_metric = {row["Metric"]: row for row in result.rows}
     assert float(by_metric["MSE"]["Acc."].rstrip("%")) >= 95.0

@@ -5,13 +5,9 @@ tracking the percentile. Reproduced claims: FAR stays ~0 and accuracy
 degrades monotonically as the percentile (and with it FRR) grows.
 """
 
-from repro.eval.experiments import table3_scaling_blackbox
 
-
-
-
-def test_table3_scaling_blackbox(run_once, data, save_result):
-    result = run_once(table3_scaling_blackbox, data)
+def test_table3_scaling_blackbox(run_exp, save_result):
+    result = run_exp("T3")
     save_result(result)
     for row in result.rows:
         assert float(row["FAR"].rstrip("%")) <= 5.0

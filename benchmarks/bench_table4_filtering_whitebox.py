@@ -4,11 +4,9 @@ Paper: MSE 98.6%, SSIM 99.3% (SSIM is the recommended metric here).
 Reproduced claims: high accuracy on the unseen corpus, full recall.
 """
 
-from repro.eval.experiments import table4_filtering_whitebox
 
-
-def test_table4_filtering_whitebox(run_once, data, save_result):
-    result = run_once(table4_filtering_whitebox, data)
+def test_table4_filtering_whitebox(run_exp, save_result):
+    result = run_exp("T4")
     save_result(result)
     by_metric = {row["Metric"]: row for row in result.rows}
     assert float(by_metric["SSIM"]["Acc."].rstrip("%")) >= 90.0

@@ -4,11 +4,9 @@ Paper: SSIM at the 1% percentile reaches 99.2% accuracy with FAR 0.6%.
 Reproduced claims: high accuracy and near-zero FAR at small percentiles.
 """
 
-from repro.eval.experiments import table5_filtering_blackbox
 
-
-def test_table5_filtering_blackbox(run_once, data, save_result):
-    result = run_once(table5_filtering_blackbox, data)
+def test_table5_filtering_blackbox(run_exp, save_result):
+    result = run_exp("T5")
     save_result(result)
     ssim_1 = next(
         row for row in result.rows if row["Metric"] == "SSIM" and row["Percentile"] == "1%"

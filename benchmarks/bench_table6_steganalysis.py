@@ -4,11 +4,9 @@ Paper: 98.9% accuracy, FAR 0.3%, FRR 1.7% — with NO calibration at all.
 Reproduced claims: high accuracy from the universal fixed threshold.
 """
 
-from repro.eval.experiments import table6_steganalysis
 
-
-def test_table6_steganalysis(run_once, data, save_result):
-    result = run_once(table6_steganalysis, data)
+def test_table6_steganalysis(run_exp, save_result):
+    result = run_exp("T6")
     save_result(result)
     row = result.rows[0]
     assert row["Threshold"] == "2"

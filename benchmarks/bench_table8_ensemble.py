@@ -5,11 +5,9 @@ Paper: white-box 99.9% accuracy (FAR 0.2%, FRR 0.0%); black-box 99.8%
 on the unseen corpus and the ensemble's recall is ~100%.
 """
 
-from repro.eval.experiments import table8_ensemble
 
-
-def test_table8_ensemble(run_once, data, save_result):
-    result = run_once(table8_ensemble, data)
+def test_table8_ensemble(run_exp, save_result):
+    result = run_exp("T8")
     save_result(result)
     by_setting = {row["Setting"]: row for row in result.rows}
     whitebox = by_setting["White-box ensemble"]

@@ -6,11 +6,9 @@ DESIGN.md §3). Reproduced claim: among evading attack variants, only a
 small fraction still classify as the attacker's intended class.
 """
 
-from repro.eval.experiments import table9_missed_attacks
 
-
-def test_table9_missed_attacks(run_once, data, save_result):
-    result = run_once(table9_missed_attacks, data)
+def test_table9_missed_attacks(run_exp, save_result):
+    result = run_exp("T9")
     save_result(result)
     row = result.rows[0]
     assert float(row["clean model acc"].rstrip("%")) >= 60.0

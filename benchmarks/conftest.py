@@ -1,6 +1,8 @@
 """Shared benchmark fixtures.
 
-Every benchmark regenerates one paper artifact (table or figure) and
+Every benchmark regenerates one paper artifact (table or figure) through
+the :class:`~repro.eval.mediator.ExperimentMediator` (the same machinery
+behind ``repro exp run``) and
 
 * times the end-to-end experiment via pytest-benchmark (single round —
   the expensive part, attack crafting, is shared and cached), and
@@ -12,6 +14,9 @@ default here is 40+40 (CPU-minutes on a laptop); set the environment
 variable ``REPRO_BENCH_IMAGES`` to run larger, e.g.::
 
     REPRO_BENCH_IMAGES=1000 pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_CACHE=/some/dir`` to reuse attack sets and calibration
+artifacts across benchmark sessions via the content-addressed cache.
 """
 
 from __future__ import annotations
@@ -21,19 +26,33 @@ from pathlib import Path
 
 import pytest
 
-from repro.eval.data import ExperimentData, prepare_data
+from repro.eval.data import ExperimentData
 from repro.eval.experiments import ExperimentResult
+from repro.eval.mediator import ExperimentMediator
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Number of images per corpus role (paper: 1000).
 BENCH_IMAGES = int(os.environ.get("REPRO_BENCH_IMAGES", "40"))
 
+#: Optional on-disk cache directory shared across sessions.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+
 
 @pytest.fixture(scope="session")
-def data() -> ExperimentData:
+def mediator() -> ExperimentMediator:
+    """One mediator per session: registry access + shared experiment data."""
+    return ExperimentMediator.setup(
+        n_calibration=BENCH_IMAGES,
+        n_evaluation=BENCH_IMAGES,
+        cache_dir=BENCH_CACHE,
+    )
+
+
+@pytest.fixture(scope="session")
+def data(mediator) -> ExperimentData:
     """Calibration + evaluation attack sets, built once per session."""
-    return prepare_data(BENCH_IMAGES, BENCH_IMAGES)
+    return mediator.data()
 
 
 @pytest.fixture(scope="session")
@@ -61,5 +80,15 @@ def run_once(benchmark):
 
     def _run(func, *args, **kwargs):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def run_exp(mediator, run_once):
+    """Run one registered experiment (by id/alias) through the mediator."""
+
+    def _run(experiment_id: str) -> ExperimentResult:
+        return run_once(mediator.run_one, experiment_id)
 
     return _run

@@ -8,9 +8,15 @@ Subcommands:
 * ``craft`` — craft an attack image from an original and a target (for
   red-team testing and demos).
 * ``report`` — run the experiment suite and print every table/figure.
+* ``exp`` — registry-driven orchestration: ``exp list`` prints every
+  registered experiment; ``exp run T2 T8 --jobs 4 --cache-dir .cache``
+  runs any subset through the :class:`~repro.eval.mediator
+  .ExperimentMediator` with content-addressed caching and resume.
 
 Exit status for ``scan``: 0 = clean, 1 = at least one attack flagged,
-2 = usage/IO error.
+2 = usage/IO error. Every command exits 2 with a one-line ``error:``
+message on a :class:`~repro.errors.ReproError` (unknown experiment id,
+unwritable cache dir, bad input file).
 """
 
 from __future__ import annotations
@@ -140,6 +146,43 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("output_dir", type=Path)
     figures.add_argument("--images", type=int, default=30,
                          help="corpus size used to compute the figures (default 30)")
+
+    exp = sub.add_parser("exp", help="registry-driven experiment orchestration")
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list", help="print every registered experiment")
+    exp_run = exp_sub.add_parser(
+        "run", help="run experiments through the mediator (cache, resume, fan-out)"
+    )
+    exp_run.add_argument("experiments", nargs="+", metavar="ID",
+                         help="experiment ids or aliases (e.g. T2 T8 F9)")
+    exp_run.add_argument("--images", type=int, default=None,
+                         help="corpus size per role (sets both counts below)")
+    exp_run.add_argument("--calibration", type=int, default=100,
+                         help="calibration corpus size (default 100)")
+    exp_run.add_argument("--evaluation", type=int, default=100,
+                         help="evaluation corpus size (default 100)")
+    exp_run.add_argument("--source-size", type=int, nargs=2, default=None,
+                         metavar=("H", "W"), help="source image size")
+    exp_run.add_argument("--input-size", type=int, nargs=2, default=None,
+                         metavar=("H", "W"), help="model input size")
+    exp_run.add_argument("--algorithm", default="bilinear",
+                         help="scaling algorithm under attack")
+    exp_run.add_argument("--epsilon", type=float, default=4.0,
+                         help="attack crafting budget")
+    exp_run.add_argument("--seed", type=int, default=0,
+                         help="RNG seed threaded through corpora and runners")
+    exp_run.add_argument("--jobs", type=int, default=1,
+                         help="process fan-out across experiment cells")
+    exp_run.add_argument("--cache-dir", type=Path, default=None,
+                         help="content-addressed cache for attack sets and "
+                              "calibration artifacts")
+    exp_run.add_argument("--manifest", type=Path, default=None,
+                         help="JSONL run manifest; rerunning with the same "
+                              "manifest resumes where a killed run stopped")
+    exp_run.add_argument("--out", type=Path, default=None,
+                         help="directory for one result text file per experiment")
+    exp_run.add_argument("--timings", action="store_true",
+                         help="print per-stage wall times per experiment")
     return parser
 
 
@@ -317,6 +360,60 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exp(args: argparse.Namespace) -> int:
+    from repro.eval.mediator import ExperimentMediator
+
+    if args.exp_command == "list":
+        for spec in ExperimentMediator.available():
+            alias_note = f"  (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+            report_note = "" if spec.in_report else "  [not in report]"
+            print(f"{spec.experiment_id:10s} {spec.kind:8s} {spec.title}"
+                  f"{alias_note}{report_note}")
+        return 0
+
+    config_fields = {
+        "n_calibration": args.images if args.images is not None else args.calibration,
+        "n_evaluation": args.images if args.images is not None else args.evaluation,
+        "algorithm": args.algorithm,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+    }
+    if args.source_size is not None:
+        config_fields["source_shape"] = tuple(args.source_size)
+    if args.input_size is not None:
+        config_fields["model_input_shape"] = tuple(args.input_size)
+    mediator = ExperimentMediator.setup(
+        cache_dir=args.cache_dir,
+        manifest=args.manifest,
+        jobs=args.jobs,
+        **config_fields,
+    )
+    results = mediator.run(args.experiments)
+    if args.out is not None:
+        try:
+            args.out.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(f"output dir {args.out} is not writable ({exc})") from exc
+    for result in results:
+        print(result.to_text())
+        print()
+        if args.timings and result.timings:
+            ordered = ", ".join(
+                f"{name}={seconds:.3f}s" for name, seconds in sorted(result.timings.items())
+            )
+            print(f"timings [{result.experiment_id}]: {ordered}")
+            print()
+        if args.out is not None:
+            name = result.experiment_id.replace("/", "_")
+            (args.out / f"{name}.txt").write_text(result.to_text() + "\n",
+                                                  encoding="utf-8")
+    stats = mediator.cache_stats()
+    if stats is not None:
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({stats['hit_rate']:.1%} hit rate)")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.eval.data import prepare_data
     from repro.eval.figures import render_all_figures
@@ -341,6 +438,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "figures":
             return _cmd_figures(args)
+        if args.command == "exp":
+            return _cmd_exp(args)
         return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -37,6 +37,11 @@ class DetectionError(ReproError):
     """A detector was used before calibration or with invalid options."""
 
 
+class EvalError(ReproError):
+    """The experiment harness was asked for something it cannot do
+    (unknown experiment id, unusable cache directory, bad sweep axis)."""
+
+
 class ServingError(ReproError):
     """The detection service could not satisfy a request (client side:
     transport failures, retries exhausted, non-success responses)."""

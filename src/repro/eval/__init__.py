@@ -1,28 +1,51 @@
-"""Experiment harness: per-table/figure runners, timing, and reporting."""
+"""Experiment harness: registry, mediator, per-table runners, reporting."""
 
+from repro.eval.cache import CACHE_VERSION, ExperimentCache, cache_key
 from repro.eval.data import (
     DEFAULT_MODEL_INPUT,
     DEFAULT_SOURCE_SHAPE,
+    DataConfig,
     ExperimentData,
+    build_experiment_data,
     prepare_data,
 )
 from repro.eval.experiments import ExperimentResult
+from repro.eval.mediator import ExperimentCell, ExperimentMediator
+from repro.eval.registry import (
+    ExperimentSpec,
+    experiment,
+    get_spec,
+    registered_experiments,
+    resolve_experiment_id,
+)
 from repro.eval.report import EXPERIMENT_RUNNERS, render_report, run_all_experiments
 from repro.eval.runtime import table7_runtime, time_detector
 from repro.eval.tables import format_number, format_percent, metrics_row, render_table
 
 __all__ = [
+    "CACHE_VERSION",
     "DEFAULT_MODEL_INPUT",
     "DEFAULT_SOURCE_SHAPE",
+    "DataConfig",
     "EXPERIMENT_RUNNERS",
+    "ExperimentCache",
+    "ExperimentCell",
     "ExperimentData",
+    "ExperimentMediator",
     "ExperimentResult",
+    "ExperimentSpec",
+    "build_experiment_data",
+    "cache_key",
+    "experiment",
     "format_number",
     "format_percent",
+    "get_spec",
     "metrics_row",
     "prepare_data",
+    "registered_experiments",
     "render_report",
     "render_table",
+    "resolve_experiment_id",
     "run_all_experiments",
     "table7_runtime",
     "time_detector",

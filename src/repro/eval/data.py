@@ -3,8 +3,15 @@
 Every table/figure experiment needs the same expensive inputs — a
 calibration corpus with matching attack images (paper: NeurIPS-2017) and
 an unseen evaluation corpus with its own attack images (paper: Caltech-256).
-:func:`prepare_data` builds them deterministically and caches by parameters
-so a benchmark session crafts each attack image exactly once.
+
+:class:`DataConfig` pins down every parameter that determines those
+inputs, including the RNG ``seed``, so its :meth:`~DataConfig.fingerprint`
+is an honest content address: two configs with equal fingerprints produce
+bit-identical corpora and attack images. :func:`build_experiment_data`
+builds one :class:`ExperimentData` from a config — loading each attack
+set from an :class:`~repro.eval.cache.ExperimentCache` when one is given —
+and :func:`prepare_data` keeps the original convenience signature with an
+in-process ``lru_cache``.
 """
 
 from __future__ import annotations
@@ -12,11 +19,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 from repro.attacks.base import AttackConfig
 from repro.core.pipeline import AttackSet, build_attack_set
 from repro.datasets.corpus import caltech_like_corpus, neurips_like_corpus
+from repro.eval.cache import ExperimentCache, cache_key
+from repro.eval.stages import stage
 
-__all__ = ["ExperimentData", "prepare_data", "DEFAULT_SOURCE_SHAPE", "DEFAULT_MODEL_INPUT"]
+__all__ = [
+    "DataConfig",
+    "ExperimentData",
+    "build_experiment_data",
+    "prepare_data",
+    "DEFAULT_SOURCE_SHAPE",
+    "DEFAULT_MODEL_INPUT",
+]
 
 #: Source ("camera") image size used across experiments. The paper works
 #: with NeurIPS-2017 images (299²) and Caltech-256 photos; 256² keeps the
@@ -24,6 +42,65 @@ __all__ = ["ExperimentData", "prepare_data", "DEFAULT_SOURCE_SHAPE", "DEFAULT_MO
 DEFAULT_SOURCE_SHAPE = (256, 256)
 #: Model input size (LeNet-class models in paper Table 1 use 32x32).
 DEFAULT_MODEL_INPUT = (32, 32)
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Everything that determines the experiment corpora and attack sets."""
+
+    n_calibration: int = 100
+    n_evaluation: int = 100
+    source_shape: tuple[int, int] = DEFAULT_SOURCE_SHAPE
+    model_input_shape: tuple[int, int] = DEFAULT_MODEL_INPUT
+    algorithm: str = "bilinear"
+    epsilon: float = 4.0
+    seed: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (tuples become lists)."""
+        return {
+            "n_calibration": self.n_calibration,
+            "n_evaluation": self.n_evaluation,
+            "source_shape": list(self.source_shape),
+            "model_input_shape": list(self.model_input_shape),
+            "algorithm": self.algorithm,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DataConfig":
+        return cls(
+            n_calibration=int(payload["n_calibration"]),
+            n_evaluation=int(payload["n_evaluation"]),
+            source_shape=tuple(payload["source_shape"]),
+            model_input_shape=tuple(payload["model_input_shape"]),
+            algorithm=str(payload["algorithm"]),
+            epsilon=float(payload["epsilon"]),
+            seed=int(payload["seed"]),
+        )
+
+    def replace(self, **overrides) -> "DataConfig":
+        """A copy with *overrides* applied (sweep axes use this)."""
+        merged = {**self.as_dict(), **overrides}
+        return DataConfig.from_dict(merged)
+
+    def fingerprint(self) -> str:
+        """Stable short hash of the full config — the cache-key component."""
+        return cache_key("data-config", self.as_dict())[:16]
+
+    def role_config(self, role: str) -> dict:
+        """The sub-config that generates one attack set (cache key input)."""
+        n = self.n_calibration if role == "calibration" else self.n_evaluation
+        return {
+            "role": role,
+            "n": n,
+            "source_shape": list(self.source_shape),
+            "model_input_shape": list(self.model_input_shape),
+            "algorithm": self.algorithm,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+        }
 
 
 @dataclass(frozen=True)
@@ -35,6 +112,11 @@ class ExperimentData:
     source_shape: tuple[int, int]
     model_input_shape: tuple[int, int]
     algorithm: str
+    #: RNG seed the corpora and seeded runners derive from.
+    seed: int = 0
+    #: content fingerprint of the generating :class:`DataConfig`; empty
+    #: for hand-assembled data (tests), which disables calibration caching.
+    fingerprint: str = ""
 
     @property
     def n_calibration(self) -> int:
@@ -43,6 +125,101 @@ class ExperimentData:
     @property
     def n_evaluation(self) -> int:
         return len(self.evaluation.benign)
+
+
+def _materialize_corpora(config: DataConfig, role: str):
+    """The (originals, targets) image lists for one corpus role."""
+    if role == "calibration":
+        originals = neurips_like_corpus(
+            config.n_calibration, image_shape=config.source_shape, seed=2017 + config.seed
+        )
+        targets = neurips_like_corpus(
+            config.n_calibration,
+            image_shape=config.source_shape,
+            seed=4034 + config.seed,
+            name="neurips-tgt",
+        )
+    else:
+        originals = caltech_like_corpus(
+            config.n_evaluation, image_shape=config.source_shape, seed=256 + config.seed
+        )
+        targets = caltech_like_corpus(
+            config.n_evaluation,
+            image_shape=config.source_shape,
+            seed=512 + config.seed,
+            name="caltech-tgt",
+        )
+    return originals.materialize(), targets.materialize()
+
+
+def _attack_set_from_arrays(
+    arrays: dict[str, np.ndarray], config: DataConfig
+) -> AttackSet:
+    return AttackSet(
+        benign=[np.array(image) for image in arrays["benign"]],
+        attacks=[np.array(image) for image in arrays["attacks"]],
+        algorithm=config.algorithm,
+        model_input_shape=config.model_input_shape,
+        skipped=[int(index) for index in arrays["skipped"]],
+    )
+
+
+def _attack_set_arrays(attack_set: AttackSet, config: DataConfig) -> dict:
+    h, w = config.source_shape
+    empty = np.zeros((0, h, w, 3), dtype=np.float64)
+    return {
+        "benign": np.stack(attack_set.benign) if attack_set.benign else empty,
+        "attacks": np.stack(attack_set.attacks) if attack_set.attacks else empty,
+        "skipped": np.asarray(attack_set.skipped, dtype=np.int64),
+    }
+
+
+def _build_attack_set_for_role(
+    config: DataConfig, role: str, cache: ExperimentCache | None
+) -> AttackSet:
+    """Build (or load) one role's attack set, recording stage timings.
+
+    Corpus materialization lands in the ``prepare`` stage and the
+    expensive attack crafting in ``attack-gen``; a cache hit skips both.
+    """
+    role_config = config.role_config(role)
+    if cache is not None:
+        arrays = cache.load_arrays("attack-set", role_config)
+        if arrays is not None:
+            return _attack_set_from_arrays(arrays, config)
+    with stage("prepare"):
+        originals, targets = _materialize_corpora(config, role)
+    with stage("attack-gen"):
+        attack_set = build_attack_set(
+            originals,
+            targets,
+            model_input_shape=config.model_input_shape,
+            algorithm=config.algorithm,
+            config=AttackConfig(epsilon=config.epsilon),
+        )
+    if cache is not None:
+        cache.store_arrays("attack-set", role_config, _attack_set_arrays(attack_set, config))
+    return attack_set
+
+
+def build_experiment_data(
+    config: DataConfig, *, cache: ExperimentCache | None = None
+) -> ExperimentData:
+    """Build the two-corpus :class:`ExperimentData` for *config*.
+
+    With a *cache*, each attack set is served from its content address
+    when present (zero corpus generation, zero attack crafting) and
+    stored after a cold build.
+    """
+    return ExperimentData(
+        calibration=_build_attack_set_for_role(config, "calibration", cache),
+        evaluation=_build_attack_set_for_role(config, "evaluation", cache),
+        source_shape=config.source_shape,
+        model_input_shape=config.model_input_shape,
+        algorithm=config.algorithm,
+        seed=config.seed,
+        fingerprint=config.fingerprint(),
+    )
 
 
 @lru_cache(maxsize=8)
@@ -56,43 +233,22 @@ def prepare_data(
     epsilon: float = 4.0,
     seed: int = 0,
 ) -> ExperimentData:
-    """Build (and cache) the two-corpus experiment dataset.
+    """Build (and cache in-process) the two-corpus experiment dataset.
 
     The paper uses 1000+1000 images per corpus; the default 100+100 keeps
     a full benchmark run in CPU-minutes while preserving every qualitative
-    result. Pass larger counts for a paper-scale run.
+    result. Pass larger counts for a paper-scale run. For on-disk caching
+    across processes and sessions, use :class:`repro.eval.mediator
+    .ExperimentMediator` (or :func:`build_experiment_data` directly).
     """
-    config = AttackConfig(epsilon=epsilon)
-    cal_originals = neurips_like_corpus(
-        n_calibration, image_shape=source_shape, seed=2017 + seed
-    ).materialize()
-    cal_targets = neurips_like_corpus(
-        n_calibration, image_shape=source_shape, seed=4034 + seed, name="neurips-tgt"
-    ).materialize()
-    ev_originals = caltech_like_corpus(
-        n_evaluation, image_shape=source_shape, seed=256 + seed
-    ).materialize()
-    ev_targets = caltech_like_corpus(
-        n_evaluation, image_shape=source_shape, seed=512 + seed, name="caltech-tgt"
-    ).materialize()
-    calibration = build_attack_set(
-        cal_originals,
-        cal_targets,
-        model_input_shape=model_input_shape,
-        algorithm=algorithm,
-        config=config,
-    )
-    evaluation = build_attack_set(
-        ev_originals,
-        ev_targets,
-        model_input_shape=model_input_shape,
-        algorithm=algorithm,
-        config=config,
-    )
-    return ExperimentData(
-        calibration=calibration,
-        evaluation=evaluation,
-        source_shape=source_shape,
-        model_input_shape=model_input_shape,
-        algorithm=algorithm,
+    return build_experiment_data(
+        DataConfig(
+            n_calibration=n_calibration,
+            n_evaluation=n_evaluation,
+            source_shape=source_shape,
+            model_input_shape=model_input_shape,
+            algorithm=algorithm,
+            epsilon=epsilon,
+            seed=seed,
+        )
     )

@@ -6,22 +6,18 @@ by :func:`~repro.eval.data.prepare_data`) and returns an
 paper's own numbers are attached as ``paper_reference`` so benchmark output
 and EXPERIMENTS.md can show paper-vs-measured side by side.
 
-Index (see DESIGN.md §4):
+Every runner registers itself in :mod:`repro.eval.registry` with the
+:func:`~repro.eval.registry.experiment` decorator -- that registry is the
+authoritative index (``repro exp list`` prints it; DESIGN.md narrates
+the artifact map). Runners remain plain functions: calling one directly
+is exactly equivalent to running it through the mediator, minus
+caching and stage timings.
 
-========  =====================================================
-T1        CNN input sizes (background Table 1)
-F8        white-box threshold search curves, scaling detector
-F9/F10    scaling detector score distributions (WB / BB)
-T2/T3     scaling detector results (WB / BB percentiles)
-F11/F12   filtering detector score distributions (WB / BB)
-T4/T5     filtering detector results (WB / BB percentiles)
-F13/T6    steganalysis CSP distribution and results
-T7        run-time overhead (see :mod:`repro.eval.runtime`)
-T8        ensemble results (WB + BB)
-T9        missed attacks lose their purpose (CNN stand-in)
-AF15/16   appendix: PSNR is not a usable metric
-AB1..3    ablations: histogram metric, adaptive attacks, prevention
-========  =====================================================
+Threshold calibrations consult the ambient run context
+(:mod:`repro.eval.stages`): inside a mediator run with a cache attached,
+a previously computed threshold for the same (data, detector, strategy)
+is installed without rescoring the corpus; outside a mediator run the
+hooks are no-ops.
 """
 
 from __future__ import annotations
@@ -41,6 +37,8 @@ from repro.core.scaling_detector import ScalingDetector
 from repro.core.steganalysis_detector import SteganalysisDetector
 from repro.core.thresholds import auc, threshold_accuracy
 from repro.eval.data import ExperimentData
+from repro.eval.registry import experiment
+from repro.eval.stages import cached_calibration, cached_ensemble_calibration, stage
 from repro.eval.tables import format_number, format_percent, metrics_row, render_table
 from repro.imaging.metrics import histogram_intersection, psnr
 
@@ -77,6 +75,10 @@ class ExperimentResult:
     rows: list[dict[str, Any]]
     paper_reference: list[dict[str, Any]] = field(default_factory=list)
     notes: str = ""
+    #: per-stage wall seconds (prepare/attack-gen/calibrate/score/render);
+    #: populated by the mediator, empty on direct runner calls. Never
+    #: rendered into ``to_text`` so result files stay byte-comparable.
+    timings: dict[str, float] = field(default_factory=dict)
 
     def to_text(self) -> str:
         parts = [render_table(self.rows, title=f"[{self.experiment_id}] {self.title} (measured)")]
@@ -91,6 +93,12 @@ class ExperimentResult:
 # T1 — background table
 # ---------------------------------------------------------------------------
 
+@experiment(
+    "T1",
+    title="Input sizes for popular CNN models",
+    needs_data=False,
+    order=10,
+)
 def table1_input_sizes() -> ExperimentResult:
     """Paper Table 1: fixed input sizes of popular CNN models.
 
@@ -135,6 +143,12 @@ def _filtering_detectors() -> dict[str, FilteringDetector]:
     }
 
 
+@experiment(
+    "F8",
+    title="Threshold selection curves, scaling detector (white-box)",
+    order=20,
+    kind="figure",
+)
 def fig8_threshold_search(data: ExperimentData, *, n_points: int = 41) -> ExperimentResult:
     """Fig. 8: accuracy as a function of candidate threshold (white-box).
 
@@ -145,7 +159,8 @@ def fig8_threshold_search(data: ExperimentData, *, n_points: int = 41) -> Experi
     for metric, detector in _scaling_detectors(data).items():
         benign = detector.scores(data.calibration.benign)
         attack = detector.scores(data.calibration.attacks)
-        best = detector.calibrate(data.calibration.benign, data.calibration.attacks)
+        with stage("calibrate"):
+            best = detector.calibrate(data.calibration.benign, data.calibration.attacks)
         lo = min(min(benign), min(attack))
         hi = max(max(benign), max(attack))
         grid = np.linspace(lo, hi, n_points)
@@ -205,6 +220,13 @@ def _distribution_rows(
     return rows
 
 
+@experiment(
+    "F9/F10",
+    title="Scaling detector score distributions",
+    aliases=("F9", "F10"),
+    order=30,
+    kind="figure",
+)
 def fig9_fig10_scaling_distributions(data: ExperimentData) -> ExperimentResult:
     """Figs. 9–10: MSE/SSIM score distributions for the scaling detector."""
     detectors = _scaling_detectors(data)
@@ -239,7 +261,14 @@ def _whitebox_table(
 ) -> ExperimentResult:
     rows = []
     for metric, detector in detectors.items():
-        rule = detector.calibrate(data.calibration.benign, data.calibration.attacks)
+        with stage("calibrate"):
+            rule = cached_calibration(
+                detector,
+                {"strategy": "midpoint"},
+                lambda d=detector: d.calibrate(
+                    data.calibration.benign, data.calibration.attacks
+                ),
+            )
         outcome = evaluate_detector(detector, data.evaluation)
         rows.append(
             {
@@ -257,6 +286,11 @@ def _whitebox_table(
     )
 
 
+@experiment(
+    "T2",
+    title="Scaling detection method, white-box setting",
+    order=40,
+)
 def table2_scaling_whitebox(data: ExperimentData) -> ExperimentResult:
     """Table 2: scaling detector, white-box calibration, unseen evaluation."""
     return _whitebox_table(
@@ -283,7 +317,14 @@ def _blackbox_table(
     for metric, detector in detectors.items():
         benign_scores = np.asarray(detector.scores(data.calibration.benign))
         for percentile in percentiles:
-            detector.calibrate(data.calibration.benign, percentile=percentile)
+            with stage("calibrate"):
+                cached_calibration(
+                    detector,
+                    {"strategy": "percentile", "percentile": percentile},
+                    lambda d=detector, p=percentile: d.calibrate(
+                        data.calibration.benign, percentile=p
+                    ),
+                )
             outcome = evaluate_detector(detector, data.evaluation)
             rows.append(
                 {
@@ -307,6 +348,11 @@ def _blackbox_table(
     )
 
 
+@experiment(
+    "T3",
+    title="Scaling detection method, black-box setting",
+    order=50,
+)
 def table3_scaling_blackbox(data: ExperimentData) -> ExperimentResult:
     """Table 3: scaling detector, black-box percentile thresholds."""
     return _blackbox_table(
@@ -329,6 +375,13 @@ def table3_scaling_blackbox(data: ExperimentData) -> ExperimentResult:
 # filtering detector (F11, F12, T4, T5)
 # ---------------------------------------------------------------------------
 
+@experiment(
+    "F11/F12",
+    title="Filtering detector score distributions",
+    aliases=("F11", "F12"),
+    order=60,
+    kind="figure",
+)
 def fig11_fig12_filtering_distributions(data: ExperimentData) -> ExperimentResult:
     """Figs. 11–12: MSE/SSIM distributions for the filtering detector."""
     populations: dict[str, list[float]] = {}
@@ -351,6 +404,11 @@ def fig11_fig12_filtering_distributions(data: ExperimentData) -> ExperimentResul
     )
 
 
+@experiment(
+    "T4",
+    title="Filtering detection method, white-box setting",
+    order=70,
+)
 def table4_filtering_whitebox(data: ExperimentData) -> ExperimentResult:
     """Table 4: filtering detector, white-box setting."""
     return _whitebox_table(
@@ -366,6 +424,11 @@ def table4_filtering_whitebox(data: ExperimentData) -> ExperimentResult:
     )
 
 
+@experiment(
+    "T5",
+    title="Filtering detection method, black-box setting",
+    order=80,
+)
 def table5_filtering_blackbox(data: ExperimentData) -> ExperimentResult:
     """Table 5: filtering detector, black-box percentile thresholds."""
     return _blackbox_table(
@@ -384,6 +447,12 @@ def table5_filtering_blackbox(data: ExperimentData) -> ExperimentResult:
 # steganalysis detector (F13, T6)
 # ---------------------------------------------------------------------------
 
+@experiment(
+    "F13",
+    title="Centered-spectrum-point counts (white-box corpus)",
+    order=90,
+    kind="figure",
+)
 def fig13_csp_distribution(data: ExperimentData) -> ExperimentResult:
     """Fig. 13: distribution of CSP counts for benign vs attack images."""
     detector = SteganalysisDetector()
@@ -406,6 +475,11 @@ def fig13_csp_distribution(data: ExperimentData) -> ExperimentResult:
     )
 
 
+@experiment(
+    "T6",
+    title="Steganalysis detection method (fixed threshold, both settings)",
+    order=100,
+)
 def table6_steganalysis(data: ExperimentData) -> ExperimentResult:
     """Table 6: steganalysis detector with the fixed CSP >= 2 threshold."""
     detector = SteganalysisDetector()
@@ -429,14 +503,29 @@ def table6_steganalysis(data: ExperimentData) -> ExperimentResult:
 # ensemble (T8)
 # ---------------------------------------------------------------------------
 
+@experiment(
+    "T8",
+    title="Decamouflage ensemble (majority vote of three methods)",
+    order=120,
+)
 def table8_ensemble(data: ExperimentData, *, percentile: float = 1.0) -> ExperimentResult:
     """Table 8: Decamouflage as a majority-vote ensemble, WB and BB."""
     rows = []
     whitebox = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    whitebox.calibrate(data.calibration.benign, data.calibration.attacks)
+    with stage("calibrate"):
+        cached_ensemble_calibration(
+            whitebox,
+            {"strategy": "midpoint"},
+            lambda: whitebox.calibrate(data.calibration.benign, data.calibration.attacks),
+        )
     rows.append({"Setting": "White-box ensemble", **metrics_row(evaluate_ensemble(whitebox, data.evaluation))})
     blackbox = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    blackbox.calibrate(data.calibration.benign, percentile=percentile)
+    with stage("calibrate"):
+        cached_ensemble_calibration(
+            blackbox,
+            {"strategy": "percentile", "percentile": percentile},
+            lambda: blackbox.calibrate(data.calibration.benign, percentile=percentile),
+        )
     rows.append({"Setting": "Black-box ensemble", **metrics_row(evaluate_ensemble(blackbox, data.evaluation))})
     return ExperimentResult(
         experiment_id="T8",
@@ -453,7 +542,12 @@ def table8_ensemble(data: ExperimentData, *, percentile: float = 1.0) -> Experim
 # T9 — missed attacks lose their purpose
 # ---------------------------------------------------------------------------
 
-def table9_missed_attacks(data: ExperimentData, *, seed: int = 0) -> ExperimentResult:
+@experiment(
+    "T9",
+    title="Missed attack images lose their attack purpose",
+    order=130,
+)
+def table9_missed_attacks(data: ExperimentData, *, seed: int | None = None) -> ExperimentResult:
     """Table 9: attack images that evade detection no longer fool a model.
 
     The paper submits its false-accepted attack images to Azure/Baidu/
@@ -469,6 +563,9 @@ def table9_missed_attacks(data: ExperimentData, *, seed: int = 0) -> ExperimentR
     from repro.ml import build_small_cnn, evaluate_accuracy, make_classification_set, normalize_batch, train
     from repro.imaging.scaling import resize
 
+    if seed is None:
+        seed = data.seed
+
     h_in, w_in = data.model_input_shape
     n_classes = 10
     train_set = make_classification_set(40, image_shape=(h_in, w_in), n_classes=n_classes, seed=seed)
@@ -478,7 +575,12 @@ def table9_missed_attacks(data: ExperimentData, *, seed: int = 0) -> ExperimentR
     clean_accuracy = evaluate_accuracy(model, test_set)
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
+    with stage("calibrate"):
+        cached_ensemble_calibration(
+            ensemble,
+            {"strategy": "midpoint"},
+            lambda: ensemble.calibrate(data.calibration.benign, data.calibration.attacks),
+        )
 
     rng = np.random.default_rng(seed)
     n_attacks = min(30, data.n_calibration)
@@ -535,6 +637,13 @@ def table9_missed_attacks(data: ExperimentData, *, seed: int = 0) -> ExperimentR
 # appendix + ablations
 # ---------------------------------------------------------------------------
 
+@experiment(
+    "AF15/AF16",
+    title="PSNR as a detection metric (appendix negative result)",
+    aliases=("AF15", "AF16"),
+    order=140,
+    kind="figure",
+)
 def appendix_psnr(data: ExperimentData) -> ExperimentResult:
     """Appendix Figs. 15–16: PSNR does not separate benign from attack."""
     rows = []
@@ -586,6 +695,12 @@ def appendix_psnr(data: ExperimentData) -> ExperimentResult:
     )
 
 
+@experiment(
+    "AB1",
+    title="Color histogram vs Decamouflage metrics (adaptive attacker)",
+    order=150,
+    kind="ablation",
+)
 def ablation_histogram_metric(data: ExperimentData, *, n_images: int = 15) -> ExperimentResult:
     """AB1: Xiao et al.'s color-histogram defense fails (paper Section 3.1).
 
@@ -664,6 +779,12 @@ def ablation_histogram_metric(data: ExperimentData, *, n_images: int = 15) -> Ex
     )
 
 
+@experiment(
+    "AB2",
+    title="Adaptive attacks against the ensemble",
+    order=160,
+    kind="ablation",
+)
 def ablation_adaptive_attacks(data: ExperimentData, *, n_images: int = 12) -> ExperimentResult:
     """AB2: adaptive attacks vs individual detectors vs the ensemble.
 
@@ -683,7 +804,12 @@ def ablation_adaptive_attacks(data: ExperimentData, *, n_images: int = 12) -> Ex
     from repro.imaging.scaling import resize
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
+    with stage("calibrate"):
+        cached_ensemble_calibration(
+            ensemble,
+            {"strategy": "midpoint"},
+            lambda: ensemble.calibrate(data.calibration.benign, data.calibration.attacks),
+        )
 
     variants = {
         "strong (baseline)": lambda o, t: partial_attack(o, t, algorithm=data.algorithm, strength=1.0),
@@ -736,6 +862,12 @@ def ablation_adaptive_attacks(data: ExperimentData, *, n_images: int = 12) -> Ex
     )
 
 
+@experiment(
+    "AB3",
+    title="Prevention baselines vs detection",
+    order=170,
+    kind="ablation",
+)
 def ablation_prevention_defenses(data: ExperimentData, *, n_images: int = 20) -> ExperimentResult:
     """AB3: prevention baselines' costs vs detection (paper Section 1).
 
@@ -775,6 +907,12 @@ def ablation_prevention_defenses(data: ExperimentData, *, n_images: int = 20) ->
     )
 
 
+@experiment(
+    "AB4",
+    title="Robustness of the ensemble to benign post-processing",
+    order=180,
+    kind="ablation",
+)
 def ablation_benign_transforms(data: ExperimentData, *, n_images: int = 15) -> ExperimentResult:
     """AB4: robustness to benign post-processing.
 
@@ -787,7 +925,12 @@ def ablation_benign_transforms(data: ExperimentData, *, n_images: int = 15) -> E
     from repro.imaging import transforms as tf
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
+    with stage("calibrate"):
+        cached_ensemble_calibration(
+            ensemble,
+            {"strategy": "midpoint"},
+            lambda: ensemble.calibrate(data.calibration.benign, data.calibration.attacks),
+        )
 
     operations = {
         "identity": lambda img: np.asarray(img, dtype=np.float64),
@@ -829,6 +972,12 @@ def ablation_benign_transforms(data: ExperimentData, *, n_images: int = 15) -> E
     )
 
 
+@experiment(
+    "AB6",
+    title="JPEG re-encoding as a candidate defense",
+    order=200,
+    kind="ablation",
+)
 def ablation_jpeg_reencoding(data: ExperimentData, *, n_images: int = 12) -> ExperimentResult:
     """AB6: is "just recompress uploads" a defense? (it is not a reliable one)
 
@@ -844,7 +993,12 @@ def ablation_jpeg_reencoding(data: ExperimentData, *, n_images: int = 12) -> Exp
     from repro.imaging.scaling import resize
 
     ensemble = build_default_ensemble(data.model_input_shape, algorithm=data.algorithm)
-    ensemble.calibrate(data.calibration.benign, data.calibration.attacks)
+    with stage("calibrate"):
+        cached_ensemble_calibration(
+            ensemble,
+            {"strategy": "midpoint"},
+            lambda: ensemble.calibrate(data.calibration.benign, data.calibration.attacks),
+        )
 
     n = min(n_images, data.n_evaluation)
     benign_ref = float(
@@ -899,6 +1053,12 @@ def ablation_jpeg_reencoding(data: ExperimentData, *, n_images: int = 12) -> Exp
     )
 
 
+@experiment(
+    "AB5",
+    title="Attack surface and detectability vs ratio and algorithm",
+    order=190,
+    kind="ablation",
+)
 def ablation_surface_sweep(data: ExperimentData, *, n_images: int = 8) -> ExperimentResult:
     """AB5: attack surface and detectability across ratios and algorithms.
 

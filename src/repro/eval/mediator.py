@@ -1,0 +1,368 @@
+"""One orchestration API for every experiment.
+
+:class:`ExperimentMediator` is the single entry point that ties together
+the registry (which experiments exist), the data builder (what corpus a
+config produces), the content-addressed cache (never regenerate an
+artifact the config already paid for), the run manifest (resume a killed
+sweep where it stopped), and process fan-out (``jobs=N`` across
+(experiment x config) cells):
+
+    results = (
+        ExperimentMediator.setup(n_calibration=50, seed=7, cache_dir=".cache")
+        .run(["T2", "T8", "F9"])
+    )
+
+Guarantees the tests pin down:
+
+* **parity** — a mediator run of an experiment returns rows identical to
+  calling the runner function directly on :func:`~repro.eval.data
+  .prepare_data` output, because both go through the same build path and
+  every cache/timing hook is a no-op outside a mediator context;
+* **warm-cache zero regeneration** — a second identical run serves every
+  attack set and calibration artifact from the cache (hit counters prove
+  no image was regenerated);
+* **deterministic merge** — results come back in cell order regardless
+  of ``jobs``; a parallel run's rows equal the serial run's.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import json
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import EvalError
+from repro.eval.cache import ExperimentCache, cache_key
+from repro.eval.data import DataConfig, ExperimentData, build_experiment_data
+from repro.eval.experiments import ExperimentResult
+from repro.eval.registry import ExperimentSpec, get_spec, registered_experiments
+from repro.eval.stages import RunContext, activate, stage
+from repro.observability import Metrics
+
+__all__ = ["ExperimentCell", "ExperimentMediator"]
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One unit of work: an experiment run against one data config."""
+
+    experiment_id: str
+    config: DataConfig
+    #: the sweep-axis values that produced this config ({} outside sweeps).
+    overrides: dict = field(default_factory=dict)
+
+    def key(self) -> str:
+        """Content address of the cell — the manifest/resume key."""
+        return cache_key(
+            "cell", {"experiment": self.experiment_id, "config": self.config.as_dict()}
+        )
+
+
+def _result_payload(cell: ExperimentCell, result: ExperimentResult) -> dict:
+    """JSON-ready manifest record for one completed cell."""
+    return {
+        "cell": cell.key(),
+        "experiment": cell.experiment_id,
+        "config": cell.config.as_dict(),
+        "overrides": cell.overrides,
+        "title": result.title,
+        "rows": result.rows,
+        "paper_reference": result.paper_reference,
+        "notes": result.notes,
+        "timings": result.timings,
+    }
+
+
+def _result_from_payload(payload: Mapping) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=str(payload["experiment"]),
+        title=str(payload["title"]),
+        rows=list(payload["rows"]),
+        paper_reference=list(payload["paper_reference"]),
+        notes=str(payload["notes"]),
+        timings=dict(payload["timings"]),
+    )
+
+
+def _execute_cell(
+    spec: ExperimentSpec,
+    config: DataConfig,
+    cache: ExperimentCache | None,
+    data_memo: dict[str, ExperimentData],
+) -> ExperimentResult:
+    """Run one cell under an activated context; fill ``result.timings``.
+
+    ``data_memo`` (fingerprint -> built data) lets cells sharing a config
+    within one process skip even the cache round trip. The ``score``
+    stage is derived: runner wall time minus the calibration time the
+    runner reported, so the two never double-count.
+    """
+    context = RunContext(cache=cache, data_fingerprint=config.fingerprint())
+    with activate(context):
+        data = None
+        if spec.needs_data:
+            fingerprint = config.fingerprint()
+            data = data_memo.get(fingerprint)
+            if data is None:
+                data = build_experiment_data(config, cache=cache)
+                data_memo[fingerprint] = data
+        calibrate_before = context.timings.get("calibrate", 0.0)
+        start = time.perf_counter()
+        result = spec.run(data)
+        wall = time.perf_counter() - start
+        with stage("render"):
+            result.to_text()
+    timings = dict(context.timings)
+    calibrate_delta = timings.get("calibrate", 0.0) - calibrate_before
+    timings["score"] = max(0.0, wall - calibrate_delta)
+    result.timings = timings
+    return result
+
+
+def _worker_run_cell(payload: dict):
+    """Process-pool entry point: rebuild state from the pickled payload.
+
+    Returns the result plus this worker's cache counters so the parent
+    can fold them into its own metrics (counters are per-process).
+    """
+    spec = get_spec(payload["experiment"])
+    config = DataConfig.from_dict(payload["config"])
+    cache = None
+    if payload["cache_dir"] is not None:
+        cache = ExperimentCache(payload["cache_dir"], metrics=Metrics())
+    result = _execute_cell(spec, config, cache, {})
+    counters = cache.stats()["counters"] if cache is not None else {}
+    return result, counters
+
+
+class ExperimentMediator:
+    """Registry-driven runner for any subset of the paper's experiments."""
+
+    def __init__(
+        self,
+        config: DataConfig,
+        *,
+        cache_dir: str | Path | None = None,
+        manifest: str | Path | None = None,
+        jobs: int = 1,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise EvalError(f"jobs must be >= 1, got {jobs}")
+        self.config = config
+        self.jobs = jobs
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.cache = (
+            None
+            if cache_dir is None
+            else ExperimentCache(cache_dir, metrics=self.metrics)
+        )
+        self.manifest = None if manifest is None else Path(manifest)
+        self._data_memo: dict[str, ExperimentData] = {}
+
+    @classmethod
+    def setup(
+        cls,
+        *,
+        cache_dir: str | Path | None = None,
+        manifest: str | Path | None = None,
+        jobs: int = 1,
+        metrics: Metrics | None = None,
+        **config_fields,
+    ) -> "ExperimentMediator":
+        """Build a mediator from :class:`~repro.eval.data.DataConfig` fields.
+
+        ``ExperimentMediator.setup(n_calibration=50, seed=3).run([...])``
+        is the canonical call shape; unknown config fields raise
+        :class:`~repro.errors.EvalError` rather than being ignored.
+        """
+        known = set(DataConfig.__dataclass_fields__)
+        unknown = sorted(set(config_fields) - known)
+        if unknown:
+            raise EvalError(
+                f"unknown data config fields {unknown}; known: {sorted(known)}"
+            )
+        return cls(
+            DataConfig(**config_fields),
+            cache_dir=cache_dir,
+            manifest=manifest,
+            jobs=jobs,
+            metrics=metrics,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @staticmethod
+    def available() -> list[ExperimentSpec]:
+        """Every registered experiment, in canonical report order."""
+        return registered_experiments()
+
+    def data(self) -> ExperimentData:
+        """The (cached) :class:`ExperimentData` for this mediator's config."""
+        fingerprint = self.config.fingerprint()
+        data = self._data_memo.get(fingerprint)
+        if data is None:
+            context = RunContext(cache=self.cache, data_fingerprint=fingerprint)
+            with activate(context):
+                data = build_experiment_data(self.config, cache=self.cache)
+            self._data_memo[fingerprint] = data
+        return data
+
+    def cache_stats(self) -> dict | None:
+        """Hit/miss totals for the attached cache (None without one)."""
+        return None if self.cache is None else self.cache.stats()
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, names: Sequence[str], *, jobs: int | None = None) -> list[ExperimentResult]:
+        """Run the named experiments against this mediator's config.
+
+        Names may be registry ids or aliases (``"F9"`` for ``"F9/F10"``).
+        Results come back in the order the names were given.
+        """
+        cells = [
+            ExperimentCell(get_spec(name).experiment_id, self.config)
+            for name in names
+        ]
+        return self._run_cells(cells, jobs=jobs)
+
+    def run_one(self, name: str, **kwargs) -> ExperimentResult:
+        """Run a single experiment (id or alias) and return its result."""
+        return self.run([name], **kwargs)[0]
+
+    def sweep(
+        self,
+        names: Sequence[str],
+        axes: Mapping[str, Sequence],
+        *,
+        jobs: int | None = None,
+    ) -> list[tuple[ExperimentCell, ExperimentResult]]:
+        """Run *names* across the cartesian product of config *axes*.
+
+        ``axes`` maps :class:`DataConfig` field names to the values to
+        sweep (``{"algorithm": ["bilinear", "bicubic"], "epsilon": [2, 4]}``).
+        Returns ``(cell, result)`` pairs in deterministic product order:
+        axes vary slowest-first in the order given, experiments innermost.
+        """
+        known = set(DataConfig.__dataclass_fields__)
+        bad = sorted(set(axes) - known)
+        if bad:
+            raise EvalError(f"unknown sweep axes {bad}; known: {sorted(known)}")
+        axis_names = list(axes)
+        experiment_ids = [get_spec(name).experiment_id for name in names]
+        cells = []
+        for values in itertools.product(*(axes[name] for name in axis_names)):
+            overrides = dict(zip(axis_names, values))
+            config = self.config.replace(**overrides)
+            for experiment_id in experiment_ids:
+                cells.append(ExperimentCell(experiment_id, config, overrides))
+        results = self._run_cells(cells, jobs=jobs)
+        return list(zip(cells, results))
+
+    # -- internals ---------------------------------------------------------
+
+    def _load_manifest(self) -> dict[str, dict]:
+        """Completed-cell payloads keyed by cell key; bad lines skipped.
+
+        A run killed mid-write leaves at most one truncated trailing line;
+        tolerating malformed lines (instead of failing the whole resume)
+        is what makes SIGKILL recovery safe.
+        """
+        completed: dict[str, dict] = {}
+        if self.manifest is None or not self.manifest.exists():
+            return completed
+        try:
+            text = self.manifest.read_text(encoding="utf-8")
+        except OSError:
+            return completed
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(payload, dict) or "cell" not in payload:
+                continue
+            completed[str(payload["cell"])] = payload
+        return completed
+
+    def _record_manifest(self, cell: ExperimentCell, result: ExperimentResult) -> None:
+        if self.manifest is None:
+            return
+        line = json.dumps(_result_payload(cell, result), sort_keys=True)
+        self.manifest.parent.mkdir(parents=True, exist_ok=True)
+        with self.manifest.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def _merge_counters(self, counters: Mapping[str, int]) -> None:
+        for name, value in counters.items():
+            self.metrics.counter(name).add(int(value))
+
+    def _run_cells(
+        self, cells: list[ExperimentCell], *, jobs: int | None = None
+    ) -> list[ExperimentResult]:
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise EvalError(f"jobs must be >= 1, got {jobs}")
+        completed = self._load_manifest()
+        results: list[ExperimentResult | None] = [None] * len(cells)
+        pending: list[int] = []
+        for index, cell in enumerate(cells):
+            payload = completed.get(cell.key())
+            if payload is not None:
+                results[index] = _result_from_payload(payload)
+                self.metrics.counter("mediator.cells.resumed").add(1)
+            else:
+                pending.append(index)
+        if pending and jobs > 1:
+            self._run_parallel(cells, pending, results, jobs)
+        else:
+            for index in pending:
+                cell = cells[index]
+                result = _execute_cell(
+                    get_spec(cell.experiment_id), cell.config, self.cache, self._data_memo
+                )
+                results[index] = result
+                self.metrics.counter("mediator.cells.run").add(1)
+                self._record_manifest(cell, result)
+        return [result for result in results if result is not None]
+
+    def _run_parallel(
+        self,
+        cells: list[ExperimentCell],
+        pending: list[int],
+        results: list[ExperimentResult | None],
+        jobs: int,
+    ) -> None:
+        """Fan pending cells out over processes; merge in cell order.
+
+        Futures complete in any order, but results land by index and the
+        manifest/metrics merge happens in the parent, so output is
+        deterministic — same rows as a serial run.
+        """
+        workers = min(jobs, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for index in pending:
+                cell = cells[index]
+                payload = {
+                    "experiment": cell.experiment_id,
+                    "config": cell.config.as_dict(),
+                    "cache_dir": self.cache_dir,
+                }
+                futures[pool.submit(_worker_run_cell, payload)] = index
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                result, counters = future.result()
+                results[index] = result
+                self._merge_counters(counters)
+                self.metrics.counter("mediator.cells.run").add(1)
+                self._record_manifest(cells[index], result)

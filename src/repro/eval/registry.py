@@ -1,0 +1,137 @@
+"""Experiment registry: the single authoritative index of runners.
+
+Every paper table/figure runner (and the sensitivity sweeps) registers
+itself with the :func:`experiment` decorator; the mediator, the report
+generator, the benchmarks, and the ``repro exp`` CLI all read this one
+index instead of maintaining their own lists.
+
+Registration happens as a side effect of importing the defining modules,
+so any consumer that wants the *complete* index calls :func:`load_all`
+first (cheap after the first call — imports are cached).
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import EvalError
+
+__all__ = [
+    "ExperimentSpec",
+    "experiment",
+    "get_spec",
+    "load_all",
+    "registered_experiments",
+    "resolve_experiment_id",
+]
+
+#: id -> spec, in registration order (re-sorted by ``order`` on read).
+_REGISTRY: dict[str, "ExperimentSpec"] = {}
+
+#: Modules whose import populates the registry.
+_PROVIDER_MODULES = (
+    "repro.eval.experiments",
+    "repro.eval.runtime",
+    "repro.eval.sweeps",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, runner, and how to call it."""
+
+    experiment_id: str
+    title: str
+    runner: Callable
+    #: False for static artifacts (T1) that take no ExperimentData.
+    needs_data: bool = True
+    #: alternate ids accepted by the CLI/mediator ("F9" for "F9/F10").
+    aliases: tuple[str, ...] = ()
+    #: position in the canonical report ordering (ascending).
+    order: int = 0
+    #: include in ``repro report`` / ``run_all_experiments`` output.
+    in_report: bool = True
+    kind: str = field(default="table", compare=False)
+
+    def run(self, data=None):
+        """Invoke the runner with the calling convention it registered."""
+        if self.needs_data:
+            return self.runner(data)
+        return self.runner()
+
+
+def experiment(
+    experiment_id: str,
+    *,
+    title: str,
+    needs_data: bool = True,
+    aliases: tuple[str, ...] = (),
+    order: int = 0,
+    in_report: bool = True,
+    kind: str = "table",
+) -> Callable:
+    """Decorator registering a runner under *experiment_id*.
+
+    The decorated function is returned unchanged, so direct calls keep
+    working exactly as before registration existed.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        spec = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            runner=fn,
+            needs_data=needs_data,
+            aliases=tuple(aliases),
+            order=order,
+            in_report=in_report,
+            kind=kind,
+        )
+        existing = _REGISTRY.get(experiment_id)
+        if existing is not None and existing.runner is not fn:
+            raise EvalError(
+                f"experiment id {experiment_id!r} registered twice "
+                f"({existing.runner.__qualname__} and {fn.__qualname__})"
+            )
+        _REGISTRY[experiment_id] = spec
+        return fn
+
+    return decorate
+
+
+def load_all() -> None:
+    """Import every provider module so the registry is complete."""
+    for module in _PROVIDER_MODULES:
+        importlib.import_module(module)
+
+
+def registered_experiments() -> list[ExperimentSpec]:
+    """Every registered spec, in canonical (``order``) sequence."""
+    load_all()
+    return sorted(_REGISTRY.values(), key=lambda spec: (spec.order, spec.experiment_id))
+
+
+def resolve_experiment_id(name: str) -> str:
+    """Map a user-supplied name (id or alias, case-insensitive) to an id.
+
+    Raises :class:`~repro.errors.EvalError` naming the known ids when the
+    name matches nothing — the CLI turns that into a clean ``error:`` line.
+    """
+    load_all()
+    if name in _REGISTRY:
+        return name
+    lowered = name.lower()
+    for spec in _REGISTRY.values():
+        if spec.experiment_id.lower() == lowered:
+            return spec.experiment_id
+        if any(alias.lower() == lowered for alias in spec.aliases):
+            return spec.experiment_id
+    known = ", ".join(spec.experiment_id for spec in registered_experiments())
+    raise EvalError(f"unknown experiment {name!r}; known: {known}")
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """The spec for *name* (id or alias)."""
+    return _REGISTRY[resolve_experiment_id(name)]

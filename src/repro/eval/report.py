@@ -2,45 +2,33 @@
 
 ``python -m repro report`` (see :mod:`repro.cli`) and the EXPERIMENTS.md
 regeneration path both go through :func:`run_all_experiments`.
+
+The experiment index lives in :mod:`repro.eval.registry`; this module
+just projects the registered, report-eligible specs into the
+``EXPERIMENT_RUNNERS`` mapping that older callers (and the tests) use.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.eval import experiments as exp
 from repro.eval.data import ExperimentData, prepare_data
 from repro.eval.experiments import ExperimentResult
-from repro.eval.runtime import table7_runtime
+from repro.eval.registry import registered_experiments
 
 __all__ = ["EXPERIMENT_RUNNERS", "run_all_experiments", "render_report"]
 
-#: Ordered registry of every experiment, keyed by artifact id.
+
+def _as_data_runner(spec) -> Callable[[ExperimentData], ExperimentResult]:
+    """Uniform ``runner(data)`` call shape regardless of ``needs_data``."""
+    return lambda data, spec=spec: spec.run(data)
+
+
+#: Ordered registry of every report experiment, keyed by artifact id.
 EXPERIMENT_RUNNERS: dict[str, Callable[[ExperimentData], ExperimentResult]] = {
-    "T1": lambda data: exp.table1_input_sizes(),
-    "F8": exp.fig8_threshold_search,
-    "F9/F10": exp.fig9_fig10_scaling_distributions,
-    "T2": exp.table2_scaling_whitebox,
-    "T3": exp.table3_scaling_blackbox,
-    "F11/F12": exp.fig11_fig12_filtering_distributions,
-    "T4": exp.table4_filtering_whitebox,
-    "T5": exp.table5_filtering_blackbox,
-    "F13": exp.fig13_csp_distribution,
-    "T6": exp.table6_steganalysis,
-    "T7": lambda data: table7_runtime(
-        data.evaluation.benign[: min(30, len(data.evaluation.benign))],
-        model_input_shape=data.model_input_shape,
-        algorithm=data.algorithm,
-    ),
-    "T8": exp.table8_ensemble,
-    "T9": exp.table9_missed_attacks,
-    "AF15/AF16": exp.appendix_psnr,
-    "AB1": exp.ablation_histogram_metric,
-    "AB2": exp.ablation_adaptive_attacks,
-    "AB3": exp.ablation_prevention_defenses,
-    "AB4": exp.ablation_benign_transforms,
-    "AB5": exp.ablation_surface_sweep,
-    "AB6": exp.ablation_jpeg_reencoding,
+    spec.experiment_id: _as_data_runner(spec)
+    for spec in registered_experiments()
+    if spec.in_report
 }
 
 

@@ -20,7 +20,9 @@ from repro.core.filtering_detector import FilteringDetector
 from repro.core.result import Direction, ThresholdRule
 from repro.core.scaling_detector import ScalingDetector
 from repro.core.steganalysis_detector import SteganalysisDetector
+from repro.eval.data import ExperimentData
 from repro.eval.experiments import ExperimentResult
+from repro.eval.registry import experiment
 from repro.eval.tables import format_number
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "time_detector",
     "time_detector_batch",
     "table7_runtime",
+    "table7_from_data",
     "table7_batch_throughput",
 ]
 
@@ -131,6 +134,24 @@ def table7_batch_throughput(
             f"{len(images)} images; batch column routes through "
             "detect_batch with a warm scaling-operator cache."
         ),
+    )
+
+
+@experiment(
+    "T7",
+    title="Run-time overhead per detection method",
+    order=110,
+)
+def table7_from_data(data: ExperimentData) -> ExperimentResult:
+    """Table 7 with the standard corpus: times 30 evaluation-benign images.
+
+    The registry entry point; :func:`table7_runtime` stays available for
+    timing arbitrary image pools (the benchmarks use it directly).
+    """
+    return table7_runtime(
+        data.evaluation.benign[: min(30, len(data.evaluation.benign))],
+        model_input_shape=data.model_input_shape,
+        algorithm=data.algorithm,
     )
 
 

@@ -24,11 +24,19 @@ from repro.core.steganalysis_detector import SteganalysisDetector
 from repro.core.thresholds import auc
 from repro.eval.data import ExperimentData
 from repro.eval.experiments import ExperimentResult
+from repro.eval.registry import experiment
 from repro.eval.tables import format_percent
 
 __all__ = ["sweep_filter_choice", "sweep_csp_parameters"]
 
 
+@experiment(
+    "SW1",
+    title="Filter choice for the filtering method (paper Fig. 4, quantified)",
+    order=210,
+    in_report=False,
+    kind="sweep",
+)
 def sweep_filter_choice(data: ExperimentData, *, n_images: int = 30) -> ExperimentResult:
     """AUC of the filtering method for every (filter, metric) combination.
 
@@ -85,6 +93,13 @@ def sweep_filter_choice(data: ExperimentData, *, n_images: int = 30) -> Experime
     )
 
 
+@experiment(
+    "SW2",
+    title="Steganalysis extractor sensitivity (brightness x prominence)",
+    order=220,
+    in_report=False,
+    kind="sweep",
+)
 def sweep_csp_parameters(data: ExperimentData, *, n_images: int = 30) -> ExperimentResult:
     """Benign FRR and attack recall across the CSP extractor's grid.
 

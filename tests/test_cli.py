@@ -198,3 +198,60 @@ class TestScanBadInputs:
         err = capsys.readouterr().err
         assert code == 2
         assert "--audit-log" in err
+
+
+class TestExp:
+    """`exp` — the registry/mediator front end."""
+
+    def test_list_prints_registry(self, capsys):
+        assert main(["exp", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "SW1" in out
+        assert "aliases: F9, F10" in out
+        assert "[not in report]" in out  # sweeps are listed but not in report
+
+    def test_run_data_free_experiment(self, capsys):
+        assert main(["exp", "run", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "[T1] Input sizes for popular CNN models" in out
+
+    def test_run_with_cache_out_and_timings(self, tmp_path, capsys):
+        args = [
+            "exp", "run", "T2", "T6",
+            "--images", "4", "--source-size", "64", "64", "--input-size", "16", "16",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "run1"), "--timings",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[T2]" in out and "[T6]" in out
+        assert "timings [T2]:" in out and "score=" in out
+        assert "cache: 0 hits, 4 misses" in out
+        assert (tmp_path / "run1" / "T2.txt").exists()
+        assert (tmp_path / "run1" / "T6.txt").exists()
+
+        # Warm re-run: 100% cache-served, byte-identical result files.
+        args2 = [a.replace("run1", "run2") for a in args]
+        assert main(args2) == 0
+        out2 = capsys.readouterr().out
+        assert "cache: 4 hits, 0 misses (100.0% hit rate)" in out2
+        for name in ("T2.txt", "T6.txt"):
+            assert (tmp_path / "run1" / name).read_text() == (
+                tmp_path / "run2" / name
+            ).read_text()
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        code = main(["exp", "run", "T999"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "unknown experiment 'T999'" in err
+
+    def test_unwritable_cache_dir_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        code = main(["exp", "run", "T1", "--cache-dir", str(blocker / "cache")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "not writable" in err

@@ -1,0 +1,105 @@
+"""Unit tests for the content-addressed experiment cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvalError
+from repro.eval.cache import ExperimentCache, cache_key
+from repro.observability import Metrics
+
+
+class TestCacheKey:
+    def test_stable_across_dict_ordering(self):
+        a = cache_key("kind", {"x": 1, "y": [1, 2], "z": "s"})
+        b = cache_key("kind", {"z": "s", "y": [1, 2], "x": 1})
+        assert a == b
+
+    def test_config_change_changes_key(self):
+        base = cache_key("kind", {"epsilon": 4.0, "seed": 0})
+        assert cache_key("kind", {"epsilon": 8.0, "seed": 0}) != base
+        assert cache_key("kind", {"epsilon": 4.0, "seed": 1}) != base
+
+    def test_kind_isolates_namespaces(self):
+        config = {"n": 3}
+        assert cache_key("attack-set", config) != cache_key("calibration", config)
+
+    def test_numpy_scalars_canonicalized(self):
+        assert cache_key("k", {"n": np.int64(3), "e": np.float64(4.0)}) == cache_key(
+            "k", {"n": 3, "e": 4.0}
+        )
+
+    def test_tuples_and_lists_equivalent(self):
+        assert cache_key("k", {"shape": (64, 64)}) == cache_key("k", {"shape": [64, 64]})
+
+    def test_version_bump_invalidates(self, monkeypatch):
+        before = cache_key("k", {"n": 1})
+        monkeypatch.setattr("repro.eval.cache.CACHE_VERSION", 999)
+        assert cache_key("k", {"n": 1}) != before
+
+
+class TestExperimentCache:
+    def test_array_round_trip_bit_exact(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        rng = np.random.default_rng(0)
+        arrays = {"benign": rng.random((3, 8, 8, 3)), "skipped": np.array([1, 4])}
+        cache.store_arrays("attack-set", {"n": 3}, arrays)
+        loaded = cache.load_arrays("attack-set", {"n": 3})
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["benign"], arrays["benign"])
+        np.testing.assert_array_equal(loaded["skipped"], arrays["skipped"])
+
+    def test_miss_then_hit_counters(self, tmp_path):
+        cache = ExperimentCache(tmp_path, metrics=Metrics())
+        assert cache.load_arrays("attack-set", {"n": 1}) is None
+        cache.store_arrays("attack-set", {"n": 1}, {"x": np.zeros(2)})
+        assert cache.load_arrays("attack-set", {"n": 1}) is not None
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["counters"]["cache.attack-set.store"] == 1
+
+    def test_config_change_is_a_miss(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.store_arrays("attack-set", {"epsilon": 4.0}, {"x": np.ones(2)})
+        assert cache.load_arrays("attack-set", {"epsilon": 8.0}) is None
+
+    def test_corrupted_array_entry_regenerates_cleanly(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.store_arrays("attack-set", {"n": 1}, {"x": np.arange(4.0)})
+        entry = next(tmp_path.glob("attack-set-*.npz"))
+        entry.write_bytes(b"not a zip archive")
+        assert cache.load_arrays("attack-set", {"n": 1}) is None
+        assert not entry.exists()  # deleted, not left to poison every run
+        assert cache.stats()["counters"]["cache.attack-set.corrupt"] == 1
+        # the normal build path stores a fresh entry and it round-trips
+        cache.store_arrays("attack-set", {"n": 1}, {"x": np.arange(4.0)})
+        assert cache.load_arrays("attack-set", {"n": 1}) is not None
+
+    def test_corrupted_json_entry_regenerates_cleanly(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.store_json("calibration", {"m": "mse"}, {"value": 1.5, "direction": ">"})
+        entry = next(tmp_path.glob("calibration-*.json"))
+        entry.write_text("{truncated", encoding="utf-8")
+        assert cache.load_json("calibration", {"m": "mse"}) is None
+        assert not entry.exists()
+
+    def test_json_round_trip(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.store_json("calibration", {"m": "mse"}, {"value": 2.25, "direction": ">"})
+        assert cache.load_json("calibration", {"m": "mse"}) == {
+            "value": 2.25,
+            "direction": ">",
+        }
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        cache.store_arrays("attack-set", {"n": 1}, {"x": np.zeros(3)})
+        cache.store_json("calibration", {"m": "x"}, {"value": 1.0})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_unwritable_root_raises_eval_error(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not directory")
+        with pytest.raises(EvalError, match="not writable"):
+            ExperimentCache(blocker / "cache")

@@ -1,0 +1,293 @@
+"""End-to-end tests for the ExperimentMediator orchestration API.
+
+The pinned guarantees, in order: mediator/runner parity (identical rows),
+warm-cache runs regenerate zero attack images, config changes invalidate,
+corruption recovers, manifests resume a killed run, and process fan-out
+merges deterministically.
+"""
+
+import json
+import os
+import signal
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import EvalError
+from repro.eval.data import DataConfig, build_experiment_data, prepare_data
+from repro.eval.mediator import ExperimentMediator
+from repro.eval.registry import get_spec
+
+from tests.conftest import wait_until
+
+#: Small-but-real corpus: 64x64 sources, ratio-4 downscale, 4+4 images.
+CONFIG = {
+    "n_calibration": 4,
+    "n_evaluation": 4,
+    "source_shape": (64, 64),
+    "model_input_shape": (16, 16),
+}
+
+#: The acceptance-pinned parity set (F9 is an alias of F9/F10).
+PARITY_IDS = ["T2", "T6", "T8", "F9"]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("expcache")
+
+
+@pytest.fixture(scope="module")
+def cold_results(cache_dir):
+    """One cold mediated run of the parity set (fills the cache)."""
+    mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+    results = mediator.run(PARITY_IDS)
+    return {result.experiment_id: result for result in results}
+
+
+@pytest.fixture(scope="module")
+def direct_data():
+    """The same corpus built the pre-mediator way."""
+    return prepare_data(
+        CONFIG["n_calibration"],
+        CONFIG["n_evaluation"],
+        source_shape=CONFIG["source_shape"],
+        model_input_shape=CONFIG["model_input_shape"],
+    )
+
+
+class TestParity:
+    @pytest.mark.parametrize("name", PARITY_IDS)
+    def test_rows_identical_to_direct_runner(self, cold_results, direct_data, name):
+        spec = get_spec(name)
+        direct = spec.run(direct_data)
+        mediated = cold_results[spec.experiment_id]
+        assert mediated.rows == direct.rows
+        assert mediated.paper_reference == direct.paper_reference
+        assert mediated.to_text() == direct.to_text()
+
+    def test_direct_runner_results_carry_no_timings(self, direct_data):
+        result = get_spec("T2").run(direct_data)
+        assert result.timings == {}
+
+    def test_mediated_results_carry_stage_timings(self, cold_results):
+        timings = cold_results["T2"].timings
+        assert {"prepare", "attack-gen", "calibrate", "score", "render"} <= set(timings)
+        assert all(seconds >= 0.0 for seconds in timings.values())
+
+
+class TestWarmCache:
+    def test_second_run_regenerates_nothing(self, cache_dir, cold_results, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise AssertionError("attack set was regenerated despite a warm cache")
+
+        monkeypatch.setattr("repro.eval.data.build_attack_set", refuse)
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        results = mediator.run(PARITY_IDS)
+        for result in results:
+            assert result.rows == cold_results[result.experiment_id].rows
+        counters = mediator.cache_stats()["counters"]
+        assert counters.get("cache.attack-set.miss", 0) == 0
+        assert counters["cache.attack-set.hit"] == 2  # both corpus roles
+        assert counters.get("cache.calibration.miss", 0) == 0
+        assert mediator.cache_stats()["hit_rate"] == 1.0
+
+    def test_warm_run_skips_prepare_and_attack_gen_stages(self, cache_dir, cold_results):
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        result = mediator.run_one("T2")
+        assert "prepare" not in result.timings
+        assert "attack-gen" not in result.timings
+
+    def test_config_change_invalidates(self, cache_dir, cold_results, tmp_path):
+        # Same cache dir, different epsilon: the attack sets must rebuild.
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, epsilon=8.0, **CONFIG)
+        mediator.run(["T6"])
+        counters = mediator.cache_stats()["counters"]
+        assert counters["cache.attack-set.miss"] == 2
+        assert counters["cache.attack-set.store"] == 2
+
+    def test_corrupted_entries_recover(self, cache_dir, cold_results, tmp_path):
+        corrupt_dir = tmp_path / "corrupt-cache"
+        shutil.copytree(cache_dir, corrupt_dir)
+        for entry in corrupt_dir.glob("attack-set-*.npz"):
+            entry.write_bytes(b"\x00garbage")
+        mediator = ExperimentMediator.setup(cache_dir=corrupt_dir, **CONFIG)
+        result = mediator.run_one("T2")
+        assert result.rows == cold_results["T2"].rows
+        counters = mediator.cache_stats()["counters"]
+        assert counters["cache.attack-set.corrupt"] == 2
+        assert counters["cache.attack-set.store"] == 2  # regenerated + stored
+
+
+class TestManifestResume:
+    def test_completed_cells_resume_without_recompute(
+        self, cache_dir, cold_results, tmp_path, monkeypatch
+    ):
+        manifest = tmp_path / "manifest.jsonl"
+        first = ExperimentMediator.setup(cache_dir=cache_dir, manifest=manifest, **CONFIG)
+        originals = first.run(["T1", "T2"])
+        assert len(manifest.read_text().splitlines()) == 2
+
+        def refuse(*args, **kwargs):
+            raise AssertionError("resumed run rebuilt data")
+
+        monkeypatch.setattr("repro.eval.data.build_attack_set", refuse)
+        monkeypatch.setattr("repro.eval.data._materialize_corpora", refuse)
+        second = ExperimentMediator.setup(cache_dir=None, manifest=manifest, **CONFIG)
+        resumed = second.run(["T1", "T2"])
+        assert [r.rows for r in resumed] == [r.rows for r in originals]
+        assert [r.timings for r in resumed] == [r.timings for r in originals]
+        assert second.metrics.counter("mediator.cells.resumed").value == 2
+
+    def test_truncated_manifest_line_is_skipped(self, cache_dir, cold_results, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        first = ExperimentMediator.setup(cache_dir=cache_dir, manifest=manifest, **CONFIG)
+        first.run(["T1", "T2"])
+        lines = manifest.read_text().splitlines()
+        # Simulate a SIGKILL mid-write: last record cut off mid-JSON.
+        manifest.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        second = ExperimentMediator.setup(cache_dir=cache_dir, manifest=manifest, **CONFIG)
+        results = second.run(["T1", "T2"])
+        assert len(results) == 2
+        assert second.metrics.counter("mediator.cells.resumed").value == 1
+        assert second.metrics.counter("mediator.cells.run").value == 1
+        # The manifest now records the re-run cell again.
+        assert len(manifest.read_text().splitlines()) == 2
+
+    def test_resume_after_sigkill(self, cache_dir, cold_results, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        # Child: completes T1 (manifest line lands), then hangs inside a
+        # slow experiment until the parent SIGKILLs it.
+        script = textwrap.dedent(
+            f"""
+            import time
+            from repro.eval.experiments import ExperimentResult
+            from repro.eval.mediator import ExperimentMediator
+            from repro.eval.registry import experiment
+
+            @experiment("HANG", title="hangs until killed", needs_data=False,
+                        order=999, in_report=False)
+            def hang():
+                time.sleep(120)
+                return ExperimentResult("HANG", "hangs until killed", rows=[])
+
+            mediator = ExperimentMediator.setup(
+                cache_dir={str(cache_dir)!r}, manifest={str(manifest)!r},
+                n_calibration=4, n_evaluation=4,
+                source_shape=(64, 64), model_input_shape=(16, 16),
+            )
+            mediator.run(["T1", "HANG"])
+            """
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=os.environ.copy(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            wait_until(
+                lambda: manifest.exists() and manifest.read_text().count("\n") >= 1,
+                timeout_s=60.0,
+                message="first manifest line from the child run",
+            )
+        finally:
+            if child.poll() is None:
+                os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, manifest=manifest, **CONFIG)
+        results = mediator.run(["T1", "T2"])
+        assert len(results) == 2
+        assert mediator.metrics.counter("mediator.cells.resumed").value == 1
+        assert results[1].rows == cold_results["T2"].rows
+
+
+class TestFanOut:
+    def test_parallel_rows_equal_serial(self, cache_dir, cold_results):
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        parallel = mediator.run(["T2", "T6"], jobs=2)
+        assert parallel[0].rows == cold_results["T2"].rows
+        assert parallel[1].rows == cold_results["T6"].rows
+
+    def test_parallel_merges_worker_cache_counters(self, cache_dir, cold_results):
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        mediator.run(["T2", "T6"], jobs=2)
+        counters = mediator.cache_stats()["counters"]
+        # Both workers hit the attack-set entries for both corpus roles.
+        assert counters["cache.attack-set.hit"] == 4
+        assert mediator.metrics.counter("mediator.cells.run").value == 2
+
+
+class TestSweep:
+    def test_sweep_product_order_and_overrides(self, cache_dir, cold_results):
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        pairs = mediator.sweep(["T6"], {"epsilon": [4.0, 8.0]})
+        assert [cell.overrides for cell, _ in pairs] == [
+            {"epsilon": 4.0},
+            {"epsilon": 8.0},
+        ]
+        assert all(result.experiment_id == "T6" for _, result in pairs)
+        assert pairs[0][0].key() != pairs[1][0].key()
+        # The epsilon=4 cell reuses the shared-cache corpus untouched.
+        assert pairs[0][1].rows == cold_results["T6"].rows
+
+    def test_unknown_axis_rejected(self, cache_dir):
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        with pytest.raises(EvalError, match="unknown sweep axes"):
+            mediator.sweep(["T6"], {"not_a_field": [1]})
+
+
+class TestApiSurface:
+    def test_available_lists_canonical_order(self):
+        ids = [spec.experiment_id for spec in ExperimentMediator.available()]
+        assert ids[:4] == ["T1", "F8", "F9/F10", "T2"]
+        assert "SW1" in ids and "SW2" in ids
+
+    def test_alias_resolution(self, cache_dir, cold_results):
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, **CONFIG)
+        result = mediator.run_one("F10")
+        assert result.experiment_id == "F9/F10"
+
+    def test_unknown_experiment_raises(self):
+        mediator = ExperimentMediator.setup(**CONFIG)
+        with pytest.raises(EvalError, match="unknown experiment"):
+            mediator.run(["T999"])
+
+    def test_unknown_config_field_raises(self):
+        with pytest.raises(EvalError, match="unknown data config fields"):
+            ExperimentMediator.setup(n_calibration=4, bogus_field=1)
+
+    def test_bad_jobs_raises(self):
+        with pytest.raises(EvalError, match="jobs must be >= 1"):
+            ExperimentMediator.setup(jobs=0, **CONFIG)
+
+    def test_manifest_payload_is_json_round_trippable(self, cache_dir, cold_results, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        mediator = ExperimentMediator.setup(cache_dir=cache_dir, manifest=manifest, **CONFIG)
+        mediator.run(["T2"])
+        payload = json.loads(manifest.read_text().splitlines()[0])
+        assert payload["experiment"] == "T2"
+        assert payload["config"]["n_calibration"] == CONFIG["n_calibration"]
+        assert payload["rows"] == cold_results["T2"].rows
+
+
+class TestSeedThreading:
+    def test_seed_changes_fingerprint_and_corpus(self):
+        base = DataConfig(n_calibration=2, n_evaluation=2, source_shape=(64, 64),
+                          model_input_shape=(16, 16))
+        reseeded = base.replace(seed=1)
+        assert base.fingerprint() != reseeded.fingerprint()
+        a = build_experiment_data(base)
+        b = build_experiment_data(reseeded)
+        assert not np.array_equal(a.calibration.benign[0], b.calibration.benign[0])
+        assert a.seed == 0 and b.seed == 1
+
+    def test_identical_config_identical_fingerprint(self):
+        a = DataConfig(seed=3)
+        b = DataConfig(seed=3)
+        assert a.fingerprint() == b.fingerprint()
