@@ -24,10 +24,17 @@ hits. Hit/miss counts are tracked per intermediate name and, when a
 ``analysis.<intermediate>.hit`` / ``analysis.<intermediate>.miss``
 counters so a serving dashboard can show the shared-work savings.
 
-Numerics contract: every intermediate and scalar equals, **bit for bit**,
-what the pre-context per-detector path produced. The context only removes
-redundant validation, dtype conversion, and recomputation — it never
-changes the math.
+Numerics contract: the scoring mode is captured from
+:func:`repro.imaging.plans.scoring_mode` at construction. In **exact**
+mode every intermediate and scalar equals, bit for bit, what the
+pre-context per-detector path produced — the context only removes
+redundant validation, dtype conversion, and recomputation. In **plan**
+mode (the default) scoring runs through precompiled
+:mod:`repro.imaging.plans`: round trips may use the fused banded
+operators, SSIM uses the C separable filter, and the CSP count comes
+from a real FFT — parity-tested at ≤1e-9 relative on MSE/SSIM with CSP
+counts exactly equal. Calibration artifacts record the mode so cached
+thresholds never mix the two.
 """
 
 from __future__ import annotations
@@ -35,18 +42,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DetectionError
+from repro.imaging.color import to_grayscale
 from repro.imaging.filtering import FILTERS
-from repro.imaging.fourier import log_spectrum_image
+from repro.imaging.fourier import csp_count_from_spectrum, log_spectrum_image
 from repro.imaging.image import ensure_image
-from repro.imaging.metrics import ssim
-from repro.imaging.scaling import get_scaling_operators
+from repro.imaging.metrics import ssim, ssim_fast
+from repro.imaging.plans import csp_count_fast, get_scoring_plan, scoring_mode
 from repro.observability import Metrics
 
 __all__ = ["ImageAnalysis"]
 
 #: Memo key kinds whose values are image-sized arrays (droppable to bound
 #: memory during large calibration sweeps); scalar results are never dropped.
-_ARRAY_KINDS = ("round_trip", "filtered", "log_spectrum")
+_ARRAY_KINDS = ("round_trip", "filtered", "log_spectrum", "gray")
 
 
 class ImageAnalysis:
@@ -62,12 +70,15 @@ class ImageAnalysis:
     float64 — the context and every consumer treat it as read-only.
     """
 
-    __slots__ = ("image", "metrics", "_float", "_memo", "_counts")
+    __slots__ = ("image", "metrics", "mode", "_float", "_memo", "_counts")
 
     def __init__(self, image: np.ndarray, *, metrics: Metrics | None = None) -> None:
         ensure_image(image)
         self.image = image
         self.metrics = metrics
+        #: scoring mode ("plan" or "exact"), captured at construction so
+        #: one context stays internally consistent across a mode switch.
+        self.mode = scoring_mode()
         self._float: np.ndarray | None = None
         self._memo: dict[tuple, object] = {}
         #: per-intermediate [hits, misses], keyed by the kind name
@@ -127,6 +138,24 @@ class ImageAnalysis:
         """Memo key of the centered, normalized log spectrum."""
         return ("log_spectrum",)
 
+    @staticmethod
+    def csp_key(
+        brightness_threshold: float = 160.0,
+        lowpass_radius_fraction: float = 0.5,
+        inner_radius_fraction: float = 0.09,
+        min_area: int = 2,
+        min_prominence: float = 35.0,
+    ) -> tuple:
+        """Memo key of the (scalar) centered-spectrum-point count."""
+        return (
+            "csp",
+            float(brightness_threshold),
+            float(lowpass_radius_fraction),
+            float(inner_radius_fraction),
+            int(min_area),
+            float(min_prominence),
+        )
+
     # -- memo plumbing -----------------------------------------------------
 
     def _compute(self, key: tuple) -> object:
@@ -134,12 +163,10 @@ class ImageAnalysis:
         if kind == "round_trip":
             _, shape, algorithm, up_algorithm = key
             f = self.float_image
-            left_d, right_d = get_scaling_operators(f.shape[:2], shape, algorithm)
-            left_u, right_u = get_scaling_operators(shape, f.shape[:2], up_algorithm)
-            if f.ndim == 2:
-                return (left_u @ ((left_d @ f) @ right_d)) @ right_u
-            down = [(left_d @ f[:, :, c]) @ right_d for c in range(f.shape[2])]
-            return np.stack([(left_u @ plane) @ right_u for plane in down], axis=2)
+            plan = get_scoring_plan(f.shape[:2], shape, algorithm, up_algorithm)
+            if self.mode == "plan":
+                return plan.round_trip(f)
+            return plan.round_trip_exact(f)
         if kind == "filtered":
             _, name, size = key
             if name not in FILTERS:
@@ -148,12 +175,38 @@ class ImageAnalysis:
             return FILTERS[name](self.float_image, size)
         if kind == "log_spectrum":
             return log_spectrum_image(self.image)
+        if kind == "gray":
+            return to_grayscale(self.image)
+        if kind == "csp":
+            _, brightness, lowpass, inner, min_area, min_prominence = key
+            if self.mode == "plan":
+                # Real-FFT fast path: never materializes the normalized
+                # spectrum image (reuses it when already memoized via the
+                # cheaper gray plane).
+                return csp_count_fast(
+                    self.get(("gray",)),
+                    brightness_threshold=brightness,
+                    lowpass_radius_fraction=lowpass,
+                    inner_radius_fraction=inner,
+                    min_area=min_area,
+                    min_prominence=min_prominence,
+                )
+            return csp_count_from_spectrum(
+                self.get(self.log_spectrum_key()),
+                brightness_threshold=brightness,
+                lowpass_radius_fraction=lowpass,
+                inner_radius_fraction=inner,
+                min_area=min_area,
+                min_prominence=min_prominence,
+            )
         if kind == "mse":
             other = self.get(key[1:])
             # Same values, same evaluation order as imaging.metrics.mse —
             # only the redundant per-call float copies are skipped.
             return float(np.mean((self.float_image - other) ** 2))
         if kind == "ssim":
+            if self.mode == "plan":
+                return ssim_fast(self.float_image, self.get(key[1:]))
             return ssim(self.float_image, self.get(key[1:]))
         raise DetectionError(f"unknown analysis intermediate kind {kind!r}")
 
@@ -200,10 +253,13 @@ class ImageAnalysis:
     ) -> np.ndarray:
         """``S = up(down(I))`` through ``shape`` (paper Algorithm 1).
 
-        Bit-identical to
+        In exact mode, bit-identical to
         :func:`repro.imaging.scaling.downscale_then_upscale` on the same
-        image — the operators come from the same process-wide cache and
-        multiply in the same order.
+        image — same operators, same multiplication order. In plan mode
+        the compiled :class:`~repro.imaging.plans.ScoringPlan` may apply
+        the fused banded operators instead (≤1e-9 relative on the
+        derived MSE/SSIM scores; identical whenever the plan's cost
+        model picks the exact strategy).
         """
         return self.get(self.round_trip_key(shape, algorithm, upscale_algorithm))
 
@@ -214,6 +270,36 @@ class ImageAnalysis:
     def log_spectrum(self) -> np.ndarray:
         """Centered log-magnitude spectrum on the 0–255 scale (paper Eq. 4)."""
         return self.get(self.log_spectrum_key())
+
+    def gray(self) -> np.ndarray:
+        """The luma plane (float64), memoized for the fast spectrum path."""
+        return self.get(("gray",))
+
+    def csp_count(
+        self,
+        *,
+        brightness_threshold: float = 160.0,
+        lowpass_radius_fraction: float = 0.5,
+        inner_radius_fraction: float = 0.09,
+        min_area: int = 2,
+        min_prominence: float = 35.0,
+    ) -> int:
+        """Memoized CSP count (paper Algorithm 3), via the mode's path.
+
+        Plan mode counts directly from a real FFT of the luma plane
+        (:func:`repro.imaging.plans.csp_count_fast`); exact mode keeps
+        the legacy normalized-spectrum route. Counts agree exactly on
+        the test corpus.
+        """
+        return self.get(  # type: ignore[return-value]
+            self.csp_key(
+                brightness_threshold,
+                lowpass_radius_fraction,
+                inner_radius_fraction,
+                min_area,
+                min_prominence,
+            )
+        )
 
     # -- residual metrics --------------------------------------------------
 

@@ -12,6 +12,8 @@ reproduction is self-contained:
 * :mod:`repro.imaging.filtering` — order-statistic and smoothing filters
 * :mod:`repro.imaging.fourier` / :mod:`contours` — spectrum analysis
 * :mod:`repro.imaging.metrics` / :mod:`histogram` — similarity metrics
+* :mod:`repro.imaging.plans` — precompiled scoring plans: fused round-trip
+  operators, cached spectrum geometry, and the plan/exact scoring mode
 """
 
 from repro.imaging.color import rgb_to_ycbcr, to_grayscale, to_rgb, ycbcr_to_rgb
@@ -40,7 +42,24 @@ from repro.imaging.fourier import (
 )
 from repro.imaging.histogram import channel_histogram, histogram_distance, histogram_match
 from repro.imaging.image import as_float, as_uint8, ensure_image
-from repro.imaging.metrics import histogram_intersection, mse, psnr, ssim
+from repro.imaging.metrics import histogram_intersection, mse, psnr, ssim, ssim_fast
+from repro.imaging.plans import (
+    PlanCache,
+    ScoringPlan,
+    SpectrumGeometry,
+    clear_plan_caches,
+    csp_count_fast,
+    exact_mode,
+    exact_mode_enabled,
+    geometry_cache_stats,
+    get_scoring_plan,
+    get_spectrum_geometry,
+    plan_cache_stats,
+    scoring_mode,
+    set_exact_mode,
+    spectrum_magnitude_half,
+    spectrum_magnitude_halves,
+)
 from repro.imaging.png import decode_png, encode_png, read_png, write_png
 from repro.imaging.ppm import decode_netpbm, encode_netpbm, read_ppm, write_ppm
 from repro.imaging.scaling import (
@@ -54,23 +73,33 @@ from repro.imaging.scaling import (
 
 __all__ = [
     "ALGORITHMS",
+    "PlanCache",
     "Region",
+    "ScoringPlan",
+    "SpectrumGeometry",
     "as_float",
     "as_uint8",
     "binary_spectrum",
     "centered_spectrum",
     "channel_histogram",
     "clear_operator_cache",
+    "clear_plan_caches",
     "coefficient_sparsity",
     "count_spectrum_points",
     "csp_count",
+    "csp_count_fast",
     "csp_count_from_spectrum",
     "downscale_then_upscale",
     "ensure_image",
+    "exact_mode",
+    "exact_mode_enabled",
     "filter_batch",
     "find_regions",
     "gaussian_filter",
+    "geometry_cache_stats",
     "get_scaling_operators",
+    "get_scoring_plan",
+    "get_spectrum_geometry",
     "histogram_distance",
     "histogram_intersection",
     "histogram_match",
@@ -81,8 +110,13 @@ __all__ = [
     "minimum_filter",
     "mse",
     "operator_cache_stats",
+    "plan_cache_stats",
     "psnr",
     "radial_lowpass_mask",
+    "scoring_mode",
+    "set_exact_mode",
+    "spectrum_magnitude_half",
+    "spectrum_magnitude_halves",
     "decode_netpbm",
     "decode_png",
     "encode_netpbm",
@@ -94,6 +128,7 @@ __all__ = [
     "scaling_matrix",
     "scaling_operators",
     "ssim",
+    "ssim_fast",
     "to_grayscale",
     "to_rgb",
     "uniform_filter",

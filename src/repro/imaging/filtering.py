@@ -34,6 +34,28 @@ __all__ = [
 ]
 
 
+def _sliding_extreme(padded, size: int, axes: tuple[int, int], op) -> np.ndarray:
+    """Window min/max over *padded* via separable shifted-slice reduction.
+
+    Min and max over a rectangle factor into a pass per axis, and each
+    pass is ``size - 1`` elementwise ``np.minimum``/``np.maximum`` calls
+    over shifted views — the same set of elements every window reduction
+    visits, so the result is **bit-identical** to reducing size×size
+    sliding windows while never materializing them.
+    """
+    out = padded
+    for axis in axes:
+        length = out.shape[axis] - size + 1
+        index = [slice(None)] * out.ndim
+        index[axis] = slice(0, length)
+        acc = out[tuple(index)].copy()
+        for shift in range(1, size):
+            index[axis] = slice(shift, shift + length)
+            op(acc, out[tuple(index)], out=acc)
+        out = acc
+    return out
+
+
 def _window_reduce(image: np.ndarray, size: int, reducer) -> np.ndarray:
     """Apply ``reducer`` over every size×size spatial window."""
     ensure_image(image)
@@ -48,6 +70,9 @@ def _window_reduce(image: np.ndarray, size: int, reducer) -> np.ndarray:
     if img.ndim == 3:
         pad.append((0, 0))
     padded = np.pad(img, pad, mode="reflect")
+    if reducer is np.min or reducer is np.max:
+        op = np.minimum if reducer is np.min else np.maximum
+        return _sliding_extreme(padded, size, (0, 1), op)
     windows = sliding_window_view(padded, (size, size), axis=(0, 1))
     # windows shape: (H, W[, C], size, size) -> reduce the trailing two axes.
     return reducer(windows, axis=(-2, -1))
@@ -148,6 +173,10 @@ def filter_batch(stack: np.ndarray, name: str, size: int) -> np.ndarray:
     if img.ndim == 4:
         pad.append((0, 0))
     padded = np.pad(img, pad, mode="reflect")
+    reducer = _REDUCERS[name]
+    if reducer is np.min or reducer is np.max:
+        op = np.minimum if reducer is np.min else np.maximum
+        return _sliding_extreme(padded, size, (1, 2), op)
     windows = sliding_window_view(padded, (size, size), axis=(1, 2))
     # windows shape: (N, H, W[, C], size, size) -> reduce the trailing two.
     return _REDUCERS[name](windows, axis=(-2, -1))

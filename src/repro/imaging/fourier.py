@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import ImageError
 from repro.imaging.color import to_grayscale
 from repro.imaging.image import ensure_image
+from repro.imaging.plans import get_spectrum_geometry
 
 __all__ = [
     "centered_spectrum",
@@ -89,8 +90,7 @@ def binary_spectrum(
     if spectrum is None:
         spectrum = log_spectrum_image(image)
     h, w = spectrum.shape
-    radius = lowpass_radius_fraction * (min(h, w) / 2.0)
-    mask = radial_lowpass_mask((h, w), radius)
+    mask = get_spectrum_geometry((h, w), lowpass_radius_fraction).mask
     return (spectrum >= brightness_threshold) & mask
 
 
@@ -156,8 +156,11 @@ def csp_count_from_spectrum(
     from repro.imaging.contours import find_regions
 
     h, w = spectrum.shape
-    radius = lowpass_radius_fraction * (min(h, w) / 2.0)
-    binary = (spectrum >= brightness_threshold) & radial_lowpass_mask((h, w), radius)
+    # The mask and the radial-distance grid depend only on the spectrum
+    # shape; both come from the per-shape geometry cache (hit rates in
+    # ``pipeline.stats``) instead of being rebuilt per call.
+    geometry = get_spectrum_geometry((h, w), lowpass_radius_fraction)
+    binary = (spectrum >= brightness_threshold) & geometry.mask
 
     center = np.array([h // 2, w // 2], dtype=np.float64)
     inner_radius = inner_radius_fraction * min(h, w)
@@ -169,9 +172,7 @@ def csp_count_from_spectrum(
     if not regions:
         return 1
 
-    rows = np.arange(h) - h // 2
-    cols = np.arange(w) - w // 2
-    radial = np.hypot(rows[:, None], cols[None, :])
+    radial = geometry.radial
     outer = 0
     for region in regions:
         distance = float(np.hypot(*(np.array(region.centroid) - center)))

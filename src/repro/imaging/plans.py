@@ -1,0 +1,649 @@
+"""Precompiled scoring plans: the hot-path compilation layer.
+
+Scoring an image is dominated by two costs: applying the scaling
+operators (four dense matmuls per round trip) and the steganalysis
+spectrum (a full complex FFT plus per-call mask/grid rebuilds). This
+module precompiles both, once per configuration, and caches the results:
+
+* :class:`ScoringPlan` — per ``(src_shape, dst_shape, algorithm,
+  upscale_algorithm)``, the exact operator quadruple *and* the fused
+  round-trip pair ``(Lu@Ld, Rd@Ru)``. The 1-D coefficient matrices have
+  bounded kernel support, so the fused products stay narrow-banded and
+  are stored in CSR-style band form (per-row data + offsets). A
+  deterministic compile-time cost model picks the cheaper application
+  strategy — fused banded contraction or the exact stacked matmuls — so
+  two processes given the same key always produce the same floats.
+* :class:`SpectrumGeometry` — per ``(h, w, lowpass_radius_fraction)``,
+  everything the CSP metric rederives per call today: the radial
+  low-pass mask, the radial-distance grid, the Hermitian index map from
+  centered full-spectrum coordinates into the ``rfft2`` half-spectrum,
+  the low-pass disk index list, and the radius-sorted grid used to
+  answer annulus-median queries with two ``searchsorted`` calls.
+  :func:`csp_count_fast` uses it to score the CSP metric from a real
+  FFT (half the transform work) without materializing the normalized
+  spectrum image.
+
+Both caches are thread-safe LRUs with the hit/miss stats contract of the
+operator cache (``size``/``maxsize``/``hits``/``misses``/``hit_rate``),
+surfaced through ``pipeline.stats`` and ``/metrics``.
+
+Numerics contract
+-----------------
+Plan-mode scores are parity-tested against the exact path at ≤1e-9
+relative on MSE/SSIM; CSP counts are exactly equal on the test corpus.
+The differences come only from summation order (banded contraction,
+``rfft2`` magnitudes); they are zero whenever the cost model selects the
+exact strategy. :func:`set_exact_mode` (or the :func:`exact_mode`
+context manager) restores today's bit-for-bit path end to end;
+:func:`scoring_mode` reports which mode is active so calibration
+artifacts can record their provenance and never mix the two.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ImageError, ScalingError
+from repro.imaging.contours import region_stats_from_points
+from repro.imaging.coefficients import scaling_operators
+
+try:  # SciPy's pocketfft is bit-identical to NumPy's and ~2x faster.
+    import scipy.fft as _sfft
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _sfft = None
+
+try:  # C-speed connected components for the sparse bright-point stats.
+    import scipy.ndimage as _ndimage
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _ndimage = None
+
+_STRUCTURE_8 = np.ones((3, 3), dtype=np.int32)
+
+__all__ = [
+    "PlanCache",
+    "ScoringPlan",
+    "SpectrumGeometry",
+    "get_scoring_plan",
+    "get_spectrum_geometry",
+    "plan_cache_stats",
+    "plan_cache_keys",
+    "geometry_cache_stats",
+    "geometry_cache_keys",
+    "clear_plan_caches",
+    "csp_count_fast",
+    "spectrum_magnitude_half",
+    "spectrum_magnitude_halves",
+    "set_exact_mode",
+    "exact_mode_enabled",
+    "exact_mode",
+    "scoring_mode",
+]
+
+
+# -- scoring mode -----------------------------------------------------------
+
+_EXACT = False
+
+
+def set_exact_mode(enabled: bool) -> None:
+    """Select the bit-for-bit legacy path (True) or plan mode (False).
+
+    Process-wide. :class:`~repro.core.analysis.ImageAnalysis` captures the
+    mode at construction, so contexts created before a switch stay
+    internally consistent.
+    """
+    global _EXACT
+    _EXACT = bool(enabled)
+
+
+def exact_mode_enabled() -> bool:
+    """Whether the bit-for-bit exact path is active."""
+    return _EXACT
+
+
+@contextlib.contextmanager
+def exact_mode(enabled: bool = True) -> Iterator[None]:
+    """Temporarily force exact (or plan) scoring for the enclosed block."""
+    previous = _EXACT
+    set_exact_mode(enabled)
+    try:
+        yield
+    finally:
+        set_exact_mode(previous)
+
+
+def scoring_mode() -> str:
+    """``"exact"`` or ``"plan"`` — recorded in calibration artifacts."""
+    return "exact" if _EXACT else "plan"
+
+
+# -- the cache --------------------------------------------------------------
+
+
+class PlanCache:
+    """Thread-safe LRU mapping hashable keys to compiled plan objects.
+
+    Generalizes the old scaling ``OperatorCache`` (which is now a
+    subclass): same locking discipline — the builder runs *outside* the
+    lock because construction is pure and idempotent, so a rare duplicate
+    build beats serializing every miss — and the same ``stats()``
+    contract (``size``/``maxsize``/``hits``/``misses``/``hit_rate``).
+    """
+
+    def __init__(self, builder: Callable[[tuple], object], maxsize: int = 64) -> None:
+        if maxsize <= 0:
+            raise ScalingError(f"plan cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._builder = builder
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: tuple) -> object:
+        """The compiled plan for *key*, built on first request."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return plan
+            self._misses += 1
+        plan = self._builder(key)
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return plan
+
+    def keys(self) -> list[tuple]:
+        """Current cache keys, least recently used first (for pre-warming)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, float | int]:
+        """Hit/miss counters and the current fill, for dashboards."""
+        with self._lock:
+            hits, misses, size = self._hits, self._misses, len(self._entries)
+        total = hits + misses
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+# -- fused round-trip operators ---------------------------------------------
+
+#: Empirical slowdown of a banded gather+einsum contraction relative to a
+#: dense GEMM multiply-add, used by the compile-time strategy choice. The
+#: model must stay deterministic (no runtime timing): cached experiment
+#: rows are required to be byte-identical across runs and hosts.
+_FUSED_OVERHEAD = 6
+
+
+def _band_form(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-style band storage ``(data, offsets)`` of a narrow-banded matrix.
+
+    Row ``i`` of *matrix* equals ``data[i]`` scattered at columns
+    ``offsets[i] .. offsets[i] + width - 1`` (one shared width, the max
+    per-row nonzero span; offsets are clamped so the window stays in
+    bounds and padded positions hold exact zeros).
+    """
+    n_out, n_in = matrix.shape
+    nonzero = matrix != 0.0
+    has = nonzero.any(axis=1)
+    first = np.where(has, nonzero.argmax(axis=1), 0)
+    last = np.where(has, n_in - 1 - nonzero[:, ::-1].argmax(axis=1), 0)
+    width = max(int((last - first + 1).max()), 1)
+    offsets = np.minimum(first, n_in - width).astype(np.int64)
+    columns = offsets[:, None] + np.arange(width)
+    data = np.take_along_axis(matrix, columns, axis=1)
+    return np.ascontiguousarray(data), offsets
+
+
+def _apply_band_rows(data: np.ndarray, offsets: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``A @ x`` over the last two axes, with ``A`` in band form."""
+    width = data.shape[1]
+    columns = offsets[:, None] + np.arange(width)
+    return np.einsum("ib,...ibw->...iw", data, x[..., columns, :])
+
+
+def _apply_band_cols(data: np.ndarray, offsets: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``x @ B`` over the last two axes, with ``B.T`` in band form."""
+    width = data.shape[1]
+    columns = offsets[:, None] + np.arange(width)
+    return np.einsum("...jb,jb->...j", x[..., columns], data)
+
+
+@dataclass(frozen=True)
+class ScoringPlan:
+    """Compiled round-trip operators for one scaling configuration.
+
+    Holds the exact operator quadruple (shared, read-only arrays from the
+    coefficient cache) plus — when the cost model selects it — the fused
+    pair ``row_op = Lu @ Ld`` and ``col_op = Rd @ Ru`` in band form.
+    :meth:`round_trip` applies the chosen strategy; :meth:`round_trip_exact`
+    is always the bit-for-bit stacked-matmul path.
+    """
+
+    src_shape: tuple[int, int]
+    dst_shape: tuple[int, int]
+    algorithm: str
+    upscale_algorithm: str
+    left_down: np.ndarray = field(repr=False)
+    right_down: np.ndarray = field(repr=False)
+    left_up: np.ndarray = field(repr=False)
+    right_up: np.ndarray = field(repr=False)
+    fused: bool
+    row_band: np.ndarray | None = field(repr=False)
+    row_offsets: np.ndarray | None = field(repr=False)
+    col_band: np.ndarray | None = field(repr=False)
+    col_offsets: np.ndarray | None = field(repr=False)
+
+    def _round_trip_stacked(self, planes: np.ndarray) -> np.ndarray:
+        """Exact 4-matmul round trip over ``(..., H, W)`` stacked planes."""
+        down = np.matmul(np.matmul(self.left_down, planes), self.right_down)
+        return np.matmul(np.matmul(self.left_up, down), self.right_up)
+
+    def _round_trip_fused(self, planes: np.ndarray) -> np.ndarray:
+        rows = _apply_band_rows(self.row_band, self.row_offsets, planes)
+        return _apply_band_cols(self.col_band, self.col_offsets, rows)
+
+    def round_trip_exact(self, float_image: np.ndarray) -> np.ndarray:
+        """``up(down(I))`` — bit-identical to the legacy per-channel loop.
+
+        A batched matmul runs one GEMM per 2-D slice, exactly the GEMMs
+        the old per-channel loop ran, so stacking channels first changes
+        nothing but the Python overhead.
+        """
+        if float_image.ndim == 2:
+            return self._round_trip_stacked(float_image)
+        planes = np.ascontiguousarray(float_image.transpose(2, 0, 1))
+        return np.ascontiguousarray(self._round_trip_stacked(planes).transpose(1, 2, 0))
+
+    def round_trip(self, float_image: np.ndarray) -> np.ndarray:
+        """``up(down(I))`` via the compiled strategy (plan mode)."""
+        if not self.fused:
+            return self.round_trip_exact(float_image)
+        if float_image.ndim == 2:
+            return self._round_trip_fused(float_image)
+        planes = np.ascontiguousarray(float_image.transpose(2, 0, 1))
+        return np.ascontiguousarray(self._round_trip_fused(planes).transpose(1, 2, 0))
+
+    def round_trip_batch(self, stack: np.ndarray, *, exact: bool = False) -> np.ndarray:
+        """Round-trip a ``(N, H, W)`` or ``(N, H, W, C)`` stack at once.
+
+        With ``exact=True`` (or when the plan is not fused) the result is
+        bit-identical to calling :meth:`round_trip_exact` per image.
+        """
+        apply = (
+            self._round_trip_stacked
+            if exact or not self.fused
+            else self._round_trip_fused
+        )
+        if stack.ndim == 3:
+            return apply(stack)
+        planes = np.ascontiguousarray(stack.transpose(0, 3, 1, 2))
+        return np.ascontiguousarray(apply(planes).transpose(0, 2, 3, 1))
+
+
+def _build_scoring_plan(key: tuple) -> ScoringPlan:
+    src_shape, dst_shape, algorithm, upscale_algorithm = key
+    left_down, right_down = scaling_operators(src_shape, dst_shape, algorithm)
+    left_up, right_up = scaling_operators(dst_shape, src_shape, upscale_algorithm)
+    row_op = left_up @ left_down
+    col_op = right_down @ right_up
+    row_band, row_offsets = _band_form(row_op)
+    col_band, col_offsets = _band_form(np.ascontiguousarray(col_op.T))
+    (h, w), (dh, dw) = src_shape, dst_shape
+    exact_madds = dh * h * w + dh * w * dw + h * dh * dw + h * dw * w
+    fused_madds = _FUSED_OVERHEAD * h * w * (row_band.shape[1] + col_band.shape[1])
+    fused = fused_madds < exact_madds
+    for array in (row_band, row_offsets, col_band, col_offsets):
+        array.setflags(write=False)
+    return ScoringPlan(
+        src_shape=src_shape,
+        dst_shape=dst_shape,
+        algorithm=algorithm,
+        upscale_algorithm=upscale_algorithm,
+        left_down=left_down,
+        right_down=right_down,
+        left_up=left_up,
+        right_up=right_up,
+        fused=fused,
+        row_band=row_band if fused else None,
+        row_offsets=row_offsets if fused else None,
+        col_band=col_band if fused else None,
+        col_offsets=col_offsets if fused else None,
+    )
+
+
+_PLAN_CACHE = PlanCache(_build_scoring_plan, maxsize=32)
+
+
+def get_scoring_plan(
+    src_shape: tuple[int, int],
+    dst_shape: tuple[int, int],
+    algorithm: str = "bilinear",
+    upscale_algorithm: str | None = None,
+) -> ScoringPlan:
+    """The compiled :class:`ScoringPlan` for one round-trip configuration."""
+    key = (
+        (int(src_shape[0]), int(src_shape[1])),
+        (int(dst_shape[0]), int(dst_shape[1])),
+        algorithm,
+        upscale_algorithm or algorithm,
+    )
+    return _PLAN_CACHE.lookup(key)
+
+
+# -- spectrum geometry ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpectrumGeometry:
+    """Per-shape constants of the CSP metric (all read-only arrays).
+
+    Coordinates are centered (``fftshift``) full-spectrum coordinates;
+    ``herm`` maps each of them to the flat index of the corresponding
+    ``rfft2`` half-spectrum bin via Hermitian symmetry, which is what
+    lets the fast path run on half the FFT output.
+    """
+
+    shape: tuple[int, int]
+    radius: float
+    mask: np.ndarray = field(repr=False)  # (h, w) bool low-pass disk
+    radial: np.ndarray = field(repr=False)  # (h, w) distance from center
+    herm: np.ndarray = field(repr=False)  # (h, w) int64 half-spectrum flat index
+    disk_flat: np.ndarray = field(repr=False)  # flat full indices, mask True
+    disk_rows: np.ndarray = field(repr=False)  # row coordinate per disk point
+    disk_cols: np.ndarray = field(repr=False)  # col coordinate per disk point
+    disk_radial: np.ndarray = field(repr=False)  # center distance per disk point
+    disk_herm: np.ndarray = field(repr=False)  # half indices of disk points
+    radial_sorted: np.ndarray = field(repr=False)  # sorted radial.ravel()
+    herm_by_radial: np.ndarray = field(repr=False)  # half indices in that order
+
+
+def _build_spectrum_geometry(key: tuple) -> SpectrumGeometry:
+    h, w, lowpass_radius_fraction = key
+    radius = lowpass_radius_fraction * (min(h, w) / 2.0)
+    if radius <= 0:
+        raise ImageError(f"low-pass radius must be positive, got {radius}")
+    rows = np.arange(h) - h // 2
+    cols = np.arange(w) - w // 2
+    dist_sq = rows[:, None] ** 2 + cols[None, :] ** 2
+    mask = dist_sq <= radius * radius
+    radial = np.hypot(rows[:, None], cols[None, :])
+
+    # Hermitian map: centered coordinate (i, j) is unshifted frequency
+    # (u, v) = ((i - h//2) % h, (j - w//2) % w); bins with v >= w//2 + 1
+    # mirror onto ((h - u) % h, w - v) with equal magnitude.
+    half_w = w // 2 + 1
+    u = (np.arange(h)[:, None] - h // 2) % h
+    v = (np.arange(w)[None, :] - w // 2) % w
+    u = np.broadcast_to(u, (h, w)).copy()
+    v = np.broadcast_to(v, (h, w)).copy()
+    mirror = v >= half_w
+    u[mirror] = (h - u[mirror]) % h
+    v[mirror] = w - v[mirror]
+    herm = (u * half_w + v).astype(np.int64)
+
+    disk_flat = np.nonzero(mask.ravel())[0]
+    disk_rows = disk_flat // w
+    disk_cols = disk_flat - disk_rows * w
+    disk_radial = radial.ravel()[disk_flat]
+    disk_herm = herm.ravel()[disk_flat]
+    order = np.argsort(radial.ravel(), kind="stable")
+    radial_sorted = radial.ravel()[order]
+    herm_by_radial = herm.ravel()[order]
+    arrays = (
+        mask,
+        radial,
+        herm,
+        disk_flat,
+        disk_rows,
+        disk_cols,
+        disk_radial,
+        disk_herm,
+        radial_sorted,
+        herm_by_radial,
+    )
+    for array in arrays:
+        array.setflags(write=False)
+    return SpectrumGeometry((h, w), radius, *arrays)
+
+
+_GEOMETRY_CACHE = PlanCache(_build_spectrum_geometry, maxsize=16)
+
+
+def get_spectrum_geometry(
+    shape: tuple[int, int], lowpass_radius_fraction: float = 0.5
+) -> SpectrumGeometry:
+    """The cached :class:`SpectrumGeometry` for one spectrum shape."""
+    key = (int(shape[0]), int(shape[1]), float(lowpass_radius_fraction))
+    return _GEOMETRY_CACHE.lookup(key)
+
+
+# -- fast CSP ---------------------------------------------------------------
+
+
+def spectrum_magnitude_half(gray: np.ndarray) -> np.ndarray:
+    """``|rfft2(gray)|`` — the half-spectrum magnitudes of a luma plane."""
+    if _sfft is not None:
+        return np.abs(_sfft.rfft2(gray))
+    return np.abs(np.fft.rfft2(gray))
+
+
+def spectrum_magnitude_halves(stack: np.ndarray) -> np.ndarray:
+    """Batched :func:`spectrum_magnitude_half` over a ``(N, H, W)`` stack."""
+    if _sfft is not None:
+        return np.abs(_sfft.rfft2(stack, axes=(-2, -1)))
+    return np.abs(np.fft.rfft2(stack, axes=(-2, -1)))
+
+
+def _median_normalized(
+    values: np.ndarray, low: float, scale: float
+) -> float:
+    """``np.median`` of the normalized spectrum over raw magnitude *values*.
+
+    Normalization is strictly monotone in the magnitude, so the median
+    element(s) can be selected on the raw values with ``np.partition``
+    and only the middle one or two need the log/normalize transform —
+    matching ``np.median`` of the fully normalized array bit for bit.
+    """
+    n = values.shape[0]
+    mid = n // 2
+    if n % 2:
+        value = np.partition(values, mid)[mid]
+        return float((np.log1p(value) - low) * scale)
+    part = np.partition(values, [mid - 1, mid])
+    a = (np.log1p(part[mid - 1]) - low) * scale
+    b = (np.log1p(part[mid]) - low) * scale
+    return float((a + b) / 2.0)
+
+
+def csp_count_fast(
+    gray: np.ndarray | None = None,
+    *,
+    magnitude_half: np.ndarray | None = None,
+    shape: tuple[int, int] | None = None,
+    brightness_threshold: float = 160.0,
+    lowpass_radius_fraction: float = 0.5,
+    inner_radius_fraction: float = 0.09,
+    min_area: int = 2,
+    min_prominence: float = 35.0,
+) -> int:
+    """The CSP count from a real FFT and cached geometry (plan mode).
+
+    Pass either *gray* (a 2-D luma plane) or a precomputed
+    *magnitude_half* (``|rfft2|``, from :func:`spectrum_magnitude_halves`
+    in batched callers) together with the original *shape*. Agrees with
+    :func:`repro.imaging.fourier.csp_count_from_spectrum` on the
+    normalized spectrum; counts are exactly equal on the test corpus
+    (the only divergence channel is sub-ulp FFT symmetry at exact
+    threshold boundaries).
+    """
+    if magnitude_half is None:
+        if gray is None:
+            raise ImageError("csp_count_fast needs a luma plane or magnitudes")
+        shape = gray.shape
+        magnitude_half = spectrum_magnitude_half(gray)
+    elif shape is None:
+        raise ImageError("magnitude_half requires the original spectrum shape")
+    h, w = shape
+    geometry = get_spectrum_geometry((h, w), lowpass_radius_fraction)
+
+    flat_magnitude = magnitude_half.ravel()
+    low = float(np.log1p(flat_magnitude.min()))
+    high = float(np.log1p(flat_magnitude.max()))
+    if high - low <= 0:
+        return 1  # constant spectrum: empty binary mask, one central point
+    scale = 255.0 / (high - low)
+
+    # Brightness threshold, evaluated only at low-pass disk points with
+    # the same per-element expression the exact path uses. The
+    # normalization is strictly monotone in the magnitude, so inverting
+    # it once gives a raw-magnitude cutoff; a relative safety margin
+    # far wider than the expression's rounding error makes the raw
+    # candidates a superset, and the exact expression then runs only on
+    # those few points instead of the whole disk.
+    raw_cut = float(np.expm1(brightness_threshold / scale + low)) * (1.0 - 1e-6)
+    disk_magnitude = flat_magnitude[geometry.disk_herm]
+    candidates = np.nonzero(disk_magnitude >= raw_cut)[0]
+    if candidates.size == 0:
+        return 1
+    values = np.log1p(disk_magnitude[candidates])
+    bright = candidates[(values - low) * scale >= brightness_threshold]
+    if bright.size == 0:
+        return 1
+    # All-central shortcut: a centroid is a convex combination of its
+    # region's points, so when every bright point sits strictly inside
+    # the inner radius (margin covering centroid rounding) no region can
+    # pass the distance filter — benign spectra end here, unlabeled.
+    inner_radius = inner_radius_fraction * min(h, w)
+    if float(geometry.disk_radial[bright].max()) <= inner_radius * (1.0 - 1e-9):
+        return 1
+    # The bright points inherit the disk's row-major sort, so they can
+    # be labeled sparsely — same components, same stats as densely
+    # labeling the binary mask, without building one. With scipy the
+    # crop around the bright points goes through ndimage's C labeler;
+    # its component numbering may differ from the dense labeler's, but
+    # the count below is order-invariant and each region's stats are
+    # exact either way (integer and half-integer sums in float64).
+    bright_rows = geometry.disk_rows[bright]
+    bright_cols = geometry.disk_cols[bright]
+    bboxes = None
+    if _ndimage is not None:
+        top = int(bright_rows[0])
+        left = int(bright_cols.min())
+        local_rows = bright_rows - top
+        local_cols = bright_cols - left
+        patch = np.zeros(
+            (int(bright_rows[-1]) - top + 1, int(bright_cols.max()) - left + 1),
+            dtype=bool,
+        )
+        patch[local_rows, local_cols] = True
+        labels, count = _ndimage.label(patch, structure=_STRUCTURE_8)
+        point_labels = labels[local_rows, local_cols]
+        areas = np.bincount(point_labels, minlength=count + 1)[1:]
+        row_sums = np.bincount(
+            point_labels, weights=bright_rows, minlength=count + 1
+        )[1:]
+        col_sums = np.bincount(
+            point_labels, weights=bright_cols, minlength=count + 1
+        )[1:]
+    else:
+        areas, row_sums, col_sums, bboxes = region_stats_from_points(
+            bright_rows, bright_cols
+        )
+    distances = np.hypot(row_sums / areas - h // 2, col_sums / areas - w // 2)
+    keep = (areas >= min_area) & (distances > inner_radius)
+    if not keep.any():
+        return 1
+    if bboxes is None:
+        # Deferred until a region survives the filters: benign spectra
+        # almost never get here, and only the peak windows need boxes.
+        bboxes = np.empty((count, 4), dtype=np.int64)
+        for index, (rows_slice, cols_slice) in enumerate(
+            _ndimage.find_objects(labels)
+        ):
+            bboxes[index] = (
+                rows_slice.start + top,
+                cols_slice.start + left,
+                rows_slice.stop - 1 + top,
+                cols_slice.stop - 1 + left,
+            )
+
+    outer = 0
+    backgrounds: dict[tuple[int, int], float] = {}
+    for index in np.nonzero(keep)[0]:
+        r0, c0, r1, c1 = bboxes[index]
+        window = geometry.herm[r0 : r1 + 1, c0 : c1 + 1]
+        peak = (np.log1p(flat_magnitude[window].max()) - low) * scale
+        distance = float(distances[index])
+        lo = int(
+            np.searchsorted(geometry.radial_sorted, distance - 3.0, side="right")
+        )
+        hi = int(
+            np.searchsorted(geometry.radial_sorted, distance + 3.0, side="left")
+        )
+        # Mirror-symmetric spectrum regions sit at the same radius and
+        # share the exact same annulus window, so the median is memoized
+        # per (lo, hi) slice.
+        background = backgrounds.get((lo, hi))
+        if background is None:
+            if hi > lo:
+                annulus = flat_magnitude[geometry.herm_by_radial[lo:hi]]
+                background = _median_normalized(annulus, low, scale)
+            else:
+                background = 0.0
+            backgrounds[lo, hi] = background
+        if peak - background >= min_prominence:
+            outer += 1
+    return 1 + outer
+
+
+# -- cache surfaces ---------------------------------------------------------
+
+
+def plan_cache_stats() -> dict[str, float | int]:
+    """Hit/miss statistics of the process-wide scoring-plan cache."""
+    return _PLAN_CACHE.stats()
+
+
+def plan_cache_keys() -> list[tuple]:
+    """Keys currently compiled — what a worker pre-warms at spawn."""
+    return _PLAN_CACHE.keys()
+
+
+def geometry_cache_stats() -> dict[str, float | int]:
+    """Hit/miss statistics of the spectrum-geometry cache."""
+    return _GEOMETRY_CACHE.stats()
+
+
+def geometry_cache_keys() -> list[tuple]:
+    """Keys currently in the spectrum-geometry cache."""
+    return _GEOMETRY_CACHE.keys()
+
+
+def clear_plan_caches() -> None:
+    """Reset both plan caches (tests and benchmarks)."""
+    _PLAN_CACHE.clear()
+    _GEOMETRY_CACHE.clear()

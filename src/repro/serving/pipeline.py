@@ -42,6 +42,7 @@ from repro.core.analysis import ImageAnalysis
 from repro.core.ensemble import DetectionEnsemble, build_default_ensemble
 from repro.core.result import EnsembleDetection
 from repro.errors import DetectionError
+from repro.imaging.plans import geometry_cache_stats, plan_cache_stats
 from repro.imaging.scaling import operator_cache_stats, resize
 from repro.observability import Metrics
 from repro.serving.audit import AuditLog, AuditRecord
@@ -74,7 +75,7 @@ class PipelineStats:
     ``as_dict()`` augments the action counters with the per-detector and
     per-stage latency summaries (p50/p95/p99) from the attached
     :class:`~repro.observability.Metrics` registry and the process-wide
-    scaling-operator cache hit rates.
+    scaling-operator, scoring-plan, and spectrum-geometry cache hit rates.
     """
 
     submitted: int = 0
@@ -101,6 +102,8 @@ class PipelineStats:
                 # consumer got for free, misses are actual computations.
                 out["analysis_memo"] = memo
         out["operator_cache"] = operator_cache_stats()
+        out["plan_cache"] = plan_cache_stats()
+        out["spectrum_geometry"] = geometry_cache_stats()
         return out
 
 

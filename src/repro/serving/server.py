@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import CodecError, DetectionError, ImageError, ReproError
+from repro.imaging.plans import geometry_cache_stats, plan_cache_stats
 from repro.imaging.scaling import operator_cache_stats
 from repro.observability import render_prometheus
 from repro.serving.audit import AuditRecord
@@ -468,15 +469,22 @@ class DetectionServer:
 
     def render_metrics(self) -> str:
         """Prometheus text for ``GET /metrics``: the pipeline registry plus
-        point-in-time pipeline action counts, operator-cache stats, and —
-        when sharded — per-worker families labeled by ``worker_id``."""
+        point-in-time pipeline action counts, the operator/plan/geometry
+        cache stats, and — when sharded — per-worker families labeled by
+        ``worker_id``."""
         stats = self.pipeline.stats
         extra = {
             f"pipeline.{name}": float(getattr(stats, name))
             for name in ("submitted", "accepted", "rejected", "quarantined", "sanitized")
         }
-        for key, value in operator_cache_stats().items():
-            extra[f"operator_cache.{key}"] = float(value)
+        caches = {
+            "operator_cache": operator_cache_stats(),
+            "plan_cache": plan_cache_stats(),
+            "spectrum_geometry": geometry_cache_stats(),
+        }
+        for family, cache_stats in caches.items():
+            for key, value in cache_stats.items():
+                extra[f"{family}.{key}"] = float(value)
         labeled = self._pool.labeled_families() if self._pool is not None else {}
         return render_prometheus(
             self.metrics,

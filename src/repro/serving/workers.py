@@ -43,6 +43,14 @@ from dataclasses import dataclass
 
 from repro.core.ensemble import DetectionEnsemble
 from repro.errors import CodecError, DetectionError, ImageError, ReproError
+from repro.imaging.plans import (
+    geometry_cache_keys,
+    get_scoring_plan,
+    get_spectrum_geometry,
+    plan_cache_keys,
+    scoring_mode,
+    set_exact_mode,
+)
 from repro.observability import Metrics
 from repro.serving.audit import AuditLog, AuditRecord
 from repro.serving.pipeline import ProtectedPipeline, verdict_payload
@@ -79,6 +87,14 @@ class WorkerSpec:
     #: quarantine destination, or None when the policy never quarantines.
     audit_log_path: str | None = None
     quarantine_dir: str | None = None
+    #: scoring-plan / spectrum-geometry cache keys warm in the parent when
+    #: the pool started; each shard compiles them at spawn so its first
+    #: request pays no plan-build latency.
+    warm_plan_keys: tuple = ()
+    warm_geometry_keys: tuple = ()
+    #: the parent's scoring mode ("plan" or "exact"), applied in the shard
+    #: before its pipeline is built so shard verdicts match the parent's.
+    scoring_mode: str = "plan"
 
     @classmethod
     def from_pipeline(cls, pipeline: ProtectedPipeline) -> "WorkerSpec":
@@ -108,7 +124,24 @@ class WorkerSpec:
             detectors_pickle=blob,
             audit_log_path=str(audit.log_path) if quarantines else None,
             quarantine_dir=str(audit.quarantine_dir) if quarantines else None,
+            warm_plan_keys=tuple(plan_cache_keys()),
+            warm_geometry_keys=tuple(geometry_cache_keys()),
+            scoring_mode=scoring_mode(),
         )
+
+    def apply_process_state(self) -> None:
+        """Install the parent's scoring mode and pre-warm the plan caches.
+
+        Called in the shard process before it answers any job: plan/geometry
+        compilation happens during the startup grace window instead of on
+        the first request, and the shard scores in the same mode the parent
+        calibrated in.
+        """
+        set_exact_mode(self.scoring_mode == "exact")
+        for src_shape, dst_shape, algorithm, upscale in self.warm_plan_keys:
+            get_scoring_plan(src_shape, dst_shape, algorithm, upscale)
+        for height, width, lowpass in self.warm_geometry_keys:
+            get_spectrum_geometry((height, width), lowpass)
 
     def build_pipeline(self) -> ProtectedPipeline:
         """Reconstruct the calibrated pipeline inside a shard process."""
@@ -840,6 +873,7 @@ def _worker_main(
     only to a shard's first incarnation so respawn recovers naturally.
     """
     faults = _parse_faults(fault_spec, worker_id) if restarts == 0 else _Faults()
+    spec.apply_process_state()
     pipeline = spec.build_pipeline()
     errors = 0
     heartbeats_sent = 0

@@ -25,6 +25,7 @@ from repro.errors import DetectionError, ImageError
 from repro.imaging.filtering import FILTERS
 from repro.imaging.fourier import csp_count, log_spectrum_image
 from repro.imaging.metrics import mse, ssim
+from repro.imaging.plans import exact_mode
 from repro.imaging.scaling import downscale_then_upscale
 from repro.observability import Metrics
 
@@ -132,20 +133,38 @@ class TestExactParity:
     def test_scaling_matches_legacy_computation(self, benign_images, attack_images):
         for image in [*benign_images[:2], *attack_images[:2]]:
             reconstructed = downscale_then_upscale(image, MODEL_INPUT, "bilinear")
-            analysis = ImageAnalysis(image)
             mse_detector = ScalingDetector(MODEL_INPUT, metric="mse", threshold=_GREATER)
             ssim_detector = ScalingDetector(MODEL_INPUT, metric="ssim", threshold=_LESS)
-            assert mse_detector.score_from(analysis) == mse(image, reconstructed)
-            assert ssim_detector.score_from(analysis) == ssim(image, reconstructed)
+            # Exact mode keeps the legacy bit-for-bit guarantee.
+            with exact_mode():
+                analysis = ImageAnalysis(image)
+                assert mse_detector.score_from(analysis) == mse(image, reconstructed)
+                assert ssim_detector.score_from(analysis) == ssim(image, reconstructed)
+            # Plan mode (the default) is held to the documented 1e-9 band.
+            planned = ImageAnalysis(image)
+            assert mse_detector.score_from(planned) == pytest.approx(
+                mse(image, reconstructed), rel=1e-9
+            )
+            assert ssim_detector.score_from(planned) == pytest.approx(
+                ssim(image, reconstructed), rel=1e-9
+            )
 
     def test_filtering_matches_legacy_computation(self, benign_images, attack_images):
         for image in [*benign_images[:2], *attack_images[:2]]:
             filtered = FILTERS["minimum"](image, 2)
-            analysis = ImageAnalysis(image)
             mse_detector = FilteringDetector(metric="mse", threshold=_GREATER)
             ssim_detector = FilteringDetector(metric="ssim", threshold=_LESS)
-            assert mse_detector.score_from(analysis) == mse(image, filtered)
-            assert ssim_detector.score_from(analysis) == ssim(image, filtered)
+            with exact_mode():
+                analysis = ImageAnalysis(image)
+                assert mse_detector.score_from(analysis) == mse(image, filtered)
+                assert ssim_detector.score_from(analysis) == ssim(image, filtered)
+            planned = ImageAnalysis(image)
+            assert mse_detector.score_from(planned) == pytest.approx(
+                mse(image, filtered), rel=1e-9
+            )
+            assert ssim_detector.score_from(planned) == pytest.approx(
+                ssim(image, filtered), rel=1e-9
+            )
 
     def test_steganalysis_matches_legacy_computation(self, benign_images, attack_images):
         detector = SteganalysisDetector()

@@ -1,0 +1,364 @@
+"""Precompiled scoring plans: parity sweeps and vectorization oracles.
+
+The numerics contract (see ``repro.imaging.plans``) in test form:
+
+* ``round_trip_exact`` is **bit-for-bit** the legacy
+  ``downscale_then_upscale`` path, and batch slices are bit-for-bit the
+  per-image applications;
+* plan-mode round trips keep MSE/SSIM scores within 1e-9 relative of the
+  exact path, and CSP counts **exactly** equal;
+* every vectorized substrate (area matrix, run labeler, fused channel
+  matmul) matches its retained reference implementation exactly.
+
+Sweeps are seeded per case, so a failure names a reproducible image.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.imaging.coefficients import _area_matrix, _area_matrix_reference
+from repro.imaging.color import to_grayscale
+from repro.imaging.contours import (
+    find_regions,
+    label_components,
+    label_components_bfs,
+    label_runs,
+    region_stats_from_points,
+    region_stats_from_runs,
+)
+from repro.imaging.fourier import csp_count_from_spectrum, log_spectrum_image
+from repro.imaging.metrics import mse, ssim, ssim_fast
+from repro.imaging.plans import (
+    PlanCache,
+    csp_count_fast,
+    exact_mode,
+    get_scoring_plan,
+    get_spectrum_geometry,
+    scoring_mode,
+    set_exact_mode,
+    spectrum_magnitude_half,
+    spectrum_magnitude_halves,
+)
+from repro.imaging.scaling import (
+    ALGORITHMS,
+    downscale_then_upscale,
+    get_scaling_operators,
+    resize,
+)
+
+#: The documented plan-mode score tolerance.
+REL_TOL = 1e-9
+
+# (src_shape, dst_shape, algorithms): the full algorithm grid on small and
+# mid shapes, a spot check on the big odd-sized one (matrix construction
+# there is identical, only the band widths change).
+SWEEP = [
+    ((8, 8), (4, 4), ALGORITHMS),
+    ((16, 12), (5, 4), ALGORITHMS),
+    ((32, 32), (8, 8), ALGORITHMS),
+    ((57, 43), (16, 16), ALGORITHMS),
+    ((96, 64), (24, 16), ("bilinear", "bicubic")),
+    ((257, 263), (32, 32), ("bilinear", "lanczos4")),
+]
+
+
+def _sweep_cases():
+    """(src, dst, algorithm, channels, dtype) — channel count and dtype
+    rotate through the sweep so every combination appears without a full
+    cross product."""
+    cases = []
+    for src, dst, algorithms in SWEEP:
+        for algorithm in algorithms:
+            index = len(cases)
+            channels = (None, 3)[index % 2]
+            dtype = (np.uint8, np.float64)[(index // 2) % 2]
+            cases.append((src, dst, algorithm, channels, dtype, index))
+    return cases
+
+
+def _case_id(case):
+    src, dst, algorithm, channels, dtype, _ = case
+    kind = "gray" if channels is None else "color"
+    return f"{src[0]}x{src[1]}-{dst[0]}x{dst[1]}-{algorithm}-{kind}-{np.dtype(dtype).name}"
+
+
+def _make_image(src, channels, dtype, seed):
+    rng = np.random.default_rng(seed)
+    shape = src if channels is None else (*src, channels)
+    values = rng.uniform(0.0, 255.0, size=shape)
+    if dtype is np.uint8:
+        return values.astype(np.uint8)
+    return values
+
+
+@pytest.fixture(params=_sweep_cases(), ids=_case_id)
+def sweep_case(request):
+    src, dst, algorithm, channels, dtype, index = request.param
+    image = _make_image(src, channels, dtype, seed=(2026, index))
+    return src, dst, algorithm, image
+
+
+class TestRoundTripParity:
+    def test_exact_path_bit_identical(self, sweep_case):
+        src, dst, algorithm, image = sweep_case
+        plan = get_scoring_plan(src, dst, algorithm)
+        reference = downscale_then_upscale(image, dst, algorithm)
+        assert np.array_equal(plan.round_trip_exact(np.asarray(image, np.float64)), reference)
+
+    def test_plan_scores_within_tolerance(self, sweep_case):
+        src, dst, algorithm, image = sweep_case
+        plan = get_scoring_plan(src, dst, algorithm)
+        planned = plan.round_trip(np.asarray(image, np.float64))
+        reference = downscale_then_upscale(image, dst, algorithm)
+        assert mse(image, planned) == pytest.approx(mse(image, reference), rel=REL_TOL)
+        if src[0] <= 96:  # SSIM is the slow metric; the big case adds nothing
+            assert ssim(image, planned) == pytest.approx(
+                ssim(image, reference), rel=REL_TOL
+            )
+
+    def test_batch_slices_match_serial(self, sweep_case):
+        src, dst, algorithm, image = sweep_case
+        plan = get_scoring_plan(src, dst, algorithm)
+        stack = np.stack(
+            [np.asarray(image, np.float64), np.asarray(image[::-1], np.float64)]
+        )
+        for exact in (False, True):
+            batch = plan.round_trip_batch(stack, exact=exact)
+            for index in range(stack.shape[0]):
+                single = (
+                    plan.round_trip_exact(stack[index])
+                    if exact
+                    else plan.round_trip(stack[index])
+                )
+                assert np.array_equal(batch[index], single)
+
+    def test_mixed_upscale_algorithm(self):
+        image = _make_image((64, 48), 3, np.uint8, seed=99)
+        plan = get_scoring_plan((64, 48), (16, 12), "area", "bicubic")
+        reference = downscale_then_upscale(image, (16, 12), "area", "bicubic")
+        assert np.array_equal(
+            plan.round_trip_exact(np.asarray(image, np.float64)), reference
+        )
+        assert mse(image, plan.round_trip(np.asarray(image, np.float64))) == (
+            pytest.approx(mse(image, reference), rel=REL_TOL)
+        )
+
+
+class TestSpectrumParity:
+    def test_csp_counts_exactly_equal_on_corpus(self, benign_images, attack_images):
+        for image in [*benign_images, *attack_images]:
+            fast = csp_count_fast(to_grayscale(image))
+            exact = csp_count_from_spectrum(log_spectrum_image(image))
+            assert fast == exact
+
+    def test_csp_counts_exactly_equal_on_random_planes(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            h, w = int(rng.integers(32, 140)), int(rng.integers(32, 140))
+            image = rng.uniform(0, 255, size=(h, w, 3))
+            fast = csp_count_fast(to_grayscale(image))
+            exact = csp_count_from_spectrum(log_spectrum_image(image))
+            assert fast == exact, (seed, h, w)
+
+    def test_batched_halves_match_single(self):
+        rng = np.random.default_rng(7)
+        stack = rng.uniform(0, 255, size=(4, 33, 47))
+        halves = spectrum_magnitude_halves(stack)
+        for index in range(stack.shape[0]):
+            assert np.array_equal(halves[index], spectrum_magnitude_half(stack[index]))
+
+    def test_count_from_half_equals_count_from_gray(self):
+        rng = np.random.default_rng(11)
+        stack = rng.uniform(0, 255, size=(3, 64, 64))
+        halves = spectrum_magnitude_halves(stack)
+        for index in range(stack.shape[0]):
+            assert csp_count_fast(
+                magnitude_half=halves[index], shape=(64, 64)
+            ) == csp_count_fast(stack[index])
+
+    def test_geometry_matches_public_mask(self):
+        from repro.imaging.fourier import radial_lowpass_mask
+
+        for shape in [(16, 16), (33, 47), (128, 128)]:
+            geometry = get_spectrum_geometry(shape)
+            radius = 0.5 * (min(shape) / 2.0)
+            assert np.array_equal(geometry.mask, radial_lowpass_mask(shape, radius))
+
+
+class TestSsimFast:
+    def test_matches_ssim_within_tolerance(self):
+        rng = np.random.default_rng(3)
+        for shape in [(11, 11), (40, 48, 3), (128, 128, 3), (8, 8)]:
+            a = rng.uniform(0, 255, size=shape)
+            b = np.clip(a + rng.normal(0, 12, size=shape), 0, 255)
+            assert ssim_fast(a, b) == pytest.approx(ssim(a, b), rel=REL_TOL)
+
+    def test_even_window_falls_back_bit_identical(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 255, size=(32, 32))
+        b = rng.uniform(0, 255, size=(32, 32))
+        assert ssim_fast(a, b, window_size=8) == ssim(a, b, window_size=8)
+
+
+def _edge_masks():
+    eye = np.eye(9, dtype=bool)
+    return {
+        "single-pixel": np.pad(np.ones((1, 1), bool), 3),
+        "full-true": np.ones((7, 11), bool),
+        "empty": np.zeros((5, 5), bool),
+        "diagonal": eye,
+        "anti-diagonal": eye[::-1],
+        "checker": (np.indices((8, 8)).sum(axis=0) % 2).astype(bool),
+        "one-row": np.ones((1, 17), bool),
+        "one-col": np.ones((17, 1), bool),
+    }
+
+
+class TestLabelerEquivalence:
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    @pytest.mark.parametrize("name", sorted(_edge_masks()))
+    def test_edge_masks_match_bfs(self, name, connectivity):
+        mask = _edge_masks()[name]
+        labels, count = label_components(mask, connectivity=connectivity)
+        ref_labels, ref_count = label_components_bfs(mask, connectivity=connectivity)
+        assert count == ref_count
+        assert np.array_equal(labels, ref_labels)
+
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_random_masks_match_bfs(self, connectivity):
+        for seed in range(12):
+            rng = np.random.default_rng((connectivity, seed))
+            h, w = int(rng.integers(1, 40)), int(rng.integers(1, 40))
+            mask = rng.random((h, w)) < rng.uniform(0.05, 0.95)
+            labels, count = label_components(mask, connectivity=connectivity)
+            ref_labels, ref_count = label_components_bfs(mask, connectivity=connectivity)
+            assert count == ref_count, (connectivity, seed)
+            assert np.array_equal(labels, ref_labels), (connectivity, seed)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(_edge_masks()) if n != "empty"]
+    )
+    def test_sparse_point_stats_match_dense_runs(self, name):
+        mask = _edge_masks()[name]
+        self._assert_points_match_runs(mask)
+
+    def test_sparse_point_stats_match_dense_runs_random(self):
+        for seed in range(10):
+            rng = np.random.default_rng((41, seed))
+            h, w = int(rng.integers(1, 36)), int(rng.integers(1, 36))
+            mask = rng.random((h, w)) < rng.uniform(0.05, 0.95)
+            if mask.any():
+                self._assert_points_match_runs(mask)
+
+    @staticmethod
+    def _assert_points_match_runs(mask):
+        rows, starts, ends, components, count = label_runs(mask, connectivity=8)
+        expected = region_stats_from_runs(rows, starts, ends, components, count)
+        got = region_stats_from_points(*np.nonzero(mask))
+        for got_array, want_array in zip(got, expected):
+            assert got_array.dtype == want_array.dtype
+            assert np.array_equal(got_array, want_array)
+
+    def test_find_regions_matches_bfs_stats(self):
+        for seed in range(6):
+            rng = np.random.default_rng((99, seed))
+            mask = rng.random((30, 30)) < 0.4
+            labels, count = label_components_bfs(mask, connectivity=8)
+            for min_area in (1, 2, 4):
+                regions = find_regions(mask, min_area=min_area)
+                expected = []
+                for label in range(1, count + 1):
+                    rows, cols = np.nonzero(labels == label)
+                    if rows.size < min_area:
+                        continue
+                    expected.append(
+                        (
+                            label,
+                            rows.size,
+                            (float(rows.mean()), float(cols.mean())),
+                            (rows.min(), cols.min(), rows.max(), cols.max()),
+                        )
+                    )
+                got = [(r.label, r.area, r.centroid, r.bbox) for r in regions]
+                assert got == expected, (seed, min_area)
+
+
+class TestAreaMatrixVectorization:
+    def test_matches_reference_exactly(self):
+        pairs = [(1, 1), (4, 4), (7, 3), (8, 4), (16, 5), (97, 13), (256, 32), (263, 57)]
+        for n_in, n_out in pairs:
+            assert np.array_equal(
+                _area_matrix(n_in, n_out), _area_matrix_reference(n_in, n_out)
+            ), (n_in, n_out)
+
+
+class TestChannelFusion:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_resize_color_bit_identical_to_per_channel(self, algorithm):
+        image = _make_image((41, 37), 3, np.float64, seed=5)
+        left, right = get_scaling_operators((41, 37), (13, 11), algorithm)
+        reference = np.stack(
+            [left @ image[:, :, c] @ right for c in range(3)], axis=2
+        )
+        assert np.array_equal(resize(image, (13, 11), algorithm), reference)
+
+
+class TestPlanCacheContract:
+    def test_stats_and_lru_eviction(self):
+        built = []
+        cache = PlanCache(lambda key: built.append(key) or key * 2, maxsize=2)
+        assert cache.lookup(1) == 2
+        assert cache.lookup(1) == 2
+        assert cache.lookup(2) == 4
+        cache.lookup(1)  # refresh 1 so 2 is now least recent
+        cache.lookup(3)  # evicts 2
+        assert cache.keys() == [1, 3]
+        cache.lookup(2)  # rebuilt
+        assert built == [1, 2, 3, 2]
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["maxsize"] == 2
+        assert stats["misses"] == 4
+        assert stats["hits"] == 2
+        assert stats["hit_rate"] == pytest.approx(2 / 6)
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ScalingError):
+            PlanCache(lambda key: key, maxsize=0)
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = PlanCache(lambda key: key, maxsize=4)
+        cache.lookup("a")
+        cache.lookup("a")
+        cache.clear()
+        assert cache.keys() == []
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+
+class TestScoringMode:
+    def test_context_manager_restores(self):
+        assert scoring_mode() == "plan"
+        with exact_mode():
+            assert scoring_mode() == "exact"
+            with exact_mode():
+                assert scoring_mode() == "exact"
+            assert scoring_mode() == "exact"
+        assert scoring_mode() == "plan"
+
+    def test_set_exact_mode_round_trips(self):
+        try:
+            set_exact_mode(True)
+            assert scoring_mode() == "exact"
+        finally:
+            set_exact_mode(False)
+        assert scoring_mode() == "plan"
+
+    def test_analysis_captures_mode_at_construction(self, benign_images):
+        from repro.core.analysis import ImageAnalysis
+
+        with exact_mode():
+            frozen = ImageAnalysis(benign_images[0])
+        assert frozen.mode == "exact"
+        assert ImageAnalysis(benign_images[0]).mode == "plan"

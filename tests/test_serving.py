@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DetectionError, ReproError
+from repro.imaging.plans import exact_mode
 from repro.serving import AuditLog, AuditRecord, Policy, ProtectedPipeline
 
 from tests.conftest import MODEL_INPUT
@@ -63,7 +64,14 @@ class TestPolicies:
         # artifacts — one per member intermediate, no recomputation.
         assert any(name.startswith("poison-1.round_trip_") for name in stored)
         assert "poison-1.filtered_minimum_2.png" in stored
-        assert "poison-1.log_spectrum.png" in stored
+        # Plan-mode steganalysis counts spectrum points from the half
+        # spectrum and never renders the full log-spectrum image, so that
+        # artifact only exists when scoring in exact mode.
+        assert "poison-1.log_spectrum.png" not in stored
+        with exact_mode():
+            pipeline.submit(attack_images[0], image_id="poison-2")
+        stored = {p.name for p in (tmp_path / "q").glob("*.png")}
+        assert "poison-2.log_spectrum.png" in stored
 
     def test_sanitize_policy_neutralizes(self, benign_images, attack_images, target_images):
         from repro.imaging.metrics import mse
