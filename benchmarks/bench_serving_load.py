@@ -1,167 +1,57 @@
-"""Serving load benchmark: throughput and tail latency over HTTP.
+"""Serving load benchmark: a thin wrapper over the ``serving-load`` scenario.
 
-Starts a :class:`DetectionServer` on an ephemeral port (loopback, real
-sockets, real codec work) and drives it with a multi-threaded closed-loop
-load generator — each worker holds its own keep-alive
-:class:`DetectionClient` and fires requests back-to-back. For every
-concurrency level the run records throughput and exact p50/p95/p99
-client-observed latency, and the table is written to
-``benchmarks/results/bench_serving_load.txt``.
+The closed-loop concurrency sweep that used to live here as a bespoke
+generator is now the checked-in load-lab scenario
+``benchmarks/scenarios/serving-load.json`` (a 1 -> 8 client ramp against
+an in-process server). This wrapper runs it through
+:func:`repro.loadlab.runner.run_scenario`, records the schema-versioned
+result JSON under ``benchmarks/results/``, and keeps the old rendered
+table at ``benchmarks/results/bench_serving_load.txt``.
 
 Run standalone for the full sweep::
 
     PYTHONPATH=src python benchmarks/bench_serving_load.py
 
-or through pytest (small request budget, same code path)::
+or through pytest (shorter levels, same code path)::
 
     PYTHONPATH=src pytest benchmarks/bench_serving_load.py --benchmark-only
 """
 
 from __future__ import annotations
 
-import threading
-import time
 from pathlib import Path
 
-import numpy as np
+from repro.loadlab import load_scenario, render_table, run_scenario
 
-from repro.datasets.synthetic import generate_image
-from repro.imaging.image import as_uint8
-from repro.serving import DetectionClient, DetectionServer, ProtectedPipeline, ServerConfig
-from repro.serving.wire import encode_image_payload
-
-RESULTS_PATH = Path(__file__).parent / "results" / "bench_serving_load.txt"
-
-SOURCE_SHAPE = (128, 128)
-MODEL_INPUT = (16, 16)
-CONCURRENCY_LEVELS = (1, 2, 4, 8)
+SCENARIO_PATH = Path(__file__).parent / "scenarios" / "serving-load.json"
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_serving_load.txt"
 
 
-def _build_server(max_active: int) -> tuple[DetectionServer, list[bytes]]:
-    rng_keys = range(8)
-    benign = [
-        generate_image(SOURCE_SHAPE, np.random.default_rng((7, key)), family="neurips")
-        for key in rng_keys
-    ]
-    pipeline = ProtectedPipeline(MODEL_INPUT)
-    pipeline.calibrate(benign, percentile=5.0)
-    server = DetectionServer(
-        pipeline,
-        ServerConfig(
-            port=0,
-            max_active=max_active,
-            queue_depth=256,
-            deadline_ms=60_000.0,
-        ),
+def run_load_sweep(duration_scale: float = 1.0) -> dict:
+    """The full sweep; returns the result dict and saves table + JSON."""
+    scenario = load_scenario(SCENARIO_PATH)
+    result = run_scenario(
+        scenario, out_dir=RESULTS_DIR, duration_scale=duration_scale
     )
-    server.start()
-    # Pre-encoded payloads so the generator measures the service, not the
-    # client's PNG encoder.
-    payloads = [encode_image_payload(as_uint8(image)) for image in benign]
-    return server, payloads
-
-
-def _drive(
-    host: str, port: int, payloads: list[bytes], concurrency: int, total_requests: int
-) -> dict[str, float]:
-    """Closed-loop load at one concurrency level; returns the stats row."""
-    per_worker = total_requests // concurrency
-    latencies_ms: list[list[float]] = [[] for _ in range(concurrency)]
-    errors: list[Exception] = []
-
-    def worker(worker_id: int) -> None:
-        try:
-            with DetectionClient(host, port, max_retries=2) as client:
-                for index in range(per_worker):
-                    payload = payloads[(worker_id + index) % len(payloads)]
-                    start = time.perf_counter()
-                    client.detect(payload=payload)
-                    latencies_ms[worker_id].append(
-                        (time.perf_counter() - start) * 1000.0
-                    )
-        except Exception as exc:  # noqa: BLE001 - recorded for the report
-            errors.append(exc)
-
-    threads = [threading.Thread(target=worker, args=(w,)) for w in range(concurrency)]
-    wall_start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    wall_s = time.perf_counter() - wall_start
-    if errors:
-        raise errors[0]
-    flat = np.sort(np.concatenate([np.asarray(chunk) for chunk in latencies_ms]))
-    return {
-        "concurrency": concurrency,
-        "requests": len(flat),
-        "wall_s": wall_s,
-        "throughput_rps": len(flat) / wall_s,
-        "p50_ms": float(np.percentile(flat, 50)),
-        "p95_ms": float(np.percentile(flat, 95)),
-        "p99_ms": float(np.percentile(flat, 99)),
-        "max_ms": float(flat[-1]),
-    }
-
-
-def run_load_sweep(total_requests: int = 200) -> str:
-    """The full sweep; returns (and saves) the rendered table."""
-    server, payloads = _build_server(max_active=max(CONCURRENCY_LEVELS))
-    host, port = server.address
-    rows = []
-    try:
-        with DetectionClient(host, port) as probe:
-            probe.wait_ready(timeout_s=30.0)
-            probe.detect(payload=payloads[0])  # warm caches before timing
-        for concurrency in CONCURRENCY_LEVELS:
-            rows.append(_drive(host, port, payloads, concurrency, total_requests))
-    finally:
-        server.shutdown()
-
-    header = (
-        f"Serving load sweep — {SOURCE_SHAPE[0]}x{SOURCE_SHAPE[1]} PNG uploads, "
-        f"model input {MODEL_INPUT[0]}x{MODEL_INPUT[1]}, loopback HTTP, "
-        f"{total_requests} requests per level\n"
-    )
-    lines = [
-        header,
-        f"{'conc':>4} {'reqs':>6} {'throughput':>12} {'p50':>9} {'p95':>9} "
-        f"{'p99':>9} {'max':>9}",
-    ]
-    for row in rows:
-        lines.append(
-            f"{row['concurrency']:>4d} {row['requests']:>6d} "
-            f"{row['throughput_rps']:>8.1f} req/s "
-            f"{row['p50_ms']:>6.1f} ms {row['p95_ms']:>6.1f} ms "
-            f"{row['p99_ms']:>6.1f} ms {row['max_ms']:>6.1f} ms"
-        )
-    text = "\n".join(lines) + "\n"
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(text)
-    return text
+    RESULTS_PATH.write_text(render_table(result), encoding="utf-8")
+    return result
 
 
 def test_serving_load_sweep(run_once):
     """Benchmark-suite entry: a reduced sweep through the same code path.
 
-    Acceptance: scaling out workers never drops throughput below 90% of
+    Acceptance: scaling out clients never drops throughput below 90% of
     the single-client baseline (loopback HTTP should scale to max_active).
     """
-    text = run_once(run_load_sweep, total_requests=64)
-    print("\n" + text)
+    result = run_once(run_load_sweep, duration_scale=0.5)
+    print("\n" + render_table(result))
 
-    def throughput(line: str) -> float:
-        return float(line.split("req/s")[0].split()[-1])
-
-    data_lines = [
-        line for line in text.splitlines()
-        if "req/s" in line and "throughput" not in line
-    ]
-    assert len(data_lines) == len(CONCURRENCY_LEVELS)
-    baseline = throughput(data_lines[0])
-    best = max(throughput(line) for line in data_lines)
-    assert best >= baseline * 0.9, text
+    throughputs = [row["throughput_rps"]["value"] for row in result["levels"]]
+    assert len(throughputs) == 4
+    baseline = throughputs[0]
+    assert max(throughputs) >= baseline * 0.9, render_table(result)
 
 
 if __name__ == "__main__":
-    print(run_load_sweep())
+    print(render_table(run_load_sweep()))

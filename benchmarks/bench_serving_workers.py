@@ -1,22 +1,24 @@
-"""Worker-shard scaling benchmark: in-process vs sharded serving.
+"""Worker-shard scaling benchmark: thin wrapper over the scaling scenarios.
 
-Reuses the closed-loop generator from :mod:`bench_serving_load` but
-sweeps the *server's* parallelism instead of the client's: the same
-request stream is driven (at fixed client concurrency 4) against an
-in-process server (``workers=0``, the PR 3 baseline path), a single
-shard, and four shards. The table records throughput and tail latency
-per configuration plus the host context — scaling headroom is physics:
-on an N-core host, more than min(N, workers) shards cannot help, so the
-pass/fail gate for "4 workers ≥ 2x the in-process baseline" only applies
-where the hardware can express it (``os.cpu_count() >= 4``). The numbers
-are recorded honestly either way in
-``benchmarks/results/bench_serving_workers.txt``.
+The in-process vs sharded comparison that used to live here as a bespoke
+generator is now three checked-in load-lab scenarios —
+``benchmarks/scenarios/worker-scaling-{0,1,4}.json`` — identical closed
+loops (4 clients, benign uploads) differing only in the server's shard
+count. This wrapper runs all three through
+:func:`repro.loadlab.runner.run_scenario`, records each schema-versioned
+result JSON under ``benchmarks/results/``, and keeps the combined table
+at ``benchmarks/results/bench_serving_workers.txt``.
+
+Scaling headroom is physics: on an N-core host, more than min(N, workers)
+shards cannot help, so the pass/fail gate for "4 workers >= 2x the
+in-process baseline" only applies where the hardware can express it
+(``os.cpu_count() >= 4``). The numbers are recorded honestly either way.
 
 Run standalone for the full sweep::
 
     PYTHONPATH=src python benchmarks/bench_serving_workers.py
 
-or through pytest (small request budget, same code path)::
+or through pytest (shorter levels, same code path)::
 
     PYTHONPATH=src pytest benchmarks/bench_serving_workers.py --benchmark-only
 """
@@ -26,95 +28,41 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-import numpy as np
+from repro.loadlab import load_scenario, render_table, run_scenario
 
-from repro.datasets.synthetic import generate_image
-from repro.imaging.image import as_uint8
-from repro.serving import DetectionClient, DetectionServer, ProtectedPipeline, ServerConfig
-from repro.serving.wire import encode_image_payload
+SCENARIOS_DIR = Path(__file__).parent / "scenarios"
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_serving_workers.txt"
 
-from bench_serving_load import _drive
-
-RESULTS_PATH = Path(__file__).parent / "results" / "bench_serving_workers.txt"
-
-SOURCE_SHAPE = (128, 128)
-MODEL_INPUT = (16, 16)
 #: Server-side shard counts to sweep; 0 is the in-process baseline.
 WORKER_LEVELS = (0, 1, 4)
-#: Client-side concurrency, fixed so the only variable is the server.
-CLIENT_CONCURRENCY = 4
 
 
-def _build_server(workers: int) -> tuple[DetectionServer, list[bytes]]:
-    benign = [
-        generate_image(SOURCE_SHAPE, np.random.default_rng((7, key)), family="neurips")
-        for key in range(8)
-    ]
-    pipeline = ProtectedPipeline(MODEL_INPUT)
-    pipeline.calibrate(benign, percentile=5.0)
-    server = DetectionServer(
-        pipeline,
-        ServerConfig(
-            port=0,
-            max_active=max(CLIENT_CONCURRENCY, workers or 1),
-            queue_depth=256,
-            deadline_ms=60_000.0,
-            workers=workers,
-        ),
-    )
-    server.start()
-    payloads = [encode_image_payload(as_uint8(image)) for image in benign]
-    return server, payloads
-
-
-def _measure(workers: int, total_requests: int) -> dict[str, float]:
-    server, payloads = _build_server(workers)
-    host, port = server.address
-    try:
-        with DetectionClient(host, port) as probe:
-            # Worker mode spawns shard processes (cold numpy imports).
-            probe.wait_ready(timeout_s=120.0)
-            probe.detect(payload=payloads[0])  # warm caches before timing
-        row = _drive(host, port, payloads, CLIENT_CONCURRENCY, total_requests)
-    finally:
-        server.shutdown()
-    row["workers"] = workers
-    return row
-
-
-def run_worker_sweep(total_requests: int = 200) -> str:
-    """The full sweep; returns (and saves) the rendered table."""
-    rows = [_measure(workers, total_requests) for workers in WORKER_LEVELS]
-    header = (
-        f"Worker-shard scaling — {SOURCE_SHAPE[0]}x{SOURCE_SHAPE[1]} PNG uploads, "
-        f"model input {MODEL_INPUT[0]}x{MODEL_INPUT[1]}, loopback HTTP,\n"
-        f"client concurrency {CLIENT_CONCURRENCY}, {total_requests} requests per level, "
-        f"host cpu_count={os.cpu_count()}\n"
-        f"(workers=0 is the in-process baseline path; shards cannot beat the\n"
-        f" baseline by more than the host's spare cores)\n"
-    )
-    lines = [
-        header,
-        f"{'workers':>7} {'reqs':>6} {'throughput':>12} {'p50':>9} {'p95':>9} "
-        f"{'p99':>9} {'max':>9}",
-    ]
-    for row in rows:
-        lines.append(
-            f"{row['workers']:>7d} {row['requests']:>6d} "
-            f"{row['throughput_rps']:>8.1f} req/s "
-            f"{row['p50_ms']:>6.1f} ms {row['p95_ms']:>6.1f} ms "
-            f"{row['p99_ms']:>6.1f} ms {row['max_ms']:>6.1f} ms"
+def run_worker_sweep(duration_scale: float = 1.0) -> list[dict]:
+    """The full sweep; returns one result dict per shard count and saves
+    the combined table plus each run's JSON."""
+    results = []
+    for workers in WORKER_LEVELS:
+        scenario = load_scenario(SCENARIOS_DIR / f"worker-scaling-{workers}.json")
+        results.append(
+            run_scenario(scenario, out_dir=RESULTS_DIR, duration_scale=duration_scale)
         )
-    baseline = rows[0]["throughput_rps"]
-    best = max(row["throughput_rps"] for row in rows)
-    lines.append(
-        f"\nbest/baseline speedup: {best / baseline:.2f}x "
-        f"(target >= 2x requires cpu_count >= 4; this host has {os.cpu_count()})"
+    header = (
+        f"Worker-shard scaling via loadlab scenarios, host "
+        f"cpu_count={os.cpu_count()}\n(workers=0 is the in-process baseline "
+        f"path; shards cannot beat the\n baseline by more than the host's "
+        f"spare cores)\n\n"
     )
-    text = "\n".join(lines) + "\n"
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(text)
-    return text
+    tables = "\n".join(render_table(result) for result in results)
+    baseline = results[0]["levels"][0]["throughput_rps"]["value"]
+    best = max(r["levels"][0]["throughput_rps"]["value"] for r in results)
+    footer = (
+        f"\nbest/baseline speedup: {best / baseline:.2f}x "
+        f"(target >= 2x requires cpu_count >= 4; this host has {os.cpu_count()})\n"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(header + tables + footer, encoding="utf-8")
+    return results
 
 
 def test_worker_scaling_sweep(run_once):
@@ -123,29 +71,25 @@ def test_worker_scaling_sweep(run_once):
     Acceptance: on hosts with >= 4 cores, 4 shards must at least double
     the in-process baseline throughput. On smaller hosts the shards can
     only add IPC overhead, so the gate relaxes to a bounded-overhead
-    check (sharded throughput stays within 4x of baseline latency cost) —
-    the honest numbers and host context are always recorded.
+    check — the honest numbers and host context are always recorded.
     """
-    text = run_once(run_worker_sweep, total_requests=48)
-    print("\n" + text)
+    results = run_once(run_worker_sweep, duration_scale=0.5)
+    for result in results:
+        print("\n" + render_table(result))
 
-    def throughput(line: str) -> float:
-        return float(line.split("req/s")[0].split()[-1])
-
-    data_lines = [
-        line for line in text.splitlines()
-        if "req/s" in line and "throughput" not in line
-    ]
-    assert len(data_lines) == len(WORKER_LEVELS)
-    baseline = throughput(data_lines[0])
-    sharded_best = max(throughput(line) for line in data_lines[1:])
+    assert len(results) == len(WORKER_LEVELS)
+    baseline = results[0]["levels"][0]["throughput_rps"]["value"]
+    sharded_best = max(
+        r["levels"][0]["throughput_rps"]["value"] for r in results[1:]
+    )
     if (os.cpu_count() or 1) >= 4:
-        assert sharded_best >= 2.0 * baseline, text
+        assert sharded_best >= 2.0 * baseline, RESULTS_PATH.read_text()
     else:
         # Scaling is physically impossible here; the pool must still be
         # within a constant factor of the baseline (no pathological IPC).
-        assert sharded_best >= baseline / 4.0, text
+        assert sharded_best >= baseline / 4.0, RESULTS_PATH.read_text()
 
 
 if __name__ == "__main__":
-    print(run_worker_sweep())
+    run_worker_sweep()
+    print(RESULTS_PATH.read_text())

@@ -1,0 +1,141 @@
+"""Per-process resource telemetry: CPU, RSS, and fd counts over time.
+
+One :class:`ResourceSampler` watches a set of named processes — the
+dispatcher and every worker shard — by polling
+``/proc/<pid>/{stat,status,fd}`` through
+:func:`repro.observability.read_process_stats` on a background thread.
+Each poll appends one :class:`ResourceSample` per still-alive process; a
+process that exits mid-run simply stops accumulating samples (its series
+up to death is kept — that *is* the telemetry when a shard crashes).
+
+``proc_root``, ``ticks_per_s``, and ``clock`` are injectable so the
+parsing is testable against synthetic ``/proc`` fixtures with no real
+processes and no real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import LoadLabError
+from repro.observability import read_process_stats
+
+__all__ = ["ResourceSample", "ResourceSampler"]
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One poll of one process."""
+
+    #: Seconds since the sampler started.
+    t_s: float
+    cpu_seconds: float
+    rss_bytes: float
+    #: ``-1`` when the fd table was unreadable (foreign uid).
+    open_fds: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "t_s": round(self.t_s, 4),
+            "cpu_seconds": round(self.cpu_seconds, 4),
+            "rss_bytes": self.rss_bytes,
+            "open_fds": self.open_fds,
+        }
+
+
+class ResourceSampler:
+    """Poll a named set of pids until stopped.
+
+    ``pids`` maps a role name (``"dispatcher"``, ``"worker-0"``, ...) to
+    an OS pid. Thread-safety: ``_lock`` guards the series dict and the
+    stop flag; ``/proc`` reads happen outside it.
+    """
+
+    def __init__(
+        self,
+        pids: Mapping[str, int],
+        *,
+        period_s: float = 0.2,
+        proc_root: str = "/proc",
+        ticks_per_s: float | None = None,
+        clock=None,
+    ) -> None:
+        if not pids:
+            raise LoadLabError("sampler needs at least one pid to watch")
+        if period_s <= 0:
+            raise LoadLabError(f"period_s must be > 0, got {period_s}")
+        self.pids = dict(pids)
+        self.period_s = period_s
+        self.proc_root = proc_root
+        self.ticks_per_s = ticks_per_s
+        self._clock = clock or time
+        self._lock = threading.Lock()
+        self._series: dict[str, list[ResourceSample]] = {
+            role: [] for role in self.pids
+        }
+        self._gone: set[str] = set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            raise LoadLabError("sampler is already started")
+        self._t0 = self._clock.monotonic()
+        self.sample_once()  # a t=0 baseline for every process
+        self._thread = threading.Thread(
+            target=self._loop, name="loadlab-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> dict[str, list[ResourceSample]]:
+        """Stop polling and return the full series per role."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.period_s * 10 + 5.0)
+            self._thread = None
+        self.sample_once()  # a final post-load point
+        return self.series()
+
+    def series(self) -> dict[str, list[ResourceSample]]:
+        with self._lock:
+            return {role: list(samples) for role, samples in self._series.items()}
+
+    # -- polling --------------------------------------------------------------
+
+    def sample_once(self) -> None:
+        """Poll every watched process once (also usable standalone)."""
+        now = self._clock.monotonic() - self._t0
+        fresh: dict[str, ResourceSample] = {}
+        for role, pid in self.pids.items():
+            with self._lock:
+                if role in self._gone:
+                    continue
+            stats = read_process_stats(
+                pid, proc_root=self.proc_root, ticks_per_s=self.ticks_per_s
+            )
+            if stats is None:
+                with self._lock:
+                    self._gone.add(role)
+                continue
+            fresh[role] = ResourceSample(
+                t_s=now,
+                cpu_seconds=stats["cpu_seconds"],
+                rss_bytes=stats["rss_bytes"],
+                open_fds=stats["open_fds"],
+            )
+        with self._lock:
+            for role, sample in fresh.items():
+                self._series[role].append(sample)
+
+    def _loop(self) -> None:
+        # Event.wait (not clock.sleep) so stop() interrupts a pending
+        # period immediately; the injectable clock only stamps t_s.
+        while not self._stop.wait(self.period_s):
+            self.sample_once()

@@ -1,0 +1,179 @@
+"""Compile a scenario into a deterministic offered-load schedule.
+
+The schedule is everything about a run that is decided *before* the first
+request leaves the machine, derived entirely from the scenario and its
+seed — so two runs of the same scenario offer the identical load:
+
+* **open loop** (Poisson): every arrival instant inside each level, drawn
+  from an exponential inter-arrival process, plus each arrival's request
+  kind. Arrival times and kinds come from *independent* seeded streams,
+  so changing the workload mix reshuffles kinds without moving a single
+  arrival instant.
+* **closed loop**: the client count per level plus one deterministic
+  per-client :class:`KindStream` — the n-th request of client c in level
+  l always has the same kind, no matter how fast the server answers.
+
+:func:`schedule_digest` hashes the compiled schedule into a short id the
+results JSON records; equal digests mean equal offered load (asserted in
+the tests and the acceptance checklist).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loadlab.scenario import REQUEST_KINDS, Scenario
+
+__all__ = [
+    "KindStream",
+    "LevelSchedule",
+    "PlannedRequest",
+    "compile_schedule",
+    "kind_stream",
+    "schedule_digest",
+]
+
+#: Distinct large primes namespace the seed streams so arrival times,
+#: request kinds, and per-client streams never alias each other.
+_ARRIVAL_STREAM = 7919
+_KIND_STREAM = 104729
+_CLIENT_STREAM = 15485863
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One open-loop arrival: when (offset into the level) and what."""
+
+    at_s: float
+    kind: str
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """One profile level, fully planned."""
+
+    index: int
+    intensity: float
+    duration_s: float
+    mode: str  # "closed" | "open"
+    #: Closed-loop concurrent clients (0 in open mode).
+    clients: int
+    #: Open-loop arrivals in time order (empty in closed mode).
+    arrivals: tuple[PlannedRequest, ...]
+
+
+class KindStream:
+    """Deterministic request-kind sequence for one closed-loop client.
+
+    Draw ``n`` kinds, restart from the same seed, draw ``n`` again: the
+    two sequences are identical. Streams for different (level, client)
+    pairs are independent.
+    """
+
+    def __init__(self, seed: int, level_index: int, client_index: int, mix) -> None:
+        self._rng = np.random.default_rng(
+            (seed, _CLIENT_STREAM, level_index, client_index)
+        )
+        probabilities = mix.probabilities()
+        self._kinds = [kind for kind in REQUEST_KINDS if probabilities[kind] > 0]
+        self._probs = np.array([probabilities[kind] for kind in self._kinds])
+
+    def next(self) -> str:
+        if len(self._kinds) == 1:
+            return self._kinds[0]
+        return str(self._rng.choice(self._kinds, p=self._probs))
+
+    def take(self, count: int) -> list[str]:
+        return [self.next() for _ in range(count)]
+
+
+def kind_stream(scenario: Scenario, level_index: int, client_index: int) -> KindStream:
+    """The kind stream for one (level, client) pair of *scenario*."""
+    return KindStream(scenario.seed, level_index, client_index, scenario.mix)
+
+
+def _open_level_arrivals(
+    scenario: Scenario, level_index: int, rate: float, duration_s: float
+) -> tuple[PlannedRequest, ...]:
+    time_rng = np.random.default_rng((scenario.seed, _ARRIVAL_STREAM, level_index))
+    kind_rng = np.random.default_rng((scenario.seed, _KIND_STREAM, level_index))
+    probabilities = scenario.mix.probabilities()
+    kinds = [kind for kind in REQUEST_KINDS if probabilities[kind] > 0]
+    probs = np.array([probabilities[kind] for kind in kinds])
+    arrivals: list[PlannedRequest] = []
+    at_s = 0.0
+    cap = scenario.max_requests_per_level
+    while True:
+        at_s += float(time_rng.exponential(1.0 / rate))
+        if at_s >= duration_s:
+            break
+        kind = kinds[0] if len(kinds) == 1 else str(kind_rng.choice(kinds, p=probs))
+        arrivals.append(PlannedRequest(at_s, kind))
+        if cap is not None and len(arrivals) >= cap:
+            break
+    return tuple(arrivals)
+
+
+def compile_schedule(scenario: Scenario) -> tuple[LevelSchedule, ...]:
+    """Expand *scenario* into per-level plans, reproducibly from its seed."""
+    open_loop = scenario.arrival.kind == "poisson"
+    schedules = []
+    for index, level in enumerate(scenario.profile.levels()):
+        if open_loop:
+            schedules.append(
+                LevelSchedule(
+                    index=index,
+                    intensity=level.intensity,
+                    duration_s=level.duration_s,
+                    mode="open",
+                    clients=0,
+                    arrivals=_open_level_arrivals(
+                        scenario, index, level.intensity, level.duration_s
+                    ),
+                )
+            )
+        else:
+            schedules.append(
+                LevelSchedule(
+                    index=index,
+                    intensity=level.intensity,
+                    duration_s=level.duration_s,
+                    mode="closed",
+                    clients=max(1, round(level.intensity)),
+                    arrivals=(),
+                )
+            )
+    return tuple(schedules)
+
+
+#: Closed-loop digests cover this many kind draws per client — enough to
+#: pin the stream identity without materializing an unbounded sequence.
+_DIGEST_DRAWS = 64
+
+
+def schedule_digest(scenario: Scenario, schedule: tuple[LevelSchedule, ...]) -> str:
+    """Short stable hash of the offered load: equal digest ⇔ equal plan."""
+    payload: list = []
+    for level in schedule:
+        entry: dict = {
+            "index": level.index,
+            "intensity": round(level.intensity, 9),
+            "duration_s": round(level.duration_s, 9),
+            "mode": level.mode,
+            "clients": level.clients,
+            "arrivals": [
+                [round(item.at_s, 9), item.kind] for item in level.arrivals
+            ],
+        }
+        if level.mode == "closed":
+            entry["kind_streams"] = [
+                kind_stream(scenario, level.index, client).take(_DIGEST_DRAWS)
+                for client in range(level.clients)
+            ]
+        payload.append(entry)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,131 @@
+"""Seeded request payload pools for every workload kind.
+
+Payloads are built once per run and rotated round-robin, so the engine's
+hot loop does no image synthesis, attack crafting, or PNG encoding —
+exactly like the PR 3 bench pre-encoded its uploads. The pools are pure
+functions of ``(scenario.seed, scenario.server)``:
+
+* ``benign`` — synthetic NeurIPS-like scenes at the scenario's source
+  size, PNG-encoded;
+* ``attack`` — real scaling-attack images crafted with
+  :func:`repro.attacks.strong.craft_attack_image` hiding a Caltech-like
+  target (built only when the mix weights them — crafting is expensive);
+* ``garbage`` — undecodable bodies: raw noise and a truncated PNG, the
+  frames a hostile or broken client actually sends;
+* ``batch`` — length-prefixed :func:`~repro.serving.wire.pack_batch`
+  bodies of ``batch_size`` benign images.
+
+Slow-loris needs no payload (it never completes a request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import AttackConfig
+from repro.attacks.strong import craft_attack_image
+from repro.datasets.synthetic import generate_image
+from repro.errors import LoadLabError
+from repro.imaging.image import as_uint8
+from repro.imaging.png import encode_png
+from repro.imaging.scaling import resize
+from repro.loadlab.scenario import Scenario
+from repro.serving.wire import encode_image_payload, pack_batch
+
+__all__ = ["PayloadPool", "build_payloads"]
+
+#: Seed-stream namespaces (see :mod:`repro.loadlab.schedule`).
+_BENIGN_STREAM = 2017
+_TARGET_STREAM = 4034
+_GARBAGE_STREAM = 31337
+
+
+@dataclass(frozen=True)
+class PayloadPool:
+    """Pre-encoded request bodies, one tuple per kind."""
+
+    benign: tuple[bytes, ...]
+    attack: tuple[bytes, ...]
+    garbage: tuple[bytes, ...]
+    batch: tuple[bytes, ...]
+
+    def payload_for(self, kind: str, index: int) -> bytes:
+        """The *index*-th request's body for *kind* (round-robin)."""
+        pool = getattr(self, kind, None)
+        if pool is None:
+            raise LoadLabError(f"kind {kind!r} has no payload pool")
+        if not pool:
+            raise LoadLabError(f"payload pool for {kind!r} is empty")
+        return pool[index % len(pool)]
+
+
+def _benign_images(scenario: Scenario, count: int) -> list[np.ndarray]:
+    return [
+        generate_image(
+            scenario.server.source_size,
+            np.random.default_rng((scenario.seed, _BENIGN_STREAM, index)),
+            family="neurips",
+        )
+        for index in range(count)
+    ]
+
+
+def _attack_payloads(scenario: Scenario) -> tuple[bytes, ...]:
+    originals = _benign_images(scenario, scenario.mix.attack_pool_size)
+    payloads = []
+    for index, original in enumerate(originals):
+        target_source = generate_image(
+            scenario.server.source_size,
+            np.random.default_rng((scenario.seed, _TARGET_STREAM, index)),
+            family="caltech",
+        )
+        target = resize(
+            target_source, scenario.server.input_size, scenario.server.algorithm
+        )
+        result = craft_attack_image(
+            original,
+            target,
+            algorithm=scenario.server.algorithm,
+            config=AttackConfig(epsilon=4.0),
+        )
+        payloads.append(encode_image_payload(as_uint8(result.attack_image)))
+    return tuple(payloads)
+
+
+def _garbage_payloads(scenario: Scenario) -> tuple[bytes, ...]:
+    """Undecodable bodies: pure noise, and a PNG truncated mid-stream so
+    the sniffer accepts it but the decoder must reject it."""
+    rng = np.random.default_rng((scenario.seed, _GARBAGE_STREAM))
+    noise = rng.integers(0, 256, size=2048, dtype=np.uint8).tobytes()
+    valid_png = encode_png(
+        as_uint8(generate_image((32, 32), rng, family="neurips"))
+    )
+    truncated = valid_png[: len(valid_png) // 2]
+    return (noise, truncated)
+
+
+def build_payloads(scenario: Scenario) -> PayloadPool:
+    """Build every pool the scenario's mix actually weights."""
+    weights = scenario.mix.weights()
+    needs_benign = weights["benign"] > 0 or weights["batch"] > 0
+    benign: tuple[bytes, ...] = ()
+    if needs_benign:
+        benign = tuple(
+            encode_image_payload(as_uint8(image))
+            for image in _benign_images(scenario, scenario.mix.pool_size)
+        )
+    batch: tuple[bytes, ...] = ()
+    if weights["batch"] > 0:
+        size = scenario.mix.batch_size
+        batch = tuple(
+            pack_batch([benign[(start + i) % len(benign)] for i in range(size)])
+            for start in range(len(benign))
+        )
+    return PayloadPool(
+        benign=benign,
+        attack=_attack_payloads(scenario) if weights["attack"] > 0 else (),
+        garbage=_garbage_payloads(scenario) if weights["garbage"] > 0 else (),
+        batch=batch,
+    )

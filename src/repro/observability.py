@@ -30,11 +30,21 @@ Usage::
 from __future__ import annotations
 
 import math
+import os
 import re
 import threading
 import time
 
-__all__ = ["Counter", "Gauge", "LatencyHistogram", "Metrics", "render_prometheus"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "Metrics",
+    "process_self_metrics",
+    "read_process_stats",
+    "render_process_metrics",
+    "render_prometheus",
+]
 
 #: Histogram bucket geometry: the i-th bucket's upper bound in milliseconds
 #: is ``_BUCKET_START_MS * _BUCKET_FACTOR ** i``. Spans ~1 µs to ~100 s.
@@ -281,6 +291,112 @@ class Metrics:
             "gauges": self.gauge_values(),
             "latency_ms": self.latency_summaries(),
         }
+
+
+# -- per-process resource accounting (/proc) ----------------------------------
+
+
+def _clock_ticks_per_s() -> float:
+    try:
+        return float(os.sysconf("SC_CLK_TCK"))
+    except (AttributeError, ValueError, OSError):
+        return 100.0  # the universal Linux default
+
+
+def read_process_stats(
+    pid: int | str = "self",
+    *,
+    proc_root: str = "/proc",
+    ticks_per_s: float | None = None,
+) -> dict[str, float] | None:
+    """CPU seconds, RSS bytes, and open-fd count for one process.
+
+    Reads ``<proc_root>/<pid>/{stat,status,fd}``; *proc_root* is
+    injectable so tests can parse synthetic fixtures. Returns ``None``
+    when the process (or ``/proc`` itself, e.g. off-Linux) is not
+    readable — callers treat that as "stop sampling", never as an error.
+
+    * ``cpu_seconds`` — utime+stime from ``stat`` (fields 14/15; the
+      comm field may contain spaces and parentheses, so parsing anchors
+      on the *last* ``)``), divided by the clock-tick rate.
+    * ``rss_bytes`` — ``VmRSS`` from ``status`` (kB), falling back to the
+      ``stat`` rss-pages field times the page size.
+    * ``open_fds`` — directory-entry count of ``fd/``; ``-1`` when the
+      kernel denies the listing (foreign uid), distinct from "zero fds".
+    """
+    base = os.path.join(proc_root, str(pid))
+    try:
+        with open(os.path.join(base, "stat"), "rb") as handle:
+            stat_text = handle.read().decode("ascii", "replace")
+    except OSError:
+        return None
+    try:
+        after_comm = stat_text[stat_text.rindex(")") + 2 :].split()
+        # after_comm[0] is field 3 ("state"); utime/stime are fields 14/15.
+        utime_ticks = float(after_comm[11])
+        stime_ticks = float(after_comm[12])
+        rss_pages = float(after_comm[21])
+    except (ValueError, IndexError):
+        return None
+    ticks = ticks_per_s if ticks_per_s is not None else _clock_ticks_per_s()
+    rss_bytes = -1.0
+    try:
+        with open(os.path.join(base, "status"), "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmRSS:"):
+                    rss_bytes = float(line.split()[1]) * 1024.0
+                    break
+    except OSError:
+        pass  # fall back to the stat pages below
+    if rss_bytes < 0:
+        try:
+            page = float(os.sysconf("SC_PAGE_SIZE"))
+        except (AttributeError, ValueError, OSError):
+            page = 4096.0
+        rss_bytes = rss_pages * page
+    try:
+        open_fds = float(len(os.listdir(os.path.join(base, "fd"))))
+    except OSError:
+        open_fds = -1.0
+    return {
+        "cpu_seconds": (utime_ticks + stime_ticks) / ticks,
+        "rss_bytes": rss_bytes,
+        "open_fds": open_fds,
+    }
+
+
+def process_self_metrics() -> dict[str, float]:
+    """This process's resource usage under the standard Prometheus names
+    (``process_cpu_seconds_total``, ``process_resident_memory_bytes``,
+    ``process_open_fds``). Empty off-Linux — callers simply omit the block."""
+    stats = read_process_stats("self")
+    if stats is None:
+        return {}
+    values = {
+        "process_cpu_seconds_total": stats["cpu_seconds"],
+        "process_resident_memory_bytes": stats["rss_bytes"],
+    }
+    if stats["open_fds"] >= 0:
+        values["process_open_fds"] = stats["open_fds"]
+    return values
+
+
+def render_process_metrics(values: dict[str, float] | None = None) -> str:
+    """Prometheus exposition lines for :func:`process_self_metrics`.
+
+    The standard process metrics are *unprefixed* by convention (every
+    exporter calls them exactly ``process_cpu_seconds_total`` etc.), so
+    they render here rather than through :func:`render_prometheus`'s
+    prefixed families. Returns ``""`` when there is nothing to report.
+    """
+    if values is None:
+        values = process_self_metrics()
+    lines = []
+    for name in sorted(values):
+        kind = "counter" if name.endswith("_total") else "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {_format_value(values[name])}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 # -- Prometheus text exposition ---------------------------------------------

@@ -176,6 +176,23 @@ class DetectionClient:
 
     # -- the API --------------------------------------------------------------
 
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request with the retry discipline, status left to the caller.
+
+        Returns ``(status, headers, body)`` for *any* terminal status —
+        a load generator wants to record a 400 or 429 as a data point,
+        not have it raised away. Raises :class:`~repro.errors.ServingError`
+        only when retries are exhausted without a complete response.
+        """
+        return self._request(method, path, body=body, headers=headers)
+
     def detect(
         self,
         image: np.ndarray | None = None,

@@ -40,6 +40,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import time
@@ -50,7 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import CodecError, DetectionError, ImageError, ReproError
 from repro.imaging.plans import geometry_cache_stats, plan_cache_stats
 from repro.imaging.scaling import operator_cache_stats
-from repro.observability import render_prometheus
+from repro.observability import render_process_metrics, render_prometheus
 from repro.serving.audit import AuditRecord
 from repro.serving.pipeline import ProtectedPipeline, verdict_payload
 from repro.serving.wire import (
@@ -454,6 +455,9 @@ class DetectionServer:
             "calibrated": calibrated,
             "draining": self.draining,
             "queue_saturated": saturated,
+            # The dispatcher's own pid, so external tooling (the load lab's
+            # resource sampler) can watch /proc/<pid> without guessing.
+            "pid": os.getpid(),
         }
         pool = self._pool
         if pool is not None:
@@ -461,6 +465,7 @@ class DetectionServer:
             payload["workers"] = {
                 "configured": self.config.workers,
                 "healthy": healthy,
+                "pids": pool.pids(),
             }
             # No shard can answer -> not ready, even though the HTTP
             # listener itself is fine.
@@ -486,12 +491,16 @@ class DetectionServer:
             for key, value in cache_stats.items():
                 extra[f"{family}.{key}"] = float(value)
         labeled = self._pool.labeled_families() if self._pool is not None else {}
-        return render_prometheus(
+        body = render_prometheus(
             self.metrics,
             extra_gauges=extra,
             labeled_gauges=labeled.get("gauges"),
             labeled_counters=labeled.get("counters"),
         )
+        # Standard (unprefixed) process self-metrics for the dispatcher:
+        # process_cpu_seconds_total, process_resident_memory_bytes,
+        # process_open_fds. Empty off-Linux.
+        return body + render_process_metrics()
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,0 +1,257 @@
+"""The load engine against scripted adversity, on deterministic time.
+
+No real detection server: requests land on
+:class:`tests.fault_injection.ScriptedServer` (a raw-socket HTTP
+impostor) and the engine's clock is :class:`tests.fault_injection
+.FakeTime`, so schedules, budgets, and slow-loris holds are asserted
+without wall-clock sleeps. Schedule determinism — same seed, same offered
+load — is asserted here too, because the schedule *is* the engine's
+input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.loadlab import LoadEngine, Scenario, compile_schedule, schedule_digest
+from repro.loadlab.engine import EXPECTED_STATUSES
+from repro.loadlab.scenario import (
+    ArrivalModel,
+    LoadProfile,
+    ServerSpec,
+    WorkloadMix,
+)
+from repro.loadlab.schedule import kind_stream
+from repro.loadlab.workload import PayloadPool, build_payloads
+
+from tests.fault_injection import FakeTime, ScriptedServer, response
+
+
+def _scenario(**overrides) -> Scenario:
+    """A tiny closed-loop scenario; the budget cap (not the fake clock)
+    terminates each level."""
+    fields = dict(
+        name="engine-test",
+        profile=LoadProfile(kind="constant", base=1.0, steps=1,
+                            level_duration_s=5.0),
+        arrival=ArrivalModel(kind="closed"),
+        mix=WorkloadMix(benign=1.0, pool_size=2),
+        server=ServerSpec(launch="external"),
+        max_requests_per_level=4,
+        client_timeout_s=5.0,
+        client_retries=1,
+        bootstrap_resamples=10,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def _fake_payloads() -> PayloadPool:
+    """Static bodies: the ScriptedServer never decodes them anyway."""
+    return PayloadPool(
+        benign=(b"fake-png-a", b"fake-png-b"),
+        attack=(b"fake-attack",),
+        garbage=(b"\x00garbage",),
+        batch=(b"fake-batch",),
+    )
+
+
+def _run(scenario: Scenario, server: ScriptedServer, payloads=None):
+    host, port = server.address
+    engine = LoadEngine(
+        scenario,
+        compile_schedule(scenario),
+        payloads or _fake_payloads(),
+        host,
+        port,
+        clock=FakeTime(),
+    )
+    return engine.run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        scenario = _scenario(
+            profile=LoadProfile(kind="ramp", base=1.0, peak=4.0, steps=3,
+                                level_duration_s=2.0),
+            mix=WorkloadMix(benign=0.5, garbage=0.3, batch=0.2),
+        )
+        first = schedule_digest(scenario, compile_schedule(scenario))
+        second = schedule_digest(scenario, compile_schedule(scenario))
+        assert first == second
+
+    def test_different_seed_different_digest(self):
+        scenario = _scenario(mix=WorkloadMix(benign=0.5, garbage=0.5))
+        other = scenario.with_seed(scenario.seed + 1)
+        assert schedule_digest(scenario, compile_schedule(scenario)) != (
+            schedule_digest(other, compile_schedule(other))
+        )
+
+    def test_kind_streams_replay_exactly(self):
+        scenario = _scenario(mix=WorkloadMix(benign=0.4, attack=0.3, garbage=0.3))
+        first = kind_stream(scenario, 0, 0).take(64)
+        second = kind_stream(scenario, 0, 0).take(64)
+        assert first == second
+        assert set(first) <= {"benign", "attack", "garbage"}
+        # Distinct clients get distinct streams.
+        assert kind_stream(scenario, 0, 1).take(64) != first
+
+    def test_open_loop_arrivals_are_planned_and_capped(self):
+        scenario = _scenario(
+            profile=LoadProfile(kind="constant", base=10.0, steps=2,
+                                level_duration_s=5.0),
+            arrival=ArrivalModel(kind="poisson"),
+            max_requests_per_level=12,
+        )
+        schedule = compile_schedule(scenario)
+        again = compile_schedule(scenario)
+        assert schedule == again
+        for level in schedule:
+            assert level.mode == "open"
+            assert 0 < len(level.arrivals) <= 12
+            times = [item.at_s for item in level.arrivals]
+            assert times == sorted(times)
+            assert all(0.0 < at < 5.0 for at in times)
+        # Independent per-level streams: different arrival instants.
+        assert schedule[0].arrivals != schedule[1].arrivals
+
+    def test_closed_loop_client_counts_track_intensity(self):
+        scenario = _scenario(
+            profile=LoadProfile(kind="ramp", base=1.0, peak=3.0, steps=3,
+                                level_duration_s=1.0)
+        )
+        assert [lvl.clients for lvl in compile_schedule(scenario)] == [1, 2, 3]
+
+
+class TestClosedLoop:
+    def test_budget_bounds_the_level_under_fake_time(self):
+        # FakeTime never passes the level deadline on its own; the
+        # per-level budget is what terminates the loop.
+        with ScriptedServer([]) as server:
+            records = _run(_scenario(max_requests_per_level=4), server)
+        assert len(records) == 4
+        assert all(r.kind == "benign" and r.status == 200 and r.ok for r in records)
+
+    def test_garbage_must_be_rejected_cleanly(self):
+        scenario = _scenario(
+            mix=WorkloadMix(garbage=1.0, benign=0.0), max_requests_per_level=2
+        )
+        with ScriptedServer([response(400, b'{"error":"bad"}')] * 2) as server:
+            records = _run(scenario, server)
+        assert [r.status for r in records] == [400, 400]
+        assert all(r.ok for r in records)
+
+    def test_garbage_accepted_with_200_is_misbehaviour(self):
+        # A server that *scores* garbage is broken; the record flips ok=False.
+        scenario = _scenario(
+            mix=WorkloadMix(garbage=1.0, benign=0.0), max_requests_per_level=2
+        )
+        with ScriptedServer([]) as server:  # always answers 200
+            records = _run(scenario, server)
+        assert all(r.status == 200 and not r.ok for r in records)
+
+    def test_think_time_advances_the_fake_clock(self):
+        scenario = _scenario(
+            arrival=ArrivalModel(kind="closed", think_time_s=2.0),
+            profile=LoadProfile(kind="constant", base=1.0, steps=1,
+                                level_duration_s=5.0),
+            max_requests_per_level=10,
+        )
+        with ScriptedServer([]) as server:
+            records = _run(scenario, server)
+        # think 2s against a 5s level: requests at t=0, 2, 4 — then the
+        # fake clock passes the deadline.
+        assert len(records) == 3
+
+
+class TestAdversarialKinds:
+    def test_slow_loris_holds_and_abandons(self):
+        scenario = _scenario(
+            mix=WorkloadMix(slow_loris=1.0, benign=0.0),
+            max_requests_per_level=2,
+        )
+        with ScriptedServer([]) as server:
+            records = _run(scenario, server)
+        assert [r.kind for r in records] == ["slow_loris", "slow_loris"]
+        # The hold never completes a request: status 0, and that is the
+        # *expected* outcome for this kind.
+        assert all(r.status == 0 and r.ok for r in records)
+
+    def test_expected_statuses_cover_every_kind(self):
+        from repro.loadlab.scenario import REQUEST_KINDS
+
+        assert set(EXPECTED_STATUSES) == set(REQUEST_KINDS)
+
+
+class TestOpenLoop:
+    def test_replays_every_planned_arrival(self):
+        scenario = _scenario(
+            profile=LoadProfile(kind="constant", base=8.0, steps=1,
+                                level_duration_s=2.0),
+            arrival=ArrivalModel(kind="poisson", max_outstanding=4),
+            max_requests_per_level=10,
+        )
+        schedule = compile_schedule(scenario)
+        planned = len(schedule[0].arrivals)
+        assert planned > 0
+        with ScriptedServer([]) as server:
+            records = _run(scenario, server)
+        assert len(records) == planned
+        assert all(r.status == 200 and r.ok for r in records)
+
+    def test_mixed_kinds_follow_the_plan(self):
+        scenario = _scenario(
+            profile=LoadProfile(kind="constant", base=10.0, steps=1,
+                                level_duration_s=2.0),
+            arrival=ArrivalModel(kind="poisson", max_outstanding=2),
+            mix=WorkloadMix(benign=0.5, garbage=0.5),
+            max_requests_per_level=8,
+        )
+        schedule = compile_schedule(scenario)
+        planned_kinds = sorted(item.kind for item in schedule[0].arrivals)
+        with ScriptedServer([]) as server:
+            records = _run(scenario, server)
+        assert sorted(r.kind for r in records) == planned_kinds
+
+
+class TestWorkloadPools:
+    def test_build_payloads_skips_unweighted_pools(self):
+        scenario = _scenario(mix=WorkloadMix(benign=1.0, pool_size=2))
+        pool = build_payloads(scenario)
+        assert len(pool.benign) == 2
+        assert pool.attack == () and pool.garbage == () and pool.batch == ()
+
+    def test_garbage_pool_is_undecodable(self):
+        from repro.errors import CodecError
+        from repro.serving.wire import decode_image_payload
+
+        scenario = _scenario(mix=WorkloadMix(benign=0.5, garbage=0.5))
+        pool = build_payloads(scenario)
+        assert pool.garbage
+        for body in pool.garbage:
+            with pytest.raises(CodecError):
+                decode_image_payload(body)
+
+    def test_payload_rotation_and_missing_pool_errors(self):
+        from repro.errors import LoadLabError
+
+        pool = _fake_payloads()
+        assert pool.payload_for("benign", 0) != pool.payload_for("benign", 1)
+        assert pool.payload_for("benign", 2) == pool.payload_for("benign", 0)
+        with pytest.raises(LoadLabError, match="no payload pool"):
+            pool.payload_for("slow_loris", 0)
+        empty = dataclasses.replace(pool, attack=())
+        with pytest.raises(LoadLabError, match="empty"):
+            empty.payload_for("attack", 0)
+
+
+class TestWarmup:
+    def test_warmup_requests_are_fired_but_not_recorded(self):
+        scenario = _scenario(warmup_requests=3, max_requests_per_level=2)
+        with ScriptedServer([]) as server:
+            records = _run(scenario, server)
+            seen = server.requests_seen
+        assert len(records) == 2
+        assert seen == 5  # 3 warm-ups + 2 recorded

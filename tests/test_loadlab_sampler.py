@@ -1,0 +1,144 @@
+"""The resource sampler against synthetic ``/proc`` fixtures.
+
+No real processes: a temp directory stands in for ``/proc`` (the
+``proc_root`` seam on :func:`repro.observability.read_process_stats`), so
+CPU/RSS/fd parsing, dead-process pruning, and series assembly are all
+asserted deterministically.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LoadLabError
+from repro.loadlab import ResourceSampler
+from repro.loadlab.sampler import ResourceSample
+
+
+def write_proc_entry(
+    root: Path,
+    pid: int,
+    *,
+    utime: int = 100,
+    stime: int = 20,
+    vmrss_kb: int = 4096,
+    fds: int = 5,
+) -> Path:
+    proc = root / str(pid)
+    fd_dir = proc / "fd"
+    fd_dir.mkdir(parents=True, exist_ok=True)
+    after_comm = (
+        f"S 1 {pid} {pid} 0 -1 4194304 100 0 0 0 {utime} {stime} 0 0 "
+        f"20 0 3 0 12345 1000000 999 18446744073709551615"
+    )
+    (proc / "stat").write_text(f"{pid} (worker) {after_comm}\n")
+    (proc / "status").write_text(f"Name:\tworker\nVmRSS:\t  {vmrss_kb} kB\n")
+    for entry in fd_dir.iterdir():
+        entry.unlink()
+    for index in range(fds):
+        (fd_dir / str(index)).write_text("")
+    return proc
+
+
+class FixedClock:
+    """Monotonic time advanced by hand; the sampler only stamps ``t_s``."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def monotonic(self) -> float:
+        return self.now
+
+
+class TestParsing:
+    def test_sample_once_reads_every_role(self, tmp_path):
+        write_proc_entry(tmp_path, 11, utime=100, stime=20, vmrss_kb=4096, fds=5)
+        write_proc_entry(tmp_path, 22, utime=300, stime=0, vmrss_kb=1024, fds=2)
+        clock = FixedClock()
+        sampler = ResourceSampler(
+            {"dispatcher": 11, "worker-0": 22},
+            period_s=0.1,
+            proc_root=str(tmp_path),
+            ticks_per_s=100.0,
+            clock=clock,
+        )
+        sampler.sample_once()
+        clock.now += 0.5
+        sampler.sample_once()
+        series = sampler.series()
+        assert set(series) == {"dispatcher", "worker-0"}
+        first = series["dispatcher"][0]
+        assert first.cpu_seconds == pytest.approx(1.2)
+        assert first.rss_bytes == 4096 * 1024
+        assert first.open_fds == 5
+        assert series["worker-0"][0].cpu_seconds == pytest.approx(3.0)
+        # t_s stamps come from the injected clock, relative to t0.
+        assert series["dispatcher"][1].t_s - first.t_s == pytest.approx(0.5)
+
+    def test_cpu_increases_across_samples(self, tmp_path):
+        write_proc_entry(tmp_path, 11, utime=100, stime=0)
+        sampler = ResourceSampler(
+            {"p": 11}, proc_root=str(tmp_path), ticks_per_s=100.0,
+            clock=FixedClock(),
+        )
+        sampler.sample_once()
+        write_proc_entry(tmp_path, 11, utime=250, stime=0)
+        sampler.sample_once()
+        cpu = [sample.cpu_seconds for sample in sampler.series()["p"]]
+        assert cpu == [pytest.approx(1.0), pytest.approx(2.5)]
+
+
+class TestLifecycle:
+    def test_dead_process_keeps_series_up_to_death(self, tmp_path):
+        proc = write_proc_entry(tmp_path, 33)
+        sampler = ResourceSampler(
+            {"shard": 33}, proc_root=str(tmp_path), ticks_per_s=100.0,
+            clock=FixedClock(),
+        )
+        sampler.sample_once()
+        shutil.rmtree(proc)  # the shard "crashed"
+        sampler.sample_once()
+        sampler.sample_once()
+        series = sampler.series()["shard"]
+        assert len(series) == 1  # the pre-death sample survives
+
+    def test_start_stop_thread_produces_samples(self, tmp_path):
+        write_proc_entry(tmp_path, 44)
+        sampler = ResourceSampler(
+            {"p": 44}, period_s=0.02, proc_root=str(tmp_path), ticks_per_s=100.0
+        )
+        sampler.start()
+        import time
+
+        time.sleep(0.1)
+        series = sampler.stop()
+        # Baseline at start + periodic polls + the final post-stop sample.
+        assert len(series["p"]) >= 3
+        with pytest.raises(LoadLabError, match="already started"):
+            # A stopped sampler may be restarted exactly once per instance;
+            # double-start within a run is a bug.
+            sampler.start()
+            sampler.start()
+
+    def test_rejects_empty_pid_set_and_bad_period(self):
+        with pytest.raises(LoadLabError, match="at least one pid"):
+            ResourceSampler({})
+        with pytest.raises(LoadLabError, match="period_s"):
+            ResourceSampler({"p": 1}, period_s=0.0)
+
+
+class TestSampleDict:
+    def test_as_dict_rounds_and_keeps_keys(self):
+        sample = ResourceSample(
+            t_s=1.23456789, cpu_seconds=0.987654321, rss_bytes=2048.0, open_fds=7.0
+        )
+        payload = sample.as_dict()
+        assert payload == {
+            "t_s": 1.2346,
+            "cpu_seconds": 0.9877,
+            "rss_bytes": 2048.0,
+            "open_fds": 7.0,
+        }

@@ -198,3 +198,85 @@ class TestRenderPrometheus:
         buckets = histogram.cumulative_buckets()
         assert [count for _, count in buckets] == [1, 2]
         assert buckets[0][0] < buckets[1][0]
+
+
+class TestProcessMetrics:
+    """The /proc readers behind the standard process self-metrics."""
+
+    def _write_proc(self, root, pid, *, comm="python", utime=150, stime=50,
+                    rss_pages=1000, vmrss_kb=2048, fds=3):
+        proc = root / str(pid)
+        fd_dir = proc / "fd"
+        fd_dir.mkdir(parents=True)
+        after_comm = (
+            f"S 1 {pid} {pid} 0 -1 4194304 100 0 0 0 {utime} {stime} 0 0 "
+            f"20 0 3 0 12345 1000000 {rss_pages} 18446744073709551615"
+        )
+        (proc / "stat").write_text(f"{pid} ({comm}) {after_comm}\n")
+        (proc / "status").write_text(
+            f"Name:\t{comm}\nVmPeak:\t  9999 kB\nVmRSS:\t  {vmrss_kb} kB\n"
+        )
+        for index in range(fds):
+            (fd_dir / str(index)).write_text("")
+        return proc
+
+    def test_reads_synthetic_fixture(self, tmp_path):
+        from repro.observability import read_process_stats
+
+        self._write_proc(tmp_path, 42)
+        stats = read_process_stats(42, proc_root=str(tmp_path), ticks_per_s=100.0)
+        assert stats is not None
+        assert stats["cpu_seconds"] == pytest.approx((150 + 50) / 100.0)
+        assert stats["rss_bytes"] == 2048 * 1024
+        assert stats["open_fds"] == 3
+
+    def test_comm_with_spaces_and_parens(self, tmp_path):
+        from repro.observability import read_process_stats
+
+        self._write_proc(tmp_path, 43, comm="a (weird) name")
+        stats = read_process_stats(43, proc_root=str(tmp_path), ticks_per_s=100.0)
+        assert stats is not None
+        assert stats["cpu_seconds"] == pytest.approx(2.0)
+
+    def test_vmrss_fallback_to_stat_pages(self, tmp_path):
+        from repro.observability import read_process_stats
+
+        proc = self._write_proc(tmp_path, 44, rss_pages=10)
+        (proc / "status").write_text("Name:\tnope\n")  # no VmRSS line
+        stats = read_process_stats(44, proc_root=str(tmp_path), ticks_per_s=100.0)
+        assert stats is not None
+        import os as _os
+        assert stats["rss_bytes"] == 10 * _os.sysconf("SC_PAGE_SIZE")
+
+    def test_dead_process_returns_none(self, tmp_path):
+        from repro.observability import read_process_stats
+
+        assert read_process_stats(99999, proc_root=str(tmp_path)) is None
+
+    def test_self_metrics_on_linux(self):
+        import os as _os
+
+        from repro.observability import process_self_metrics
+
+        if not _os.path.exists("/proc/self/stat"):
+            pytest.skip("no /proc on this platform")
+        values = process_self_metrics()
+        assert values["process_cpu_seconds_total"] > 0
+        assert values["process_resident_memory_bytes"] > 0
+        assert values.get("process_open_fds", 1) > 0
+
+    def test_render_process_metrics_exposition(self):
+        from repro.observability import render_process_metrics
+
+        text = render_process_metrics(
+            {
+                "process_cpu_seconds_total": 1.5,
+                "process_open_fds": 12.0,
+            }
+        )
+        assert "# TYPE process_cpu_seconds_total counter" in text
+        assert "process_cpu_seconds_total 1.5" in text
+        assert "# TYPE process_open_fds gauge" in text
+        assert "process_open_fds 12" in text
+        assert text.endswith("\n")
+        assert render_process_metrics({}) == ""

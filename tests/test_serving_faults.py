@@ -267,6 +267,9 @@ class TestServerUnderFaults:
             )
             payload = server.health()
             assert payload["ready"] is False
-            assert payload["workers"] == {"configured": 1, "healthy": 0}
+            workers = payload["workers"]
+            assert set(workers) == {"configured", "healthy", "pids"}
+            assert workers["configured"] == 1
+            assert workers["healthy"] == 0
         finally:
             server.shutdown()

@@ -14,6 +14,7 @@ sharded scoring path.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 
@@ -157,18 +158,23 @@ class TestHealth:
         _, client, _ = served
         status, payload = client.health()
         assert status == 200
-        expected = {
+        # The dispatcher advertises its own pid (the load lab's resource
+        # sampler discovers what to watch from this payload).
+        assert payload.pop("pid") == os.getpid()
+        if SERVER_WORKERS:
+            workers = payload.pop("workers")
+            assert workers["configured"] == SERVER_WORKERS
+            assert workers["healthy"] == SERVER_WORKERS
+            pids = workers["pids"]
+            assert len(pids) == SERVER_WORKERS
+            assert all(isinstance(pid, int) and pid > 0 for pid in pids.values())
+            assert os.getpid() not in pids.values()  # shards are processes
+        assert payload == {
             "ready": True,
             "calibrated": True,
             "draining": False,
             "queue_saturated": False,
         }
-        if SERVER_WORKERS:
-            expected["workers"] = {
-                "configured": SERVER_WORKERS,
-                "healthy": SERVER_WORKERS,
-            }
-        assert payload == expected
 
     def test_uncalibrated_is_not_ready(self):
         server = DetectionServer(ProtectedPipeline(MODEL_INPUT), ServerConfig(port=0))
@@ -421,6 +427,12 @@ class TestMetricsEndpoint:
                 "decamouflage_workers_dispatched_total",
                 'decamouflage_worker_up{worker_id="0"}',
                 'decamouflage_worker_jobs_done_total{worker_id="0"}',
+            ]
+        if os.path.exists("/proc/self/stat"):
+            # Standard (unprefixed) process self-metrics on Linux.
+            needles += [
+                "process_cpu_seconds_total",
+                "process_resident_memory_bytes",
             ]
         for needle in needles:
             assert needle in text, f"missing {needle} in exposition"

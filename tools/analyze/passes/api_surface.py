@@ -59,7 +59,7 @@ def _owner_leaf(node: ast.Attribute) -> str:
 #: subpackage only when the target's rank is strictly lower; imports
 #: inside one subpackage are always allowed. The ranks encode today's
 #: dependency DAG: errors < {imaging, observability} < {attacks, datasets}
-#: < {core, ml, defenses} < {eval, serving} < cli.
+#: < {core, ml, defenses} < {eval, serving} < loadlab < cli.
 LAYER_RANKS = {
     "errors": 0,
     "observability": 10,
@@ -71,6 +71,7 @@ LAYER_RANKS = {
     "defenses": 30,
     "eval": 40,
     "serving": 40,
+    "loadlab": 45,
     "cli": 50,
     "__main__": 60,
 }
