@@ -202,17 +202,19 @@ class LoadEngine:
             self._record(self._fire(client, level.index, kind, sequence))
 
         start = self._clock.monotonic()
-        with ThreadPoolExecutor(
-            max_workers=self.scenario.arrival.max_outstanding,
-            thread_name_prefix="loadlab-open",
-        ) as pool:
-            for sequence, arrival in enumerate(level.arrivals):
-                delay = start + arrival.at_s - self._clock.monotonic()
-                if delay > 0:
-                    self._clock.sleep(delay)
-                pool.submit(task, arrival.kind, sequence)
-        for client in clients:
-            client.close()
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.scenario.arrival.max_outstanding,
+                thread_name_prefix="loadlab-open",
+            ) as pool:
+                for sequence, arrival in enumerate(level.arrivals):
+                    delay = start + arrival.at_s - self._clock.monotonic()
+                    if delay > 0:
+                        self._clock.sleep(delay)
+                    pool.submit(task, arrival.kind, sequence)
+        finally:
+            for client in clients:
+                client.close()
 
     # -- one request ----------------------------------------------------------
 

@@ -152,6 +152,8 @@ def _launch_subprocess(scenario: Scenario) -> ServerHandle:
         if process.poll() is None:
             process.kill()
             process.wait(timeout=10.0)
+        if process.stdout is not None:
+            process.stdout.close()
         holdout_dir.cleanup()
         raise
     return ServerHandle(

@@ -51,7 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import CodecError, DetectionError, ImageError, ReproError
 from repro.imaging.plans import geometry_cache_stats, plan_cache_stats
 from repro.imaging.scaling import operator_cache_stats
-from repro.observability import render_process_metrics, render_prometheus
+from repro.observability import Metrics, render_process_metrics, render_prometheus
 from repro.serving.audit import AuditRecord
 from repro.serving.pipeline import ProtectedPipeline, verdict_payload
 from repro.serving.wire import (
@@ -116,7 +116,7 @@ class AdmissionQueue:
     and ``server.queue_depth`` gauges on every transition.
     """
 
-    def __init__(self, max_active: int, queue_depth: int, metrics) -> None:
+    def __init__(self, max_active: int, queue_depth: int, metrics: Metrics) -> None:
         if max_active < 1:
             raise ReproError(f"max_active must be >= 1, got {max_active}")
         if queue_depth < 0:

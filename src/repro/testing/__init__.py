@@ -1,0 +1,12 @@
+"""Test-only runtime instrumentation.
+
+Nothing in this package is imported by the serving or detection paths;
+it exists for the test suite and CI. The one resident is
+:mod:`repro.testing.locksan`, the runtime lock-order sanitizer that
+cross-checks the static lock-acquisition model built by
+``tools/analyze`` (see docs/static-analysis.md).
+"""
+
+from __future__ import annotations
+
+__all__ = ["locksan"]

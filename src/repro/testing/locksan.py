@@ -1,0 +1,407 @@
+"""Runtime lock-order sanitizer: the dynamic half of the deadlock check.
+
+``tools/analyze`` builds a *static* lock-acquisition-order graph over
+every ``self.<attr> = threading.Lock()`` in the tree (the ``lock-order``
+project pass). This module builds the *runtime* graph for the same locks
+by wrapping ``threading.Lock`` / ``RLock`` / ``Condition`` construction
+while a test suite runs, then the two are reconciled by
+``tools/analyze.py --locksan-check DUMP.json``: every observed nesting
+must appear in the static graph or in the contract file's
+``runtime_only`` list, and the observed graph must be acyclic.
+
+Design constraints:
+
+* **Zero overhead when off.** Nothing is patched until :func:`install`
+  runs; production code never imports this module.
+* **Only project locks are wrapped.** The construction site (first stack
+  frame outside this file and ``threading.py``) must satisfy the site
+  filter — by default, live under ``src/repro``. Stdlib and third-party
+  locks get the real factory objects, untouched, so wrapping cannot
+  perturb ``concurrent.futures``, ``logging``, or numpy internals.
+* **Reentrancy-aware.** Re-acquiring a lock already held by the current
+  thread (RLock, Condition re-entry) records no edge and no duplicate
+  stack entry; ``Condition.wait`` pops the lock for the duration of the
+  wait, exactly mirroring what the real primitive does.
+
+The dump schema (``schema_version`` 1)::
+
+    {"schema_version": 1,
+     "locks":  [{"id": 3, "kind": "Lock", "file": "/abs/path.py",
+                 "line": 126, "acquisitions": 42}],
+     "edges":  [{"from": 1, "to": 3, "count": 7}],
+     "cycles": [[1, 3]]}
+
+Typical wiring (tests/conftest.py does this when ``REPRO_LOCKSAN=1``)::
+
+    locksan.install()
+    ... run suites ...
+    report = locksan.snapshot()
+    locksan.dump(Path(os.environ["REPRO_LOCKSAN_OUT"]))
+    locksan.uninstall()
+    assert not report["cycles"]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "install",
+    "installed",
+    "uninstall",
+    "reset",
+    "snapshot",
+    "dump",
+    "default_site_filter",
+]
+
+SCHEMA_VERSION = 1
+
+_THIS_FILE = str(Path(__file__).resolve())
+_REPRO_ROOT = str(Path(__file__).resolve().parents[1])  # .../src/repro
+
+# Real factories, captured at import — patching swaps the *module
+# attributes*, so these stay usable for our own plumbing and for
+# construction sites the filter rejects.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+
+def default_site_filter(filename: str) -> bool:
+    """Wrap only locks constructed inside ``src/repro``."""
+    return filename.startswith(_REPRO_ROOT + "/") or filename.startswith(
+        _REPRO_ROOT + "\\"
+    )
+
+
+class _Registry:
+    """All observed locks, acquisition counts, and ordered-pair edges.
+
+    Guarded by a *real* (unwrapped) lock so the sanitizer's own
+    bookkeeping can never appear in its own graph.
+    """
+
+    def __init__(self) -> None:
+        self._guard = _REAL_LOCK()
+        self._next_id = 0
+        self.locks: dict[int, dict] = {}
+        self.edges: dict[tuple[int, int], int] = {}
+        self._held = threading.local()
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, kind: str, file: str, line: int) -> int:
+        with self._guard:
+            lock_id = self._next_id
+            self._next_id += 1
+            self.locks[lock_id] = {
+                "id": lock_id,
+                "kind": kind,
+                "file": file,
+                "line": line,
+                "acquisitions": 0,
+            }
+            return lock_id
+
+    # -- per-thread held stack ---------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def acquired(self, lock_id: int) -> None:
+        """Record a successful acquisition by the current thread."""
+        stack = self._stack()
+        with self._guard:
+            self.locks[lock_id]["acquisitions"] += 1
+            if lock_id in stack:
+                # Reentrant re-acquire: no new edges, no duplicate entry —
+                # release() pops by value, so the single entry suffices.
+                return
+            for held in stack:
+                key = (held, lock_id)
+                self.edges[key] = self.edges.get(key, 0) + 1
+        stack.append(lock_id)
+
+    def released(self, lock_id: int) -> None:
+        stack = self._stack()
+        if lock_id in stack:
+            stack.remove(lock_id)
+
+    def holding(self, lock_id: int) -> bool:
+        return lock_id in self._stack()
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._guard:
+            locks = [dict(info) for info in self.locks.values()]
+            edges = [
+                {"from": a, "to": b, "count": count}
+                for (a, b), count in sorted(self.edges.items())
+            ]
+        adjacency: dict[int, set[int]] = {lock["id"]: set() for lock in locks}
+        for edge in edges:
+            adjacency.setdefault(edge["from"], set()).add(edge["to"])
+            adjacency.setdefault(edge["to"], set())
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "locks": sorted(locks, key=lambda lock: lock["id"]),
+            "edges": edges,
+            "cycles": _find_cycles(adjacency),
+        }
+
+
+def _find_cycles(adjacency: dict[int, set[int]]) -> list[list[int]]:
+    """Strongly connected components with more than one node (iterative)."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = [0]
+    sccs: list[list[int]] = []
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(adjacency.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbors = work[-1]
+            advanced = False
+            for nxt in neighbors:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adjacency.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                low[work[-1][0]] = min(low[work[-1][0]], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+    return sorted(sccs)
+
+
+def _construction_site() -> tuple[str, int] | None:
+    """Construction site: the first stack frame outside this module.
+
+    If that frame is ``threading.py`` itself, the construction is a
+    primitive's *internal* plumbing (``Condition()`` building its own
+    RLock, ``Thread`` building its started event) — return ``None`` so
+    the internal lock stays real and only the outer object is tracked.
+    """
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename == _THIS_FILE:
+            frame = frame.f_back
+            continue
+        if filename.endswith("threading.py"):
+            return None
+        return str(Path(filename).resolve()), frame.f_lineno
+    return None
+
+
+class _SanLock:
+    """Tracking proxy over a real Lock/RLock: same blocking semantics,
+    plus held-stack bookkeeping on every successful acquire/release."""
+
+    __slots__ = ("_real", "_san_id", "_registry")
+
+    def __init__(self, real, san_id: int, registry: _Registry) -> None:
+        self._real = real
+        self._san_id = san_id
+        self._registry = registry
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._real.acquire(blocking, timeout)
+        if got:
+            self._registry.acquired(self._san_id)
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        self._registry.released(self._san_id)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __getattr__(self, name: str):
+        return getattr(self._real, name)
+
+    def __repr__(self) -> str:
+        return f"<locksan #{self._san_id} {self._real!r}>"
+
+
+class _SanCondition:
+    """Tracking proxy over a real Condition.
+
+    ``wait``/``wait_for`` release the underlying lock for the duration of
+    the wait, so the held-stack entry is popped before blocking and
+    re-pushed (with fresh edges from the current outer locks) on wake —
+    the graph sees exactly what other threads can observe.
+    """
+
+    __slots__ = ("_real", "_san_id", "_registry")
+
+    def __init__(self, real, san_id: int, registry: _Registry) -> None:
+        self._real = real
+        self._san_id = san_id
+        self._registry = registry
+
+    def acquire(self, *args) -> bool:
+        got = self._real.acquire(*args)
+        if got:
+            self._registry.acquired(self._san_id)
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        self._registry.released(self._san_id)
+
+    def __enter__(self):
+        self._real.__enter__()
+        self._registry.acquired(self._san_id)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._real.__exit__(*exc)
+        self._registry.released(self._san_id)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        self._registry.released(self._san_id)
+        try:
+            return self._real.wait(timeout)
+        finally:
+            self._registry.acquired(self._san_id)
+
+    def wait_for(self, predicate, timeout: float | None = None):
+        self._registry.released(self._san_id)
+        try:
+            return self._real.wait_for(predicate, timeout)
+        finally:
+            self._registry.acquired(self._san_id)
+
+    def notify(self, n: int = 1) -> None:
+        self._real.notify(n)
+
+    def notify_all(self) -> None:
+        self._real.notify_all()
+
+    def __getattr__(self, name: str):
+        return getattr(self._real, name)
+
+    def __repr__(self) -> str:
+        return f"<locksan #{self._san_id} {self._real!r}>"
+
+
+# -- install / uninstall ---------------------------------------------------
+
+_state: dict | None = None
+
+
+def installed() -> bool:
+    return _state is not None
+
+
+def install(site_filter=default_site_filter) -> None:
+    """Patch ``threading.Lock/RLock/Condition`` with tracking factories.
+
+    Idempotent. Locks constructed *before* install are invisible — wire
+    this up before the code under test builds its servers.
+    """
+    global _state
+    if _state is not None:
+        return
+    registry = _Registry()
+
+    def make_factory(kind: str, real_factory, proxy):
+        def factory(*args, **kwargs):
+            site = _construction_site()
+            if site is None or not site_filter(site[0]):
+                return real_factory(*args, **kwargs)
+            lock_id = registry.register(kind, site[0], site[1])
+            return proxy(real_factory(*args, **kwargs), lock_id, registry)
+
+        factory.__name__ = f"locksan_{kind}"
+        return factory
+
+    patched = {
+        "Lock": make_factory("Lock", _REAL_LOCK, _SanLock),
+        "RLock": make_factory("RLock", _REAL_RLOCK, _SanLock),
+        "Condition": make_factory("Condition", _REAL_CONDITION, _SanCondition),
+    }
+    for name, factory in patched.items():
+        setattr(threading, name, factory)
+    _state = {"registry": registry}
+
+
+def uninstall() -> None:
+    """Restore the real factories. Already-wrapped locks keep tracking
+    into the (now frozen) registry; new constructions are untouched."""
+    global _state
+    if _state is None:
+        return
+    threading.Lock = _REAL_LOCK
+    threading.RLock = _REAL_RLOCK
+    threading.Condition = _REAL_CONDITION
+    _state = None
+
+
+def reset() -> None:
+    """Drop all recorded locks and edges (keeps the patch installed)."""
+    if _state is not None:
+        _state["registry"] = _Registry()
+
+
+def _registry() -> _Registry:
+    if _state is None:
+        raise RuntimeError("locksan is not installed")
+    return _state["registry"]
+
+
+def snapshot() -> dict:
+    """The current observed graph as a schema-versioned dict."""
+    return _registry().snapshot()
+
+
+def dump(path: str | Path) -> dict:
+    """Write :func:`snapshot` to *path* as JSON; returns the snapshot."""
+    report = snapshot()
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report

@@ -1,0 +1,28 @@
+"""Triggers: lock-order. Half of a cross-module lock-order cycle.
+
+``Leader.advance`` holds ``Leader._lock`` and calls into
+``Follower.sync`` (which takes ``Follower._lock``); the other half of
+the cycle lives in ``lockorder_bad_b.py``. Neither nesting alone is a
+deadlock — the *pair* is.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from tests.analyze_fixtures.lockorder_bad_b import Follower
+
+
+class Leader:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.beat = 0
+
+    def advance(self, follower: Follower) -> None:
+        with self._lock:
+            self.beat += 1
+            follower.sync()
+
+    def poke(self) -> None:
+        with self._lock:
+            self.beat += 1

@@ -1,0 +1,28 @@
+"""Triggers: lock-order. The other half of the cross-module cycle.
+
+``Follower.chase`` holds ``Follower._lock`` and calls back into
+``Leader.poke`` (which takes ``Leader._lock``) — the reverse of the
+nesting in ``lockorder_bad_a.py``. The import below is a static-analysis
+prop only; the fixture pair is analyzed, never imported.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Follower:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.synced = 0
+
+    def sync(self) -> None:
+        with self._lock:
+            self.synced += 1
+
+    def chase(self, leader: "Leader") -> None:
+        with self._lock:
+            leader.poke()
+
+
+from tests.analyze_fixtures.lockorder_bad_a import Leader  # noqa: E402

@@ -1,0 +1,32 @@
+"""Non-triggering: lock-order. A nested acquire with a declared order.
+
+``Registry.flush`` takes ``Registry._lock`` and then each entry's
+``Cell._lock`` — one direction only, and the tests pass a contract file
+declaring exactly this edge, so neither ``lock-cycle`` nor
+``undeclared-order`` fires.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Cell:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.value += 1
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cells: dict[str, Cell] = {}
+
+    def flush(self) -> None:
+        with self._lock:
+            for cell in self._cells.values():
+                cell.bump()

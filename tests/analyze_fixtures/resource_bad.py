@@ -1,0 +1,46 @@
+"""Triggers: resource-lifecycle — one function per code.
+
+``leaky_probe``  -> leaked-resource   (socket never closed)
+``racy_close``   -> leak-on-exception (close not reached if recv raises)
+``reap``         -> popen-pipe-leak   (PIPE stdout never closed)
+``fire_and_forget`` -> unjoined-thread
+``Holder``       -> owned-unreleased  (stored socket, no release method)
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import threading
+
+
+def leaky_probe(host: str) -> bytes:
+    conn = socket.create_connection((host, 80), timeout=1.0)
+    conn.sendall(b"ping\n")
+    return b"pong"
+
+
+def racy_close(host: str) -> bytes:
+    conn = socket.create_connection((host, 80), timeout=1.0)
+    data = conn.recv(16)
+    conn.close()
+    return data
+
+
+def reap(command: list) -> int:
+    process = subprocess.Popen(command, stdout=subprocess.PIPE)
+    process.wait(timeout=10.0)
+    return process.returncode
+
+
+def fire_and_forget(target) -> None:
+    worker = threading.Thread(target=target, name="fixture-worker")
+    worker.start()
+
+
+class Holder:
+    def __init__(self, host: str) -> None:
+        self._conn = socket.create_connection((host, 80))
+
+    def send(self, blob: bytes) -> None:
+        self._conn.sendall(blob)

@@ -1,0 +1,59 @@
+"""Non-triggering: resource-lifecycle — the disciplined counterparts.
+
+Context-managed sockets, ``try/finally`` releases, reaped pipes, joined
+and daemon threads, and an owning class with a ``close`` that releases
+its stored handle on every path.
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import threading
+
+
+def managed_probe(host: str) -> bytes:
+    with socket.create_connection((host, 80), timeout=1.0) as conn:
+        conn.sendall(b"ping\n")
+        return conn.recv(16)
+
+
+def careful_close(host: str) -> bytes:
+    conn = socket.create_connection((host, 80), timeout=1.0)
+    try:
+        return conn.recv(16)
+    finally:
+        conn.close()
+
+
+def reap_with_pipe(command: list) -> str:
+    process = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
+    try:
+        output, _ = process.communicate(timeout=10.0)
+    finally:
+        if process.stdout is not None:
+            process.stdout.close()
+        process.wait(timeout=10.0)
+    return output
+
+
+def run_joined(target) -> None:
+    worker = threading.Thread(target=target, name="fixture-joined")
+    worker.start()
+    worker.join(timeout=30.0)
+
+
+def run_daemon(target) -> None:
+    sidecar = threading.Thread(target=target, daemon=True)
+    sidecar.start()
+
+
+class Owner:
+    def __init__(self, host: str) -> None:
+        self._conn = socket.create_connection((host, 80))
+
+    def send(self, blob: bytes) -> None:
+        self._conn.sendall(blob)
+
+    def close(self) -> None:
+        self._conn.close()

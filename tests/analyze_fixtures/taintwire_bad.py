@@ -1,0 +1,30 @@
+"""Triggers: taint-wire — wire bytes reach ndarray machinery undecoded.
+
+``handle`` reads raw bytes off a connection and passes them through a
+helper straight into ``np.frombuffer`` (raw-ndarray-sink, reported at
+the call that crosses the function boundary); ``handle_mean`` hands the
+same raw bytes to an ``np.ndarray``-annotated parameter
+(raw-ndarray-param).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_array(blob: bytes) -> "np.ndarray":
+    return np.frombuffer(blob, dtype=np.uint8)
+
+
+def _mean(image: np.ndarray) -> float:
+    return float(image.mean())
+
+
+def handle(conn) -> "np.ndarray":
+    payload = conn.recv(65536)
+    return _as_array(payload)
+
+
+def handle_mean(conn) -> float:
+    raw = conn.recv(1024)
+    return _mean(raw)

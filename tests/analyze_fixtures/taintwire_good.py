@@ -1,0 +1,24 @@
+"""Non-triggering: taint-wire — wire bytes are decoded before math.
+
+The payload passes through ``decode_png`` (a recognized sanitizer, so
+its *own* frombuffer is the decode, not a violation) before any ndarray
+work; ``summarize`` then only ever sees sanitized data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def decode_png(blob: bytes) -> "np.ndarray":
+    return np.frombuffer(blob, dtype=np.uint8).astype(np.float64)
+
+
+def summarize(image: np.ndarray) -> float:
+    return float(image.mean())
+
+
+def handle(conn) -> float:
+    payload = conn.recv(65536)
+    image = decode_png(payload)
+    return summarize(image)

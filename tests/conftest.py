@@ -28,6 +28,36 @@ MODEL_INPUT = (16, 16)
 SERVER_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0"))
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _locksan_session():
+    """Runtime lock-order sanitizer, armed by ``REPRO_LOCKSAN=1``.
+
+    Wraps every ``threading.Lock/RLock/Condition`` constructed under
+    ``src/repro`` for the whole session, dumps the observed acquisition
+    graph to ``REPRO_LOCKSAN_OUT`` (for ``tools/analyze.py
+    --locksan-check``), and fails the session outright if the observed
+    graph contains a cycle. Zero effect when the env var is unset — the
+    sanitizer module is not even imported.
+    """
+    if os.environ.get("REPRO_LOCKSAN") != "1":
+        yield
+        return
+    from repro.testing import locksan
+
+    locksan.install()
+    try:
+        yield
+    finally:
+        out = os.environ.get("REPRO_LOCKSAN_OUT")
+        report = locksan.dump(out) if out else locksan.snapshot()
+        locksan.uninstall()
+    if report["cycles"]:
+        raise pytest.UsageError(
+            f"locksan observed lock-order cycle(s): {report['cycles']} "
+            f"(locks: {[(l['id'], l['file'], l['line']) for l in report['locks']]})"
+        )
+
+
 def wait_until(
     predicate,
     *,

@@ -388,3 +388,49 @@ def test_cli_catches_fixture_tree_like_ci_would(capsys):
     assert code == 1
     out = capsys.readouterr().out
     assert "io-under-lock" in out and "bare-except" in out
+
+
+# -- analyzer-code digest in the cache key -----------------------------------
+
+
+def test_analyzer_digest_is_stable_and_short():
+    import analyze.engine as engine_mod
+
+    first = engine_mod.analyzer_digest()
+    second = engine_mod.analyzer_digest()
+    assert first == second
+    assert len(first) == 16 and int(first, 16) >= 0
+
+
+def test_cache_busts_when_analyzer_code_changes(tmp_path, monkeypatch):
+    # Editing any file under tools/analyze changes analyzer_digest();
+    # simulate the digest flip and confirm every cached entry is stale.
+    import analyze.engine as engine_mod
+
+    (tmp_path / "mod.py").write_text(SWALLOW)
+    cache = tmp_path / "cache.json"
+
+    monkeypatch.setattr(engine_mod, "_digest_cache", "aaaaaaaaaaaaaaaa")
+    run_analysis([tmp_path], cache_path=cache)
+    monkeypatch.setattr(engine_mod, "_digest_cache", "bbbbbbbbbbbbbbbb")
+    busted = run_analysis([tmp_path], cache_path=cache)
+    assert busted.cache_hits == 0
+
+    # Same digest again -> warm.
+    warm = run_analysis([tmp_path], cache_path=cache)
+    assert warm.cache_hits == 1
+
+
+def test_warm_run_rebuilds_project_findings_from_cached_summaries(tmp_path):
+    fixture = REPO_ROOT / "tests" / "analyze_fixtures" / "taintwire_bad.py"
+    target = tmp_path / "wire.py"
+    target.write_text(fixture.read_text())
+    cache = tmp_path / "cache.json"
+
+    cold = run_analysis([tmp_path], rules=["taint-wire"], cache_path=cache)
+    warm = run_analysis([tmp_path], rules=["taint-wire"], cache_path=cache)
+    assert warm.cache_hits == 1
+    assert [f.render() for f in warm.findings] == [
+        f.render() for f in cold.findings
+    ]
+    assert warm.findings, "project findings must survive a fully-warm run"

@@ -32,12 +32,15 @@ def codes_of(report) -> set[str]:
 # -- registry ----------------------------------------------------------------
 
 
-def test_registry_lists_all_four_passes():
+def test_registry_lists_every_rule():
     assert known_rules() == [
         "lock-discipline",
         "validation-boundary",
         "exception-policy",
         "api-surface",
+        "lock-order",
+        "resource-lifecycle",
+        "taint-wire",
     ]
 
 

@@ -255,3 +255,68 @@ class TestWarmup:
             seen = server.requests_seen
         assert len(records) == 2
         assert seen == 5  # 3 warm-ups + 2 recorded
+
+
+class TestOpenLoopCleanup:
+    """Regression: the open loop's per-thread keep-alive clients must be
+    closed even when dispatch dies mid-level (the static analyzer's
+    leak-on-exception finding on ``_run_open``)."""
+
+    class _StubClient:
+        instances: "list" = []
+
+        def __init__(self, *args, **kwargs) -> None:
+            self.closed = False
+            type(self).instances.append(self)
+
+        def request_raw(self, *args, **kwargs):
+            return 200, {}, b"{}"
+
+        def close(self) -> None:
+            self.closed = True
+
+    class _ExplodingPool:
+        """Runs the first submitted task inline, then blows up the
+        dispatch loop — after a client exists, before the level ends."""
+
+        def __init__(self, *args, **kwargs) -> None:
+            self._submitted = 0
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, *args):
+            self._submitted += 1
+            fn(*args)
+            if self._submitted >= 1:
+                raise RuntimeError("dispatch died")
+
+    def test_clients_closed_when_dispatch_raises(self, monkeypatch):
+        import repro.loadlab.engine as engine_mod
+
+        self._StubClient.instances = []
+        monkeypatch.setattr(engine_mod, "DetectionClient", self._StubClient)
+        monkeypatch.setattr(
+            engine_mod, "ThreadPoolExecutor", self._ExplodingPool
+        )
+        scenario = _scenario(
+            profile=LoadProfile(kind="constant", base=8.0, steps=1,
+                                level_duration_s=2.0),
+            arrival=ArrivalModel(kind="poisson", max_outstanding=4),
+            warmup_requests=0,
+        )
+        engine = LoadEngine(
+            scenario,
+            compile_schedule(scenario),
+            _fake_payloads(),
+            "127.0.0.1",
+            1,
+            clock=FakeTime(),
+        )
+        with pytest.raises(RuntimeError, match="dispatch died"):
+            engine.run()
+        assert self._StubClient.instances, "no client was ever created"
+        assert all(client.closed for client in self._StubClient.instances)

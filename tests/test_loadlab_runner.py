@@ -113,3 +113,48 @@ class TestLaunchGuards:
         scenario = get_scenario("smoke-ramp")
         path = result_path(tmp_path, scenario)
         assert path.name == f"smoke-ramp-{scenario.fingerprint()}.json"
+
+
+class TestLaunchCleanup:
+    """Regression: a subprocess launch that never reports ready must not
+    leak its stdout pipe fd (the static analyzer's popen-pipe-leak
+    finding on ``_launch_subprocess``)."""
+
+    class _StillbornProc:
+        """Popen stand-in whose stdout yields nothing: the real
+        ``_await_serving_line`` sees EOF and raises 'exited before
+        serving'."""
+
+        def __init__(self, command, **kwargs):
+            import io
+
+            self.stdout = io.StringIO("")
+            self.killed = False
+            self.pid = 99999
+
+        def poll(self):
+            return None if not self.killed else -9
+
+        def kill(self):
+            self.killed = True
+
+        def wait(self, timeout=None):
+            return -9
+
+    def test_stdout_closed_when_server_never_serves(self, monkeypatch):
+        import repro.loadlab.runner as runner_mod
+
+        spawned = []
+
+        def fake_popen(command, **kwargs):
+            proc = self._StillbornProc(command, **kwargs)
+            spawned.append(proc)
+            return proc
+
+        monkeypatch.setattr(runner_mod.subprocess, "Popen", fake_popen)
+        scenario = _tiny_scenario(launch="subprocess")
+        with pytest.raises(LoadLabError, match="exited before serving"):
+            launch_server(scenario)
+        (proc,) = spawned
+        assert proc.killed
+        assert proc.stdout.closed, "stdout pipe leaked on failed launch"

@@ -3,23 +3,27 @@
 Exit codes (CI contract):
 
 * ``0`` — no new findings (baselined and suppressed ones do not count),
-  and no stale baseline entries;
-* ``1`` — at least one new finding, or a stale baseline entry, or the
-  ``--max-seconds`` budget was exceeded;
-* ``2`` — usage error (unknown rule, unreadable baseline).
+  no stale baseline entries, and — with ``--locksan-check`` — no
+  unreconciled runtime lock edges;
+* ``1`` — at least one new finding, a stale baseline entry, a failed
+  locksan reconciliation, or the ``--max-seconds`` budget was exceeded;
+* ``2`` — usage error (unknown rule, unreadable baseline or dump).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 import time
 from pathlib import Path
 
 from analyze.engine import run_analysis
 from analyze.findings import Baseline
-from analyze.passes import ALL_PASSES, known_rules
-from analyze.reporters import render_human, render_json
+from analyze.passes import ALL_PASSES, PROJECT_PASSES, known_rules
+from analyze.passes.lock_order import load_contract, reconcile_locksan, render_dot
+from analyze.reporters import render_human, render_json, render_sarif
 
 __all__ = [
     "DEFAULT_PATHS",
@@ -37,7 +41,7 @@ DEFAULT_CACHE = ".analyze-cache.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="analyze",
-        description="Multi-pass stdlib AST static analysis for this repo.",
+        description="Two-phase stdlib AST static analysis for this repo.",
     )
     parser.add_argument(
         "paths",
@@ -54,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="report format (default: human)",
     )
@@ -82,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache",
         default=DEFAULT_CACHE,
-        help=f"mtime-keyed result cache path (default: {DEFAULT_CACHE})",
+        help=f"result cache path (default: {DEFAULT_CACHE})",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
@@ -93,6 +97,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fail (exit 1) when the run exceeds this wall-clock budget",
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report findings only for files changed vs git HEAD (plus "
+            "untracked files); every file is still summarized so the "
+            "project passes stay whole-program-sound"
+        ),
+    )
+    parser.add_argument(
+        "--lock-graph",
+        metavar="PREFIX",
+        help=(
+            "write the lock-order graph artifact to PREFIX.json and "
+            "PREFIX.dot (requires the lock-order rule to be enabled)"
+        ),
+    )
+    parser.add_argument(
+        "--locksan-check",
+        metavar="DUMP",
+        help=(
+            "reconcile a repro.testing.locksan runtime dump against the "
+            "static lock-order model; exit 1 on runtime cycles or edges "
+            "absent from the static graph and the contract file"
+        ),
+    )
     return parser
 
 
@@ -102,7 +132,29 @@ def _list_rules() -> str:
         lines.append(f"{cls.name}: {cls.description}")
         for code in cls.codes:
             lines.append(f"  - {code}")
+    lines.append("project passes (whole-program, phase 2):")
+    for cls in PROJECT_PASSES:
+        lines.append(f"{cls.name}: {cls.description}")
+        for code in cls.codes:
+            lines.append(f"  - {code}")
     return "\n".join(lines)
+
+
+def _git_changed_paths() -> set[str] | None:
+    """Repo-relative paths changed vs HEAD, plus untracked files."""
+    changed: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, timeout=30, check=True
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return changed
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -131,12 +183,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: path(s) do not exist: {missing}", file=sys.stderr)
         return 2
 
+    changed_only: set[str] | None = None
+    if args.changed_only:
+        changed_only = _git_changed_paths()
+        if changed_only is None:
+            print(
+                "warning: git unavailable; --changed-only reporting everything",
+                file=sys.stderr,
+            )
+
     start = time.perf_counter()
     result = run_analysis(
         roots,
         rules=rules,
         jobs=args.jobs,
         cache_path=None if args.no_cache else Path(args.cache),
+        changed_only=changed_only,
     )
     elapsed = time.perf_counter() - start
 
@@ -159,7 +221,28 @@ def main(argv: list[str] | None = None) -> int:
 
     fresh, baselined, stale = baseline.apply(result.findings)
 
-    render = render_json if args.format == "json" else render_human
+    lock_graph = result.artifacts.get("lock_order")
+    if args.lock_graph:
+        if lock_graph is None:
+            print(
+                "error: --lock-graph needs the lock-order rule enabled",
+                file=sys.stderr,
+            )
+            return 2
+        prefix = Path(args.lock_graph)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        prefix.with_suffix(".json").write_text(
+            json.dumps(lock_graph, indent=2) + "\n", encoding="utf-8"
+        )
+        prefix.with_suffix(".dot").write_text(
+            render_dot(lock_graph), encoding="utf-8"
+        )
+
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "human": render_human,
+    }[args.format]
     print(
         render(
             fresh,
@@ -172,6 +255,33 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
 
+    locksan_failed = False
+    if args.locksan_check:
+        if lock_graph is None:
+            print(
+                "error: --locksan-check needs the lock-order rule enabled",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            dump = json.loads(Path(args.locksan_check).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read locksan dump: {exc}", file=sys.stderr)
+            return 2
+        errors, notes = reconcile_locksan(dump, lock_graph, load_contract())
+        for note in notes:
+            print(f"locksan: {note}", file=sys.stderr)
+        for error in errors:
+            print(f"locksan: ERROR: {error}", file=sys.stderr)
+        if errors:
+            locksan_failed = True
+        else:
+            matched = sum(1 for e in dump.get("edges", []))
+            print(
+                f"locksan: {matched} observed edge(s) reconciled against the "
+                "static model; no runtime cycles"
+            )
+
     if args.max_seconds is not None and elapsed > args.max_seconds:
         print(
             f"error: analysis took {elapsed:.2f}s, over the "
@@ -179,4 +289,4 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 1 if fresh or stale else 0
+    return 1 if fresh or stale or locksan_failed else 0

@@ -1,4 +1,4 @@
-"""Analysis engine: discovery, parse cache, and multiprocessing fan-out.
+"""Analysis engine: discovery, parse cache, fan-out, and the project stage.
 
 The engine is deliberately dumb about *what* the passes check — it owns
 the mechanics every pass shares:
@@ -8,22 +8,31 @@ the mechanics every pass shares:
 * **module naming** — ``src/repro/serving/server.py`` becomes
   ``repro.serving.server`` so passes can reason about layers; files not
   under a ``src`` root get a best-effort dotted name from their path;
-* **per-file analysis** — parse once, build the scope index once, run
-  every enabled pass, then drop findings silenced by inline
-  ``# analyze: ignore[...]`` comments (line-level or scope-level);
-* **mtime-keyed cache** — a JSON sidecar mapping path -> (mtime_ns, size,
-  config key) -> findings, so an unchanged tree re-checks in milliseconds;
-* **fan-out** — ``--jobs N`` spreads cache misses across worker processes;
-  results are deterministic regardless of worker count because findings
-  are re-sorted by (path, line, col) after the merge.
+* **per-file analysis (phase 1)** — parse once, build the scope index
+  once, run every enabled per-file pass, extract the whole-program
+  *summary* (``analyze.summaries``), then drop findings silenced by
+  inline ``# analyze: ignore[...]`` comments;
+* **project passes (phase 2)** — merge every file's summary into one
+  :class:`analyze.project.ProjectModel` and run the cross-module rules
+  (lock-order, resource-lifecycle, taint-wire) over it. Summaries are
+  cached with the findings, so a warm run rebuilds the model from the
+  cache without re-parsing anything;
+* **cache** — a JSON sidecar keyed on ``(analyzer-code digest, mtime_ns,
+  size, enabled rules)``. The digest is a hash of every ``tools/analyze``
+  source file: editing a pass invalidates the whole cache, so stale
+  results can never mask a new rule's findings;
+* **fan-out** — ``--jobs N`` spreads cache misses across worker
+  processes; results are deterministic regardless of worker count because
+  findings are re-sorted by (path, line, col) after the merge.
 
 Parse failures are not crashes: a file that does not parse yields a single
-``parse/syntax-error`` finding and analysis continues.
+``parse/syntax-error`` finding (and no summary) and analysis continues.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -36,13 +45,16 @@ from analyze.findings import (
     filter_suppressed,
     parse_suppressions,
 )
-from analyze.passes import get_passes
+from analyze.passes import get_passes, get_project_passes
 from analyze.passes.base import PassContext, build_scope_index
+from analyze.project import run_project_passes
+from analyze.summaries import extract_summary
 
 __all__ = [
     "CACHE_VERSION",
     "FileReport",
     "RunResult",
+    "analyzer_digest",
     "discover_files",
     "module_name_for",
     "analyze_source",
@@ -50,26 +62,51 @@ __all__ = [
     "run_analysis",
 ]
 
-#: Bump when pass behaviour changes so stale cache entries never mask
-#: new findings.
-CACHE_VERSION = 1
+#: Bump when the cache entry *shape* changes; behaviour changes are
+#: covered automatically by :func:`analyzer_digest`.
+CACHE_VERSION = 2
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+_digest_cache: str | None = None
+
+
+def analyzer_digest() -> str:
+    """Hash of every ``tools/analyze`` source file.
+
+    Folded into the cache key so editing any pass (or the engine itself)
+    invalidates every cached result — the cache-staleness gap where an
+    edited rule kept serving its old findings.
+    """
+    global _digest_cache
+    if _digest_cache is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).resolve().parent
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(path.relative_to(package_dir).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _digest_cache = digest.hexdigest()[:16]
+    return _digest_cache
 
 
 @dataclass
 class FileReport:
-    """Per-file outcome: surviving findings plus suppression accounting."""
+    """Per-file outcome: surviving findings, suppression accounting, and
+    the whole-program summary consumed by the project passes."""
 
     path: str
     findings: list[Finding] = field(default_factory=list)
     suppressed: int = 0
     from_cache: bool = False
+    summary: dict | None = None
 
     def as_cache_entry(self) -> dict:
         return {
             "findings": [f.as_dict() for f in self.findings],
             "suppressed": self.suppressed,
+            "summary": self.summary,
         }
 
 
@@ -81,6 +118,7 @@ class RunResult:
     files_analyzed: int
     suppressed: int
     cache_hits: int
+    artifacts: dict = field(default_factory=dict)
 
 
 def discover_files(roots: list[Path]) -> list[Path]:
@@ -148,9 +186,10 @@ def analyze_source(
         return report
 
     lines = source.splitlines()
+    resolved_module = module if module is not None else module_name_for(Path(path))
     context = PassContext(
         path=path,
-        module=module if module is not None else module_name_for(Path(path)),
+        module=resolved_module,
         tree=tree,
         lines=lines,
         scopes=build_scope_index(tree),
@@ -167,6 +206,9 @@ def analyze_source(
     kept.sort(key=lambda f: (f.line, f.col, f.rule, f.code))
     report.findings = kept
     report.suppressed = dropped
+    report.summary = extract_summary(
+        tree, module=resolved_module, path=path, lines=lines
+    )
     return report
 
 
@@ -202,7 +244,7 @@ def _config_key(rules: list[str] | None) -> str:
     from analyze.passes import known_rules
 
     enabled = sorted(rules) if rules is not None else sorted(known_rules())
-    return f"v{CACHE_VERSION}:" + ",".join(enabled)
+    return f"v{CACHE_VERSION}:{analyzer_digest()}:" + ",".join(enabled)
 
 
 def _load_cache(cache_path: Path | None) -> dict:
@@ -225,7 +267,7 @@ def _save_cache(cache_path: Path | None, cache: dict) -> None:
 
 def _fresh_entry(cache: dict, path: Path, config_key: str) -> dict | None:
     entry = cache.get(str(path))
-    if not entry or entry.get("config") != config_key:
+    if not entry or entry.get("config") != config_key or "summary" not in entry:
         return None
     try:
         stat = path.stat()
@@ -242,9 +284,17 @@ def run_analysis(
     rules: list[str] | None = None,
     jobs: int = 1,
     cache_path: Path | None = None,
+    changed_only: set[str] | None = None,
+    lock_contract: Path | None = None,
 ) -> RunResult:
-    """Analyze every file under *roots*; returns merged, sorted findings."""
+    """Analyze every file under *roots*; returns merged, sorted findings.
+
+    *changed_only* restricts **reported** findings to those paths — every
+    file is still discovered and summarized (cache-served when warm) so
+    the project passes always see the whole program.
+    """
     files = discover_files(roots)
+    file_rules, project_rules = _split_rules(rules)
     config_key = _config_key(rules)
     cache = _load_cache(cache_path)
 
@@ -260,6 +310,7 @@ def run_analysis(
             findings=[Finding(**f) for f in entry["findings"]],
             suppressed=entry["suppressed"],
             from_cache=True,
+            summary=entry["summary"],
         )
         reports[str(path)] = report
 
@@ -270,12 +321,12 @@ def run_analysis(
             fresh = list(
                 pool.map(
                     _analyze_one,
-                    [(str(path), rules) for path in misses],
+                    [(str(path), file_rules) for path in misses],
                     chunksize=max(1, len(misses) // (jobs * 4) or 1),
                 )
             )
     else:
-        fresh = [_analyze_one((str(path), rules)) for path in misses]
+        fresh = [_analyze_one((str(path), file_rules)) for path in misses]
 
     for report in fresh:
         reports[report.path] = report
@@ -297,11 +348,47 @@ def run_analysis(
     _save_cache(cache_path, new_cache)
 
     findings = [f for path in files for f in reports[str(path)].findings]
+
+    artifacts: dict = {}
+    project_suppressed = 0
+    project_passes = get_project_passes(project_rules)
+    if project_passes:
+        summaries = {
+            report.path: report.summary
+            for report in reports.values()
+            if report.summary is not None
+        }
+        options = {}
+        if lock_contract is not None:
+            options["lock_contract_path"] = str(lock_contract)
+        project_findings, artifacts, project_suppressed = run_project_passes(
+            summaries, project_passes, options=options
+        )
+        findings.extend(project_findings)
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.code))
     assign_fingerprints(findings)
+    if changed_only is not None:
+        findings = [f for f in findings if f.path in changed_only]
     return RunResult(
         findings=findings,
         files_analyzed=len(files),
-        suppressed=sum(r.suppressed for r in reports.values()),
+        suppressed=sum(r.suppressed for r in reports.values()) + project_suppressed,
         cache_hits=sum(1 for r in reports.values() if r.from_cache),
+        artifacts=artifacts,
+    )
+
+
+def _split_rules(
+    rules: list[str] | None,
+) -> tuple[list[str] | None, list[str] | None]:
+    """Split a mixed rule list into (per-file, project) subsets."""
+    if rules is None:
+        return None, None
+    from analyze.passes import PROJECT_PASSES
+
+    project_names = {cls.name for cls in PROJECT_PASSES}
+    return (
+        [rule for rule in rules if rule not in project_names],
+        [rule for rule in rules if rule in project_names],
     )

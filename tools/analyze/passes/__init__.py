@@ -1,4 +1,15 @@
-"""Pass registry: every analysis pass the framework ships."""
+"""Pass registry: every analysis pass the framework ships.
+
+Two kinds of pass live here:
+
+* **per-file passes** (``ALL_PASSES``) — run in phase 1 over one parsed
+  file at a time, fan out across processes, cache per file;
+* **project passes** (``PROJECT_PASSES``) — run in phase 2 over the
+  merged whole-program model built from every file's summary.
+
+``known_rules()`` spans both; ``--rules`` accepts any mix and the engine
+routes each name to the right phase.
+"""
 
 from __future__ import annotations
 
@@ -6,13 +17,20 @@ from analyze.passes.api_surface import ApiSurfacePass
 from analyze.passes.base import AnalysisPass, PassContext
 from analyze.passes.exception_policy import ExceptionPolicyPass
 from analyze.passes.lock_discipline import LockDisciplinePass
+from analyze.passes.lock_order import LockOrderPass
+from analyze.passes.resource_lifecycle import ResourceLifecyclePass
+from analyze.passes.taint_wire import TaintWirePass
 from analyze.passes.validation_boundary import ValidationBoundaryPass
+from analyze.project import ProjectPass
 
 __all__ = [
     "AnalysisPass",
     "PassContext",
+    "ProjectPass",
     "ALL_PASSES",
+    "PROJECT_PASSES",
     "get_passes",
+    "get_project_passes",
     "known_rules",
 ]
 
@@ -24,18 +42,41 @@ ALL_PASSES: tuple[type[AnalysisPass], ...] = (
     ApiSurfacePass,
 )
 
+#: Phase-2 whole-program passes over the merged summary model.
+PROJECT_PASSES: tuple[type[ProjectPass], ...] = (
+    LockOrderPass,
+    ResourceLifecyclePass,
+    TaintWirePass,
+)
+
 
 def known_rules() -> list[str]:
-    return [cls.name for cls in ALL_PASSES]
+    return [cls.name for cls in ALL_PASSES + PROJECT_PASSES]
 
 
-def get_passes(rules: list[str] | None = None) -> list[AnalysisPass]:
-    """Instantiate the requested passes (all of them by default)."""
-    if rules is None:
-        return [cls() for cls in ALL_PASSES]
+def _validate(rules: list[str]) -> None:
     unknown = set(rules) - set(known_rules())
     if unknown:
         raise ValueError(
             f"unknown rule(s) {sorted(unknown)}; known: {known_rules()}"
         )
+
+
+def get_passes(rules: list[str] | None = None) -> list[AnalysisPass]:
+    """Instantiate the requested per-file passes (all by default).
+
+    Project rule names in *rules* are valid and simply not per-file —
+    they select phase-2 passes via :func:`get_project_passes`.
+    """
+    if rules is None:
+        return [cls() for cls in ALL_PASSES]
+    _validate(rules)
     return [cls() for cls in ALL_PASSES if cls.name in rules]
+
+
+def get_project_passes(rules: list[str] | None = None) -> list[ProjectPass]:
+    """Instantiate the requested project passes (all by default)."""
+    if rules is None:
+        return [cls() for cls in PROJECT_PASSES]
+    _validate(rules)
+    return [cls() for cls in PROJECT_PASSES if cls.name in rules]

@@ -59,7 +59,7 @@ def _owner_leaf(node: ast.Attribute) -> str:
 #: subpackage only when the target's rank is strictly lower; imports
 #: inside one subpackage are always allowed. The ranks encode today's
 #: dependency DAG: errors < {imaging, observability} < {attacks, datasets}
-#: < {core, ml, defenses} < {eval, serving} < loadlab < cli.
+#: < {core, ml, defenses} < {eval, serving} < loadlab < testing < cli.
 LAYER_RANKS = {
     "errors": 0,
     "observability": 10,
@@ -72,6 +72,7 @@ LAYER_RANKS = {
     "eval": 40,
     "serving": 40,
     "loadlab": 45,
+    "testing": 47,
     "cli": 50,
     "__main__": 60,
 }

@@ -1,0 +1,407 @@
+"""Project pass: the global lock-acquisition-order graph.
+
+Builds one directed graph over every lock in the program — a lock is a
+``self.<attr> = threading.Lock()/RLock()/Condition()`` site, identified as
+``module.Class.attr`` — and adds an edge ``A -> B`` whenever B can be
+acquired while A is held:
+
+* two lexically nested ``with self.<lock>:`` spans in one function, or
+* a call made inside a held span whose callee (resolved through the
+  cross-module call graph) *may acquire* B, computed transitively to a
+  fixpoint.
+
+Receivers that cannot be resolved are skipped — no guessed edges.
+
+Findings:
+
+* **``lock-cycle``** — a strongly connected component in the graph: two
+  locks each takeable while the other is held, i.e. a potential deadlock
+  the thread scheduler gets to choose when to exhibit.
+* **``undeclared-order``** — a nested-acquire edge with no declared order
+  in ``tools/analyze/lock_order.json``. The contract file is the reviewed
+  list of blessed orderings; a new nesting must be declared (one JSON
+  line) or restructured.
+
+The full graph is emitted as an artifact (JSON + DOT via ``--lock-graph``)
+and is the static half of the runtime cross-check performed by
+``repro.testing.locksan`` (``--locksan-check``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from analyze.findings import Finding
+from analyze.project import ProjectModel, ProjectPass
+
+__all__ = [
+    "LockOrderPass",
+    "build_lock_graph",
+    "render_dot",
+    "load_contract",
+    "reconcile_locksan",
+]
+
+_CONTRACT_PATH = Path(__file__).resolve().parent.parent / "lock_order.json"
+
+
+def load_contract(path: Path | None = None) -> dict:
+    contract_path = path or _CONTRACT_PATH
+    if not contract_path.exists():
+        return {"version": 1, "edges": [], "runtime_only": []}
+    return json.loads(contract_path.read_text(encoding="utf-8"))
+
+
+def _lock_ids_of(model: ProjectModel, classid: str) -> dict[str, str]:
+    """attr -> lock id for every lock attr visible on *classid* (with MRO)."""
+    out: dict[str, str] = {}
+    for cid in model._mro(classid):
+        cls = model.classes.get(cid)
+        if cls is None:
+            continue
+        for attr in cls["lock_attrs"]:
+            out.setdefault(attr, f"{cid}.{attr}")
+    return out
+
+
+def build_lock_graph(model: ProjectModel) -> dict:
+    """The acquisition-order graph: locks, edges with witness sites."""
+    # Every lock in the program.
+    locks: dict[str, dict] = {}
+    for classid, cls in sorted(model.classes.items()):
+        module = classid.rsplit(".", 1)[0]
+        for attr, info in sorted(cls["lock_attrs"].items()):
+            locks[f"{classid}.{attr}"] = {
+                "id": f"{classid}.{attr}",
+                "kind": info["kind"],
+                "path": model.path_of(module),
+                "line": info["line"],
+            }
+
+    # Per-function held spans, in terms of global lock ids. The span's
+    # receiver is resolved through the type terms, so both
+    # ``with self._lock:`` and ``with handle.send_lock:`` count.
+    spans: dict[str, list[dict]] = {}
+    for funcid, fn in model.functions.items():
+        module, classid = model.function_context(funcid)
+        held = []
+        for span in fn["lock_spans"]:
+            recv = model.resolve_type(span.get("recv"), module, classid)
+            if recv is None or recv.kind != "cls":
+                continue
+            lock_ids = _lock_ids_of(model, recv.id)
+            if span["attr"] in lock_ids:
+                held.append(
+                    {
+                        "lock": lock_ids[span["attr"]],
+                        "start": span["start"],
+                        "end": span["end"],
+                    }
+                )
+        if held:
+            spans[funcid] = held
+
+    # may_acquire: lock ids a function can take, transitively, to fixpoint.
+    resolved_calls: dict[str, list[tuple[dict, str]]] = {}
+    for funcid, fn in model.functions.items():
+        module, classid = model.function_context(funcid)
+        targets = []
+        for call in fn["calls"]:
+            target = model.resolve_call(call, module, classid)
+            if target is None:
+                continue
+            kind, who = target
+            if kind == "ctor":
+                who = model.find_method(who, "__init__")
+                if who is None:
+                    continue
+                kind = "fn"
+            if kind == "fn":
+                targets.append((call, who))
+        resolved_calls[funcid] = targets
+
+    may_acquire: dict[str, set[str]] = {
+        funcid: {s["lock"] for s in spans.get(funcid, [])}
+        for funcid in model.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for funcid, targets in resolved_calls.items():
+            acc = may_acquire[funcid]
+            before = len(acc)
+            for _call, callee in targets:
+                acc |= may_acquire.get(callee, set())
+            if len(acc) != before:
+                changed = True
+
+    # Edges: nested spans + calls under a held span.
+    edges: dict[tuple[str, str], list[dict]] = {}
+
+    def add_edge(a: str, b: str, path: str, line: int, via: str) -> None:
+        if a == b:
+            return  # reentrant self-acquire is the lock kind's business
+        sites = edges.setdefault((a, b), [])
+        if not any(s["path"] == path and s["line"] == line for s in sites):
+            sites.append({"path": path, "line": line, "via": via})
+
+    for funcid, held in spans.items():
+        path = model.path_of(funcid)
+        module = model.function_module[funcid]
+        qual = funcid[len(module) + 1 :]
+        for outer in held:
+            for inner in held:
+                if inner is outer:
+                    continue
+                if outer["start"] < inner["start"] and inner["end"] <= outer["end"]:
+                    add_edge(outer["lock"], inner["lock"], path, inner["start"], qual)
+            for call, callee in resolved_calls.get(funcid, []):
+                if outer["start"] <= call["line"] <= outer["end"]:
+                    for lock in sorted(may_acquire.get(callee, ())):
+                        add_edge(outer["lock"], lock, path, call["line"], qual)
+
+    contract = load_contract(
+        Path(p) if (p := model.options.get("lock_contract_path")) else None
+    )
+    declared = {tuple(edge) for edge in contract.get("edges", [])}
+
+    graph_edges = [
+        {
+            "from": a,
+            "to": b,
+            "declared": (a, b) in declared,
+            "sites": sorted(sites, key=lambda s: (s["path"], s["line"])),
+        }
+        for (a, b), sites in sorted(edges.items())
+    ]
+    cycles = _find_cycles({a: set() for a in locks} | _adjacency(edges))
+    return {
+        "version": 1,
+        "locks": sorted(locks.values(), key=lambda lock: lock["id"]),
+        "edges": graph_edges,
+        "cycles": cycles,
+        "contract": sorted(contract.get("edges", [])),
+    }
+
+
+def _adjacency(edges: dict[tuple[str, str], list[dict]]) -> dict[str, set[str]]:
+    adj: dict[str, set[str]] = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+    return adj
+
+
+def _find_cycles(adj: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components with more than one node (Tarjan)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan — analyzer inputs can nest arbitrarily deep.
+        work = [(v, iter(sorted(adj.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, neighbors = work[-1]
+            advanced = False
+            for w in neighbors:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for v in sorted(adj):
+        if v not in index:
+            strongconnect(v)
+    return sorted(sccs)
+
+
+def render_dot(graph: dict) -> str:
+    """Graphviz DOT rendering of the lock-order graph artifact."""
+    cycle_nodes = {node for cycle in graph["cycles"] for node in cycle}
+    out = ["digraph lock_order {", "  rankdir=LR;", "  node [shape=box];"]
+    for lock in graph["locks"]:
+        attrs = [f'label="{lock["id"]}\\n({lock["kind"]})"']
+        if lock["id"] in cycle_nodes:
+            attrs.append('color=red')
+        out.append(f'  "{lock["id"]}" [{", ".join(attrs)}];')
+    for edge in graph["edges"]:
+        attrs = []
+        if not edge["declared"]:
+            attrs.append("style=dashed")
+        if edge["from"] in cycle_nodes and edge["to"] in cycle_nodes:
+            attrs.append("color=red")
+        suffix = f' [{", ".join(attrs)}]' if attrs else ""
+        out.append(f'  "{edge["from"]}" -> "{edge["to"]}"{suffix};')
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def reconcile_locksan(
+    dump: dict, graph: dict, contract: dict
+) -> tuple[list[str], list[str]]:
+    """Cross-check a ``repro.testing.locksan`` runtime dump.
+
+    Runtime locks are matched to static graph nodes by construction site
+    (the dump's absolute ``file`` must end with the static node's
+    repo-relative ``path``, same ``line``). Returns ``(errors, notes)``:
+    errors are runtime cycles and observed edges absent from the static
+    graph, the declared contract, and the contract's ``runtime_only``
+    list; notes report match coverage so CI logs show what actually ran.
+    """
+    errors: list[str] = []
+    notes: list[str] = []
+
+    static_by_site = {
+        (Path(lock["path"]).as_posix(), lock["line"]): lock["id"]
+        for lock in graph["locks"]
+    }
+    runtime_to_static: dict[object, str] = {}
+    unmatched = []
+    for lock in dump.get("locks", []):
+        file_posix = Path(lock["file"]).as_posix()
+        match = next(
+            (
+                static_id
+                for (path, line), static_id in static_by_site.items()
+                if line == lock["line"] and file_posix.endswith(path)
+            ),
+            None,
+        )
+        if match is None:
+            unmatched.append(f"{lock['file']}:{lock['line']} ({lock['kind']})")
+        else:
+            runtime_to_static[lock["id"]] = match
+    if unmatched:
+        notes.append(
+            "runtime locks with no static node (constructed outside a "
+            f"class attribute): {', '.join(sorted(unmatched))}"
+        )
+
+    observed_ids = set(runtime_to_static.values())
+    notes.append(
+        f"{len(runtime_to_static)}/{len(dump.get('locks', []))} runtime "
+        f"locks matched to {len(observed_ids)} static node(s); "
+        f"{len(graph['locks']) - len(observed_ids)} static lock(s) unobserved"
+    )
+    unobserved = sorted(
+        lock["id"] for lock in graph["locks"] if lock["id"] not in observed_ids
+    )
+    if unobserved:
+        notes.append("unobserved static locks: " + ", ".join(unobserved))
+
+    for cycle in dump.get("cycles", []):
+        named = [runtime_to_static.get(node, str(node)) for node in cycle]
+        errors.append(
+            "runtime lock-order cycle: " + " -> ".join(named + [named[0]])
+        )
+
+    allowed = {(edge["from"], edge["to"]) for edge in graph["edges"]}
+    allowed |= {tuple(edge) for edge in graph.get("contract", [])}
+    allowed |= {tuple(edge) for edge in contract.get("runtime_only", [])}
+    for edge in dump.get("edges", []):
+        a = runtime_to_static.get(edge["from"])
+        b = runtime_to_static.get(edge["to"])
+        if a is None or b is None or a == b:
+            continue  # unmatched endpoints were already noted; RLock reentry
+        if (a, b) not in allowed:
+            errors.append(
+                f"observed lock edge {a} -> {b} "
+                f"(count {edge.get('count', 1)}) is absent from the static "
+                "graph, the declared contract, and runtime_only — either a "
+                "static-model gap or a new nesting; declare it in "
+                "tools/analyze/lock_order.json after review"
+            )
+    return errors, notes
+
+
+class LockOrderPass(ProjectPass):
+    name = "lock-order"
+    codes = ("lock-cycle", "undeclared-order")
+    description = (
+        "Cross-module lock-acquisition-order graph: cycles are potential "
+        "deadlocks; nested acquires must have a declared order."
+    )
+
+    def run(self, model: ProjectModel) -> tuple[list[Finding], dict]:
+        graph = build_lock_graph(model)
+        findings: list[Finding] = []
+
+        edge_sites = {
+            (edge["from"], edge["to"]): edge["sites"] for edge in graph["edges"]
+        }
+        for cycle in graph["cycles"]:
+            member = set(cycle)
+            witness = min(
+                (
+                    (site, (a, b))
+                    for (a, b), sites in edge_sites.items()
+                    if a in member and b in member
+                    for site in sites
+                ),
+                key=lambda pair: (pair[0]["path"], pair[0]["line"]),
+            )
+            site, _edge = witness
+            findings.append(
+                Finding(
+                    path=site["path"],
+                    line=site["line"],
+                    col=1,
+                    rule=self.name,
+                    code="lock-cycle",
+                    message=(
+                        "lock-order cycle (potential deadlock): "
+                        + " -> ".join(cycle + [cycle[0]])
+                    ),
+                    symbol=site["via"],
+                )
+            )
+        for edge in graph["edges"]:
+            if edge["declared"]:
+                continue
+            site = edge["sites"][0]
+            findings.append(
+                Finding(
+                    path=site["path"],
+                    line=site["line"],
+                    col=1,
+                    rule=self.name,
+                    code="undeclared-order",
+                    message=(
+                        f"nested lock acquisition {edge['from']} -> {edge['to']} "
+                        "has no declared order in tools/analyze/lock_order.json"
+                    ),
+                    symbol=site["via"],
+                )
+            )
+        return findings, {"lock_order": graph}

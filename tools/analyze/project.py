@@ -1,0 +1,366 @@
+"""Phase 2: the whole-program model built from per-file summaries.
+
+``ProjectModel`` merges every file's summary (see ``analyze.summaries``)
+into a cross-module symbol table and exposes the three resolution
+primitives the project passes share:
+
+* ``resolve_name(module, dotted)`` — follow imports to a class, function,
+  or external dotted name;
+* ``resolve_type(term, module, classid)`` — evaluate a type *term*
+  (``self``, attribute-of, constructor-return, container element…) to a
+  class id like ``repro.serving.workers.WorkerPool`` or an external type
+  like ``ext:threading.Thread``;
+* ``resolve_call(call, module, classid)`` — map a recorded call site to
+  the callee's function id, constructor, or external target.
+
+Resolution is deliberately *precise over complete*: an attribute call on
+a receiver whose type cannot be proven is skipped, never guessed. The
+project rules trade recall for a zero-false-positive posture — same
+policy as the per-file passes.
+
+Project passes subclass :class:`ProjectPass`; they return findings plus
+optional JSON artifacts (the lock-order graph). Suppressions still work:
+findings are filtered against each file's summary-carried suppression
+table and scope index before they reach the reporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from analyze.findings import Finding, filter_suppressed
+
+__all__ = [
+    "Resolved",
+    "ProjectModel",
+    "ProjectPass",
+    "run_project_passes",
+]
+
+_MAX_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """A resolved type: project class (``kind='cls'``) or external
+    (``kind='ext'``), with the resolved container payload when known."""
+
+    kind: str  # "cls" | "ext"
+    id: str  # class id ("module.Class") or external dotted name
+    elem: "Resolved | None" = None
+
+
+@dataclass
+class ProjectModel:
+    """Cross-module symbol table over every file summary."""
+
+    summaries: dict[str, dict]  # path -> summary
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.modules: dict[str, dict] = {}
+        self.module_paths: dict[str, str] = {}
+        for path, summary in sorted(self.summaries.items()):
+            module = summary["module"]
+            self.modules[module] = summary
+            self.module_paths[module] = path
+        self.classes: dict[str, dict] = {}
+        self.functions: dict[str, dict] = {}
+        self.function_module: dict[str, str] = {}
+        for module, summary in self.modules.items():
+            for name, cls in summary["classes"].items():
+                self.classes[f"{module}.{name}"] = cls
+            for qual, fn in summary["functions"].items():
+                funcid = f"{module}.{qual}"
+                self.functions[funcid] = fn
+                self.function_module[funcid] = module
+        self._type_cache: dict[tuple, Resolved | None] = {}
+
+    # -- name resolution -----------------------------------------------------
+
+    def _resolve_local(self, module: str, name: str) -> tuple[str, str] | None:
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        if name in summary["classes"]:
+            return ("cls", f"{module}.{name}")
+        if name in summary["functions"]:
+            return ("fn", f"{module}.{name}")
+        target = summary["imports"].get(name)
+        if target is not None:
+            return self._resolve_dotted(target)
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> tuple[str, str]:
+        """Interpret an absolute dotted path against summarized modules."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                rest = parts[cut:]
+                if not rest:
+                    return ("mod", prefix)
+                if len(rest) == 1:
+                    local = self._resolve_local(prefix, rest[0])
+                    if local is not None:
+                        return local
+                return ("ext", dotted)
+        return ("ext", dotted)
+
+    def resolve_name(self, module: str, name: str) -> tuple[str, str] | None:
+        """Resolve *name* (possibly dotted) as seen from *module*."""
+        head, _, rest = name.partition(".")
+        local = self._resolve_local(module, head)
+        if local is None:
+            return None
+        if not rest:
+            return local
+        kind, target = local
+        if kind == "mod":
+            return self.resolve_name(target, rest)
+        if kind == "ext":
+            return ("ext", f"{target}.{rest}")
+        if kind == "cls" and "." not in rest:
+            # Class attribute access (Cls.CONST / Cls.method) — opaque.
+            return None
+        return None
+
+    # -- type resolution -----------------------------------------------------
+
+    def resolve_type(
+        self, term: dict | None, module: str, classid: str | None, _depth: int = 0
+    ) -> Resolved | None:
+        if term is None or _depth > _MAX_DEPTH:
+            return None
+        key = (id(term), module, classid)
+        if _depth == 0 and key in self._type_cache:
+            return self._type_cache[key]
+        result = self._resolve_type(term, module, classid, _depth)
+        if _depth == 0:
+            self._type_cache[key] = result
+        return result
+
+    def _resolve_type(
+        self, term: dict, module: str, classid: str | None, depth: int
+    ) -> Resolved | None:
+        kind = term.get("t")
+        if kind == "self":
+            return Resolved("cls", classid) if classid else None
+        if kind == "cls":
+            resolved = self.resolve_name(module, term["name"])
+            elem_term = term.get("elem")
+            if resolved is None and term["name"] in (
+                "dict",
+                "list",
+                "set",
+                "tuple",
+                "frozenset",
+            ):
+                # Builtin containers: opaque themselves, but the payload
+                # type (``dict[str, _WorkerHandle]``) flows through.
+                resolved = ("ext", f"builtins.{term['name']}")
+            if resolved is None:
+                return None
+            rkind, target = resolved
+            elem = (
+                self.resolve_type(elem_term, module, classid, depth + 1)
+                if elem_term
+                else None
+            )
+            if rkind == "cls":
+                return Resolved("cls", target, elem)
+            if rkind == "ext":
+                return Resolved("ext", target, elem)
+            return None
+        if kind == "attr":
+            base = self.resolve_type(term["of"], module, classid, depth + 1)
+            if base is None or base.kind != "cls":
+                return None
+            return self._attr_type(base.id, term["name"], depth)
+        if kind == "ret":
+            recv = self.resolve_type(term["recv"], module, classid, depth + 1)
+            if recv is None:
+                return None
+            if term["name"] in ("values", "copy"):
+                # dict.values()/copy() keep the payload type flowing.
+                return recv
+            if recv.kind != "cls":
+                return None
+            return self._method_return(recv.id, term["name"], depth)
+        if kind == "retf":
+            resolved = self.resolve_name(module, term["name"])
+            if resolved is None:
+                return None
+            rkind, target = resolved
+            if rkind == "cls":
+                return Resolved("cls", target)
+            if rkind == "ext":
+                return Resolved("ext", target)
+            if rkind == "fn":
+                fn = self.functions[target]
+                fn_module = self.function_module[target]
+                return self.resolve_type(fn["returns"], fn_module, None, depth + 1)
+            return None
+        if kind == "elem":
+            base = self.resolve_type(term["of"], module, classid, depth + 1)
+            return base.elem if base else None
+        return None
+
+    def _attr_type(self, classid: str, attr: str, depth: int) -> Resolved | None:
+        for cid in self._mro(classid):
+            cls = self.classes.get(cid)
+            if cls is None:
+                continue
+            term = cls["attr_terms"].get(attr)
+            if term is not None:
+                module = cid.rsplit(".", 1)[0]
+                return self.resolve_type(term, module, cid, depth + 1)
+        return None
+
+    def _method_return(self, classid: str, method: str, depth: int) -> Resolved | None:
+        funcid = self.find_method(classid, method)
+        if funcid is None:
+            return None
+        fn = self.functions[funcid]
+        owner = funcid.rsplit(".", 2)[0] + "." + funcid.rsplit(".", 2)[1]
+        module = self.function_module[funcid]
+        returns = fn["returns"]
+        if returns and returns.get("t") == "cls":
+            # ``-> "WorkerPool"`` style self-returns resolve in the owner.
+            pass
+        return self.resolve_type(returns, module, owner, depth + 1)
+
+    def _mro(self, classid: str) -> list[str]:
+        """Linearized ancestry (shallow, cycle-safe) for attr/method lookup."""
+        order, queue, seen = [], [classid], set()
+        while queue:
+            cid = queue.pop(0)
+            if cid in seen:
+                continue
+            seen.add(cid)
+            order.append(cid)
+            cls = self.classes.get(cid)
+            if cls is None:
+                continue
+            module = cid.rsplit(".", 1)[0]
+            for base in cls["bases"]:
+                resolved = self.resolve_name(module, base)
+                if resolved and resolved[0] == "cls":
+                    queue.append(resolved[1])
+        return order
+
+    def find_method(self, classid: str, method: str) -> str | None:
+        for cid in self._mro(classid):
+            cls = self.classes.get(cid)
+            if cls and method in cls["methods"]:
+                return f"{cid}.{method}"
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(
+        self, call: dict, module: str, classid: str | None
+    ) -> tuple[str, str] | None:
+        """Resolve a call record to ``("fn", funcid)``, ``("ctor", classid)``,
+        or ``("ext", dotted)``; None when the receiver cannot be proven."""
+        chain = call.get("chain")
+        if chain:
+            resolved = self.resolve_name(module, chain)
+            if resolved is None:
+                return None
+            kind, target = resolved
+            if kind == "fn":
+                return ("fn", target)
+            if kind == "cls":
+                return ("ctor", target)
+            if kind == "ext":
+                return ("ext", target)
+            return None
+        recv = self.resolve_type(call.get("recv"), module, classid)
+        if recv is None:
+            return None
+        if recv.kind == "ext":
+            return ("ext", f"{recv.id}.{call['name']}")
+        funcid = self.find_method(recv.id, call["name"])
+        return ("fn", funcid) if funcid else None
+
+    # -- convenience ---------------------------------------------------------
+
+    def owner_of(self, funcid: str) -> str | None:
+        """Class id of a method funcid (``module.Cls.meth`` -> ``module.Cls``)."""
+        module = self.function_module[funcid]
+        qual = funcid[len(module) + 1 :]
+        if "." not in qual:
+            return None
+        fn = self.functions[funcid]
+        if fn.get("cls") is None:
+            return None
+        head = qual.split(".")[0]
+        return f"{module}.{head}" if head == fn["cls"] else None
+
+    def function_context(self, funcid: str) -> tuple[str, str | None]:
+        return self.function_module[funcid], self.owner_of(funcid)
+
+    def path_of(self, funcid_or_module: str) -> str:
+        module = (
+            funcid_or_module
+            if funcid_or_module in self.module_paths
+            else self.function_module.get(funcid_or_module, "")
+        )
+        return self.module_paths.get(module, "<unknown>")
+
+
+class ProjectPass:
+    """A whole-program pass over the merged :class:`ProjectModel`."""
+
+    name: str = ""
+    codes: tuple[str, ...] = ()
+    description: str = ""
+
+    def run(self, model: ProjectModel) -> tuple[list[Finding], dict]:
+        raise NotImplementedError
+
+
+def run_project_passes(
+    summaries: dict[str, dict],
+    passes: list[ProjectPass],
+    *,
+    options: dict | None = None,
+) -> tuple[list[Finding], dict, int]:
+    """Build the model, run *passes*, apply per-file suppressions.
+
+    Returns ``(findings, artifacts, suppressed_count)``.
+    """
+    model = ProjectModel(summaries, options=dict(options or {}))
+    findings: list[Finding] = []
+    artifacts: dict = {}
+    for project_pass in passes:
+        pass_findings, pass_artifacts = project_pass.run(model)
+        findings.extend(pass_findings)
+        artifacts.update(pass_artifacts)
+
+    kept: list[Finding] = []
+    suppressed = 0
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path, group in by_path.items():
+        summary = summaries.get(path)
+        if summary is None:
+            kept.extend(group)
+            continue
+        suppressions = {
+            int(line): set(tokens) for line, tokens in summary["suppress"].items()
+        }
+        scopes = summary["scopes"]
+        scope_lines_of = {
+            finding.line: [
+                s[1] for s in scopes if s[2] <= finding.line <= s[3]
+            ]
+            for finding in group
+        }
+        fresh, dropped = filter_suppressed(group, suppressions, scope_lines_of)
+        kept.extend(fresh)
+        suppressed += dropped
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.code))
+    return kept, artifacts, suppressed

@@ -23,9 +23,15 @@ import json
 
 from analyze.findings import Finding
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_human", "render_json"]
+__all__ = ["JSON_SCHEMA_VERSION", "render_human", "render_json", "render_sarif"]
 
 JSON_SCHEMA_VERSION = 1
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_human(
@@ -72,5 +78,74 @@ def render_json(
         },
         "stale_baseline": stale_baseline,
         "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(
+    findings: list[Finding],
+    *,
+    files_analyzed: int,
+    suppressed: int,
+    baselined: int,
+    cache_hits: int,
+    elapsed_s: float,
+    stale_baseline: list[str],
+) -> str:
+    """SARIF 2.1.0 for code-scanning upload.
+
+    ``ruleId`` is ``<rule>/<code>`` and the line-independent fingerprint
+    rides along in ``partialFingerprints`` so code-scanning can track a
+    finding across edits exactly like the baseline does.
+    """
+    rule_ids = sorted({f"{f.rule}/{f.code}" for f in findings})
+    results = [
+        {
+            "ruleId": f"{finding.rule}/{finding.code}",
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    },
+                    "logicalLocations": (
+                        [{"fullyQualifiedName": finding.symbol}]
+                        if finding.symbol
+                        else []
+                    ),
+                }
+            ],
+            "partialFingerprints": {"analyzeFingerprint/v1": finding.fingerprint},
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "tools/analyze",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": [{"id": rule_id} for rule_id in rule_ids],
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "filesAnalyzed": files_analyzed,
+                    "suppressed": suppressed,
+                    "baselined": baselined,
+                    "cacheHits": cache_hits,
+                    "elapsedSeconds": round(elapsed_s, 6),
+                    "staleBaseline": stale_baseline,
+                },
+            }
+        ],
     }
     return json.dumps(payload, indent=2)
