@@ -1,0 +1,153 @@
+"""Async front-end benchmark: event loop vs thread-per-connection.
+
+Runs the checked-in ``serving-async-highconc`` scenario (closed-loop
+keep-alive concurrency doubling 64 -> 512 against a subprocess server)
+twice — once with ``server.frontend="threaded"``, once with the
+``eventloop`` front end — and compares sustained throughput level by
+level. Everything else (workload, admission knobs, worker shards, shm
+transport, seed) is held identical, so the delta prices exactly one
+thing: what connection handling costs at high concurrency.
+
+The acceptance gate follows the repo convention set by
+``bench_scoring_plans.py``: on hosts with >= 4 cores — where the
+generator's client threads, the threaded front end's per-connection
+threads, and the worker shards are not all fighting for one core — the
+event loop must sustain >= 2x the threaded throughput at the 256-client
+level. Smaller hosts run the same duel and record honest numbers, but
+check only a sanity floor (>= 0.5x): with every thread multiplexed onto
+one core, both front ends degenerate to the same scoring-bound ceiling
+and the comparison measures the scheduler, not the server.
+
+One gate is unconditional on every host: the event-loop run must be
+drop-free at every level. The threaded front end sheds connections
+(status 0: resets/timeouts) once concurrency climbs past its accept
+backlog — the table records those drops as the measured cost of
+thread-per-connection rather than failing the bench on them.
+
+Run standalone (full durations, rewrites the checked-in table)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_async.py
+
+or through pytest (shorter levels, same code path, gate only)::
+
+    PYTHONPATH=src pytest benchmarks/bench_serving_async.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from pathlib import Path
+
+from repro.loadlab import load_scenario, run_scenario
+
+SCENARIO_PATH = Path(__file__).parent / "scenarios" / "serving-async-highconc.json"
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "bench_serving_async.txt"
+
+#: The concurrency level the hard gate reads (the ISSUE's acceptance
+#: point; high enough that thread-per-connection overhead is visible,
+#: low enough that the closed loop still saturates the server).
+GATE_CLIENTS = 256
+FRONTENDS = ("threaded", "eventloop")
+
+
+def _with_frontend(scenario, frontend: str):
+    return dataclasses.replace(
+        scenario, server=dataclasses.replace(scenario.server, frontend=frontend)
+    )
+
+
+def run_frontend_duel(duration_scale: float = 1.0) -> dict[str, dict]:
+    """Run the highconc scenario once per front end; frontend -> result."""
+    scenario = load_scenario(SCENARIO_PATH)
+    return {
+        frontend: run_scenario(
+            _with_frontend(scenario, frontend),
+            out_dir=RESULTS_DIR,
+            duration_scale=duration_scale,
+        )
+        for frontend in FRONTENDS
+    }
+
+
+def _throughputs(result: dict) -> dict[int, float]:
+    """clients -> sustained throughput (req/s) for every level."""
+    return {
+        int(level["clients"]): level["throughput_rps"]["value"]
+        for level in result["levels"]
+    }
+
+
+def _drops(result: dict) -> dict[int, int]:
+    """clients -> requests that missed their expected status (0 = reset)."""
+    return {int(level["clients"]): level["misbehaved"] for level in result["levels"]}
+
+
+def speedup_at(results: dict[str, dict], clients: int) -> float:
+    threaded = _throughputs(results["threaded"])[clients]
+    eventloop = _throughputs(results["eventloop"])[clients]
+    return eventloop / threaded if threaded > 0 else float("inf")
+
+
+def render_duel(results: dict[str, dict], *, save: bool = False) -> str:
+    threaded = _throughputs(results["threaded"])
+    eventloop = _throughputs(results["eventloop"])
+    threaded_drops = _drops(results["threaded"])
+    eventloop_drops = _drops(results["eventloop"])
+    lines = [
+        "Async front-end duel — serving-async-highconc, closed-loop "
+        "keep-alive clients,",
+        f"2 worker shards over shm rings, host cpu_count={os.cpu_count()}",
+        "(drops = requests that missed their expected status; status 0 is a "
+        "connection reset/timeout)",
+        "",
+        f"{'clients':>8} {'threaded rps':>13} {'drops':>6} "
+        f"{'eventloop rps':>14} {'drops':>6} {'ratio':>7}",
+    ]
+    for clients in sorted(threaded):
+        ratio = eventloop[clients] / threaded[clients] if threaded[clients] else 0.0
+        lines.append(
+            f"{clients:>8} {threaded[clients]:>13.1f} {threaded_drops[clients]:>6} "
+            f"{eventloop[clients]:>14.1f} {eventloop_drops[clients]:>6} "
+            f"{ratio:>6.2f}x"
+        )
+    lines += [
+        "",
+        f"gate: eventloop >= 2x threaded at {GATE_CLIENTS} clients "
+        "(hard on cpu_count >= 4 hosts; single-core hosts are "
+        "scoring-bound and check a >= 0.5x sanity floor); the eventloop "
+        "run must always be drop-free — threaded drops are the measured "
+        "cost of thread-per-connection under this load, not a bench error",
+    ]
+    text = "\n".join(lines) + "\n"
+    if save:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(text, encoding="utf-8")
+    return text
+
+
+def test_async_frontend_speedup(run_once):
+    """Acceptance: the event loop beats thread-per-connection at 256
+    keep-alive clients on hosts with the cores to show it."""
+    results = run_once(run_frontend_duel, duration_scale=0.2)
+    text = render_duel(results)
+    print("\n" + text)
+
+    # The event loop must come through drop-free at every level; the
+    # threaded front end is allowed its measured drops under this load —
+    # that cost is exactly what the table prices.
+    eventloop_misbehaved = sum(
+        level["misbehaved"] for level in results["eventloop"]["levels"]
+    )
+    assert eventloop_misbehaved == 0, f"{eventloop_misbehaved} dropped\n{text}"
+
+    ratio = speedup_at(results, GATE_CLIENTS)
+    if (os.cpu_count() or 1) >= 4:
+        assert ratio >= 2.0, text
+    else:
+        assert ratio >= 0.5, text
+
+
+if __name__ == "__main__":
+    print(render_duel(run_frontend_duel(), save=True))

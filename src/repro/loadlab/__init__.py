@@ -7,7 +7,7 @@ frozen, reproducible* traffic shape" — including the adversarial shapes
 scaling-attack screen actually faces. Four moving parts:
 
 * **Scenarios** (:mod:`repro.loadlab.scenario`) — frozen dataclass specs
-  composing a load profile (constant/ramp/spike/diurnal) × an arrival
+  composing a load profile (constant/ramp/geometric/spike/diurnal) × an arrival
   model (closed-loop clients or open-loop Poisson) × a workload mix
   (benign, attack, garbage, slow-loris, batch), JSON-serializable with a
   content fingerprint like :class:`repro.eval.data.DataConfig`.

@@ -36,7 +36,9 @@ from repro.errors import LoadLabError
 __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalModel",
+    "FRONTEND_KINDS",
     "LAUNCH_KINDS",
+    "TRANSPORT_KINDS",
     "LoadLevel",
     "LoadProfile",
     "PROFILE_KINDS",
@@ -47,9 +49,14 @@ __all__ = [
     "load_scenario",
 ]
 
-PROFILE_KINDS = ("constant", "ramp", "spike", "diurnal")
+PROFILE_KINDS = ("constant", "ramp", "geometric", "spike", "diurnal")
 ARRIVAL_KINDS = ("closed", "poisson")
 LAUNCH_KINDS = ("subprocess", "inprocess", "external")
+#: Connection front ends a ServerSpec may request (mirrors
+#: :class:`repro.serving.server.ServerConfig`).
+FRONTEND_KINDS = ("eventloop", "threaded")
+#: Dispatcher ↔ shard frame transports.
+TRANSPORT_KINDS = ("shm", "pipe")
 #: Request kinds a mix can weight. ``benign``/``attack``/``batch`` expect
 #: HTTP 200, ``garbage`` expects a 400 rejection, ``slow_loris`` holds a
 #: connection open without completing a request.
@@ -73,6 +80,9 @@ class LoadProfile:
 
     * ``constant`` — ``steps`` identical levels at ``base``;
     * ``ramp`` — ``steps`` levels linearly from ``base`` to ``peak``;
+    * ``geometric`` — ``steps`` levels on a geometric grid from ``base``
+      to ``peak`` (64 → 512 over four steps doubles each level: the
+      shape concurrency sweeps want);
     * ``spike`` — ``base`` everywhere except the middle level at ``peak``;
     * ``diurnal`` — a raised-cosine day/night wave between ``base`` and
       ``peak``, ``periods`` full cycles across ``steps`` levels.
@@ -100,6 +110,8 @@ class LoadProfile:
             )
         if self.kind != "constant" and self.peak is None:
             raise LoadLabError(f"profile kind {self.kind!r} requires a peak")
+        if self.kind == "geometric" and self.peak is not None and self.peak <= 0:
+            raise LoadLabError(f"geometric peak must be > 0, got {self.peak}")
         if self.kind == "spike" and self.steps < 3:
             raise LoadLabError("spike profiles need steps >= 3 (base, peak, base)")
         if self.kind == "diurnal" and self.periods < 1:
@@ -115,6 +127,12 @@ class LoadProfile:
             else:
                 span = (self.peak - self.base) / (self.steps - 1)
                 intensities = [self.base + span * i for i in range(self.steps)]
+        elif self.kind == "geometric":
+            if self.steps == 1:
+                intensities = [float(self.peak)]
+            else:
+                ratio = (self.peak / self.base) ** (1.0 / (self.steps - 1))
+                intensities = [self.base * ratio**i for i in range(self.steps)]
         elif self.kind == "spike":
             intensities = [self.base] * self.steps
             intensities[self.steps // 2] = float(self.peak)
@@ -216,6 +234,13 @@ class ServerSpec:
     #: ``external`` attaches to an already-running server.
     launch: str = "subprocess"
     workers: int = 2
+    #: Connection front end: ``eventloop`` (the selectors loop) or
+    #: ``threaded`` (thread-per-connection) — the comparison axis the
+    #: async scenarios sweep.
+    frontend: str = "eventloop"
+    #: Dispatcher ↔ shard transport: ``shm`` slot rings or ``pipe``
+    #: pickled frames. Only observable when ``workers`` > 0.
+    transport: str = "shm"
     max_active: int = 4
     queue_depth: int = 64
     deadline_ms: float = 10_000.0
@@ -233,6 +258,14 @@ class ServerSpec:
             )
         if self.workers < 0:
             raise LoadLabError(f"workers must be >= 0, got {self.workers}")
+        if self.frontend not in FRONTEND_KINDS:
+            raise LoadLabError(
+                f"unknown frontend {self.frontend!r} (expected one of {FRONTEND_KINDS})"
+            )
+        if self.transport not in TRANSPORT_KINDS:
+            raise LoadLabError(
+                f"unknown transport {self.transport!r} (expected one of {TRANSPORT_KINDS})"
+            )
         if self.holdout < 20:
             # calibrate() needs a meaningful holdout; match the CLI's floor.
             raise LoadLabError(f"holdout must be >= 20 images, got {self.holdout}")

@@ -127,6 +127,47 @@ def _build() -> dict[str, Scenario]:
             warmup_requests=8,
         ),
         Scenario(
+            name="serving-async-highconc",
+            description=(
+                "The event-loop front end's home turf: closed-loop "
+                "keep-alive concurrency doubling 64 -> 512 against a "
+                "subprocess server. Compare against the same spec with "
+                "server.frontend='threaded' to price thread-per-connection."
+            ),
+            profile=LoadProfile(kind="geometric", base=64.0, peak=512.0,
+                                steps=4, level_duration_s=5.0),
+            arrival=ArrivalModel(kind="closed"),
+            mix=WorkloadMix(benign=1.0, pool_size=8),
+            server=ServerSpec(launch="subprocess", workers=2,
+                              frontend="eventloop", transport="shm",
+                              max_active=8, queue_depth=512,
+                              deadline_ms=60_000.0),
+            client_timeout_s=120.0,
+            max_requests_per_level=4000,
+            warmup_requests=8,
+        ),
+        Scenario(
+            name="serving-async-soak",
+            description=(
+                "A one-minute keep-alive soak on the event-loop front end "
+                "with adversarial seasoning: slow-loris holds and garbage "
+                "frames ride along so connection sweeping and clean 400s "
+                "are exercised continuously, not just at the fault wall."
+            ),
+            profile=LoadProfile(kind="constant", base=32.0, steps=6,
+                                level_duration_s=10.0),
+            arrival=ArrivalModel(kind="closed"),
+            mix=WorkloadMix(benign=0.85, garbage=0.05, slow_loris=0.05,
+                            batch=0.05, slow_loris_hold_s=2.0),
+            server=ServerSpec(launch="subprocess", workers=2,
+                              frontend="eventloop", transport="shm",
+                              max_active=8, queue_depth=256,
+                              deadline_ms=60_000.0),
+            client_timeout_s=120.0,
+            max_requests_per_level=5000,
+            warmup_requests=8,
+        ),
+        Scenario(
             name="worker-scaling-1",
             description="bench_serving_workers: one scoring shard.",
             profile=LoadProfile(kind="constant", base=4.0, steps=1,

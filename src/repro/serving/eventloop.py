@@ -1,0 +1,617 @@
+"""Nonblocking ``selectors`` front end for the detection server.
+
+The threaded front end burns one OS thread per connection: a thousand
+idle keep-alives are a thousand blocked threads before the first byte of
+work. This module replaces the accept/read path with a single event-loop
+thread that:
+
+* accepts and reads every connection nonblockingly through one
+  :class:`selectors.DefaultSelector`;
+* parses HTTP/1.1 requests **incrementally** — a client trickling its
+  headers one byte per second holds a 100-odd-byte buffer, not a thread,
+  so a slow-loris herd cannot starve healthy clients;
+* hands each complete request to a small dispatch pool (sized to the
+  admission queue: ``max_active + queue_depth`` plus slack) where the
+  shared request core — the same one the threaded front end calls — does
+  admission, scoring, and error mapping;
+* queues the serialized response back to the loop thread, which writes it
+  nonblockingly and resumes parsing the connection (keep-alive, in
+  order).
+
+Responses are **byte-identical** to the threaded front end (status line,
+``Server``/``Date`` headers, explicit header order, body) — the parity
+grid in ``tests/test_serving_server.py`` holds the two side by side.
+When every admission slot and waiting-room seat is spoken for, the loop
+answers 429 directly instead of parking the request in the dispatch
+pool, preserving the threaded front end's fail-fast backpressure.
+
+Lifecycle: the loop owns every connection; :meth:`EventLoopFrontend.stop`
+stops accepting, lets in-flight requests finish writing (bounded by the
+drain deadline), then closes everything — an accepted request is never
+dropped by a drain.
+"""
+
+from __future__ import annotations
+
+import email.utils
+import html
+import io
+import json
+import selectors
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from http.client import HTTPException, parse_headers
+from http.server import DEFAULT_ERROR_CONTENT_TYPE, DEFAULT_ERROR_MESSAGE
+
+__all__ = ["EventLoopFrontend", "serialize_response"]
+
+#: Mirror of ``BaseHTTPRequestHandler``'s ``Server:`` header value for
+#: ``server_version = "decamouflage"`` — parity is byte-for-byte.
+_SERVER_HEADER = "decamouflage Python/" + sys.version.split()[0]
+#: A request head (request line + headers) larger than this is hostile.
+_MAX_HEAD_BYTES = 64 * 1024
+#: Stop reading a connection whose buffer outruns its current request.
+_MAX_BUFFER_SLACK = 1024 * 1024
+#: Paths whose dispatch is bounded by the admission queue's capacity.
+_DETECT_PATHS = ("/v1/detect", "/v1/detect/batch")
+
+_READ = selectors.EVENT_READ
+_WRITE = selectors.EVENT_WRITE
+
+
+def _phrase(status: int) -> str:
+    try:
+        return HTTPStatus(status).phrase
+    except ValueError:
+        return ""
+
+
+def serialize_response(status: int, headers, body: bytes, *, reason: str | None = None) -> bytes:
+    """Serialize one response exactly as ``BaseHTTPRequestHandler`` would:
+    status line, ``Server``, ``Date``, then the explicit headers in order."""
+    lines = [
+        f"HTTP/1.1 {status} {_phrase(status) if reason is None else reason}\r\n",
+        f"Server: {_SERVER_HEADER}\r\n",
+        f"Date: {email.utils.formatdate(time.time(), usegmt=True)}\r\n",
+    ]
+    for name, value in headers:
+        lines.append(f"{name}: {value}\r\n")
+    lines.append("\r\n")
+    return "".join(lines).encode("latin-1", "strict") + body
+
+
+def _unsupported_method_body(method: str) -> tuple[bytes, str]:
+    """The HTML error body ``send_error(501)`` would produce for an
+    unsupported method, so the two front ends disagree on nothing."""
+    message = f"Unsupported method ({method!r})"
+    content = DEFAULT_ERROR_MESSAGE % {
+        "code": 501,
+        "message": html.escape(message, quote=False),
+        "explain": "Server does not support this operation",
+    }
+    return content.encode("UTF-8", "replace"), message
+
+
+class _Connection:
+    """Loop-private state for one accepted socket."""
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "inbuf",
+        "outbuf",
+        "state",  # "head" | "body" | "busy"
+        "request",  # (method, path, headers, requestline) while in "body"/"busy"
+        "body_target",
+        "events",
+        "open",
+        "peer_closed",
+        "close_after_write",
+        "responded",
+        "last_activity",
+        "first_byte_at",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.state = "head"
+        self.request = None
+        self.body_target = 0
+        self.events = _READ
+        self.open = True
+        self.peer_closed = False
+        self.close_after_write = False
+        #: the current request's response has been handed to the writer —
+        #: guards the keep-alive transition against stale WRITE readiness.
+        self.responded = False
+        self.last_activity = time.monotonic()
+        self.first_byte_at: float | None = None
+
+
+class EventLoopFrontend:
+    """One selector thread + a bounded dispatch pool, feeding the shared
+    request core of a :class:`~repro.serving.server.DetectionServer`."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+        config = server.config
+        self._listener = socket.create_server(
+            (config.host, config.port), backlog=128, reuse_port=False
+        )
+        self._listener.setblocking(False)
+        # The waker lets dispatch-pool threads interrupt a blocked select().
+        self._waker_recv, self._waker_send = socket.socketpair()
+        self._waker_recv.setblocking(False)
+        self._waker_send.setblocking(False)
+        self._capacity = config.max_active + config.queue_depth
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._capacity + 4, thread_name_prefix="eventloop-dispatch"
+        )
+        self._lock = threading.Lock()  # guards completions + inflight count
+        self._completions: deque = deque()
+        self._inflight_detect = 0
+        self._connections: dict[int, _Connection] = {}
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._running = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._open_gauge = server.metrics.gauge("eventloop.open_connections")
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()[:2]
+        return str(host), int(port)
+
+    def start(self) -> None:
+        """Run the loop on a background thread; returns at once."""
+        self._thread = threading.Thread(
+            target=self._run, name="eventloop-frontend", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Run the loop on the calling thread until :meth:`stop`."""
+        self._run()
+
+    def stop(self) -> None:
+        """Drain: stop accepting, finish in-flight requests, close all.
+
+        Bounded by ``socket_timeout_s``: a response the loop cannot write
+        within the deadline (wedged client) is abandoned, everything else
+        completes. Idempotent."""
+        self._stopping.set()
+        self._wake()
+        if self._running.is_set():
+            self._stopped.wait(self._server.config.socket_timeout_s + 5.0)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        try:
+            self._listener.close()
+        except OSError:
+            pass  # loop closed it first
+        for sock in (self._waker_recv, self._waker_send):
+            try:
+                sock.close()
+            except OSError:
+                pass  # already closed
+
+    def _wake(self) -> None:
+        try:
+            self._waker_send.send(b"\x01")
+        except (OSError, BlockingIOError):
+            pass  # loop already awake (buffer full) or gone
+
+    # -- the loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        # The loop thread owns the selector end to end; the finally below
+        # is the only release site.
+        selector = selectors.DefaultSelector()
+        self._running.set()
+        selector.register(self._listener, _READ, "accept")
+        selector.register(self._waker_recv, _READ, "waker")
+        drain_deadline: float | None = None
+        next_sweep = time.monotonic() + 1.0
+        try:
+            while True:
+                if self._stopping.is_set() and drain_deadline is None:
+                    drain_deadline = (
+                        time.monotonic() + self._server.config.socket_timeout_s
+                    )
+                    self._begin_drain(selector)
+                for key, _mask in selector.select(0.05):
+                    if key.data == "accept":
+                        self._accept(selector)
+                    elif key.data == "waker":
+                        self._drain_waker()
+                    else:
+                        self._service(selector, key.data, _mask)
+                self._flush_completions(selector)
+                if drain_deadline is not None or time.monotonic() >= next_sweep:
+                    self._sweep(selector, drain_deadline)
+                    next_sweep = time.monotonic() + 1.0
+                if drain_deadline is not None and (
+                    not self._connections or time.monotonic() >= drain_deadline
+                ):
+                    break
+        finally:
+            for conn in list(self._connections.values()):
+                self._close(selector, conn)
+            try:
+                selector.unregister(self._listener)
+            except KeyError:
+                pass  # drain already removed it
+            self._listener.close()
+            selector.close()
+            self._stopped.set()
+
+    def _begin_drain(self, selector) -> None:
+        """Stop accepting; close every connection with nothing in flight."""
+        try:
+            selector.unregister(self._listener)
+        except KeyError:
+            pass  # second stop() racing the first
+        for conn in list(self._connections.values()):
+            if conn.state != "busy" and not conn.outbuf:
+                self._close(selector, conn)
+
+    def _accept(self, selector) -> None:
+        for _ in range(64):  # bounded accept burst per tick
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # not TCP (tests may use AF_UNIX one day)
+            conn = _Connection(sock)
+            self._connections[conn.fd] = conn
+            selector.register(sock, _READ, conn)
+            self._open_gauge.set(len(self._connections))
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._waker_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass  # drained
+
+    def _service(self, selector, conn: _Connection, mask: int) -> None:
+        if not conn.open:
+            return
+        if mask & _READ:
+            self._on_readable(selector, conn)
+        if conn.open and mask & _WRITE:
+            self._on_writable(selector, conn)
+
+    # -- reading + incremental parse ------------------------------------
+
+    def _on_readable(self, selector, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(selector, conn)
+            return
+        if chunk == b"":
+            # Peer half-closed its write side. A response still being
+            # computed or written may yet be delivered; anything else —
+            # including a partial request that can now never complete —
+            # is done.
+            conn.peer_closed = True
+            if conn.state == "busy" or conn.outbuf:
+                self._set_events(selector, conn, conn.events & ~_READ)
+            else:
+                self._close(selector, conn)
+            return
+        now = time.monotonic()
+        conn.last_activity = now
+        if conn.first_byte_at is None:
+            conn.first_byte_at = now
+        conn.inbuf += chunk
+        if conn.state == "busy":
+            # A keep-alive client is allowed to pipeline the next request
+            # into our buffer, but it cannot make us buffer unboundedly.
+            if len(conn.inbuf) > _MAX_BUFFER_SLACK:
+                self._set_events(selector, conn, conn.events & ~_READ)
+            return
+        self._advance_parse(selector, conn)
+
+    def _advance_parse(self, selector, conn: _Connection) -> None:
+        started = time.perf_counter()
+        try:
+            while conn.open and conn.state != "busy":
+                if conn.state == "head":
+                    if not self._parse_head(selector, conn):
+                        return
+                if conn.state == "body":
+                    if len(conn.inbuf) < conn.body_target:
+                        return
+                    body = bytes(conn.inbuf[: conn.body_target])
+                    del conn.inbuf[: conn.body_target]
+                    self._complete_request(conn, body)
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._server.metrics.observe("eventloop.parse", elapsed_ms)
+
+    def _parse_head(self, selector, conn: _Connection) -> bool:
+        """Parse one request head out of the buffer. Returns False when
+        more bytes are needed (or the connection was rejected)."""
+        end = conn.inbuf.find(b"\r\n\r\n")
+        if end < 0:
+            if len(conn.inbuf) > _MAX_HEAD_BYTES:
+                self._reject(selector, conn, 400, "request head too large")
+                return False
+            return False
+        head = bytes(conn.inbuf[: end + 4])
+        del conn.inbuf[: end + 4]
+        first, _, rest = head.partition(b"\r\n")
+        requestline = first.decode("iso-8859-1", "replace").rstrip("\r\n")
+        words = requestline.split()
+        if len(words) != 3 or not words[2].startswith("HTTP/"):
+            self._reject(selector, conn, 400, f"malformed request line {requestline!r}")
+            return False
+        method, path, version = words
+        try:
+            headers = parse_headers(io.BytesIO(rest))
+        except (HTTPException, ValueError):
+            self._reject(selector, conn, 400, "malformed headers")
+            return False
+        connection = (headers.get("Connection") or "").lower()
+        if version == "HTTP/1.1":
+            if connection == "close":
+                conn.close_after_write = True
+        elif connection != "keep-alive":
+            # HTTP/1.0 closes by default, exactly like the threaded handler.
+            conn.close_after_write = True
+        if method not in ("GET", "POST"):
+            self._respond_unsupported(conn, method)
+            return False
+        conn.request = (method, path, headers, requestline)
+        if method == "POST":
+            length = self._body_length(headers)
+            if length is not None:
+                conn.state = "body"
+                conn.body_target = length
+                return True
+        # No (valid, acceptable) body to wait for: the request core makes
+        # the 411/413/400 call itself so both front ends agree; any frame
+        # the client does send afterwards would desync the stream, so the
+        # core marks those responses Connection: close.
+        self._complete_request(conn, b"")
+        return False
+
+    def _body_length(self, headers) -> int | None:
+        """How many body bytes to consume before dispatch, or None when the
+        request core will refuse the request without reading a body."""
+        raw = headers.get("Content-Length")
+        if raw is None:
+            return None  # 411
+        try:
+            length = int(raw)
+        except ValueError:
+            return None  # 400
+        if length < 0:
+            return None  # 400
+        if length > self._server.config.max_body_bytes:
+            return None  # 413 — refuse before buffering a 64 MiB body
+        return length
+
+    # -- dispatch -------------------------------------------------------
+
+    def _complete_request(self, conn: _Connection, body: bytes) -> None:
+        method, path, headers, requestline = conn.request
+        conn.request = None
+        conn.state = "busy"
+        now = time.monotonic()
+        if conn.first_byte_at is not None:
+            self._server.metrics.observe(
+                "eventloop.read", (now - conn.first_byte_at) * 1000.0
+            )
+            conn.first_byte_at = None
+        # Requests the core will refuse on body framing (411/400/413) never
+        # reach admission in the threaded front end either — they must not
+        # take the saturation short-circuit (nor count as in-flight work).
+        detect = (
+            method == "POST"
+            and path in _DETECT_PATHS
+            and self._body_length(headers) is not None
+        )
+        if detect:
+            with self._lock:
+                saturated = self._inflight_detect >= self._capacity
+                if not saturated:
+                    self._inflight_detect += 1
+            if saturated:
+                # Fail fast from the loop thread, exactly as a threaded
+                # handler hitting a full waiting room would — parking the
+                # request in the dispatch pool would turn backpressure
+                # into unbounded latency.
+                response = self._server.saturated_response(
+                    headers, requestline=requestline
+                )
+                self._enqueue_response(conn, response, detect=False)
+                return
+        self._executor.submit(
+            self._dispatch, conn, method, path, headers, body, requestline, now, detect
+        )
+
+    def _dispatch(
+        self, conn, method, path, headers, body, requestline, enqueued_at, detect
+    ) -> None:
+        """Dispatch-pool thread: run the shared request core, hand the
+        serialized response back to the loop."""
+        self._server.metrics.observe(
+            "eventloop.dispatch", (time.monotonic() - enqueued_at) * 1000.0
+        )
+        try:
+            response = self._server.handle_http_request(
+                method, path, headers, lambda _length: body, requestline=requestline
+            )
+        except Exception as exc:  # the loop must survive a core bug
+            body_bytes = json.dumps({"error": f"internal error: {exc}"}).encode("utf-8")
+            response = _InternalErrorResponse(body_bytes)
+        self._enqueue_response(conn, response, detect=detect)
+
+    def _enqueue_response(self, conn: _Connection, response, detect: bool) -> None:
+        data = serialize_response(response.status, response.headers, response.body)
+        with self._lock:
+            self._completions.append((conn, data, response.close))
+            if detect:
+                self._inflight_detect -= 1
+        self._wake()
+
+    def _flush_completions(self, selector) -> None:
+        while True:
+            with self._lock:
+                if not self._completions:
+                    return
+                conn, data, close = self._completions.popleft()
+            if not conn.open:
+                continue
+            conn.outbuf += data
+            conn.responded = True
+            if close:
+                conn.close_after_write = True
+            self._on_writable(selector, conn)
+
+    # -- writing + keep-alive -------------------------------------------
+
+    def _on_writable(self, selector, conn: _Connection) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(bytes(conn.outbuf))
+                del conn.outbuf[:sent]
+                conn.last_activity = time.monotonic()
+            except (BlockingIOError, InterruptedError):
+                pass  # kernel buffer full; try again on the next tick
+            except OSError:
+                self._close(selector, conn)
+                return
+        if conn.outbuf:
+            self._set_events(selector, conn, conn.events | _WRITE)
+            return
+        self._set_events(selector, conn, conn.events & ~_WRITE)
+        if conn.state == "busy" and conn.responded:
+            # Response fully written: the connection is ours to reuse.
+            if conn.close_after_write or conn.peer_closed:
+                self._close(selector, conn)
+                return
+            conn.state = "head"
+            conn.responded = False
+            self._set_events(selector, conn, conn.events | _READ)
+            if conn.inbuf:
+                conn.first_byte_at = conn.last_activity
+                self._advance_parse(selector, conn)
+
+    def _respond_unsupported(self, conn: _Connection, method: str) -> None:
+        """501 for non-GET/POST, byte-identical to ``send_error(501)`` —
+        including the custom reason phrase on the status line."""
+        body, message = _unsupported_method_body(method)
+        headers = (
+            ("Connection", "close"),
+            ("Content-Type", DEFAULT_ERROR_CONTENT_TYPE),
+            ("Content-Length", str(len(body))),
+        )
+        self._server.metrics.counter("server.responses.501").add(1)
+        conn.state = "busy"
+        conn.request = None
+        with self._lock:
+            self._completions.append(
+                (conn, serialize_response(501, headers, body, reason=message), True)
+            )
+        # Called from the loop thread; completions flush on this tick.
+
+    def _reject(self, selector, conn: _Connection, status: int, message: str) -> None:
+        """Protocol-level refusal (bad request line/headers): answer and
+        close; the stream cannot be trusted past this point."""
+        body = json.dumps({"error": message}).encode("utf-8")
+        headers = (
+            ("Content-Type", "application/json"),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+        )
+        self._server.metrics.counter(f"server.responses.{status}").add(1)
+        conn.state = "busy"
+        conn.request = None
+        conn.close_after_write = True
+        conn.responded = True
+        conn.outbuf += serialize_response(status, headers, body)
+        self._on_writable(selector, conn)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _set_events(self, selector, conn: _Connection, events: int) -> None:
+        if not conn.open or events == conn.events:
+            return
+        previous = conn.events
+        conn.events = events
+        try:
+            if not events:
+                selector.unregister(conn.sock)
+            elif not previous:
+                selector.register(conn.sock, events, conn)
+            else:
+                selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            pass  # racing a close; the sweep finishes the job
+
+    def _sweep(self, selector, drain_deadline: float | None) -> None:
+        """Close idle keep-alives past the socket timeout. Connections with
+        a request in flight are exempt — the admission deadline bounds
+        those — and so are mid-request trickles (each byte refreshes
+        ``last_activity``): holding a slow client costs a buffer, not a
+        thread, which is the point of this front end."""
+        timeout = self._server.config.socket_timeout_s
+        now = time.monotonic()
+        for conn in list(self._connections.values()):
+            if not conn.open or conn.state == "busy" or conn.outbuf:
+                continue
+            if drain_deadline is not None or now - conn.last_activity > timeout:
+                self._close(selector, conn)
+
+    def _close(self, selector, conn: _Connection) -> None:
+        if not conn.open:
+            return
+        conn.open = False
+        self._connections.pop(conn.fd, None)
+        if conn.events:
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass  # never registered or already gone
+        try:
+            conn.sock.close()
+        except OSError:
+            pass  # peer reset already tore it down
+        self._open_gauge.set(len(self._connections))
+
+
+class _InternalErrorResponse:
+    """Fallback shape when the request core itself raises (kept tiny so
+    the loop thread never depends on the server module)."""
+
+    status = 500
+    close = True
+
+    def __init__(self, body: bytes) -> None:
+        self.body = body
+        self.headers = (
+            ("Content-Type", "application/json"),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+        )

@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import sys
 import threading
 import time
 import uuid
@@ -53,6 +54,7 @@ from repro.imaging.plans import geometry_cache_stats, plan_cache_stats
 from repro.imaging.scaling import operator_cache_stats
 from repro.observability import Metrics, render_process_metrics, render_prometheus
 from repro.serving.audit import AuditRecord
+from repro.serving.eventloop import EventLoopFrontend
 from repro.serving.pipeline import ProtectedPipeline, verdict_payload
 from repro.serving.wire import (
     METRICS_CONTENT_TYPE,
@@ -61,7 +63,7 @@ from repro.serving.wire import (
 )
 from repro.serving.workers import WorkerPool, WorkerPoolConfig, WorkerSpec
 
-__all__ = ["ServerConfig", "DetectionServer", "AdmissionQueue"]
+__all__ = ["ServerConfig", "DetectionServer", "AdmissionQueue", "WireResponse"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +86,12 @@ class ServerConfig:
     #: Socket timeout per connection, seconds (kills idle keep-alives so a
     #: drain cannot hang on a silent client).
     socket_timeout_s: float = 10.0
+    #: Connection front end: ``"eventloop"`` (default) holds every
+    #: connection on one ``selectors`` thread and dispatches complete
+    #: requests to a bounded pool; ``"threaded"`` is the classic
+    #: thread-per-connection ``ThreadingHTTPServer``. Responses are
+    #: byte-identical between the two.
+    frontend: str = "eventloop"
     #: Print one log line per request to stderr.
     verbose: bool = False
     #: Scoring shard processes (:mod:`repro.serving.workers`); 0 keeps the
@@ -95,8 +103,35 @@ class ServerConfig:
     worker_job_timeout_s: float = 30.0
     worker_restart_backoff_base_s: float = 0.1
     worker_restart_backoff_max_s: float = 5.0
+    #: Dispatcher ↔ shard frame transport: ``"shm"`` (default) carries
+    #: frames through per-shard shared-memory slot rings with the pipe as
+    #: doorbell; ``"pipe"`` pickles every frame through the pipe.
+    transport: str = "shm"
+    #: Slots per shared-memory ring (per shard, per direction).
+    ring_slots: int = 8
+    #: Payload capacity of one ring slot; larger frames ride the pipe.
+    ring_slot_bytes: int = 1 << 20
     #: Test-only fault seam (see :attr:`WorkerPoolConfig.fault_spec`).
     fault_injection: str | None = None
+
+
+@dataclass(frozen=True)
+class WireResponse:
+    """One HTTP response, fully decided by the request core.
+
+    Front ends only serialize: the threaded handler replays ``headers`` in
+    order through ``send_header``, the event loop renders the identical
+    bytes itself (:func:`repro.serving.eventloop.serialize_response`), so
+    parity between them is structural, not coincidental. ``close`` asks
+    the front end to drop the connection after the write — set while
+    draining and on body-framing errors (411/413/bad Content-Length),
+    where unread body bytes would desync a keep-alive stream.
+    """
+
+    status: int
+    headers: tuple[tuple[str, str], ...]
+    body: bytes
+    close: bool = False
 
 
 class _Saturated(ReproError):
@@ -169,12 +204,16 @@ class AdmissionQueue:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """One HTTP connection; the server object hangs off ``self.server``."""
+    """One HTTP connection, thread-per-connection style.
+
+    A thin serializer: every routing, admission, scoring, and error-mapping
+    decision lives in :meth:`DetectionServer.handle_http_request`, shared
+    with the event-loop front end; this class only replays the resulting
+    :class:`WireResponse` through ``send_response``/``send_header``.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "decamouflage"
-
-    # -- plumbing ------------------------------------------------------------
 
     @property
     def _detection(self) -> "DetectionServer":
@@ -188,11 +227,234 @@ class _Handler(BaseHTTPRequestHandler):
         if self._detection.config.verbose:
             super().log_message(format, *args)
 
-    def _request_id(self) -> str:
-        supplied = self.headers.get("X-Request-Id", "").strip()
-        return supplied or uuid.uuid4().hex[:12]
+    def _emit(self, response: WireResponse) -> None:
+        self.send_response(response.status)
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+        if response.close:
+            self.close_connection = True
 
-    def _send(
+    def _handle(self, method: str) -> None:
+        self._emit(
+            self._detection.handle_http_request(
+                method,
+                self.path,
+                self.headers,
+                lambda length: self.rfile.read(length),
+                requestline=self.requestline,
+            )
+        )
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+
+class DetectionServer:
+    """The detection service: a connection front end plus lifecycle.
+
+    The front end is pluggable (``config.frontend``): ``"eventloop"`` runs
+    one :class:`~repro.serving.eventloop.EventLoopFrontend` selector
+    thread; ``"threaded"`` keeps the classic ``ThreadingHTTPServer``. Both
+    feed :meth:`handle_http_request`, the shared request core, so their
+    responses are byte-identical.
+    """
+
+    def __init__(
+        self, pipeline: ProtectedPipeline, config: ServerConfig | None = None
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config or ServerConfig()
+        if self.config.frontend not in ("threaded", "eventloop"):
+            raise ReproError(
+                f"unknown frontend {self.config.frontend!r}; "
+                "expected 'threaded' or 'eventloop'"
+            )
+        self.metrics = pipeline.metrics
+        self.admission = AdmissionQueue(
+            self.config.max_active, self.config.queue_depth, self.metrics
+        )
+        self.draining = False
+        self._httpd: ThreadingHTTPServer | None = None
+        self._frontend: EventLoopFrontend | None = None
+        if self.config.frontend == "threaded":
+            self._httpd = ThreadingHTTPServer(
+                (self.config.host, self.config.port), _Handler
+            )
+            # Handler threads are joined on server_close() so a drain
+            # really waits for every in-flight request.
+            self._httpd.daemon_threads = False
+            self._httpd.block_on_close = True
+            self._httpd.detection_server = self  # type: ignore[attr-defined]
+        else:
+            self._frontend = EventLoopFrontend(self)
+        self._serve_thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._closed = False
+        self._pool: WorkerPool | None = None
+
+    # -- request core (shared by both front ends) ----------------------------
+
+    def handle_http_request(
+        self, method: str, path: str, headers, read_body, *, requestline: str = ""
+    ) -> WireResponse:
+        """Decide one request end-to-end: routing, admission, scoring,
+        error mapping, counters, and logging.
+
+        ``headers`` is any mapping with ``.get`` (an ``email.message``
+        object from either front end); ``read_body(length)`` returns the
+        request body and is only called after the Content-Length checks
+        pass, so the threaded front end can read lazily from its socket
+        while the event loop hands over bytes it already buffered.
+        """
+        request_id = (headers.get("X-Request-Id") or "").strip() or uuid.uuid4().hex[:12]
+        if method == "GET":
+            return self._handle_get(path, request_id, requestline)
+        return self._handle_post(path, headers, read_body, request_id, requestline)
+
+    def _handle_get(self, path: str, request_id: str, requestline: str) -> WireResponse:
+        if path == "/healthz":
+            payload = self.health()
+            status = 200 if payload["ready"] else 503
+            return self._json_response(status, payload, request_id=request_id)
+        if path == "/metrics":
+            return self._wire_response(
+                200,
+                self.render_metrics().encode("utf-8"),
+                content_type=METRICS_CONTENT_TYPE,
+                request_id=request_id,
+            )
+        return self._error_response(404, f"unknown path {path}", request_id, requestline)
+
+    def _handle_post(
+        self, path: str, headers, read_body, request_id: str, requestline: str
+    ) -> WireResponse:
+        if path not in ("/v1/detect", "/v1/detect/batch"):
+            return self._error_response(
+                404, f"unknown path {path}", request_id, requestline
+            )
+        self.metrics.counter("server.requests").add(1)
+        if self.draining:
+            return self._error_response(
+                503,
+                "server is draining",
+                request_id,
+                requestline,
+                retry_after_s=self.config.retry_after_s,
+            )
+        # Body-framing refusals close the connection: the unread body bytes
+        # would be parsed as the next request on a reused stream.
+        raw_length = headers.get("Content-Length")
+        if raw_length is None:
+            return self._error_response(
+                411, "Content-Length required", request_id, requestline, close=True
+            )
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0:
+            return self._error_response(
+                400,
+                f"invalid Content-Length {raw_length.strip()!r}",
+                request_id,
+                requestline,
+                close=True,
+            )
+        if length > self.config.max_body_bytes:
+            return self._error_response(
+                413,
+                f"body of {length} bytes exceeds limit",
+                request_id,
+                requestline,
+                close=True,
+            )
+        body = read_body(length)
+        try:
+            self.admission.acquire(self.config.deadline_ms / 1000.0)
+        except _Saturated as exc:
+            return self._error_response(
+                429,
+                str(exc),
+                request_id,
+                requestline,
+                retry_after_s=self.config.retry_after_s,
+            )
+        except _DeadlineExceeded as exc:
+            return self._error_response(
+                503,
+                str(exc),
+                request_id,
+                requestline,
+                retry_after_s=self.config.retry_after_s,
+            )
+        try:
+            with self.metrics.timer("server.request"):
+                if path == "/v1/detect":
+                    return self._detect_single_response(body, request_id, requestline)
+                return self._detect_batch_response(body, request_id, requestline)
+        finally:
+            self.admission.release()
+
+    def saturated_response(self, headers, *, requestline: str = "") -> WireResponse:
+        """Fail-fast 429 for the event loop's saturation short-circuit —
+        the answer a dispatch-pool thread would have produced had it tried
+        (and failed) to enter the full waiting room, without the thread."""
+        request_id = (headers.get("X-Request-Id") or "").strip() or uuid.uuid4().hex[:12]
+        self.metrics.counter("server.requests").add(1)
+        if self.draining:
+            return self._error_response(
+                503,
+                "server is draining",
+                request_id,
+                requestline,
+                retry_after_s=self.config.retry_after_s,
+            )
+        return self._error_response(
+            429,
+            f"admission queue full ({self.admission.waiting} waiting)",
+            request_id,
+            requestline,
+            retry_after_s=self.config.retry_after_s,
+        )
+
+    def _detect_single_response(
+        self, body: bytes, request_id: str, requestline: str
+    ) -> WireResponse:
+        start = time.perf_counter()
+        try:
+            payload = self.score_single(body, request_id)
+        except (CodecError, ImageError) as exc:
+            return self._error_response(400, str(exc), request_id, requestline)
+        except DetectionError as exc:
+            return self._error_response(503, str(exc), request_id, requestline)
+        payload["latency_ms"] = (time.perf_counter() - start) * 1000.0
+        self._log(f'"{requestline}" 200 {payload["verdict"]} [{request_id}]')
+        return self._json_response(200, payload, request_id=request_id)
+
+    def _detect_batch_response(
+        self, body: bytes, request_id: str, requestline: str
+    ) -> WireResponse:
+        start = time.perf_counter()
+        try:
+            results = self.score_batch(body, request_id)
+        except (CodecError, ImageError) as exc:
+            return self._error_response(400, str(exc), request_id, requestline)
+        except DetectionError as exc:
+            return self._error_response(503, str(exc), request_id, requestline)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        for result in results:
+            result["latency_ms"] = elapsed_ms
+        self._log(f'"{requestline}" 200 batch={len(results)} [{request_id}]')
+        return self._json_response(
+            200, {"request_id": request_id, "results": results}, request_id=request_id
+        )
+
+    def _wire_response(
         self,
         status: int,
         body: bytes,
@@ -200,171 +462,47 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str = "application/json",
         request_id: str | None = None,
         retry_after_s: float | None = None,
-    ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
+        close: bool = False,
+    ) -> WireResponse:
+        headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+        ]
         if request_id is not None:
-            self.send_header("X-Request-Id", request_id)
+            headers.append(("X-Request-Id", request_id))
         if retry_after_s is not None:
-            self.send_header("Retry-After", f"{max(1, round(retry_after_s))}")
-        if self._detection.draining:
-            self.send_header("Connection", "close")
-            self.close_connection = True
-        self.end_headers()
-        self.wfile.write(body)
-        self._detection.metrics.counter(f"server.responses.{status}").add(1)
+            headers.append(("Retry-After", f"{max(1, round(retry_after_s))}"))
+        if self.draining:
+            close = True
+        if close:
+            headers.append(("Connection", "close"))
+        self.metrics.counter(f"server.responses.{status}").add(1)
+        return WireResponse(status, tuple(headers), body, close)
 
-    def _send_json(self, status: int, payload: dict | list, **kwargs) -> None:
-        self._send(status, json.dumps(payload).encode("utf-8"), **kwargs)
+    def _json_response(self, status: int, payload, **kwargs) -> WireResponse:
+        return self._wire_response(
+            status, json.dumps(payload).encode("utf-8"), **kwargs
+        )
 
-    def _send_error_json(
-        self, status: int, message: str, request_id: str, **kwargs
-    ) -> None:
-        self.log_message('"%s" %d %s [%s]', self.requestline, status, message, request_id)
-        self._send_json(
+    def _error_response(
+        self,
+        status: int,
+        message: str,
+        request_id: str,
+        requestline: str = "",
+        **kwargs,
+    ) -> WireResponse:
+        self._log(f'"{requestline}" {status} {message} [{request_id}]')
+        return self._json_response(
             status,
             {"error": message, "request_id": request_id},
             request_id=request_id,
             **kwargs,
         )
 
-    def _read_body(self, request_id: str) -> bytes | None:
-        """Read the request body; answers 411/413 itself and returns None."""
-        length = self.headers.get("Content-Length")
-        if length is None:
-            self._send_error_json(411, "Content-Length required", request_id)
-            return None
-        length = int(length)
-        if length > self._detection.config.max_body_bytes:
-            self._send_error_json(
-                413, f"body of {length} bytes exceeds limit", request_id
-            )
-            return None
-        return self.rfile.read(length)
-
-    # -- GET: health + metrics ----------------------------------------------
-
-    def do_GET(self) -> None:
-        server = self._detection
-        request_id = self._request_id()
-        if self.path == "/healthz":
-            payload = server.health()
-            status = 200 if payload["ready"] else 503
-            self._send_json(status, payload, request_id=request_id)
-        elif self.path == "/metrics":
-            body = server.render_metrics().encode("utf-8")
-            self._send(
-                200, body, content_type=METRICS_CONTENT_TYPE, request_id=request_id
-            )
-        else:
-            self._send_error_json(404, f"unknown path {self.path}", request_id)
-
-    # -- POST: detection -----------------------------------------------------
-
-    def do_POST(self) -> None:
-        server = self._detection
-        request_id = self._request_id()
-        if self.path not in ("/v1/detect", "/v1/detect/batch"):
-            self._send_error_json(404, f"unknown path {self.path}", request_id)
-            return
-        server.metrics.counter("server.requests").add(1)
-        if server.draining:
-            self._send_error_json(
-                503,
-                "server is draining",
-                request_id,
-                retry_after_s=server.config.retry_after_s,
-            )
-            return
-        body = self._read_body(request_id)
-        if body is None:
-            return
-        try:
-            server.admission.acquire(server.config.deadline_ms / 1000.0)
-        except _Saturated as exc:
-            self._send_error_json(
-                429, str(exc), request_id, retry_after_s=server.config.retry_after_s
-            )
-            return
-        except _DeadlineExceeded as exc:
-            self._send_error_json(
-                503, str(exc), request_id, retry_after_s=server.config.retry_after_s
-            )
-            return
-        try:
-            with server.metrics.timer("server.request"):
-                if self.path == "/v1/detect":
-                    self._detect_single(body, request_id)
-                else:
-                    self._detect_batch(body, request_id)
-        finally:
-            server.admission.release()
-
-    def _detect_single(self, body: bytes, request_id: str) -> None:
-        server = self._detection
-        start = time.perf_counter()
-        try:
-            payload = server.score_single(body, request_id)
-        except (CodecError, ImageError) as exc:
-            self._send_error_json(400, str(exc), request_id)
-            return
-        except DetectionError as exc:
-            self._send_error_json(503, str(exc), request_id)
-            return
-        payload["latency_ms"] = (time.perf_counter() - start) * 1000.0
-        self.log_message(
-            '"%s" 200 %s [%s]', self.requestline, payload["verdict"], request_id
-        )
-        self._send_json(200, payload, request_id=request_id)
-
-    def _detect_batch(self, body: bytes, request_id: str) -> None:
-        server = self._detection
-        start = time.perf_counter()
-        try:
-            results = server.score_batch(body, request_id)
-        except (CodecError, ImageError) as exc:
-            self._send_error_json(400, str(exc), request_id)
-            return
-        except DetectionError as exc:
-            self._send_error_json(503, str(exc), request_id)
-            return
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        for result in results:
-            result["latency_ms"] = elapsed_ms
-        self.log_message(
-            '"%s" 200 batch=%d [%s]', self.requestline, len(results), request_id
-        )
-        self._send_json(
-            200, {"request_id": request_id, "results": results}, request_id=request_id
-        )
-
-
-class DetectionServer:
-    """The detection service: a ThreadingHTTPServer plus lifecycle."""
-
-    def __init__(
-        self, pipeline: ProtectedPipeline, config: ServerConfig | None = None
-    ) -> None:
-        self.pipeline = pipeline
-        self.config = config or ServerConfig()
-        self.metrics = pipeline.metrics
-        self.admission = AdmissionQueue(
-            self.config.max_active, self.config.queue_depth, self.metrics
-        )
-        self.draining = False
-        self._httpd = ThreadingHTTPServer(
-            (self.config.host, self.config.port), _Handler
-        )
-        # Handler threads are joined on server_close() so a drain really
-        # waits for every in-flight request.
-        self._httpd.daemon_threads = False
-        self._httpd.block_on_close = True
-        self._httpd.detection_server = self  # type: ignore[attr-defined]
-        self._serve_thread: threading.Thread | None = None
-        self._shutdown_lock = threading.Lock()
-        self._closed = False
-        self._pool: WorkerPool | None = None
+    def _log(self, line: str) -> None:
+        if self.config.verbose:
+            print(line, file=sys.stderr, flush=True)
 
     # -- scoring (in-process or sharded) -------------------------------------
 
@@ -444,6 +582,8 @@ class DetectionServer:
     @property
     def address(self) -> tuple[str, int]:
         """Bound ``(host, port)`` — the real port even when configured as 0."""
+        if self._frontend is not None:
+            return self._frontend.address
         host, port = self._httpd.server_address[:2]
         return str(host), int(port)
 
@@ -515,6 +655,9 @@ class DetectionServer:
             if self._closed:
                 raise ReproError("server is closed; create a new DetectionServer")
             self._ensure_workers_locked()
+            if self._frontend is not None:
+                self._frontend.start()
+                return
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever, name="detection-server", daemon=True
             )
@@ -526,6 +669,9 @@ class DetectionServer:
             if self._closed:
                 raise ReproError("server is closed; create a new DetectionServer")
             self._ensure_workers_locked()
+        if self._frontend is not None:
+            self._frontend.serve_forever()
+            return
         self._httpd.serve_forever()
 
     def ensure_workers(self) -> None:
@@ -558,6 +704,9 @@ class DetectionServer:
             job_timeout_s=self.config.worker_job_timeout_s,
             restart_backoff_base_s=self.config.worker_restart_backoff_base_s,
             restart_backoff_max_s=self.config.worker_restart_backoff_max_s,
+            transport=self.config.transport,
+            ring_slots=self.config.ring_slots,
+            ring_slot_bytes=self.config.ring_slot_bytes,
             fault_spec=self.config.fault_injection,
         )
         self._pool = WorkerPool(spec, pool_config, metrics=self.metrics)
@@ -586,14 +735,20 @@ class DetectionServer:
             if self._closed:
                 return
             self.draining = True
-            # Stop the accept loop, then join every handler thread
-            # (block_on_close) so in-flight requests complete before the
-            # audit log is flushed.
-            self._httpd.shutdown()
-            self._httpd.server_close()
-            if self._serve_thread is not None:
-                self._serve_thread.join(timeout=self.config.socket_timeout_s)
-            # Handler threads are drained, so no job is in flight: stop the
+            if self._frontend is not None:
+                # The loop stops accepting, finishes writing every
+                # in-flight response (bounded by the drain deadline), and
+                # only then releases its dispatch pool.
+                self._frontend.stop()
+            else:
+                # Stop the accept loop, then join every handler thread
+                # (block_on_close) so in-flight requests complete before
+                # the audit log is flushed.
+                self._httpd.shutdown()
+                self._httpd.server_close()
+                if self._serve_thread is not None:
+                    self._serve_thread.join(timeout=self.config.socket_timeout_s)
+            # The front end is drained, so no job is in flight: stop the
             # shards before the final audit flush.
             if self._pool is not None:
                 self._pool.shutdown()

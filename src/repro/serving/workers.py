@@ -55,6 +55,7 @@ from repro.observability import Metrics
 from repro.serving.audit import AuditLog, AuditRecord
 from repro.serving.pipeline import ProtectedPipeline, verdict_payload
 from repro.serving.policy import Policy
+from repro.serving.shm import RingFull, ShmRing, decode_slot_ref, encode_slot_ref
 from repro.serving.wire import (
     decode_image_payload,
     pack_job,
@@ -208,13 +209,26 @@ class WorkerPoolConfig:
     startup_grace_s: float = 60.0
     #: How long shutdown waits for shards to drain before killing them.
     drain_timeout_s: float = 10.0
+    #: Payload transport: ``"shm"`` moves job/result frames through
+    #: per-shard :class:`~repro.serving.shm.ShmRing` segments (the pipe
+    #: carries slot refs, heartbeats, and control); ``"pipe"`` serializes
+    #: every frame into the pipe as PR 4 did. Frames that outgrow a slot,
+    #: or arrive while the ring is full, fall back to the pipe per-frame.
+    transport: str = "shm"
+    #: Slots per ring direction; bounds how many frames can be in flight
+    #: through shared memory to one shard at once.
+    ring_slots: int = 8
+    #: Payload capacity of one slot (bytes); bigger frames take the pipe.
+    ring_slot_bytes: int = 1 << 20
     #: Test-only fault seam, parsed by the shard itself (monkeypatches do
     #: not survive a spawn): comma-separated ``kind:worker_id[:arg]``
     #: clauses — ``kill`` (exit on next job), ``kill-after`` (score, exit
-    #: before replying), ``mute`` (one heartbeat, then silence),
-    #: ``garbage`` (reply with an unframed blob), ``slow:<id>:<seconds>``
-    #: (sleep before scoring). ``*`` targets every shard. Faults apply only
-    #: while ``restarts == 0`` so a respawned shard behaves.
+    #: before replying), ``kill-mid-write`` (die half-way through a ring
+    #: slot write with the doorbell already rung), ``mute`` (one
+    #: heartbeat, then silence), ``garbage`` (reply with an unframed
+    #: blob), ``slow:<id>:<seconds>`` (sleep before scoring). ``*``
+    #: targets every shard. Faults apply only while ``restarts == 0`` so a
+    #: respawned shard behaves.
     fault_spec: str | None = None
 
 
@@ -265,6 +279,8 @@ class _WorkerHandle:
         "worker_id",
         "process",
         "conn",
+        "job_ring",
+        "result_ring",
         "send_lock",
         "up",
         "ready",
@@ -278,10 +294,18 @@ class _WorkerHandle:
         "snapshot",
     )
 
-    def __init__(self, worker_id, process, conn, restarts, consecutive) -> None:
+    def __init__(
+        self, worker_id, process, conn, restarts, consecutive, *, job_ring=None, result_ring=None
+    ) -> None:
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
+        #: shm rings for this incarnation (dispatcher→shard / shard→
+        #: dispatcher), or None on the pipe transport. Created fresh per
+        #: spawn and destroyed with the incarnation, so no slot state
+        #: survives a crash.
+        self.job_ring: ShmRing | None = job_ring
+        self.result_ring: ShmRing | None = result_ring
         self.send_lock = threading.Lock()
         self.up = True
         self.ready = False
@@ -333,6 +357,11 @@ class WorkerPool:
         self.config = config or WorkerPoolConfig()
         if self.config.workers < 1:
             raise ReproError(f"workers must be >= 1, got {self.config.workers}")
+        if self.config.transport not in ("pipe", "shm"):
+            raise ReproError(
+                f"unknown worker transport {self.config.transport!r} "
+                "(expected 'pipe' or 'shm')"
+            )
         self.metrics = metrics or Metrics()
         self._context = multiprocessing.get_context("spawn")
         self._lock = threading.Lock()
@@ -390,6 +419,7 @@ class WorkerPool:
                 handle.conn.close()
             except OSError:
                 pass  # receiver already closed it
+            self._destroy_rings(handle)
         if self._monitor_thread is not None:
             self._monitor_thread.join(timeout=2.0)
         with self._lock:
@@ -429,6 +459,18 @@ class WorkerPool:
                     "inflight": len(handle.jobs),
                     "jobs_done": handle.jobs_done,
                     "heartbeat_age_s": now - handle.last_seen,
+                    "ring_occupancy": (
+                        None
+                        if handle.job_ring is None
+                        else {
+                            "job": handle.job_ring.occupancy(),
+                            "result": (
+                                handle.result_ring.occupancy()
+                                if handle.result_ring is not None
+                                else 0
+                            ),
+                        }
+                    ),
                     "snapshot": dict(handle.snapshot),
                 }
                 for _, handle in sorted(self._workers.items())
@@ -442,6 +484,8 @@ class WorkerPool:
             "worker.up": [],
             "worker.inflight": [],
             "worker.heartbeat_age_s": [],
+            "worker.job_ring_occupancy": [],
+            "worker.result_ring_occupancy": [],
         }
         counters: dict[str, list[tuple[dict, float]]] = {
             "worker.restarts": [],
@@ -455,6 +499,13 @@ class WorkerPool:
             gauges["worker.inflight"].append((labels, float(status["inflight"])))
             gauges["worker.heartbeat_age_s"].append(
                 (labels, round(status["heartbeat_age_s"], 3))
+            )
+            ring = status["ring_occupancy"] or {}
+            gauges["worker.job_ring_occupancy"].append(
+                (labels, float(ring.get("job", 0)))
+            )
+            gauges["worker.result_ring_occupancy"].append(
+                (labels, float(ring.get("result", 0)))
             )
             counters["worker.restarts"].append((labels, float(status["restarts"])))
             counters["worker.jobs_done"].append((labels, float(status["jobs_done"])))
@@ -520,6 +571,21 @@ class WorkerPool:
             return None
         return min(candidates, key=lambda handle: (len(handle.jobs), handle.worker_id))
 
+    def _ring_frame(self, handle: _WorkerHandle, frame: bytes) -> bytes | None:
+        """Stage *frame* in the shard's job ring; returns the slot-ref
+        doorbell frame, or None to send the full frame over the pipe
+        (no ring, oversize frame, ring full)."""
+        ring = handle.job_ring
+        if ring is None or len(frame) > ring.slot_bytes:
+            return None
+        try:
+            slot = ring.put(frame)
+        except RingFull:
+            self.metrics.counter("shm.ring_full").add(1)
+            return None
+        self.metrics.counter("shm.frames").add(1)
+        return encode_slot_ref(slot, len(frame))
+
     def _dispatch(self, job: _Job, handle: _WorkerHandle) -> None:
         frame = pack_job(job.kind, job.job_id, job.request_id, job.payloads)
         with self._lock:
@@ -539,12 +605,16 @@ class WorkerPool:
                 job, exclude=handle.worker_id, reason="target died before dispatch"
             )
             return
+        ref = self._ring_frame(handle, frame)
+        if ref is not None:
+            frame = pack_job("slot", job.job_id, job.request_id, [ref])
         try:
             with handle.send_lock:
                 handle.conn.send_bytes(frame)
         except (OSError, ValueError):
             # The pipe died under us: the down-path requeues (or fails)
             # every job this shard held, including the one just registered.
+            # A slot already staged dies with the incarnation's ring.
             self._worker_down(handle, reason="pipe send failed")
 
     # -- failure handling ----------------------------------------------------
@@ -574,9 +644,24 @@ class WorkerPool:
             pass  # receiver thread got there first
         if handle.process.is_alive():
             handle.process.terminate()
+        # Unlink-while-mapped is POSIX-safe: a straggler child keeps its
+        # mapping until it exits, but the name is gone immediately.
+        self._destroy_rings(handle)
         self._wake.set()
         for job in orphans:
             self._failover(job, exclude=handle.worker_id, reason=reason)
+
+    def _destroy_rings(self, handle: _WorkerHandle) -> None:
+        """Tear down an incarnation's shm rings (idempotent, crash-safe)."""
+        with self._lock:
+            rings = (handle.job_ring, handle.result_ring)
+            handle.job_ring = None
+            handle.result_ring = None
+        for ring in rings:
+            if ring is None:
+                continue
+            ring.close()
+            ring.unlink()
 
     def _failover(self, job: _Job, *, exclude: int, reason: str) -> None:
         """Requeue one orphaned job exactly once; a second strike fails it."""
@@ -621,13 +706,17 @@ class WorkerPool:
                 frame = handle.conn.recv_bytes()
             except (EOFError, OSError):
                 break
+            origin = f"worker-{handle.worker_id}"
             try:
-                kind, job_id, body = unpack_result(
-                    frame, origin=f"worker-{handle.worker_id}"
-                )
+                kind, job_id, body = unpack_result(frame, origin=origin)
+                if kind == "slot":
+                    kind, job_id, body = self._resolve_slot_result(
+                        handle, body, origin=origin
+                    )
             except CodecError:
-                # A shard emitting unparseable frames can no longer be
-                # trusted to pair results with jobs — recycle it.
+                # A shard emitting unparseable frames — or slot refs that
+                # point at torn/stomped slots — can no longer be trusted
+                # to pair results with jobs: recycle it.
                 self.metrics.counter("workers.garbage_frames").add(1)
                 break
             with self._lock:
@@ -639,6 +728,30 @@ class WorkerPool:
             else:
                 self._complete(handle, job_id, kind, body)
         self._worker_down(handle, reason="worker pipe closed")
+
+    def _resolve_slot_result(
+        self, handle: _WorkerHandle, body: bytes, *, origin: str
+    ) -> tuple[str, str, bytes]:
+        """Follow one result slot ref into the shard's result ring.
+
+        Every failure mode — no ring configured, torn write (slot never
+        published), length disagreement, nested indirection — surfaces as
+        :class:`CodecError` so the caller's garbage-frame path recycles
+        the shard and requeues its jobs exactly once.
+        """
+        ring = handle.result_ring
+        if ring is None:
+            raise CodecError(f"{origin}: slot ref on the pipe transport")
+        slot, length = decode_slot_ref(body, origin=origin)
+        inner = ring.get(slot, origin=origin)
+        if len(inner) != length:
+            raise CodecError(
+                f"{origin}: slot {slot} holds {len(inner)} bytes, ref promised {length}"
+            )
+        kind, job_id, resolved = unpack_result(inner, origin=origin)
+        if kind == "slot":
+            raise CodecError(f"{origin}: nested slot indirection")
+        return kind, job_id, resolved
 
     def _store_snapshot(self, handle: _WorkerHandle, body: bytes) -> None:
         try:
@@ -666,6 +779,12 @@ class WorkerPool:
     # -- spawn + monitor -----------------------------------------------------
 
     def _spawn_worker(self, worker_id: int, *, restarts: int, consecutive: int) -> None:
+        job_ring = result_ring = None
+        if self.config.transport == "shm":
+            # Fresh rings per incarnation: a crash can leave slots torn or
+            # stranded, so nothing shared survives into the respawn.
+            job_ring = ShmRing.create(self.config.ring_slots, self.config.ring_slot_bytes)
+            result_ring = ShmRing.create(self.config.ring_slots, self.config.ring_slot_bytes)
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=_worker_main,
@@ -676,13 +795,23 @@ class WorkerPool:
                 restarts,
                 self.config.heartbeat_interval_s,
                 self.config.fault_spec,
+                job_ring.name if job_ring is not None else None,
+                result_ring.name if result_ring is not None else None,
             ),
             name=f"decamouflage-worker-{worker_id}",
             daemon=True,
         )
         process.start()
         child_conn.close()
-        handle = _WorkerHandle(worker_id, process, parent_conn, restarts, consecutive)
+        handle = _WorkerHandle(
+            worker_id,
+            process,
+            parent_conn,
+            restarts,
+            consecutive,
+            job_ring=job_ring,
+            result_ring=result_ring,
+        )
         with self._lock:
             aborted = self._closed
             if not aborted:
@@ -696,6 +825,7 @@ class WorkerPool:
                 pass  # never opened far enough to matter
             process.kill()
             process.join(1.0)
+            self._destroy_rings(handle)
             return
         receiver = threading.Thread(
             target=self._receive_loop,
@@ -770,6 +900,7 @@ class _Faults:
 
     kill_next: bool = False
     kill_after: bool = False
+    kill_mid_write: bool = False
     mute: bool = False
     garbage: bool = False
     slow_s: float = 0.0
@@ -778,7 +909,7 @@ class _Faults:
 def _parse_faults(spec: str | None, worker_id: int) -> _Faults:
     if not spec:
         return _Faults()
-    kill_next = kill_after = mute = garbage = False
+    kill_next = kill_after = kill_mid_write = mute = garbage = False
     slow_s = 0.0
     for clause in spec.split(","):
         clause = clause.strip()
@@ -794,6 +925,8 @@ def _parse_faults(spec: str | None, worker_id: int) -> _Faults:
             kill_next = True
         elif kind == "kill-after":
             kill_after = True
+        elif kind == "kill-mid-write":
+            kill_mid_write = True
         elif kind == "mute":
             mute = True
         elif kind == "garbage":
@@ -805,6 +938,7 @@ def _parse_faults(spec: str | None, worker_id: int) -> _Faults:
     return _Faults(
         kill_next=kill_next,
         kill_after=kill_after,
+        kill_mid_write=kill_mid_write,
         mute=mute,
         garbage=garbage,
         slow_s=slow_s,
@@ -866,15 +1000,48 @@ def _worker_main(
     restarts: int,
     heartbeat_interval_s: float,
     fault_spec: str | None,
+    job_ring_name: str | None = None,
+    result_ring_name: str | None = None,
 ) -> None:
     """One shard process: score jobs, heartbeat when idle, exit on stop.
 
     Must stay module-level (spawn pickles it by reference). Faults apply
     only to a shard's first incarnation so respawn recovers naturally.
+    On the shm transport, job frames arrive as slot refs into
+    ``job_ring`` and scoring replies leave through ``result_ring`` (the
+    pipe keeps heartbeats, control, and per-frame fallback).
     """
     faults = _parse_faults(fault_spec, worker_id) if restarts == 0 else _Faults()
     spec.apply_process_state()
     pipeline = spec.build_pipeline()
+    job_ring = ShmRing.attach(job_ring_name) if job_ring_name else None
+    result_ring = ShmRing.attach(result_ring_name) if result_ring_name else None
+    try:
+        _worker_loop(
+            conn,
+            pipeline,
+            worker_id,
+            heartbeat_interval_s,
+            faults,
+            job_ring,
+            result_ring,
+        )
+    finally:
+        if job_ring is not None:
+            job_ring.close()
+        if result_ring is not None:
+            result_ring.close()
+
+
+def _worker_loop(
+    conn,
+    pipeline: ProtectedPipeline,
+    worker_id: int,
+    heartbeat_interval_s: float,
+    faults: _Faults,
+    job_ring: ShmRing | None,
+    result_ring: ShmRing | None,
+) -> None:
     errors = 0
     heartbeats_sent = 0
     while True:
@@ -896,6 +1063,18 @@ def _worker_main(
             kind, job_id, request_id, payloads = unpack_job(
                 frame, origin=f"worker-{worker_id}"
             )
+            if kind == "slot":
+                if job_ring is None or len(payloads) != 1:
+                    raise CodecError(f"worker-{worker_id}: stray slot ref")
+                slot, length = decode_slot_ref(payloads[0])
+                inner = job_ring.get(slot, origin=f"worker-{worker_id}")
+                if len(inner) != length:
+                    raise CodecError(
+                        f"worker-{worker_id}: slot {slot} length mismatch"
+                    )
+                kind, job_id, request_id, payloads = unpack_job(
+                    inner, origin=f"worker-{worker_id}"
+                )
         except CodecError:
             errors += 1
             continue  # dispatcher bug; the job times out and fails over
@@ -913,10 +1092,31 @@ def _worker_main(
             reply = pack_result(
                 "err", job_id, json.dumps(descriptor).encode("utf-8")
             )
+        if faults.kill_mid_write:
+            # The nastiest crash window: the slot write tears half-way but
+            # the doorbell still rings. The dispatcher must refuse the
+            # unpublished slot (CodecError), recycle this shard, and
+            # requeue the job exactly once. On the pipe transport there is
+            # no slot to tear, so the fault degenerates to kill-after.
+            if result_ring is not None:
+                try:
+                    slot = result_ring.put_torn(reply)
+                    conn.send_bytes(
+                        pack_result("slot", job_id, encode_slot_ref(slot, len(reply)))
+                    )
+                except (RingFull, OSError, ValueError):
+                    pass
+            os._exit(172)
         if faults.kill_after:
             os._exit(171)  # simulated crash after scoring, before replying
         if faults.garbage:
             reply = b"\xde\xad\xbe\xef" + os.urandom(24)
+        elif result_ring is not None and len(reply) <= result_ring.slot_bytes:
+            try:
+                slot = result_ring.put(reply)
+                reply = pack_result("slot", job_id, encode_slot_ref(slot, len(reply)))
+            except RingFull:
+                pass  # per-frame fallback: the full reply rides the pipe
         try:
             conn.send_bytes(reply)
         except (OSError, ValueError):

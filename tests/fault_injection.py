@@ -56,9 +56,18 @@ def calibrated_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
 def make_pool(
     pipeline: ProtectedPipeline, *, workers: int = 2, fault_spec: str | None = None, **overrides
 ) -> WorkerPool:
-    """A started shard pool over *pipeline*, tuned for test turnaround."""
+    """A started shard pool over *pipeline*, tuned for test turnaround.
+
+    The frame transport follows ``REPRO_TEST_TRANSPORT`` (shm rings by
+    default, pickled pipes on the fallback leg of the CI matrix); pass
+    ``transport=...`` to pin one explicitly.
+    """
+    from tests.conftest import SERVER_TRANSPORT
+
     config = WorkerPoolConfig(
-        workers=workers, fault_spec=fault_spec, **{**FAST_POOL, **overrides}
+        workers=workers,
+        fault_spec=fault_spec,
+        **{**FAST_POOL, "transport": SERVER_TRANSPORT, **overrides},
     )
     pool = WorkerPool(
         WorkerSpec.from_pipeline(pipeline), config, metrics=pipeline.metrics

@@ -98,12 +98,43 @@ def test_declared_order_is_clean(tmp_path):
     assert edge["declared"] is True
 
 
+def test_leaf_lock_with_nested_acquire_is_a_violation(tmp_path):
+    """Declaring a lock leaf is stronger than declaring its edges: even a
+    blessed ordering out of a leaf lock fails the pass."""
+    contract = tmp_path / "contract.json"
+    contract.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "edges": [
+                    [
+                        "tests.analyze_fixtures.lockorder_good.Registry._lock",
+                        "tests.analyze_fixtures.lockorder_good.Cell._lock",
+                    ]
+                ],
+                "leaf_locks": [
+                    "tests.analyze_fixtures.lockorder_good.Registry._lock"
+                ],
+                "runtime_only": [],
+            }
+        )
+    )
+    result = analyze(
+        ["lockorder_good.py"], rules=["lock-order"], lock_contract=contract
+    )
+    assert codes_of(result) == {"leaf-violation"}
+    (finding,) = result.findings
+    assert "leaf lock" in finding.message
+
+
 def test_lock_graph_artifact_schema():
     result = analyze(
         ["lockorder_bad_a.py", "lockorder_bad_b.py"], rules=["lock-order"]
     )
     graph = result.artifacts["lock_order"]
-    assert set(graph) == {"version", "locks", "edges", "cycles", "contract"}
+    assert set(graph) == {
+        "version", "locks", "edges", "cycles", "contract", "leaf_contract"
+    }
     for lock in graph["locks"]:
         assert set(lock) == {"id", "kind", "path", "line"}
     for edge in graph["edges"]:
@@ -308,6 +339,17 @@ def test_reconcile_accepts_runtime_only_contract_edge():
     assert errors == []
 
 
+def test_reconcile_rejects_edge_leaving_declared_leaf_lock():
+    # Even a statically-known, contract-declared edge is an error when
+    # its source lock is declared leaf.
+    errors, _notes = reconcile_locksan(
+        _dump([(0, 1)]),
+        _tiny_graph(),
+        {"runtime_only": [], "leaf_locks": ["m.A._lock"]},
+    )
+    assert len(errors) == 1 and "leaf" in errors[0]
+
+
 def test_reconcile_rejects_runtime_cycle():
     errors, _notes = reconcile_locksan(
         _dump([(0, 1)], cycles=[(0, 1)]), _tiny_graph(), {"runtime_only": []}
@@ -336,3 +378,7 @@ def test_repo_contract_matches_checked_in_file():
     contract = load_contract()
     assert contract["version"] == 1
     assert all(len(edge) == 2 for edge in contract["edges"])
+    # The async serving hot-path locks hold the leaf contract, and the
+    # real tree honours it (the full run above had zero findings).
+    assert "repro.serving.eventloop.EventLoopFrontend._lock" in contract["leaf_locks"]
+    assert "repro.serving.shm.ShmRing._lock" in contract["leaf_locks"]

@@ -31,6 +31,19 @@ class TestProfiles:
         levels = LoadProfile(kind="ramp", base=1.0, peak=7.0, steps=4).levels()
         assert [lvl.intensity for lvl in levels] == [1.0, 3.0, 5.0, 7.0]
 
+    def test_geometric_levels_double_exactly(self):
+        levels = LoadProfile(kind="geometric", base=64.0, peak=512.0,
+                             steps=4).levels()
+        assert [lvl.intensity for lvl in levels] == pytest.approx(
+            [64.0, 128.0, 256.0, 512.0]
+        )
+
+    def test_geometric_requires_positive_peak(self):
+        with pytest.raises(LoadLabError, match="requires a peak"):
+            LoadProfile(kind="geometric", base=2.0)
+        with pytest.raises(LoadLabError, match="peak must be > 0"):
+            LoadProfile(kind="geometric", base=2.0, peak=-1.0)
+
     def test_spike_levels(self):
         levels = LoadProfile(kind="spike", base=2.0, peak=9.0, steps=5).levels()
         assert [lvl.intensity for lvl in levels] == [2.0, 2.0, 9.0, 2.0, 2.0]
@@ -69,6 +82,12 @@ class TestValidation:
     def test_rejects_tiny_holdout(self):
         with pytest.raises(LoadLabError, match="holdout"):
             ServerSpec(holdout=5)
+
+    def test_rejects_unknown_frontend_and_transport(self):
+        with pytest.raises(LoadLabError, match="unknown frontend"):
+            ServerSpec(frontend="coroutine")
+        with pytest.raises(LoadLabError, match="unknown transport"):
+            ServerSpec(transport="tcp")
 
     def test_rejects_empty_name_and_bad_knobs(self):
         with pytest.raises(LoadLabError, match="non-empty"):

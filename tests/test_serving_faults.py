@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import os
 import signal
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -25,7 +28,7 @@ from repro.serving import DetectionClient, DetectionServer, ServerConfig
 from repro.serving.wire import encode_image_payload
 from repro.serving.workers import _Faults, _parse_faults
 
-from tests.conftest import wait_until
+from tests.conftest import SERVER_FRONTEND, wait_until
 from tests.fault_injection import calibrated_pipeline, make_pool
 
 
@@ -198,6 +201,201 @@ class TestRespawn:
             pool.shutdown()
 
 
+class TestShmTransportFaults:
+    """The shared-memory slot rings under the crash windows they were
+    designed for."""
+
+    def test_kill_mid_slot_write_requeues_once_and_answers(
+        self, benign_images, payload
+    ):
+        """Worker 0 dies half-way through copying its reply into the result
+        ring — with the doorbell already rung, so the dispatcher WILL look
+        at the torn slot. The unpublished slot must be refused cleanly
+        (never torn bytes returned), the shard recycled, and the job
+        requeued exactly once."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(
+            pipeline, workers=2, fault_spec="kill-mid-write:0", transport="shm"
+        )
+        try:
+            reply = pool.submit([payload], request_id="req-torn-write")
+            assert len(reply["verdicts"]) == 1
+            assert reply["verdicts"][0]["request_id"] == "req-torn-write"
+            assert pipeline.metrics.counter("workers.requeued").value == 1
+            assert pipeline.metrics.counter("workers.deaths").value >= 1
+            # The torn slot surfaced as a refused frame, not as data.
+            assert pipeline.metrics.counter("workers.garbage_frames").value >= 1
+        finally:
+            pool.shutdown()
+
+    def test_kill_mid_write_on_pipe_transport_degenerates_cleanly(
+        self, benign_images, payload
+    ):
+        """The same fault spec on the pipe transport has no slot to tear;
+        it degenerates to die-after-scoring and the failover contract is
+        identical."""
+        pipeline = calibrated_pipeline(benign_images)
+        pool = make_pool(
+            pipeline, workers=2, fault_spec="kill-mid-write:0", transport="pipe"
+        )
+        try:
+            reply = pool.submit([payload], request_id="req-torn-pipe")
+            assert len(reply["verdicts"]) == 1
+            assert pipeline.metrics.counter("workers.requeued").value == 1
+        finally:
+            pool.shutdown()
+
+
+def _read_http_response(sock: socket.socket) -> bytes:
+    """Read one HTTP response (head + Content-Length body) off a raw socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
+
+
+class TestEventLoopFaults:
+    """Hostile connections against the selectors front end. Every fault
+    here wedges or kills sockets, never requests: the contract is that no
+    *accepted* request is lost and healthy clients never stall."""
+
+    @pytest.fixture
+    def loop_server(self, benign_images):
+        pipeline = calibrated_pipeline(benign_images)
+        server = DetectionServer(
+            pipeline, ServerConfig(port=0, frontend="eventloop")
+        )
+        server.start()
+        yield server, pipeline
+        server.shutdown()
+
+    def _detect_request(self, payload: bytes) -> bytes:
+        head = (
+            "POST /v1/detect HTTP/1.1\r\n"
+            "Host: faults.test\r\n"
+            "Content-Type: application/octet-stream\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        )
+        return head.encode("ascii") + payload
+
+    def test_slow_loris_herd_does_not_starve_healthy_clients(
+        self, loop_server, benign_images
+    ):
+        """100 sockets trickling a request head byte-by-byte occupy
+        buffers, not threads — and a healthy client's request completes
+        while the herd hangs."""
+        server, pipeline = loop_server
+        body = encode_image_payload(as_uint8(benign_images[0]))
+        herd: list[socket.socket] = []
+        try:
+            for _ in range(100):
+                sock = socket.create_connection(server.address, timeout=10.0)
+                sock.sendall(b"POST /v1/detect HTT")  # head, never finished
+                herd.append(sock)
+            wait_until(
+                lambda: pipeline.metrics.gauge("eventloop.open_connections").value
+                >= 100,
+                timeout_s=10.0,
+                message="the loop to be holding the whole herd",
+            )
+            threads_with_herd = threading.active_count()
+            started = time.monotonic()
+            with DetectionClient(*server.address, max_retries=0) as client:
+                verdict = client.detect(payload=body, request_id="healthy-1")
+            elapsed = time.monotonic() - started
+            assert verdict.request_id == "healthy-1"
+            assert elapsed < 10.0, f"healthy client stalled {elapsed:.1f}s"
+            # Another trickled byte per attacker: still alive, still cheap.
+            for sock in herd:
+                sock.sendall(b"P")
+            assert threading.active_count() - threads_with_herd <= 5, (
+                "held connections must not cost threads"
+            )
+        finally:
+            for sock in herd:
+                sock.close()
+
+    def test_reset_storm_during_keep_alive_reuse(self, loop_server, benign_images):
+        """Twenty clients score once over keep-alive, start a second
+        request, then slam RST mid-stream. Every accepted request was
+        answered, the loop survives, and fresh clients still score."""
+        server, pipeline = loop_server
+        payload = encode_image_payload(as_uint8(benign_images[0]))
+        request = self._detect_request(payload)
+        answered = 0
+        for _ in range(20):
+            sock = socket.create_connection(server.address, timeout=30.0)
+            try:
+                sock.sendall(request)
+                response = _read_http_response(sock)
+                assert response.startswith(b"HTTP/1.1 200 ")
+                answered += 1
+                # Second request, cut off half-way, then RST (SO_LINGER 0
+                # turns close() into a reset, not a FIN).
+                sock.sendall(request[: len(request) // 2])
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            finally:
+                sock.close()
+        assert answered == 20  # zero lost accepted requests
+        with DetectionClient(*server.address, max_retries=0) as client:
+            verdict = client.detect(payload=payload, request_id="post-storm")
+        assert verdict.request_id == "post-storm"
+        wait_until(
+            lambda: pipeline.metrics.gauge("eventloop.open_connections").value == 0,
+            timeout_s=10.0,
+            message="the loop to reap every reset connection",
+        )
+
+    def test_half_closed_socket_still_gets_its_response(
+        self, loop_server, benign_images
+    ):
+        """A client that sends its whole request then shuts down its write
+        side (FIN) must still receive the verdict: half-closed is not
+        closed."""
+        server, _ = loop_server
+        payload = encode_image_payload(as_uint8(benign_images[0]))
+        with socket.create_connection(server.address, timeout=30.0) as sock:
+            sock.sendall(self._detect_request(payload))
+            sock.shutdown(socket.SHUT_WR)
+            response = _read_http_response(sock)
+        assert response.startswith(b"HTTP/1.1 200 ")
+
+    def test_half_closed_partial_request_is_reaped(self, loop_server):
+        """A FIN after an incomplete head can never become a request; the
+        loop drops the connection instead of holding it forever."""
+        server, pipeline = loop_server
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            sock.sendall(b"POST /v1/detect HTT")
+            wait_until(
+                lambda: pipeline.metrics.gauge("eventloop.open_connections").value
+                >= 1,
+                timeout_s=10.0,
+                message="the connection to be registered",
+            )
+            sock.shutdown(socket.SHUT_WR)
+            wait_until(
+                lambda: pipeline.metrics.gauge("eventloop.open_connections").value
+                == 0,
+                timeout_s=10.0,
+                message="the half-closed partial request to be reaped",
+            )
+
+
 class TestServerUnderFaults:
     def test_all_shards_down_is_a_clean_503_then_recovery(self, benign_images):
         """End to end over HTTP: the only shard crashes on the first
@@ -209,6 +407,7 @@ class TestServerUnderFaults:
             ServerConfig(
                 port=0,
                 workers=1,
+                frontend=SERVER_FRONTEND,
                 fault_injection="kill:0",
                 worker_heartbeat_interval_s=0.05,
                 worker_liveness_timeout_s=1.0,
@@ -249,6 +448,7 @@ class TestServerUnderFaults:
             ServerConfig(
                 port=0,
                 workers=1,
+                frontend=SERVER_FRONTEND,
                 fault_injection="mute:0",
                 worker_heartbeat_interval_s=0.05,
                 worker_liveness_timeout_s=0.5,

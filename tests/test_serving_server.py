@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import socket
 import threading
 
 import numpy as np
@@ -38,7 +39,13 @@ from repro.serving.wire import (
     unpack_batch,
 )
 
-from tests.conftest import MODEL_INPUT, SERVER_WORKERS, wait_until
+from tests.conftest import (
+    MODEL_INPUT,
+    SERVER_FRONTEND,
+    SERVER_TRANSPORT,
+    SERVER_WORKERS,
+    wait_until,
+)
 
 
 def _make_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
@@ -48,8 +55,14 @@ def _make_pipeline(benign_images, **kwargs) -> ProtectedPipeline:
 
 
 def _server_config(**kwargs) -> ServerConfig:
-    """Ephemeral port, sharded per ``REPRO_TEST_WORKERS`` (0 = in-process)."""
-    return ServerConfig(port=0, workers=SERVER_WORKERS, **kwargs)
+    """Ephemeral port; front end, shard count, and transport follow the
+    ``REPRO_TEST_FRONTEND`` / ``REPRO_TEST_WORKERS`` / ``REPRO_TEST_TRANSPORT``
+    grid (see ``tests/conftest.py``). Tests that gate scoring in-process
+    (monkeypatched ``submit`` cannot cross a spawn) pass ``workers=0``."""
+    kwargs.setdefault("frontend", SERVER_FRONTEND)
+    kwargs.setdefault("transport", SERVER_TRANSPORT)
+    kwargs.setdefault("workers", SERVER_WORKERS)
+    return ServerConfig(port=0, **kwargs)
 
 
 @pytest.fixture
@@ -177,7 +190,9 @@ class TestHealth:
         }
 
     def test_uncalibrated_is_not_ready(self):
-        server = DetectionServer(ProtectedPipeline(MODEL_INPUT), ServerConfig(port=0))
+        server = DetectionServer(
+            ProtectedPipeline(MODEL_INPUT), _server_config(workers=0)
+        )
         server.start()
         try:
             with DetectionClient(*server.address) as client:
@@ -209,7 +224,7 @@ class TestAdmissionControl:
         _block_submissions(pipeline, gate, started)
         server = DetectionServer(
             pipeline,
-            ServerConfig(port=0, max_active=1, queue_depth=0, deadline_ms=30_000),
+            _server_config(workers=0, max_active=1, queue_depth=0, deadline_ms=30_000),
         )
         server.start()
         image = np.asarray(benign_images[0])
@@ -248,7 +263,7 @@ class TestAdmissionControl:
         _block_submissions(pipeline, gate, started)
         server = DetectionServer(
             pipeline,
-            ServerConfig(port=0, max_active=1, queue_depth=4, deadline_ms=100),
+            _server_config(workers=0, max_active=1, queue_depth=4, deadline_ms=100),
         )
         server.start()
         image = np.asarray(benign_images[0])
@@ -283,8 +298,8 @@ class TestAdmissionControl:
         _block_submissions(pipeline, gate, started)
         server = DetectionServer(
             pipeline,
-            ServerConfig(
-                port=0, max_active=1, queue_depth=0, deadline_ms=30_000,
+            _server_config(
+                workers=0, max_active=1, queue_depth=0, deadline_ms=30_000,
                 retry_after_s=0.1,
             ),
         )
@@ -339,7 +354,7 @@ class TestGracefulDrain:
         n_inflight = 3
         server = DetectionServer(
             pipeline,
-            ServerConfig(port=0, max_active=n_inflight, queue_depth=0),
+            _server_config(workers=0, max_active=n_inflight, queue_depth=0),
         )
         server.start()
         image = np.asarray(benign_images[0])
@@ -388,6 +403,322 @@ class TestGracefulDrain:
         with pytest.raises(ServingError):
             with DetectionClient(host, port, max_retries=1, backoff_base_s=0.01) as c:
                 c.detect(np.asarray(benign_images[0]))
+
+
+# -- front-end parity grid ----------------------------------------------------
+#
+# The event-loop front end promises responses byte-identical to the
+# threaded one. These tests hold the two side by side over raw sockets and
+# compare entire response byte strings, normalizing only what is honestly
+# volatile: the Date header, measured latencies, and shard pids.
+
+_VOLATILE = (
+    (re.compile(rb"Date: [^\r\n]+"), b"Date: <date>"),
+    (re.compile(rb'"latency_ms": [-+0-9.eE]+'), b'"latency_ms": <ms>'),
+    (re.compile(rb'"pids": \{[^}]*\}'), b'"pids": <pids>'),
+)
+
+
+def _normalize(raw: bytes) -> bytes:
+    for pattern, replacement in _VOLATILE:
+        raw = pattern.sub(replacement, raw)
+    return raw
+
+
+def _comparable(raw: bytes) -> bytes:
+    """A response reduced to its parity-comparable form. ``Content-Length``
+    is first checked against the actual body (so it is never wrong, just
+    unequal across variable-width latency floats), then normalized along
+    with the other volatile fields."""
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    lines = []
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            assert int(line.split(b":", 1)[1]) == len(body), raw[:200]
+            line = b"Content-Length: <n>"
+        lines.append(line)
+    return _normalize(b"\r\n".join(lines) + sep + body)
+
+
+def _request_bytes(
+    method: str, path: str, headers: list[tuple[str, str]], body: bytes = b""
+) -> bytes:
+    head = f"{method} {path} HTTP/1.1\r\n"
+    head += "".join(f"{name}: {value}\r\n" for name, value in headers)
+    return head.encode("ascii") + b"\r\n" + body
+
+
+def _read_response(sock: socket.socket) -> bytes:
+    """Read exactly one HTTP response (head + Content-Length body)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest[:length]
+
+
+def _exchange(address: tuple[str, int], requests: list[bytes]) -> list[bytes]:
+    """Send requests sequentially over ONE connection; return the responses."""
+    with socket.create_connection(address, timeout=30.0) as sock:
+        responses = []
+        for request in requests:
+            sock.sendall(request)
+            responses.append(_read_response(sock))
+        return responses
+
+
+_BASE_HEADERS = [("Host", "parity.test"), ("X-Request-Id", "parity-grid")]
+_OCTET = ("Content-Type", "application/octet-stream")
+
+
+def _grid_cases(single: bytes, attack: bytes, batch: bytes, max_body: int) -> dict:
+    """Every request shape the grid compares, keyed by case id. Each maps
+    to ``(request bytes, expected status line prefix)``."""
+    return {
+        "get-healthz": (
+            _request_bytes("GET", "/healthz", _BASE_HEADERS),
+            b"HTTP/1.1 200 ",
+        ),
+        "get-404": (
+            _request_bytes("GET", "/nope", _BASE_HEADERS),
+            b"HTTP/1.1 404 ",
+        ),
+        "post-404": (
+            _request_bytes(
+                "POST", "/nope", [*_BASE_HEADERS, _OCTET, ("Content-Length", "0")]
+            ),
+            b"HTTP/1.1 404 ",
+        ),
+        "detect-benign": (
+            _request_bytes(
+                "POST",
+                "/v1/detect",
+                [*_BASE_HEADERS, _OCTET, ("Content-Length", str(len(single)))],
+                single,
+            ),
+            b"HTTP/1.1 200 ",
+        ),
+        "detect-attack": (
+            _request_bytes(
+                "POST",
+                "/v1/detect",
+                [*_BASE_HEADERS, _OCTET, ("Content-Length", str(len(attack)))],
+                attack,
+            ),
+            b"HTTP/1.1 200 ",
+        ),
+        "detect-batch": (
+            _request_bytes(
+                "POST",
+                "/v1/detect/batch",
+                [
+                    *_BASE_HEADERS,
+                    ("Content-Type", "application/x-decamouflage-batch"),
+                    ("Content-Length", str(len(batch))),
+                ],
+                batch,
+            ),
+            b"HTTP/1.1 200 ",
+        ),
+        "bad-body-400": (
+            _request_bytes(
+                "POST",
+                "/v1/detect",
+                [*_BASE_HEADERS, _OCTET, ("Content-Length", "9")],
+                b"not a png",
+            ),
+            b"HTTP/1.1 400 ",
+        ),
+        "missing-length-411": (
+            _request_bytes("POST", "/v1/detect", [*_BASE_HEADERS, _OCTET]),
+            b"HTTP/1.1 411 ",
+        ),
+        "invalid-length-400": (
+            _request_bytes(
+                "POST", "/v1/detect", [*_BASE_HEADERS, _OCTET, ("Content-Length", "abc")]
+            ),
+            b"HTTP/1.1 400 ",
+        ),
+        "negative-length-400": (
+            _request_bytes(
+                "POST", "/v1/detect", [*_BASE_HEADERS, _OCTET, ("Content-Length", "-5")]
+            ),
+            b"HTTP/1.1 400 ",
+        ),
+        "oversize-length-413": (
+            _request_bytes(
+                "POST",
+                "/v1/detect",
+                [*_BASE_HEADERS, _OCTET, ("Content-Length", str(max_body + 1))],
+            ),
+            b"HTTP/1.1 413 ",
+        ),
+        "unsupported-method-501": (
+            _request_bytes(
+                "DELETE", "/v1/detect", [*_BASE_HEADERS, ("Content-Length", "0")]
+            ),
+            b"HTTP/1.1 501 ",
+        ),
+    }
+
+
+class TestFrontendParity:
+    """The two front ends, side by side, over raw sockets."""
+
+    @pytest.fixture(scope="class")
+    def parity_pair(self, benign_images, tmp_path_factory):
+        """One threaded and one eventloop server over identically
+        calibrated pipelines (sharding per the grid), plus their audit
+        logs, keyed by frontend name."""
+        servers, logs = {}, {}
+        try:
+            for frontend in ("threaded", "eventloop"):
+                log = AuditLog(tmp_path_factory.mktemp(frontend) / "audit.jsonl")
+                pipeline = _make_pipeline(benign_images, audit_log=log)
+                server = DetectionServer(
+                    pipeline,
+                    ServerConfig(
+                        port=0,
+                        workers=SERVER_WORKERS,
+                        transport=SERVER_TRANSPORT,
+                        frontend=frontend,
+                    ),
+                )
+                server.start()
+                servers[frontend], logs[frontend] = server, log
+                with DetectionClient(*server.address) as probe:
+                    probe.wait_ready(timeout_s=120.0 if SERVER_WORKERS else 10.0)
+            yield servers, logs
+        finally:
+            for server in servers.values():
+                server.shutdown()
+
+    @pytest.fixture(scope="class")
+    def grid(self, benign_images, attack_images):
+        single = encode_image_payload(as_uint8(benign_images[0]))
+        attack = encode_image_payload(as_uint8(attack_images[0]))
+        batch = pack_batch([single, attack])
+        return _grid_cases(
+            single, attack, batch, ServerConfig().max_body_bytes
+        )
+
+    @pytest.mark.parametrize(
+        "case",
+        [
+            "get-healthz",
+            "get-404",
+            "post-404",
+            "detect-benign",
+            "detect-attack",
+            "detect-batch",
+            "bad-body-400",
+            "missing-length-411",
+            "invalid-length-400",
+            "negative-length-400",
+            "oversize-length-413",
+            "unsupported-method-501",
+        ],
+    )
+    def test_response_bytes_identical(self, parity_pair, grid, case):
+        servers, _ = parity_pair
+        request, expected_prefix = grid[case]
+        raw = {
+            frontend: _exchange(server.address, [request])[0]
+            for frontend, server in servers.items()
+        }
+        # Guard against "identical because both broke the same way".
+        for frontend, response in raw.items():
+            assert response.startswith(expected_prefix), (
+                f"{frontend}: {response[:120]!r}"
+            )
+        assert _comparable(raw["eventloop"]) == _comparable(raw["threaded"])
+
+    def test_metrics_endpoint_headers_identical(self, parity_pair):
+        """Metrics bodies legitimately differ (each server has its own
+        registry); the envelope — status line and header structure — must
+        not."""
+        servers, _ = parity_pair
+        request = _request_bytes("GET", "/metrics", _BASE_HEADERS)
+        envelopes = {}
+        for frontend, server in servers.items():
+            head = _exchange(server.address, [request])[0].partition(b"\r\n\r\n")[0]
+            lines = _normalize(head).split(b"\r\n")
+            envelopes[frontend] = [
+                line.partition(b":")[0] if line.startswith(b"Content-Length") else line
+                for line in lines
+            ]
+            assert lines[0] == b"HTTP/1.1 200 OK"
+        assert envelopes["eventloop"] == envelopes["threaded"]
+
+    def test_keep_alive_reuse_bytes_identical(self, parity_pair, grid):
+        """Three requests over ONE connection per server — the event loop's
+        incremental parser resumes cleanly between keep-alive requests."""
+        servers, _ = parity_pair
+        script = [grid["detect-benign"][0], grid["get-healthz"][0], grid["bad-body-400"][0]]
+        raw = {
+            frontend: _exchange(server.address, script)
+            for frontend, server in servers.items()
+        }
+        for responses in raw.values():
+            assert len(responses) == 3
+            assert responses[0].startswith(b"HTTP/1.1 200 ")
+            assert responses[2].startswith(b"HTTP/1.1 400 ")
+        assert list(map(_comparable, raw["eventloop"])) == list(
+            map(_comparable, raw["threaded"])
+        )
+
+    def test_accounting_parity_counters_and_audit(self, parity_pair, grid):
+        """Identical traffic leaves identical ``server.*`` counter deltas
+        and identical audit trails on both front ends."""
+        servers, logs = parity_pair
+        before = {
+            frontend: server.metrics.counter_values(prefix="server.")
+            for frontend, server in servers.items()
+        }
+        audited_before = {
+            frontend: len(log.records()) for frontend, log in logs.items()
+        }
+        single = grid["detect-benign"][0]
+        for frontend, server in servers.items():
+            for index in range(3):
+                request = single.replace(
+                    b"X-Request-Id: parity-grid", f"X-Request-Id: acct-{index}".encode()
+                )
+                response = _exchange(server.address, [request])[0]
+                assert response.startswith(b"HTTP/1.1 200 ")
+            _exchange(server.address, [grid["bad-body-400"][0]])
+        deltas = {}
+        for frontend, server in servers.items():
+            after = server.metrics.counter_values(prefix="server.")
+            changed = {
+                key: after.get(key, 0) - before[frontend].get(key, 0)
+                for key in set(after) | set(before[frontend])
+            }
+            # Only compare families this traffic moved: the eventloop
+            # server counts its own 501s (a family the threaded server
+            # delegates to BaseHTTPRequestHandler), so zero-delta keys
+            # differ by construction.
+            deltas[frontend] = {key: value for key, value in changed.items() if value}
+        assert deltas["eventloop"] == deltas["threaded"]
+        assert deltas["eventloop"]["server.requests"] == 4
+        assert deltas["eventloop"]["server.responses.200"] == 3
+        assert deltas["eventloop"]["server.responses.400"] == 1
+        for frontend, log in logs.items():
+            servers[frontend].pipeline.audit_log.flush()
+            fresh = log.records()[audited_before[frontend] :]
+            assert [r.image_id for r in fresh] == ["acct-0", "acct-1", "acct-2"]
 
 
 _METRIC_LINE = re.compile(

@@ -21,6 +21,13 @@ Findings:
   in ``tools/analyze/lock_order.json``. The contract file is the reviewed
   list of blessed orderings; a new nesting must be declared (one JSON
   line) or restructured.
+* **``leaf-violation``** — a lock listed in the contract's ``leaf_locks``
+  acquires another lock while held. Leaf status is the strongest ordering
+  contract a lock can carry: the event-loop completion lock and the shm
+  ring slot-scan lock sit on the per-request hot path and are declared
+  leaf so no future change can quietly hang the selector loop or a
+  dispatcher handler thread under them. Enforced statically here and at
+  runtime by ``--locksan-check``.
 
 The full graph is emitted as an artifact (JSON + DOT via ``--lock-graph``)
 and is the static half of the runtime cross-check performed by
@@ -165,6 +172,7 @@ def build_lock_graph(model: ProjectModel) -> dict:
         Path(p) if (p := model.options.get("lock_contract_path")) else None
     )
     declared = {tuple(edge) for edge in contract.get("edges", [])}
+    leaf = set(contract.get("leaf_locks", []))
 
     graph_edges = [
         {
@@ -182,6 +190,7 @@ def build_lock_graph(model: ProjectModel) -> dict:
         "edges": graph_edges,
         "cycles": cycles,
         "contract": sorted(contract.get("edges", [])),
+        "leaf_contract": sorted(leaf),
     }
 
 
@@ -329,11 +338,20 @@ def reconcile_locksan(
     allowed = {(edge["from"], edge["to"]) for edge in graph["edges"]}
     allowed |= {tuple(edge) for edge in graph.get("contract", [])}
     allowed |= {tuple(edge) for edge in contract.get("runtime_only", [])}
+    leaf = set(contract.get("leaf_locks", []))
     for edge in dump.get("edges", []):
         a = runtime_to_static.get(edge["from"])
         b = runtime_to_static.get(edge["to"])
         if a is None or b is None or a == b:
             continue  # unmatched endpoints were already noted; RLock reentry
+        if a in leaf:
+            errors.append(
+                f"observed lock edge {a} -> {b} "
+                f"(count {edge.get('count', 1)}) leaves a declared leaf "
+                "lock — the leaf_locks contract in "
+                "tools/analyze/lock_order.json forbids nesting under it"
+            )
+            continue
         if (a, b) not in allowed:
             errors.append(
                 f"observed lock edge {a} -> {b} "
@@ -347,10 +365,11 @@ def reconcile_locksan(
 
 class LockOrderPass(ProjectPass):
     name = "lock-order"
-    codes = ("lock-cycle", "undeclared-order")
+    codes = ("lock-cycle", "undeclared-order", "leaf-violation")
     description = (
         "Cross-module lock-acquisition-order graph: cycles are potential "
-        "deadlocks; nested acquires must have a declared order."
+        "deadlocks; nested acquires must have a declared order, and locks "
+        "declared leaf in the contract may never nest at all."
     )
 
     def run(self, model: ProjectModel) -> tuple[list[Finding], dict]:
@@ -400,6 +419,28 @@ class LockOrderPass(ProjectPass):
                     message=(
                         f"nested lock acquisition {edge['from']} -> {edge['to']} "
                         "has no declared order in tools/analyze/lock_order.json"
+                    ),
+                    symbol=site["via"],
+                )
+            )
+        leaf = set(graph.get("leaf_contract", []))
+        for edge in graph["edges"]:
+            if edge["from"] not in leaf:
+                continue
+            site = edge["sites"][0]
+            findings.append(
+                Finding(
+                    path=site["path"],
+                    line=site["line"],
+                    col=1,
+                    rule=self.name,
+                    code="leaf-violation",
+                    message=(
+                        f"{edge['from']} is declared a leaf lock in "
+                        "tools/analyze/lock_order.json but acquires "
+                        f"{edge['to']} while held — hot-path leaf locks "
+                        "(event-loop completion queue, shm ring slot scan) "
+                        "must never nest"
                     ),
                     symbol=site["via"],
                 )

@@ -5,7 +5,10 @@ call that releases them:
 
 * builtin acquirers — ``socket.socket`` / ``socket.create_connection``,
   ``subprocess.Popen``, ``http.client.HTTPConnection``,
-  ``threading.Thread``, ``multiprocessing`` pipe ``Connection``s;
+  ``threading.Thread``, ``multiprocessing`` pipe ``Connection``s,
+  ``selectors`` selectors (the epoll/kqueue fd behind the serving event
+  loop), and ``multiprocessing.shared_memory.SharedMemory`` segments
+  (the mapped fd behind the worker slot rings);
 * *resource-backed* project classes — any class holding one of the above
   in an attribute (by assignment or annotation, computed to a fixpoint so
   a class holding a resource-backed class counts too) that also exposes a
@@ -52,10 +55,16 @@ _EXT_KINDS = {
     "multiprocessing.Pipe": "pipe",
     "multiprocessing.connection.Connection": "pipe",
     "threading.Thread": "thread",
+    "selectors.BaseSelector": "selector",
+    "selectors.DefaultSelector": "selector",
+    "selectors.SelectSelector": "selector",
+    "multiprocessing.shared_memory.SharedMemory": "shm",
 }
 
 #: Kinds that hold a file descriptor (exception-safety required).
-_FD_KINDS = {"socket", "popen", "http", "pipe", "object"}
+#: ``selector`` holds the epoll/kqueue fd; ``shm`` holds the mapped
+#: segment fd until close() (and the segment itself until unlink()).
+_FD_KINDS = {"socket", "popen", "http", "pipe", "object", "selector", "shm"}
 
 #: A class is resource-backed only if it can actually release.
 _RELEASER_METHODS = {"close", "shutdown", "stop", "terminate", "__exit__", "join"}
@@ -105,9 +114,10 @@ class ResourceLifecyclePass(ProjectPass):
         "owned-unreleased",
     )
     description = (
-        "Track socket/Popen/HTTPConnection/pipe/Thread handles from "
-        "acquisition to release on every exit path, with escape analysis "
-        "for ownership transfer and self-stored handles."
+        "Track socket/Popen/HTTPConnection/pipe/Thread/selector/"
+        "SharedMemory handles from acquisition to release on every exit "
+        "path, with escape analysis for ownership transfer and "
+        "self-stored handles."
     )
 
     def run(self, model: ProjectModel) -> tuple[list[Finding], dict]:
